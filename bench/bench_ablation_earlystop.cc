@@ -1,0 +1,100 @@
+// Ablation G (figure-style): early-stopping candidate refinement.
+//
+// Section 5.3 of the paper observes that the candidate set is pre-ranked,
+// so the client "can choose to decrypt and compute distances only for
+// candidates with the highest rank". ApproxKnnEarlyStop implements that
+// with a sound stop rule (pivot-filtering lower bounds); this harness
+// measures how many decryptions it saves on YEAST as the candidate
+// budget grows, at identical answer quality.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t k = 30;
+
+  DatasetConfig config = MakeYeastConfig();
+  const auto queries = config.dataset.SampleQueries(100, 999);
+  const auto exact = ComputeGroundTruth(config.dataset, queries, k);
+
+  SecureStack stack =
+      BuildSecureStack(config, secure::InsertStrategy::kPrecise, nullptr);
+
+  std::printf(
+      "Ablation: early-stop refinement (YEAST, approx %zu-NN, "
+      "100 queries, precise-strategy index)\n",
+      k);
+  std::printf("%10s  %14s  %14s  %10s  %12s  %12s\n", "|SC|",
+              "decrypted/full", "decrypted/ES", "saved[%]", "recall-full",
+              "recall-ES");
+
+  for (size_t cand_size : {150, 300, 600, 1500}) {
+    stack.client->ResetCosts();
+    double recall_full = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto answer = stack.client->ApproxKnn(queries[qi], k, cand_size);
+      if (!answer.ok()) return;
+      size_t hits = 0;
+      for (const auto& n : *answer) {
+        for (const auto& e : exact[qi]) {
+          if (n.id == e.id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      recall_full += 100.0 * hits / exact[qi].size();
+    }
+    recall_full /= queries.size();
+    const double full_decrypted =
+        static_cast<double>(stack.client->costs().candidates_decrypted) /
+        queries.size();
+
+    stack.client->ResetCosts();
+    double recall_early = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto answer =
+          stack.client->ApproxKnnEarlyStop(queries[qi], k, cand_size);
+      if (!answer.ok()) return;
+      size_t hits = 0;
+      for (const auto& n : *answer) {
+        for (const auto& e : exact[qi]) {
+          if (n.id == e.id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      recall_early += 100.0 * hits / exact[qi].size();
+    }
+    recall_early /= queries.size();
+    const double early_decrypted =
+        static_cast<double>(stack.client->costs().candidates_decrypted) /
+        queries.size();
+
+    std::printf("%10zu  %14.1f  %14.1f  %10.1f  %12.2f  %12.2f\n", cand_size,
+                full_decrypted, early_decrypted,
+                100.0 * (1.0 - early_decrypted / full_decrypted),
+                recall_full, recall_early);
+  }
+
+  std::printf(
+      "\nExpected shape: savings grow with the candidate budget (the tail "
+      "of a large pre-ranked candidate set rarely survives the lower-bound "
+      "test); recall is at least as good as the permutation-ranked full "
+      "refinement since the distance-ranked candidate set is tighter.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation B (figure-style): fine-grained recall-vs-candidate-size curve
+// for the Encrypted M-Index (the curve Tables 5 and 6 sample at four and
+// six points). Also contrasts the distance-bearing (precise-strategy)
+// pre-ranking against permutation-only pre-ranking, and the effect of the
+// distribution-hiding transform on the curve (it should be nil: the
+// transform preserves permutations).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+double AverageRecall(SecureStack& stack,
+                     const std::vector<metric::VectorObject>& queries,
+                     const std::vector<metric::NeighborList>& exact, size_t k,
+                     size_t cand_size, bool send_distances = false) {
+  double total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // ApproxKnn sends the permutation only; ApproxKnnEarlyStop sends the
+    // query-pivot distances, so the server pre-ranks by pivot-filtering
+    // lower bounds (needs a precise-strategy index).
+    auto answer = send_distances
+                      ? stack.client->ApproxKnnEarlyStop(queries[i], k,
+                                                         cand_size)
+                      : stack.client->ApproxKnn(queries[i], k, cand_size);
+    if (!answer.ok()) std::abort();
+    total += metric::RecallPercent(*answer, exact[i]);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+void Run() {
+  const size_t k = 30;
+  DatasetConfig config = MakeYeastConfig();
+  const auto queries = config.dataset.SampleQueries(100, 999);
+  const auto exact = ComputeGroundTruth(config.dataset, queries, k);
+
+  SecureStack perm_stack = BuildSecureStack(
+      config, secure::InsertStrategy::kPermutationOnly, nullptr);
+  SecureStack dist_stack =
+      BuildSecureStack(config, secure::InsertStrategy::kPrecise, nullptr);
+
+  DatasetConfig transform_config = MakeYeastConfig();
+  mindex::PivotSet pivots = *mindex::PivotSet::SelectRandom(
+      transform_config.dataset.objects(),
+      transform_config.index_options.num_pivots, transform_config.pivot_seed);
+  auto transform_key = secure::SecretKey::Create(pivots, Bytes(16, 0x5C));
+  if (!transform_key.ok()) std::abort();
+  if (!transform_key->EnableDistanceTransform(4242, 20000.0).ok()) {
+    std::abort();
+  }
+  auto transform_server =
+      secure::EncryptedMIndexServer::Create(transform_config.index_options);
+  if (!transform_server.ok()) std::abort();
+  SecureStack transform_stack{std::move(transform_key).value(),
+                              std::move(transform_server).value(), nullptr,
+                              nullptr};
+  transform_stack.transport = std::make_unique<net::LoopbackTransport>(
+      transform_stack.server.get());
+  transform_stack.client = std::make_unique<secure::EncryptionClient>(
+      transform_stack.key, transform_config.dataset.distance(),
+      transform_stack.transport.get());
+  if (!transform_stack.client
+           ->InsertBulk(transform_config.dataset.objects(),
+                        secure::InsertStrategy::kPermutationOnly, 1000)
+           .ok()) {
+    std::abort();
+  }
+
+  std::printf("Recall vs candidate-set size (YEAST, approx 30-NN, "
+              "100 queries)\n");
+  std::printf("%8s  %18s  %18s  %22s\n", "|SC|", "perm-only[%]",
+              "with-distances[%]", "perm+transform[%]");
+  for (size_t cand_size :
+       {30u, 60u, 100u, 150u, 200u, 300u, 450u, 600u, 900u, 1200u, 1500u,
+        2000u}) {
+    const double r_perm = AverageRecall(perm_stack, queries, exact, k,
+                                        cand_size);
+    const double r_dist = AverageRecall(dist_stack, queries, exact, k,
+                                        cand_size, /*send_distances=*/true);
+    const double r_transform =
+        AverageRecall(transform_stack, queries, exact, k, cand_size);
+    std::printf("%8zu  %18.2f  %18.2f  %22.2f\n", cand_size, r_perm, r_dist,
+                r_transform);
+  }
+  std::printf(
+      "\nExpected shapes: monotone saturation (paper: >90%% at |SC|=600 on "
+      "YEAST); distance-bearing pre-ranking >= permutation-only at small "
+      "|SC|; the transform column tracks perm-only (permutations are "
+      "preserved by the monotone transform).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation F (figure-style): what the distribution-hiding transform buys
+// and what it costs.
+//
+// The paper's future work (Section 4.3/6) proposes transforming the
+// distances stored on the server to hide the data distribution (privacy
+// level 4). We implemented that as ConcaveTransform; this harness
+// quantifies both sides of the trade on YEAST:
+//   * leakage metrics from the attack module (KS distribution distance,
+//     rank correlation, co-cell proximity ratio) for each configuration;
+//   * search quality and cost (precise range candidates scanned, approx
+//     recall) with and without the transform.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "secure/attack.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+struct Config {
+  const char* name;
+  secure::InsertStrategy strategy;
+  bool transform;
+};
+
+void Run() {
+  const size_t k = 30;
+  const size_t cand_size = 300;
+
+  const Config configs[] = {
+      {"precise", secure::InsertStrategy::kPrecise, false},
+      {"precise+T", secure::InsertStrategy::kPrecise, true},
+      {"perm-only", secure::InsertStrategy::kPermutationOnly, false},
+      {"perm-only+T", secure::InsertStrategy::kPermutationOnly, true},
+  };
+
+  std::printf(
+      "Ablation: distribution-hiding transform (YEAST, %zu pivots; leakage "
+      "measured by the honest-but-curious server attack)\n",
+      MakeYeastConfig().index_options.num_pivots);
+  std::printf("%12s  %8s  %10s  %10s  %10s  %12s  %12s\n", "config",
+              "leak?", "KS", "rank-corr", "cell-ratio", "recall@300",
+              "scanned/rq");
+
+  for (const Config& config : configs) {
+    DatasetConfig dataset_config = MakeYeastConfig();
+    const auto queries = dataset_config.dataset.SampleQueries(100, 888);
+    const auto exact =
+        ComputeGroundTruth(dataset_config.dataset, queries, k);
+
+    // Build the stack; enable the transform before any insert.
+    auto pivots = mindex::PivotSet::SelectRandom(
+        dataset_config.dataset.objects(),
+        dataset_config.index_options.num_pivots, dataset_config.pivot_seed);
+    if (!pivots.ok()) return;
+    mindex::PivotSet pivots_copy = *pivots;
+    auto key = secure::SecretKey::Create(std::move(pivots).value(),
+                                         Bytes(16, 0x5C));
+    if (!key.ok()) return;
+    if (config.transform) {
+      if (!key->EnableDistanceTransform(7, 20000.0).ok()) return;
+    }
+    auto server =
+        secure::EncryptedMIndexServer::Create(dataset_config.index_options);
+    if (!server.ok()) return;
+    net::LoopbackTransport transport(server->get());
+    secure::EncryptionClient client(*key, dataset_config.dataset.distance(),
+                                    &transport);
+    if (!client
+             .InsertBulk(dataset_config.dataset.objects(), config.strategy,
+                         dataset_config.bulk_size)
+             .ok()) {
+      return;
+    }
+
+    // Attack the server state.
+    auto view = secure::ExtractServerView((*server)->index());
+    if (!view.ok()) return;
+    auto report = secure::EvaluateLeakage(
+        *view, dataset_config.dataset.objects(),
+        *dataset_config.dataset.distance(), pivots_copy, 99);
+    if (!report.ok()) return;
+
+    // Approximate search quality (identical for all configs by design:
+    // monotone transforms preserve permutations).
+    double recall = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto answer = client.ApproxKnn(queries[qi], k, cand_size);
+      if (!answer.ok()) return;
+      size_t hits = 0;
+      for (const auto& n : *answer) {
+        for (const auto& e : exact[qi]) {
+          if (n.id == e.id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      recall += 100.0 * hits / exact[qi].size();
+    }
+    recall /= queries.size();
+
+    // Precise-search server work (only meaningful with stored distances):
+    // entries scanned per range query measures how much pruning power the
+    // transform sacrifices.
+    double scanned_per_query = 0;
+    if (config.strategy == secure::InsertStrategy::kPrecise) {
+      const auto stats_before = (*server)->total_search_stats();
+      for (size_t qi = 0; qi < 20; ++qi) {
+        (void)client.RangeSearch(queries[qi], 30.0);
+      }
+      const auto stats_after = (*server)->total_search_stats();
+      scanned_per_query =
+          (stats_after.entries_scanned - stats_before.entries_scanned) /
+          20.0;
+    }
+
+    std::printf("%12s  %8s  %10.3f  %10.3f  %10.3f  %12.2f  %12.1f\n",
+                config.name, report->distances_leaked ? "dist" : "perm",
+                report->distance_ks_statistic, report->rank_correlation,
+                report->same_cell_distance_ratio, recall,
+                scanned_per_query);
+  }
+
+  std::printf(
+      "\nExpected shape: precise leaks the exact distance distribution "
+      "(KS ~ 0); the transform pushes KS up while rank correlation stays "
+      "~1 (monotone) and the co-cell ratio is untouched (permutations are "
+      "transform-invariant). Recall is identical across configs; the "
+      "price of the transform is weaker precise-search pruning (more "
+      "entries scanned per range query).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

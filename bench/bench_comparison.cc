@@ -1,0 +1,292 @@
+// Reproduces Table 9 (approximate 1-NN on YEAST, Encrypted M-Index
+// restricted to a single Voronoi cell) and extends it into the full
+// comparison the paper makes textually against Yiu et al.'s techniques:
+// EHI, MPT, FDH, and the trivial download-everything client, all measured
+// on the same data, queries, and transport.
+//
+// Paper shapes to reproduce: the Encrypted M-Index beats every referenced
+// technique in communication cost and beats FDH in per-query CPU time,
+// while its index construction is slower than FDH's; EHI pays many round
+// trips and heavy client-side decryption; the trivial client's
+// communication cost is catastrophic.
+
+#include <cstdio>
+
+#include "baselines/ehi.h"
+#include "baselines/fdh.h"
+#include "baselines/mpt.h"
+#include "baselines/trivial.h"
+#include "bench/bench_common.h"
+#include "common/clock.h"
+#include "metric/ground_truth.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+using metric::NeighborList;
+using metric::VectorObject;
+
+struct ComparisonRow {
+  double client_ms = -1;
+  double decryption_ms = -1;
+  double distance_ms = -1;
+  double server_ms = -1;
+  double communication_ms = -1;
+  double overall_ms = -1;
+  double recall_pct = -1;
+  double communication_kb = -1;
+  double construction_s = -1;
+};
+
+void Run() {
+  // Workload: 100 query objects excluded from the indexed set (paper
+  // Section 5.4), k = 1.
+  DatasetConfig config = MakeYeastConfig();
+  auto queries = config.dataset.ExtractQueries(100, 777);
+  const size_t k = 1;
+  const auto exact = ComputeGroundTruth(config.dataset, queries, k);
+  const double n = static_cast<double>(queries.size());
+
+  std::vector<std::string> systems;
+  std::vector<ComparisonRow> rows;
+
+  // ---------------------------------------------- Encrypted M-Index
+  {
+    Stopwatch build;
+    SecureStack stack = BuildSecureStack(
+        config, secure::InsertStrategy::kPermutationOnly, nullptr);
+    const double construction_s = build.ElapsedSeconds();
+    stack.client->ResetCosts();
+    stack.transport->ResetCosts();
+
+    double recall_total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto answer = stack.client->ApproxKnnSingleCell(queries[i], k);
+      if (!answer.ok()) std::abort();
+      recall_total += metric::RecallPercent(*answer, exact[i]);
+    }
+    const auto& cc = stack.client->costs();
+    const auto& tc = stack.transport->costs();
+    ComparisonRow row;
+    row.client_ms = cc.TotalNanos() * 1e-6 / n;
+    row.decryption_ms = cc.decryption_nanos * 1e-6 / n;
+    row.distance_ms = cc.distance_nanos * 1e-6 / n;
+    row.server_ms = tc.server_nanos * 1e-6 / n;
+    row.communication_ms = tc.communication_nanos * 1e-6 / n;
+    row.overall_ms = row.client_ms + row.server_ms + row.communication_ms;
+    row.recall_pct = recall_total / n;
+    row.communication_kb = tc.TotalBytes() / 1024.0 / n;
+    row.construction_s = construction_s;
+    systems.push_back("EncMIndex");
+    rows.push_back(row);
+    std::printf("Encrypted M-Index: avg candidate (single cell) size = %.1f "
+                "(paper: ~42)\n",
+                static_cast<double>(cc.candidates_decrypted) / n);
+  }
+
+  // ------------------------------------------------------------- EHI
+  {
+    baselines::EhiNodeStoreServer server;
+    net::LoopbackTransport transport(&server);
+    auto client = baselines::EhiClient::Create(
+        Bytes(16, 0x61), config.dataset.distance(), &transport);
+    if (!client.ok()) std::abort();
+    Stopwatch build;
+    if (!client->BuildAndUpload(config.dataset.objects()).ok()) std::abort();
+    const double construction_s = build.ElapsedSeconds();
+    transport.ResetCosts();
+    client->ResetCosts();
+
+    double recall_total = 0;
+    Stopwatch wall;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto answer = client->Knn(queries[i], k);
+      if (!answer.ok()) std::abort();
+      recall_total += metric::RecallPercent(*answer, exact[i]);
+    }
+    const double wall_s = wall.ElapsedSeconds();
+    const auto& tc = transport.costs();
+    ComparisonRow row;
+    row.decryption_ms = client->costs().decryption_nanos * 1e-6 / n;
+    row.distance_ms = client->costs().distance_nanos * 1e-6 / n;
+    row.server_ms = tc.server_nanos * 1e-6 / n;
+    row.client_ms =
+        std::max(0.0, (wall_s - tc.server_nanos * 1e-9) * 1e3 / n);
+    row.communication_ms = tc.communication_nanos * 1e-6 / n;
+    row.overall_ms = row.client_ms + row.server_ms + row.communication_ms;
+    row.recall_pct = recall_total / n;  // exact algorithm -> 100
+    row.communication_kb = tc.TotalBytes() / 1024.0 / n;
+    row.construction_s = construction_s;
+    systems.push_back("EHI");
+    rows.push_back(row);
+    std::printf("EHI: avg encrypted nodes fetched per query = %.1f\n",
+                static_cast<double>(client->costs().nodes_fetched) / n);
+  }
+
+  // ------------------------------------------------------------- MPT
+  {
+    baselines::MptServer server;
+    net::LoopbackTransport transport(&server);
+    auto client = baselines::MptClient::Create(
+        Bytes(16, 0x62), config.dataset.distance(), &transport);
+    if (!client.ok()) std::abort();
+    Stopwatch build;
+    if (!client->BuildKey(config.dataset.SampleQueries(200, 31)).ok()) {
+      std::abort();
+    }
+    if (!client->InsertBulk(config.dataset.objects()).ok()) std::abort();
+    const double construction_s = build.ElapsedSeconds();
+    transport.ResetCosts();
+    client->ResetCosts();
+
+    double recall_total = 0;
+    Stopwatch wall;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto answer = client->Knn(queries[i], k);
+      if (!answer.ok()) std::abort();
+      recall_total += metric::RecallPercent(*answer, exact[i]);
+    }
+    const double wall_s = wall.ElapsedSeconds();
+    const auto& tc = transport.costs();
+    ComparisonRow row;
+    row.decryption_ms = client->costs().decryption_nanos * 1e-6 / n;
+    row.distance_ms = client->costs().distance_nanos * 1e-6 / n;
+    row.server_ms = tc.server_nanos * 1e-6 / n;
+    row.client_ms =
+        std::max(0.0, (wall_s - tc.server_nanos * 1e-9) * 1e3 / n);
+    row.communication_ms = tc.communication_nanos * 1e-6 / n;
+    row.overall_ms = row.client_ms + row.server_ms + row.communication_ms;
+    row.recall_pct = recall_total / n;
+    row.communication_kb = tc.TotalBytes() / 1024.0 / n;
+    row.construction_s = construction_s;
+    systems.push_back("MPT");
+    rows.push_back(row);
+  }
+
+  // ------------------------------------------------------------- FDH
+  {
+    baselines::FdhServer server;
+    net::LoopbackTransport transport(&server);
+    auto client = baselines::FdhClient::Create(
+        Bytes(16, 0x63), config.dataset.distance(), &transport);
+    if (!client.ok()) std::abort();
+    Stopwatch build;
+    if (!client->BuildKey(config.dataset.SampleQueries(200, 41)).ok()) {
+      std::abort();
+    }
+    if (!client->InsertBulk(config.dataset.objects()).ok()) std::abort();
+    const double construction_s = build.ElapsedSeconds();
+    transport.ResetCosts();
+    client->ResetCosts();
+
+    double recall_total = 0;
+    Stopwatch wall;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Same candidate budget as the encrypted M-Index's average cell.
+      auto answer = client->Knn(queries[i], k, 42);
+      if (!answer.ok()) std::abort();
+      recall_total += metric::RecallPercent(*answer, exact[i]);
+    }
+    const double wall_s = wall.ElapsedSeconds();
+    const auto& tc = transport.costs();
+    ComparisonRow row;
+    row.decryption_ms = client->costs().decryption_nanos * 1e-6 / n;
+    row.distance_ms = client->costs().distance_nanos * 1e-6 / n;
+    row.server_ms = tc.server_nanos * 1e-6 / n;
+    row.client_ms =
+        std::max(0.0, (wall_s - tc.server_nanos * 1e-9) * 1e3 / n);
+    row.communication_ms = tc.communication_nanos * 1e-6 / n;
+    row.overall_ms = row.client_ms + row.server_ms + row.communication_ms;
+    row.recall_pct = recall_total / n;
+    row.communication_kb = tc.TotalBytes() / 1024.0 / n;
+    row.construction_s = construction_s;
+    systems.push_back("FDH");
+    rows.push_back(row);
+  }
+
+  // --------------------------------------------------------- Trivial
+  {
+    baselines::BlobStoreServer server;
+    net::LoopbackTransport transport(&server);
+    auto client = baselines::TrivialClient::Create(
+        Bytes(16, 0x64), config.dataset.distance(), &transport);
+    if (!client.ok()) std::abort();
+    Stopwatch build;
+    if (!client->InsertBulk(config.dataset.objects()).ok()) std::abort();
+    const double construction_s = build.ElapsedSeconds();
+    transport.ResetCosts();
+
+    double recall_total = 0;
+    Stopwatch wall;
+    // The trivial client re-downloads the collection per query; 10
+    // queries suffice to measure the (enormous) per-query cost.
+    const size_t trivial_queries = 10;
+    for (size_t i = 0; i < trivial_queries; ++i) {
+      auto answer = client->Knn(queries[i], k);
+      if (!answer.ok()) std::abort();
+      recall_total += metric::RecallPercent(*answer, exact[i]);
+    }
+    const double wall_s = wall.ElapsedSeconds();
+    const double tn = static_cast<double>(trivial_queries);
+    const auto& tc = transport.costs();
+    ComparisonRow row;
+    row.server_ms = tc.server_nanos * 1e-6 / tn;
+    row.client_ms =
+        std::max(0.0, (wall_s - tc.server_nanos * 1e-9) * 1e3 / tn);
+    row.communication_ms = tc.communication_nanos * 1e-6 / tn;
+    row.overall_ms = row.client_ms + row.server_ms + row.communication_ms;
+    row.recall_pct = recall_total / tn;
+    row.communication_kb = tc.TotalBytes() / 1024.0 / tn;
+    row.construction_s = construction_s;
+    systems.push_back("Trivial");
+    rows.push_back(row);
+  }
+
+  TablePrinter table("Table 9 (extended): approximate 1-NN on YEAST, "
+                     "100 queries excluded from the indexed set",
+                     systems);
+  auto collect = [&](const char* label, auto getter, int precision) {
+    std::vector<double> values;
+    for (const auto& row : rows) values.push_back(getter(row));
+    table.AddRow(label, values, precision);
+  };
+  collect("Client time [ms]",
+          [](const ComparisonRow& r) { return r.client_ms; }, 3);
+  collect("Decryption time [ms]",
+          [](const ComparisonRow& r) { return r.decryption_ms; }, 3);
+  collect("Dist. comp. time [ms]",
+          [](const ComparisonRow& r) { return r.distance_ms; }, 3);
+  collect("Server time [ms]",
+          [](const ComparisonRow& r) { return r.server_ms; }, 3);
+  collect("Communication time [ms]",
+          [](const ComparisonRow& r) { return r.communication_ms; }, 3);
+  collect("Overall time [ms]",
+          [](const ComparisonRow& r) { return r.overall_ms; }, 3);
+  collect("Recall [%]",
+          [](const ComparisonRow& r) { return r.recall_pct; }, 1);
+  collect("Communication cost [kB]",
+          [](const ComparisonRow& r) { return r.communication_kb; }, 3);
+  collect("Index construction [s]",
+          [](const ComparisonRow& r) { return r.construction_s; }, 3);
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Encrypted M-Index column): client 0.509 ms, "
+      "decryption 0.160 ms, dist. comp. 0.210 ms, server 1.001 ms, "
+      "communication 1.180 ms, overall 2.690 ms, recall 94%%, "
+      "communication 2.368 kB.\n"
+      "Shape checks: (a) EncMIndex has the lowest communication cost of "
+      "all secure systems, (b) it beats FDH in client CPU per query at "
+      "similar recall, (c) its construction is slower than FDH's, (d) the "
+      "trivial client's communication is orders of magnitude larger.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces the paper's Table 1 (data sets summary) and Table 2 (M-Index
+// parameters) for the synthetic stand-in collections, and prints basic
+// index-shape statistics as a sanity check.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t cophir_n = data::DefaultCophirSize();
+
+  TablePrinter table1("Table 1: Data sets summary (synthetic stand-ins)",
+                      {"# of records", "Data type", "Distance function"});
+  table1.AddTextRow("YEAST", {"2,882", "17-dim num. vectors", "L1"});
+  table1.AddTextRow("HUMAN", {"4,026", "96-dim num. vectors", "L1"});
+  table1.AddTextRow("CoPhIR",
+                    {std::to_string(cophir_n) + " (paper: 1,000,000)",
+                     "280-dim num. vectors", "combination of Lp"});
+  table1.Print();
+
+  TablePrinter table2("Table 2: M-Index parameters",
+                      {"Bucket capacity", "Storage type", "# of pivots"});
+  table2.AddTextRow("YEAST", {"200", "Memory storage", "30"});
+  table2.AddTextRow("HUMAN", {"250", "Memory storage", "50"});
+  table2.AddTextRow("CoPhIR", {"1,000", "Disk storage", "100"});
+  table2.Print();
+
+  // Index-shape sanity check on the two small sets.
+  std::printf("\nIndex shape sanity check (build + stats):\n");
+  for (auto* make_config : {&MakeYeastConfig, &MakeHumanConfig}) {
+    DatasetConfig config = make_config();
+    CostRow construction;
+    SecureStack stack = BuildSecureStack(
+        config, secure::InsertStrategy::kPrecise, &construction);
+    auto stats = stack.client->GetServerStats();
+    if (stats.ok()) {
+      std::printf(
+          "  %-7s objects=%llu leaves=%llu inner=%llu max_depth=%llu "
+          "payload_bytes=%llu\n",
+          config.dataset.name().c_str(),
+          static_cast<unsigned long long>(stats->object_count),
+          static_cast<unsigned long long>(stats->leaf_count),
+          static_cast<unsigned long long>(stats->inner_count),
+          static_cast<unsigned long long>(stats->max_depth),
+          static_cast<unsigned long long>(stats->storage_bytes));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Component microbenchmarks (google-benchmark): the primitive costs the
+// paper's cost model is built from — AES encryption/decryption, SHA-256,
+// distance functions, pivot-permutation computation, and serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+#include "data/synthetic.h"
+#include "metric/distance.h"
+#include "mindex/permutation.h"
+
+namespace simcloud {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.NextBounded(256));
+  return out;
+}
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  auto cipher =
+      crypto::Cipher::Create(RandomBytes(16, 1), crypto::CipherMode::kCbc);
+  const Bytes plaintext = RandomBytes(state.range(0), 2);
+  const Bytes iv = RandomBytes(16, 3);
+  for (auto _ : state) {
+    auto ct = cipher->EncryptWithIv(plaintext, iv);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(80)->Arg(1200)->Arg(16384);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  auto cipher =
+      crypto::Cipher::Create(RandomBytes(16, 1), crypto::CipherMode::kCbc);
+  const Bytes plaintext = RandomBytes(state.range(0), 2);
+  const Bytes ciphertext = cipher->Encrypt(plaintext).value();
+  for (auto _ : state) {
+    auto pt = cipher->Decrypt(ciphertext);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(80)->Arg(1200)->Arg(16384);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = RandomBytes(state.range(0), 4);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+template <typename Distance>
+void BM_Distance(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<float> a(state.range(0)), b(state.range(0));
+  for (auto& v : a) v = rng.NextFloat();
+  for (auto& v : b) v = rng.NextFloat();
+  metric::VectorObject oa(0, a), ob(1, b);
+  Distance distance;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance.Distance(oa, ob));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_Distance, metric::L1Distance)->Arg(17)->Arg(96)->Arg(280);
+BENCHMARK_TEMPLATE(BM_Distance, metric::L2Distance)->Arg(17)->Arg(96)->Arg(280);
+
+void BM_CophirDistance(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> a(280), b(280);
+  for (auto& v : a) v = rng.NextFloat() * 255;
+  for (auto& v : b) v = rng.NextFloat() * 255;
+  metric::VectorObject oa(0, a), ob(1, b);
+  auto distance = data::MakeCophirDistance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance->Distance(oa, ob));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CophirDistance);
+
+void BM_PivotPermutation(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> distances(state.range(0));
+  for (auto& d : distances) d = rng.NextFloat();
+  for (auto _ : state) {
+    auto perm = mindex::DistancesToPermutation(distances);
+    benchmark::DoNotOptimize(perm);
+  }
+}
+BENCHMARK(BM_PivotPermutation)->Arg(30)->Arg(50)->Arg(100);
+
+void BM_PermutationPrefix(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<float> distances(100);
+  for (auto& d : distances) d = rng.NextFloat();
+  for (auto _ : state) {
+    auto perm =
+        mindex::DistancesToPermutationPrefix(distances, state.range(0));
+    benchmark::DoNotOptimize(perm);
+  }
+}
+BENCHMARK(BM_PermutationPrefix)->Arg(8)->Arg(16);
+
+void BM_ObjectSerialize(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<float> values(state.range(0));
+  for (auto& v : values) v = rng.NextFloat();
+  metric::VectorObject object(123456, values);
+  for (auto _ : state) {
+    BinaryWriter writer;
+    object.Serialize(&writer);
+    benchmark::DoNotOptimize(writer.buffer());
+  }
+}
+BENCHMARK(BM_ObjectSerialize)->Arg(17)->Arg(280);
+
+}  // namespace
+}  // namespace simcloud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// Ablation E (figure-style): multi-client query throughput of one
+// Encrypted M-Index server over real TCP.
+//
+// The paper deploys client and server as two processes on loopback and
+// reports single-query latencies; a similarity *cloud*, however, serves
+// many authorized clients at once. This harness drives one server with
+// 1..N concurrent clients issuing approximate 30-NN queries and reports
+// aggregate queries/second — the readers-writer locking on the server
+// should let read throughput scale until CPU saturation.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/tcp.h"
+#include "secure/sharded_server.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t k = 30;
+  const size_t cand_size = 300;
+  const int kQueriesPerClient = 200;
+
+  DatasetConfig config = MakeYeastConfig();
+  auto pivots = mindex::PivotSet::SelectRandom(
+      config.dataset.objects(), config.index_options.num_pivots,
+      config.pivot_seed);
+  if (!pivots.ok()) return;
+  auto key = secure::SecretKey::Create(std::move(pivots).value(),
+                                       Bytes(16, 0x5C));
+  if (!key.ok()) return;
+
+  auto handler = secure::EncryptedMIndexServer::Create(config.index_options);
+  if (!handler.ok()) return;
+  net::TcpServer server(handler->get());
+  if (!server.Start(0).ok()) return;
+
+  {
+    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    if (!transport.ok()) return;
+    secure::EncryptionClient owner(*key, config.dataset.distance(),
+                                   transport->get());
+    if (!owner
+             .InsertBulk(config.dataset.objects(),
+                         secure::InsertStrategy::kPermutationOnly,
+                         config.bulk_size)
+             .ok()) {
+      return;
+    }
+  }
+
+  std::printf(
+      "Throughput: concurrent encrypted clients vs one server "
+      "(YEAST, approx %zu-NN, |SC|=%zu, %d queries/client, real TCP)\n",
+      k, cand_size, kQueriesPerClient);
+  std::printf("%10s  %14s  %16s\n", "clients", "queries/s", "speedup vs 1");
+
+  double baseline_qps = 0;
+  for (int num_clients : {1, 2, 4, 8}) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    const auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto transport =
+            net::TcpTransport::Connect("127.0.0.1", server.port());
+        if (!transport.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        secure::EncryptionClient client(*key, config.dataset.distance(),
+                                        transport->get());
+        Rng rng(1000 + c);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const auto& query = config.dataset
+                                  .objects()[rng.NextBounded(
+                                      config.dataset.size())];
+          if (!client.ApproxKnn(query, k, cand_size).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "client failures at %d clients\n", num_clients);
+      break;
+    }
+    const double qps = num_clients * kQueriesPerClient / seconds;
+    if (num_clients == 1) baseline_qps = qps;
+    std::printf("%10d  %14.0f  %15.2fx\n", num_clients, qps,
+                qps / baseline_qps);
+  }
+  server.Stop();
+
+  // ---- Sharded deployment: the same workload against a 4-shard
+  // similarity cloud behind one facade (searches fan out in parallel).
+  auto sharded = secure::ShardedServer::Create(config.index_options, 4);
+  if (!sharded.ok()) return;
+  net::TcpServer sharded_tcp(sharded->get());
+  if (!sharded_tcp.Start(0).ok()) return;
+  {
+    auto transport =
+        net::TcpTransport::Connect("127.0.0.1", sharded_tcp.port());
+    if (!transport.ok()) return;
+    secure::EncryptionClient owner(*key, config.dataset.distance(),
+                                   transport->get());
+    if (!owner
+             .InsertBulk(config.dataset.objects(),
+                         secure::InsertStrategy::kPermutationOnly,
+                         config.bulk_size)
+             .ok()) {
+      return;
+    }
+  }
+  std::printf("\nSame workload, 4-shard similarity cloud (parallel "
+              "fan-out per query):\n");
+  std::printf("%10s  %14s\n", "clients", "queries/s");
+  for (int num_clients : {1, 4, 8}) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto transport =
+            net::TcpTransport::Connect("127.0.0.1", sharded_tcp.port());
+        if (!transport.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        secure::EncryptionClient client(*key, config.dataset.distance(),
+                                        transport->get());
+        Rng rng(2000 + c);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const auto& query = config.dataset
+                                  .objects()[rng.NextBounded(
+                                      config.dataset.size())];
+          if (!client.ApproxKnn(query, k, cand_size).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (failures.load() != 0) break;
+    std::printf("%10d  %14.0f\n", num_clients,
+                num_clients * kQueriesPerClient / seconds);
+  }
+  sharded_tcp.Stop();
+
+  std::printf(
+      "\nExpected shape: near-linear scaling for small client counts "
+      "(searches take the shared lock), flattening at CPU saturation; "
+      "client-side decryption dominates per-query work, so the server "
+      "is rarely the bottleneck. The sharded facade pays a per-query "
+      "fan-out (thread spawn + merge) that is not amortized on a "
+      "collection this small — sharding is a capacity mechanism (disk, "
+      "memory, construction parallelism), not a latency win for "
+      "sub-millisecond cells.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main() {
+  simcloud::bench::Run();
+  return 0;
+}

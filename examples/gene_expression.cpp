@@ -1,0 +1,128 @@
+// Scenario: a hospital outsources similarity search over gene-expression
+// profiles (the paper's YEAST/HUMAN motivation — medical data is exactly
+// the "sensitive MS objects" case where the raw-data-encryption level is
+// not enough, Section 2.3). This example contrasts three deployments on
+// identical data and queries:
+//
+//   1. plain M-Index          (privacy level 1: server sees everything)
+//   2. Encrypted M-Index      (level 3: permutations + ciphertexts)
+//   3. Encrypted M-Index with the distribution-hiding distance transform
+//                             (level 4: transformed distances)
+//
+// and prints what the server observes plus what each level costs.
+//
+// Build: cmake --build build --target gene_expression && ./build/examples/gene_expression
+
+#include <cstdio>
+
+#include "baselines/plain_mindex.h"
+#include "data/synthetic.h"
+#include "metric/ground_truth.h"
+#include "net/transport.h"
+#include "secure/client.h"
+#include "secure/privacy.h"
+#include "secure/server.h"
+
+using namespace simcloud;
+
+int main() {
+  metric::Dataset dataset = data::MakeHumanLike();
+  std::printf("Patient cohort: %zu expression profiles x %zu conditions "
+              "(L1 metric)\n\n",
+              dataset.size(), dataset.dimension());
+
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 50, 3);
+  if (!pivots.ok()) return 1;
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 50;
+  options.bucket_capacity = 250;
+  options.max_level = 6;
+
+  const metric::VectorObject& query = dataset.objects()[17];
+  const double radius = 2500.0;
+  const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+  std::printf("Reference query: R(patient-17, %.0f) -> %zu matches "
+              "(ground truth)\n\n",
+              radius, exact.size());
+
+  // ---- Level 1: plain M-Index (trusted server).
+  {
+    auto server = baselines::PlainMIndexServer::Create(options, *pivots,
+                                                       dataset.distance());
+    if (!server.ok()) return 1;
+    net::LoopbackTransport transport(server->get());
+    baselines::PlainClient client(&transport);
+    if (!client.InsertBulk(dataset.objects()).ok()) return 1;
+    auto answer = client.RangeSearch(query, radius);
+    if (!answer.ok()) return 1;
+    std::printf("[level 1] %-22s results=%zu  wire=%.1f kB\n",
+                secure::PrivacyLevelName(secure::PrivacyLevel::kNoEncryption),
+                answer->size(), transport.costs().TotalBytes() / 1024.0);
+    std::printf("          attacker sees: %s\n\n",
+                secure::AttackerView(secure::PrivacyLevel::kNoEncryption));
+  }
+
+  // ---- Level 3: Encrypted M-Index.
+  {
+    auto key = secure::SecretKey::Create(*pivots, Bytes(16, 0x99));
+    if (!key.ok()) return 1;
+    auto server = secure::EncryptedMIndexServer::Create(options);
+    if (!server.ok()) return 1;
+    net::LoopbackTransport transport(server->get());
+    secure::EncryptionClient client(*key, dataset.distance(), &transport);
+    if (!client
+             .InsertBulk(dataset.objects(), secure::InsertStrategy::kPrecise)
+             .ok()) {
+      return 1;
+    }
+    transport.ResetCosts();
+    client.ResetCosts();
+    auto answer = client.RangeSearch(query, radius);
+    if (!answer.ok()) return 1;
+    std::printf(
+        "[level 3] %-22s results=%zu  wire=%.1f kB  client=%.2f ms\n",
+        secure::PrivacyLevelName(secure::PrivacyLevel::kMsObjectEncryption),
+        answer->size(), transport.costs().TotalBytes() / 1024.0,
+        client.costs().TotalNanos() * 1e-6);
+    std::printf("          attacker sees: %s\n\n",
+                secure::AttackerView(
+                    secure::PrivacyLevel::kMsObjectEncryption));
+  }
+
+  // ---- Level 4: + distribution-hiding transform (still precise!).
+  {
+    auto key = secure::SecretKey::Create(*pivots, Bytes(16, 0x99));
+    if (!key.ok()) return 1;
+    if (!key->EnableDistanceTransform(/*seed=*/31337,
+                                      /*domain_max=*/30000.0)
+             .ok()) {
+      return 1;
+    }
+    auto server = secure::EncryptedMIndexServer::Create(options);
+    if (!server.ok()) return 1;
+    net::LoopbackTransport transport(server->get());
+    secure::EncryptionClient client(*key, dataset.distance(), &transport);
+    if (!client
+             .InsertBulk(dataset.objects(), secure::InsertStrategy::kPrecise)
+             .ok()) {
+      return 1;
+    }
+    transport.ResetCosts();
+    client.ResetCosts();
+    auto answer = client.RangeSearch(query, radius);
+    if (!answer.ok()) return 1;
+    std::printf(
+        "[level 4] %-22s results=%zu  wire=%.1f kB  client=%.2f ms\n",
+        secure::PrivacyLevelName(secure::PrivacyLevel::kDistributionHiding),
+        answer->size(), transport.costs().TotalBytes() / 1024.0,
+        client.costs().TotalNanos() * 1e-6);
+    std::printf("          attacker sees: %s\n",
+                secure::AttackerView(secure::PrivacyLevel::kDistributionHiding));
+    std::printf(
+        "          (results identical to level 1/3 — the concave transform "
+        "keeps every pruning rule sound; it only prunes less, so the "
+        "candidate set and wire volume grow)\n");
+  }
+  return 0;
+}

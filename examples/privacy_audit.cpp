@@ -1,0 +1,140 @@
+// Privacy audit: simulate an attacker who compromises the similarity
+// cloud, and quantify what leaks at each privacy level of the paper's
+// taxonomy (Section 2.3). Concretely, for the Encrypted M-Index the
+// attacker observes pivot permutations (level 3) or transformed distances
+// (level 4); this tool measures how much of the data's *distance
+// distribution* those observations reveal, reproducing the motivation for
+// the paper's future-work transform.
+//
+// Build: cmake --build build --target privacy_audit && ./build/examples/privacy_audit
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "mindex/pivot_set.h"
+#include "secure/distance_transform.h"
+#include "secure/privacy.h"
+
+using namespace simcloud;
+
+namespace {
+
+// Normalized histogram over `values` with `bins` buckets.
+std::vector<double> Histogram(const std::vector<double>& values, int bins) {
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it, hi = *max_it + 1e-12;
+  std::vector<double> hist(bins, 0.0);
+  for (double v : values) {
+    int bin = static_cast<int>((v - lo) / (hi - lo) * bins);
+    bin = std::clamp(bin, 0, bins - 1);
+    hist[bin] += 1.0;
+  }
+  for (double& h : hist) h /= static_cast<double>(values.size());
+  return hist;
+}
+
+// Total-variation distance between two histograms in [0, 1]:
+// 0 = identical distributions (full leak), 1 = disjoint (nothing shared).
+double TotalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double tv = 0;
+  for (size_t i = 0; i < a.size(); ++i) tv += std::fabs(a[i] - b[i]);
+  return tv / 2.0;
+}
+
+}  // namespace
+
+int main() {
+  metric::Dataset dataset = data::MakeYeastLike();
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 30, 7);
+  if (!pivots.ok()) return 1;
+
+  std::printf("Attacker model: full server compromise of the similarity "
+              "cloud.\n\n");
+  for (auto level :
+       {secure::PrivacyLevel::kNoEncryption,
+        secure::PrivacyLevel::kRawDataEncryption,
+        secure::PrivacyLevel::kMsObjectEncryption,
+        secure::PrivacyLevel::kDistributionHiding}) {
+    std::printf("level %d  %-24s  attacker sees: %s\n",
+                static_cast<int>(level), secure::PrivacyLevelName(level),
+                secure::AttackerView(level));
+  }
+
+  // Quantify distribution leakage: compare the histogram of TRUE
+  // object-pivot distances against what the server stores at level 3
+  // (raw distances, when the precise strategy is used) and at level 4
+  // (concave-transformed distances).
+  std::vector<double> true_distances;
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto& object =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const auto& pivot = pivots->pivot(rng.NextBounded(pivots->size()));
+    true_distances.push_back(dataset.Distance(object, pivot));
+  }
+
+  auto transform = secure::ConcaveTransform::FromSeed(31337, 20000.0);
+  if (!transform.ok()) return 1;
+  std::vector<double> transformed;
+  transformed.reserve(true_distances.size());
+  for (double d : true_distances) transformed.push_back(transform->Apply(d));
+
+  // Rescale both observed sets to [0,1] before comparing shapes — the
+  // attacker can always normalize, so scale alone is not protection.
+  auto normalize = [](std::vector<double> v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    const double min = *lo, range = *hi - *lo + 1e-12;
+    for (double& x : v) x = (x - min) / range;
+    return v;
+  };
+  const int kBins = 40;
+  const auto true_hist = Histogram(normalize(true_distances), kBins);
+  const auto level3_hist = Histogram(normalize(true_distances), kBins);
+  const auto level4_hist = Histogram(normalize(transformed), kBins);
+
+  std::printf("\nDistance-distribution leakage (total variation vs true "
+              "distribution; 0 = fully leaked, higher = better hidden):\n");
+  std::printf("  level 3 (stored pivot distances):      %.3f\n",
+              TotalVariation(true_hist, level3_hist));
+  std::printf("  level 4 (concave-transformed values):  %.3f\n",
+              TotalVariation(true_hist, level4_hist));
+
+  // What about permutations (the approximate strategy)? The attacker sees
+  // only orderings. Show the cell-occupancy skew — the only distributional
+  // signal permutations leak.
+  std::vector<double> first_pivot_counts(pivots->size(), 0.0);
+  for (const auto& object : dataset.objects()) {
+    double best = 1e300;
+    size_t best_pivot = 0;
+    for (size_t p = 0; p < pivots->size(); ++p) {
+      const double d = dataset.Distance(object, pivots->pivot(p));
+      if (d < best) {
+        best = d;
+        best_pivot = p;
+      }
+    }
+    first_pivot_counts[best_pivot] += 1.0;
+  }
+  std::sort(first_pivot_counts.rbegin(), first_pivot_counts.rend());
+  std::printf(
+      "\nPermutation-only storage leaks cell occupancies; top-5 first-level "
+      "cells hold %.0f%% of the collection (skew is visible, distances are "
+      "not):\n",
+      100.0 *
+          (first_pivot_counts[0] + first_pivot_counts[1] +
+           first_pivot_counts[2] + first_pivot_counts[3] +
+           first_pivot_counts[4]) /
+          static_cast<double>(dataset.size()));
+  std::printf(
+      "\nConclusion: storing raw pivot distances (precise strategy) leaks "
+      "the distance distribution exactly; the level-4 concave transform "
+      "reshapes it (higher TV distance) at zero correctness cost, matching "
+      "the paper's Section 4.3 goal.\n");
+  return 0;
+}

@@ -1,0 +1,317 @@
+#include "baselines/ehi.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/clock.h"
+#include "common/serialize.h"
+
+namespace simcloud {
+namespace baselines {
+
+using metric::Neighbor;
+using metric::NeighborList;
+using metric::VectorObject;
+
+namespace {
+enum class EhiOp : uint8_t {
+  kPutNodes = 40,
+  kGetNode = 41,
+};
+}  // namespace
+
+Result<Bytes> EhiNodeStoreServer::Handle(const Bytes& request) {
+  BinaryReader reader(request);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  switch (static_cast<EhiOp>(op_byte)) {
+    case EhiOp::kPutNodes: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      for (uint64_t i = 0; i < count; ++i) {
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t node_id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, reader.ReadBytes());
+        total_bytes_ += blob.size();
+        nodes_[node_id] = std::move(blob);
+      }
+      BinaryWriter writer;
+      writer.WriteVarint(count);
+      return writer.TakeBuffer();
+    }
+    case EhiOp::kGetNode: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t node_id, reader.ReadVarint());
+      auto it = nodes_.find(node_id);
+      if (it == nodes_.end()) {
+        return Status::NotFound("EHI node " + std::to_string(node_id));
+      }
+      BinaryWriter writer;
+      writer.WriteBytes(it->second);
+      return writer.TakeBuffer();
+    }
+  }
+  return Status::Corruption("unknown EHI opcode");
+}
+
+Result<EhiClient> EhiClient::Create(
+    Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+    net::Transport* transport, EhiOptions options) {
+  if (options.fanout < 2) {
+    return Status::InvalidArgument("EHI fanout must be >= 2");
+  }
+  if (options.leaf_capacity == 0) {
+    return Status::InvalidArgument("EHI leaf capacity must be > 0");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      crypto::Cipher cipher,
+      crypto::Cipher::Create(aes_key, crypto::CipherMode::kCbc));
+  return EhiClient(std::move(cipher), std::move(metric), transport, options);
+}
+
+double EhiClient::TimedDistance(const VectorObject& a, const VectorObject& b) {
+  Stopwatch watch;
+  const double d = metric_->Distance(a, b);
+  costs_.distance_nanos += watch.ElapsedNanos();
+  costs_.distance_computations++;
+  return d;
+}
+
+Result<Bytes> EhiClient::EncryptNode(const Node& node) const {
+  BinaryWriter writer;
+  writer.WriteBool(node.is_leaf);
+  if (node.is_leaf) {
+    writer.WriteVarint(node.objects.size());
+    for (const auto& object : node.objects) object.Serialize(&writer);
+  } else {
+    writer.WriteVarint(node.children.size());
+    for (const auto& child : node.children) {
+      child.center.Serialize(&writer);
+      writer.WriteDouble(child.radius);
+      writer.WriteVarint(child.node_id);
+    }
+  }
+  return cipher_.Encrypt(writer.buffer());
+}
+
+Result<uint64_t> EhiClient::BuildNode(
+    std::vector<VectorObject> objects, uint64_t* next_id,
+    std::vector<std::pair<uint64_t, Bytes>>* blobs, Rng* rng) {
+  const uint64_t node_id = (*next_id)++;
+  Node node;
+  if (objects.size() <= options_.leaf_capacity) {
+    node.is_leaf = true;
+    node.objects = std::move(objects);
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, EncryptNode(node));
+    blobs->emplace_back(node_id, std::move(blob));
+    return node_id;
+  }
+
+  // Pick `fanout` random centers and assign every object to its closest
+  // one (single Voronoi assignment round).
+  node.is_leaf = false;
+  const size_t fanout = std::min(options_.fanout, objects.size());
+  std::vector<size_t> center_idx =
+      rng->SampleWithoutReplacement(objects.size(), fanout);
+  std::vector<VectorObject> centers;
+  centers.reserve(fanout);
+  for (size_t idx : center_idx) centers.push_back(objects[idx]);
+
+  const size_t total = objects.size();
+  std::vector<std::vector<VectorObject>> clusters(fanout);
+  std::vector<double> radii(fanout, 0.0);
+  for (auto& object : objects) {
+    size_t best = 0;
+    double best_dist = metric_->Distance(object, centers[0]);
+    for (size_t c = 1; c < fanout; ++c) {
+      const double d = metric_->Distance(object, centers[c]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = c;
+      }
+    }
+    radii[best] = std::max(radii[best], best_dist);
+    clusters[best].push_back(std::move(object));
+  }
+  objects.clear();
+
+  // Degenerate guard (e.g. all objects identical): if one cluster absorbed
+  // everything, the recursion would not shrink — split it into chunks
+  // around the same center instead.
+  for (size_t c = 0; c < fanout; ++c) {
+    if (clusters[c].size() == total && total > options_.leaf_capacity) {
+      std::vector<VectorObject> whole = std::move(clusters[c]);
+      clusters.assign(fanout, {});
+      const size_t chunk = (total + fanout - 1) / fanout;
+      for (size_t i = 0; i < total; ++i) {
+        clusters[i / chunk].push_back(std::move(whole[i]));
+      }
+      for (size_t c2 = 0; c2 < fanout; ++c2) {
+        radii[c2] = radii[c];
+        centers[c2] = centers[c];
+      }
+      break;
+    }
+  }
+
+  for (size_t c = 0; c < fanout; ++c) {
+    if (clusters[c].empty()) continue;
+    Result<uint64_t> child_id =
+        BuildNode(std::move(clusters[c]), next_id, blobs, rng);
+    if (!child_id.ok()) return child_id.status();
+    node.children.push_back(ChildRef{centers[c], radii[c], *child_id});
+  }
+
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, EncryptNode(node));
+  blobs->emplace_back(node_id, std::move(blob));
+  return node_id;
+}
+
+Status EhiClient::BuildAndUpload(const std::vector<VectorObject>& objects) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("EHI build needs a non-empty collection");
+  }
+  Rng rng(options_.seed);
+  uint64_t next_id = 0;
+  std::vector<std::pair<uint64_t, Bytes>> blobs;
+  std::vector<VectorObject> copy = objects;
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t root_id,
+                            BuildNode(std::move(copy), &next_id, &blobs, &rng));
+  if (root_id != 0) {
+    return Status::Internal("EHI root id must be 0");
+  }
+
+  // Upload in batches to bound message sizes.
+  constexpr size_t kBatch = 256;
+  size_t offset = 0;
+  while (offset < blobs.size()) {
+    const size_t batch = std::min(kBatch, blobs.size() - offset);
+    BinaryWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(EhiOp::kPutNodes));
+    writer.WriteVarint(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      writer.WriteVarint(blobs[offset + i].first);
+      writer.WriteBytes(blobs[offset + i].second);
+    }
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                              transport_->Call(writer.buffer()));
+    (void)response;
+    offset += batch;
+  }
+  return Status::OK();
+}
+
+Result<EhiClient::Node> EhiClient::FetchNode(uint64_t node_id) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(EhiOp::kGetNode));
+  writer.WriteVarint(node_id);
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(writer.buffer()));
+  costs_.nodes_fetched++;
+
+  BinaryReader reader(response);
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, reader.ReadBytes());
+
+  Stopwatch watch;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes plaintext, cipher_.Decrypt(blob));
+  costs_.decryption_nanos += watch.ElapsedNanos();
+
+  BinaryReader node_reader(plaintext);
+  Node node;
+  SIMCLOUD_ASSIGN_OR_RETURN(node.is_leaf, node_reader.ReadBool());
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, node_reader.ReadVarint());
+  if (node.is_leaf) {
+    node.objects.reserve(reader.BoundedCount(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                                VectorObject::Deserialize(&node_reader));
+      node.objects.push_back(std::move(object));
+    }
+  } else {
+    node.children.reserve(reader.BoundedCount(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      ChildRef child;
+      SIMCLOUD_ASSIGN_OR_RETURN(child.center,
+                                VectorObject::Deserialize(&node_reader));
+      SIMCLOUD_ASSIGN_OR_RETURN(child.radius, node_reader.ReadDouble());
+      SIMCLOUD_ASSIGN_OR_RETURN(child.node_id, node_reader.ReadVarint());
+      node.children.push_back(std::move(child));
+    }
+  }
+  return node;
+}
+
+Result<NeighborList> EhiClient::Knn(const VectorObject& query, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+
+  // Best-first branch-and-bound over encrypted nodes, one round trip each.
+  struct QueueItem {
+    double lower_bound;
+    uint64_t node_id;
+    bool operator>(const QueueItem& other) const {
+      return lower_bound > other.lower_bound;
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  frontier.push({0.0, 0});
+
+  std::priority_queue<Neighbor> best;  // max-heap of current k best
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (best.size() == k && item.lower_bound >= best.top().distance) break;
+
+    SIMCLOUD_ASSIGN_OR_RETURN(Node node, FetchNode(item.node_id));
+    if (node.is_leaf) {
+      for (const auto& object : node.objects) {
+        const double d = TimedDistance(query, object);
+        if (best.size() < k) {
+          best.push(Neighbor{object.id(), d});
+        } else if (Neighbor{object.id(), d} < best.top()) {
+          best.pop();
+          best.push(Neighbor{object.id(), d});
+        }
+      }
+    } else {
+      for (const auto& child : node.children) {
+        const double center_dist = TimedDistance(query, child.center);
+        const double lb = std::max(0.0, center_dist - child.radius);
+        if (best.size() == k && lb >= best.top().distance) continue;
+        frontier.push({lb, child.node_id});
+      }
+    }
+  }
+
+  NeighborList result(best.size());
+  for (size_t i = best.size(); i > 0; --i) {
+    result[i - 1] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+Result<NeighborList> EhiClient::RangeSearch(const VectorObject& query,
+                                            double radius) {
+  std::vector<uint64_t> stack = {0};
+  NeighborList result;
+  while (!stack.empty()) {
+    const uint64_t node_id = stack.back();
+    stack.pop_back();
+    SIMCLOUD_ASSIGN_OR_RETURN(Node node, FetchNode(node_id));
+    if (node.is_leaf) {
+      for (const auto& object : node.objects) {
+        const double d = TimedDistance(query, object);
+        if (d <= radius) result.push_back(Neighbor{object.id(), d});
+      }
+    } else {
+      for (const auto& child : node.children) {
+        const double center_dist = TimedDistance(query, child.center);
+        if (center_dist - child.radius <= radius) {
+          stack.push_back(child.node_id);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace simcloud

@@ -1,0 +1,121 @@
+// EHI — Encrypted Hierarchical Index (Yiu et al., "Outsourced Similarity
+// Search on Metric Data Assets", TKDE 24(2), 2012; paper Section 3.1).
+//
+// A hierarchical metric tree (ball-tree-style) is built by the data owner;
+// every node is AES-encrypted and uploaded as an opaque blob. The server
+// is a pure node store: it cannot traverse the structure. The client
+// drives the search, requesting one node per round trip, decrypting it,
+// and pruning with the covering-radius lower bound. Exact results, high
+// communication and client-side crypto cost — the trade-off the paper
+// contrasts with the Encrypted M-Index.
+
+#ifndef SIMCLOUD_BASELINES_EHI_H_
+#define SIMCLOUD_BASELINES_EHI_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/cipher.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace baselines {
+
+/// EHI construction parameters.
+struct EhiOptions {
+  size_t fanout = 10;        ///< children per internal node
+  size_t leaf_capacity = 25; ///< objects per leaf
+  uint64_t seed = 7;         ///< center selection seed
+};
+
+/// Node store: put/get of encrypted blobs by node id. The root id is 0.
+class EhiNodeStoreServer : public net::RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  size_t node_count() const { return nodes_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<uint64_t, Bytes> nodes_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Client-side search cost components of EHI.
+struct EhiCosts {
+  int64_t decryption_nanos = 0;
+  int64_t distance_nanos = 0;
+  uint64_t nodes_fetched = 0;
+  uint64_t distance_computations = 0;
+  void Clear() { *this = EhiCosts{}; }
+};
+
+/// Authorized EHI client: builds the encrypted tree, uploads it, and
+/// evaluates exact k-NN / range queries by client-driven traversal.
+class EhiClient {
+ public:
+  static Result<EhiClient> Create(
+      Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+      net::Transport* transport, EhiOptions options = EhiOptions());
+
+  /// Builds the hierarchical index over `objects`, encrypts every node,
+  /// and uploads the blobs (construction phase).
+  Status BuildAndUpload(const std::vector<metric::VectorObject>& objects);
+
+  /// Exact k-NN via best-first traversal with one server round trip per
+  /// visited node.
+  Result<metric::NeighborList> Knn(const metric::VectorObject& query,
+                                   size_t k);
+
+  /// Exact range query.
+  Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
+                                           double radius);
+
+  const EhiCosts& costs() const { return costs_; }
+  void ResetCosts() { costs_.Clear(); }
+
+ private:
+  EhiClient(crypto::Cipher cipher,
+            std::shared_ptr<metric::DistanceFunction> metric,
+            net::Transport* transport, EhiOptions options)
+      : cipher_(std::move(cipher)), metric_(std::move(metric)),
+        transport_(transport), options_(options) {}
+
+  struct ChildRef {
+    metric::VectorObject center;
+    double radius;
+    uint64_t node_id;
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<metric::VectorObject> objects;  // leaf
+    std::vector<ChildRef> children;             // internal
+  };
+
+  /// Recursive build; returns the id of the created node.
+  Result<uint64_t> BuildNode(std::vector<metric::VectorObject> objects,
+                             uint64_t* next_id,
+                             std::vector<std::pair<uint64_t, Bytes>>* blobs,
+                             Rng* rng);
+
+  Result<Bytes> EncryptNode(const Node& node) const;
+  Result<Node> FetchNode(uint64_t node_id);
+
+  double TimedDistance(const metric::VectorObject& a,
+                       const metric::VectorObject& b);
+
+  crypto::Cipher cipher_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  net::Transport* transport_;
+  EhiOptions options_;
+  EhiCosts costs_;
+};
+
+}  // namespace baselines
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_BASELINES_EHI_H_

@@ -1,0 +1,200 @@
+#include "baselines/fdh.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace simcloud {
+namespace baselines {
+
+using metric::Neighbor;
+using metric::NeighborList;
+using metric::VectorObject;
+
+namespace {
+enum class FdhOp : uint8_t {
+  kPutBatch = 60,
+  kBucketQuery = 61,
+};
+}  // namespace
+
+Result<Bytes> FdhServer::Handle(const Bytes& request) {
+  BinaryReader reader(request);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  switch (static_cast<FdhOp>(op_byte)) {
+    case FdhOp::kPutBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      for (uint64_t i = 0; i < count; ++i) {
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t hash, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, reader.ReadBytes());
+        buckets_[hash].emplace_back(id, std::move(blob));
+      }
+      BinaryWriter writer;
+      writer.WriteVarint(count);
+      return writer.TakeBuffer();
+    }
+    case FdhOp::kBucketQuery: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t query_hash, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t cand_size, reader.ReadVarint());
+
+      // Buckets ordered by Hamming distance to the query hash; ties by
+      // hash value for determinism.
+      std::vector<std::pair<int, uint64_t>> order;
+      order.reserve(buckets_.size());
+      for (const auto& [hash, bucket] : buckets_) {
+        order.emplace_back(std::popcount(hash ^ query_hash), hash);
+      }
+      std::sort(order.begin(), order.end());
+
+      BinaryWriter matches;
+      uint64_t emitted = 0;
+      for (const auto& [hamming, hash] : order) {
+        if (emitted >= cand_size) break;
+        for (const auto& [id, blob] : buckets_.at(hash)) {
+          if (emitted >= cand_size) break;
+          matches.WriteVarint(id);
+          matches.WriteBytes(blob);
+          ++emitted;
+        }
+      }
+      BinaryWriter writer;
+      writer.WriteVarint(emitted);
+      writer.WriteRaw(matches.buffer().data(), matches.buffer().size());
+      return writer.TakeBuffer();
+    }
+  }
+  return Status::Corruption("unknown FDH opcode");
+}
+
+Result<FdhClient> FdhClient::Create(
+    Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+    net::Transport* transport, FdhOptions options) {
+  if (options.num_bits == 0 || options.num_bits > 64) {
+    return Status::InvalidArgument("FDH num_bits must be in [1, 64]");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      crypto::Cipher cipher,
+      crypto::Cipher::Create(aes_key, crypto::CipherMode::kCbc));
+  return FdhClient(std::move(cipher), std::move(metric), transport, options);
+}
+
+Status FdhClient::BuildKey(const std::vector<VectorObject>& sample) {
+  if (sample.size() < options_.num_bits) {
+    return Status::InvalidArgument("sample smaller than num_bits");
+  }
+  Rng rng(options_.seed);
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(sample.size(), options_.num_bits);
+  anchors_.clear();
+  radii_.clear();
+  for (size_t idx : picked) anchors_.push_back(sample[idx]);
+
+  // Radius per anchor: median distance to the sample, splitting the
+  // collection roughly in half per bit.
+  for (const auto& anchor : anchors_) {
+    std::vector<double> distances;
+    distances.reserve(sample.size());
+    for (const auto& object : sample) {
+      distances.push_back(metric_->Distance(anchor, object));
+    }
+    std::nth_element(distances.begin(),
+                     distances.begin() + distances.size() / 2,
+                     distances.end());
+    radii_.push_back(distances[distances.size() / 2]);
+  }
+  return Status::OK();
+}
+
+uint64_t FdhClient::HashObject(const VectorObject& object) {
+  Stopwatch watch;
+  uint64_t hash = 0;
+  for (size_t i = 0; i < anchors_.size(); ++i) {
+    if (metric_->Distance(object, anchors_[i]) <= radii_[i]) {
+      hash |= (1ULL << i);
+    }
+  }
+  costs_.distance_nanos += watch.ElapsedNanos();
+  costs_.distance_computations += anchors_.size();
+  return hash;
+}
+
+Status FdhClient::InsertBulk(const std::vector<VectorObject>& objects,
+                             size_t bulk_size) {
+  if (anchors_.empty()) {
+    return Status::FailedPrecondition("BuildKey must be called first");
+  }
+  if (bulk_size == 0) {
+    return Status::InvalidArgument("bulk size must be > 0");
+  }
+  size_t offset = 0;
+  while (offset < objects.size()) {
+    const size_t batch = std::min(bulk_size, objects.size() - offset);
+    BinaryWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(FdhOp::kPutBatch));
+    writer.WriteVarint(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VectorObject& object = objects[offset + i];
+      BinaryWriter payload;
+      object.Serialize(&payload);
+      SIMCLOUD_ASSIGN_OR_RETURN(Bytes ciphertext,
+                                cipher_.Encrypt(payload.buffer()));
+      writer.WriteVarint(HashObject(object));
+      writer.WriteVarint(object.id());
+      writer.WriteBytes(ciphertext);
+    }
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                              transport_->Call(writer.buffer()));
+    (void)response;
+    offset += batch;
+  }
+  return Status::OK();
+}
+
+Result<NeighborList> FdhClient::Knn(const VectorObject& query, size_t k,
+                                    size_t cand_size) {
+  if (anchors_.empty()) {
+    return Status::FailedPrecondition("BuildKey must be called first");
+  }
+  if (cand_size < k) {
+    return Status::InvalidArgument("candidate budget must be >= k");
+  }
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(FdhOp::kBucketQuery));
+  writer.WriteVarint(HashObject(query));
+  writer.WriteVarint(cand_size);
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(writer.buffer()));
+
+  BinaryReader reader(response);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  NeighborList candidates;
+  candidates.reserve(reader.BoundedCount(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+    (void)id;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes ciphertext, reader.ReadBytes());
+
+    Stopwatch dec_watch;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes plaintext, cipher_.Decrypt(ciphertext));
+    costs_.decryption_nanos += dec_watch.ElapsedNanos();
+    costs_.candidates_decrypted++;
+
+    BinaryReader object_reader(plaintext);
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                              VectorObject::Deserialize(&object_reader));
+    Stopwatch dist_watch;
+    const double d = metric_->Distance(query, object);
+    costs_.distance_nanos += dist_watch.ElapsedNanos();
+    costs_.distance_computations++;
+    candidates.push_back(Neighbor{object.id(), d});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace baselines
+}  // namespace simcloud

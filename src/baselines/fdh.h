@@ -1,0 +1,98 @@
+// FDH — Flexible Distance-based Hashing (Yiu et al., TKDE 24(2), 2012).
+//
+// The data owner picks anchor objects a_1..a_m with radii r_1..r_m (from a
+// sample); each object hashes to the bit vector
+//   h(o)_i = [ d(o, a_i) <= r_i ].
+// The server groups ciphertexts by hash bucket and, given a query hash,
+// returns buckets in increasing Hamming distance until a candidate budget
+// is met. The client decrypts and refines. Approximate (like the
+// Encrypted M-Index's approximate mode), with cheap construction — the
+// comparison point of the paper's Table 9.
+
+#ifndef SIMCLOUD_BASELINES_FDH_H_
+#define SIMCLOUD_BASELINES_FDH_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace baselines {
+
+/// FDH configuration.
+struct FdhOptions {
+  size_t num_bits = 12;      ///< number of anchors / hash bits (<= 64)
+  size_t sample_size = 200;  ///< sample for radius calibration
+  uint64_t seed = 11;
+};
+
+/// Server: hash-bucketed ciphertext store with Hamming-ordered retrieval.
+class FdhServer : public net::RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::map<uint64_t, std::vector<std::pair<metric::ObjectId, Bytes>>> buckets_;
+};
+
+/// Client-side cost components of FDH search.
+struct FdhCosts {
+  int64_t decryption_nanos = 0;
+  int64_t distance_nanos = 0;
+  uint64_t candidates_decrypted = 0;
+  uint64_t distance_computations = 0;
+  void Clear() { *this = FdhCosts{}; }
+};
+
+/// Authorized FDH client.
+class FdhClient {
+ public:
+  static Result<FdhClient> Create(
+      Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+      net::Transport* transport, FdhOptions options = FdhOptions());
+
+  /// Calibrates anchors and radii from `sample` (median anchor distance).
+  Status BuildKey(const std::vector<metric::VectorObject>& sample);
+
+  /// Hashes, encrypts, and uploads objects.
+  Status InsertBulk(const std::vector<metric::VectorObject>& objects,
+                    size_t bulk_size = 1000);
+
+  /// Approximate k-NN: fetches ~`cand_size` candidates from the buckets
+  /// closest to the query hash, decrypts and refines.
+  Result<metric::NeighborList> Knn(const metric::VectorObject& query,
+                                   size_t k, size_t cand_size);
+
+  const FdhCosts& costs() const { return costs_; }
+  void ResetCosts() { costs_.Clear(); }
+
+ private:
+  FdhClient(crypto::Cipher cipher,
+            std::shared_ptr<metric::DistanceFunction> metric,
+            net::Transport* transport, FdhOptions options)
+      : cipher_(std::move(cipher)), metric_(std::move(metric)),
+        transport_(transport), options_(options) {}
+
+  uint64_t HashObject(const metric::VectorObject& object);
+
+  crypto::Cipher cipher_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  net::Transport* transport_;
+  FdhOptions options_;
+  FdhCosts costs_;
+
+  std::vector<metric::VectorObject> anchors_;
+  std::vector<double> radii_;
+};
+
+}  // namespace baselines
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_BASELINES_FDH_H_

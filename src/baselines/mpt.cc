@@ -1,0 +1,264 @@
+#include "baselines/mpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "metric/ground_truth.h"
+
+namespace simcloud {
+namespace baselines {
+
+using metric::Neighbor;
+using metric::NeighborList;
+using metric::VectorObject;
+
+namespace {
+enum class MptOp : uint8_t {
+  kPutBatch = 50,
+  kIntervalQuery = 51,
+};
+}  // namespace
+
+Result<Bytes> MptServer::Handle(const Bytes& request) {
+  BinaryReader reader(request);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  switch (static_cast<MptOp>(op_byte)) {
+    case MptOp::kPutBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      for (uint64_t i = 0; i < count; ++i) {
+        Row row;
+        SIMCLOUD_ASSIGN_OR_RETURN(row.id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(row.transformed, reader.ReadFloatVector());
+        SIMCLOUD_ASSIGN_OR_RETURN(row.payload, reader.ReadBytes());
+        rows_.push_back(std::move(row));
+      }
+      BinaryWriter writer;
+      writer.WriteVarint(count);
+      return writer.TakeBuffer();
+    }
+    case MptOp::kIntervalQuery: {
+      // Conjunctive per-anchor interval filter over the OPE'd table.
+      SIMCLOUD_ASSIGN_OR_RETURN(std::vector<float> lo,
+                                reader.ReadFloatVector());
+      SIMCLOUD_ASSIGN_OR_RETURN(std::vector<float> hi,
+                                reader.ReadFloatVector());
+      if (lo.size() != hi.size()) {
+        return Status::InvalidArgument("interval bounds length mismatch");
+      }
+      BinaryWriter writer;
+      size_t match_count = 0;
+      BinaryWriter matches;
+      for (const Row& row : rows_) {
+        if (row.transformed.size() != lo.size()) continue;
+        bool inside = true;
+        for (size_t i = 0; i < lo.size() && inside; ++i) {
+          inside = row.transformed[i] >= lo[i] && row.transformed[i] <= hi[i];
+        }
+        if (inside) {
+          matches.WriteVarint(row.id);
+          matches.WriteBytes(row.payload);
+          ++match_count;
+        }
+      }
+      writer.WriteVarint(match_count);
+      writer.WriteRaw(matches.buffer().data(), matches.buffer().size());
+      return writer.TakeBuffer();
+    }
+  }
+  return Status::Corruption("unknown MPT opcode");
+}
+
+Result<MptClient> MptClient::Create(
+    Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+    net::Transport* transport, MptOptions options) {
+  if (options.num_anchors == 0) {
+    return Status::InvalidArgument("MPT needs at least one anchor");
+  }
+  if (options.sample_size == 0) {
+    return Status::InvalidArgument("MPT needs a non-empty sample");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      crypto::Cipher cipher,
+      crypto::Cipher::Create(aes_key, crypto::CipherMode::kCbc));
+  return MptClient(std::move(cipher), std::move(metric), transport, options);
+}
+
+Status MptClient::BuildKey(std::vector<VectorObject> sample) {
+  if (sample.size() < options_.num_anchors) {
+    return Status::InvalidArgument(
+        "sample smaller than the number of anchors");
+  }
+  Rng rng(options_.seed);
+
+  // Anchors: random sample members.
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(sample.size(), options_.num_anchors);
+  anchors_.clear();
+  for (size_t idx : picked) anchors_.push_back(sample[idx]);
+
+  // Domain upper bound: max sample-anchor distance with headroom. This is
+  // where MPT *requires* the sample to be representative — distances
+  // beyond the observed domain get a flat-slope extension, degrading
+  // order precision exactly as the paper warns for dynamic collections.
+  double dmax = 0.0;
+  for (const auto& object : sample) {
+    for (const auto& anchor : anchors_) {
+      dmax = std::max(dmax, metric_->Distance(object, anchor));
+    }
+  }
+  ope_domain_max_ = dmax * 1.5 + 1e-9;
+  ope_knot_width_ = ope_domain_max_ / static_cast<double>(options_.num_knots);
+
+  // Strictly increasing piecewise-linear OPE with random positive slopes.
+  ope_slopes_.resize(options_.num_knots);
+  for (auto& s : ope_slopes_) s = rng.NextUniform(0.2, 2.0);
+  ope_cum_.assign(options_.num_knots + 1, 0.0);
+  for (size_t i = 0; i < options_.num_knots; ++i) {
+    ope_cum_[i + 1] = ope_cum_[i] + ope_slopes_[i] * ope_knot_width_;
+  }
+
+  sample_ = std::move(sample);
+  return Status::OK();
+}
+
+double MptClient::Ope(double x) const {
+  if (x <= 0.0) return x;  // negative only for interval lower bounds
+  if (x >= ope_domain_max_) {
+    return ope_cum_.back() + ope_slopes_.back() * (x - ope_domain_max_);
+  }
+  const size_t segment = std::min(static_cast<size_t>(x / ope_knot_width_),
+                                  ope_slopes_.size() - 1);
+  return ope_cum_[segment] +
+         ope_slopes_[segment] *
+             (x - static_cast<double>(segment) * ope_knot_width_);
+}
+
+std::vector<float> MptClient::TransformedAnchorDistances(
+    const VectorObject& object) {
+  Stopwatch watch;
+  std::vector<float> transformed(anchors_.size());
+  for (size_t i = 0; i < anchors_.size(); ++i) {
+    transformed[i] =
+        static_cast<float>(Ope(metric_->Distance(object, anchors_[i])));
+  }
+  costs_.distance_nanos += watch.ElapsedNanos();
+  costs_.distance_computations += anchors_.size();
+  return transformed;
+}
+
+Status MptClient::InsertBulk(const std::vector<VectorObject>& objects,
+                             size_t bulk_size) {
+  if (anchors_.empty()) {
+    return Status::FailedPrecondition("BuildKey must be called first");
+  }
+  if (bulk_size == 0) {
+    return Status::InvalidArgument("bulk size must be > 0");
+  }
+  size_t offset = 0;
+  while (offset < objects.size()) {
+    const size_t batch = std::min(bulk_size, objects.size() - offset);
+    BinaryWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(MptOp::kPutBatch));
+    writer.WriteVarint(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VectorObject& object = objects[offset + i];
+      BinaryWriter payload;
+      object.Serialize(&payload);
+      SIMCLOUD_ASSIGN_OR_RETURN(Bytes ciphertext,
+                                cipher_.Encrypt(payload.buffer()));
+      writer.WriteVarint(object.id());
+      writer.WriteFloatVector(TransformedAnchorDistances(object));
+      writer.WriteBytes(ciphertext);
+    }
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                              transport_->Call(writer.buffer()));
+    (void)response;
+    offset += batch;
+  }
+  return Status::OK();
+}
+
+Result<NeighborList> MptClient::RangeSearch(const VectorObject& query,
+                                            double radius) {
+  if (anchors_.empty()) {
+    return Status::FailedPrecondition("BuildKey must be called first");
+  }
+  // Per-anchor intervals: d(o,a_i) in [d(q,a_i)-r, d(q,a_i)+r] for any o
+  // within radius r of q (triangle inequality); OPE preserves the order.
+  std::vector<float> lo(anchors_.size()), hi(anchors_.size());
+  {
+    Stopwatch watch;
+    for (size_t i = 0; i < anchors_.size(); ++i) {
+      const double d = metric_->Distance(query, anchors_[i]);
+      lo[i] = static_cast<float>(Ope(std::max(0.0, d - radius)));
+      hi[i] = static_cast<float>(Ope(d + radius));
+    }
+    costs_.distance_nanos += watch.ElapsedNanos();
+    costs_.distance_computations += anchors_.size();
+  }
+
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MptOp::kIntervalQuery));
+  writer.WriteFloatVector(lo);
+  writer.WriteFloatVector(hi);
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(writer.buffer()));
+  costs_.probe_rounds++;
+
+  BinaryReader reader(response);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  NeighborList result;
+  for (uint64_t i = 0; i < count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+    (void)id;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes ciphertext, reader.ReadBytes());
+
+    Stopwatch dec_watch;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes plaintext, cipher_.Decrypt(ciphertext));
+    costs_.decryption_nanos += dec_watch.ElapsedNanos();
+    costs_.candidates_decrypted++;
+
+    BinaryReader object_reader(plaintext);
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                              VectorObject::Deserialize(&object_reader));
+    Stopwatch dist_watch;
+    const double d = metric_->Distance(query, object);
+    costs_.distance_nanos += dist_watch.ElapsedNanos();
+    costs_.distance_computations++;
+    if (d <= radius) result.push_back(Neighbor{object.id(), d});
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Result<NeighborList> MptClient::Knn(const VectorObject& query, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  if (sample_.empty()) {
+    return Status::FailedPrecondition("BuildKey must be called first");
+  }
+
+  // Initial radius: k-th nearest distance within the kept sample (an
+  // over-estimate of the true rho_k for the full collection with high
+  // probability), then ranged probing with doubling.
+  const NeighborList sample_knn = metric::LinearKnnSearch(
+      sample_, *metric_, query, std::min(k, sample_.size()));
+  double radius = sample_knn.empty() ? 1.0 : sample_knn.back().distance;
+  if (radius <= 0) radius = 1e-6;
+
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    SIMCLOUD_ASSIGN_OR_RETURN(NeighborList in_range,
+                              RangeSearch(query, radius));
+    if (in_range.size() >= k) {
+      in_range.resize(k);
+      return in_range;
+    }
+    radius *= 2.0;
+  }
+  // Give up on doubling: return whatever the last huge radius found.
+  return RangeSearch(query, radius);
+}
+
+}  // namespace baselines
+}  // namespace simcloud

@@ -1,0 +1,121 @@
+// MPT — Metric-Preserving Transformation (Yiu et al., TKDE 24(2), 2012;
+// paper Section 3.2).
+//
+// The data owner selects anchor objects and an order-preserving
+// encryption (OPE) function T built from a representative *sample* of the
+// collection (the sample requirement the paper criticizes for dynamic
+// data). The server stores, per object, the OPE-transformed distances to
+// all anchors plus the AES ciphertext. A range query ships per-anchor
+// intervals [T(d(q,a_i) - r), T(d(q,a_i) + r)]; because T is strictly
+// increasing, an object within range of q must fall inside every interval
+// (triangle inequality), so the server filters without learning actual
+// distances. The client decrypts and refines the survivors. k-NN is
+// evaluated by ranged probing with a radius estimated from the sample.
+
+#ifndef SIMCLOUD_BASELINES_MPT_H_
+#define SIMCLOUD_BASELINES_MPT_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace baselines {
+
+/// MPT configuration.
+struct MptOptions {
+  size_t num_anchors = 8;
+  size_t sample_size = 200;  ///< representative sample for the OPE + radius
+  size_t num_knots = 64;     ///< OPE piecewise-linear resolution
+  uint64_t seed = 9;
+};
+
+/// Server: table of OPE-transformed anchor distances + ciphertexts, with
+/// conjunctive interval filtering.
+class MptServer : public net::RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    metric::ObjectId id;
+    std::vector<float> transformed;  // OPE(d(o, a_i)) for all anchors
+    Bytes payload;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Client-side cost components of MPT search.
+struct MptCosts {
+  int64_t decryption_nanos = 0;
+  int64_t distance_nanos = 0;
+  uint64_t candidates_decrypted = 0;
+  uint64_t distance_computations = 0;
+  uint64_t probe_rounds = 0;  ///< range probes issued by k-NN
+  void Clear() { *this = MptCosts{}; }
+};
+
+/// Authorized MPT client.
+class MptClient {
+ public:
+  static Result<MptClient> Create(
+      Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+      net::Transport* transport, MptOptions options = MptOptions());
+
+  /// Derives anchors + OPE from `sample` (must be representative; the
+  /// client keeps it for k-NN radius estimation).
+  Status BuildKey(std::vector<metric::VectorObject> sample);
+
+  /// Encrypts, transforms, and uploads objects.
+  Status InsertBulk(const std::vector<metric::VectorObject>& objects,
+                    size_t bulk_size = 1000);
+
+  /// Exact range query (single round trip; server filters by intervals).
+  Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
+                                           double radius);
+
+  /// k-NN by ranged probing: initial radius from the sample, doubled until
+  /// k results are found. Exact w.r.t. the uploaded collection.
+  Result<metric::NeighborList> Knn(const metric::VectorObject& query,
+                                   size_t k);
+
+  const MptCosts& costs() const { return costs_; }
+  void ResetCosts() { costs_.Clear(); }
+
+ private:
+  MptClient(crypto::Cipher cipher,
+            std::shared_ptr<metric::DistanceFunction> metric,
+            net::Transport* transport, MptOptions options)
+      : cipher_(std::move(cipher)), metric_(std::move(metric)),
+        transport_(transport), options_(options) {}
+
+  /// Strictly increasing piecewise-linear OPE over [0, domain_max].
+  double Ope(double x) const;
+
+  std::vector<float> TransformedAnchorDistances(
+      const metric::VectorObject& object);
+
+  crypto::Cipher cipher_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  net::Transport* transport_;
+  MptOptions options_;
+  MptCosts costs_;
+
+  std::vector<metric::VectorObject> anchors_;
+  std::vector<metric::VectorObject> sample_;
+  std::vector<double> ope_slopes_;  // positive, unordered (increasing T)
+  std::vector<double> ope_cum_;
+  double ope_knot_width_ = 0;
+  double ope_domain_max_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_BASELINES_MPT_H_

@@ -1,0 +1,89 @@
+// Plain (non-encrypted) M-Index client-server — the paper's efficiency
+// baseline (Tables 4, 7, 8; privacy level 1/2 of the taxonomy).
+//
+// Here the server is fully trusted with the MS objects: it owns the
+// pivots and the metric, computes all distances itself, and returns the
+// final (refined) answer of `k` objects rather than a candidate set. The
+// client only serializes queries and deserializes answers, which is why
+// the paper reports "-" for client time in this configuration.
+
+#ifndef SIMCLOUD_BASELINES_PLAIN_MINDEX_H_
+#define SIMCLOUD_BASELINES_PLAIN_MINDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "mindex/mindex.h"
+#include "mindex/pivot_set.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace baselines {
+
+/// Server-side cost components of the plain deployment.
+struct PlainServerCosts {
+  int64_t distance_nanos = 0;  ///< object-pivot + refinement distances
+  uint64_t distance_computations = 0;
+  void Clear() { *this = PlainServerCosts{}; }
+};
+
+/// Trusted server: M-Index + pivots + metric, full query evaluation.
+class PlainMIndexServer : public net::RequestHandler {
+ public:
+  static Result<std::unique_ptr<PlainMIndexServer>> Create(
+      const mindex::MIndexOptions& options, mindex::PivotSet pivots,
+      std::shared_ptr<metric::DistanceFunction> metric);
+
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  const mindex::MIndex& index() const { return *index_; }
+  const PlainServerCosts& costs() const { return costs_; }
+  void ResetCosts() { costs_.Clear(); }
+
+ private:
+  PlainMIndexServer(std::unique_ptr<mindex::MIndex> index,
+                    mindex::PivotSet pivots,
+                    std::shared_ptr<metric::DistanceFunction> metric)
+      : index_(std::move(index)), pivots_(std::move(pivots)),
+        metric_(std::move(metric)) {}
+
+  Result<Bytes> HandleInsert(struct PlainRequest& request);
+  Result<Bytes> HandleKnn(const struct PlainRequest& request);
+  Result<Bytes> HandleRange(const struct PlainRequest& request);
+
+  std::unique_ptr<mindex::MIndex> index_;
+  mindex::PivotSet pivots_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  PlainServerCosts costs_;
+};
+
+/// Thin client of the plain M-Index server: ships raw objects and raw
+/// query objects, receives final answers.
+class PlainClient {
+ public:
+  explicit PlainClient(net::Transport* transport) : transport_(transport) {}
+
+  /// Uploads objects in bulks (server computes distances and routes).
+  Status InsertBulk(const std::vector<metric::VectorObject>& objects,
+                    size_t bulk_size = 1000);
+
+  /// Approximate k-NN evaluated fully on the server with a candidate set
+  /// of `cand_size`; returns the refined k results.
+  Result<metric::NeighborList> ApproxKnn(const metric::VectorObject& query,
+                                         size_t k, size_t cand_size);
+
+  /// Precise range query evaluated fully on the server.
+  Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
+                                           double radius);
+
+ private:
+  net::Transport* transport_;
+};
+
+}  // namespace baselines
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_BASELINES_PLAIN_MINDEX_H_

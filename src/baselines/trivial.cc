@@ -1,0 +1,118 @@
+#include "baselines/trivial.h"
+
+#include "common/serialize.h"
+#include "metric/ground_truth.h"
+
+namespace simcloud {
+namespace baselines {
+
+using metric::NeighborList;
+using metric::VectorObject;
+
+namespace {
+enum class TrivialOp : uint8_t {
+  kPutBatch = 20,
+  kFetchAll = 21,
+};
+}  // namespace
+
+Result<Bytes> BlobStoreServer::Handle(const Bytes& request) {
+  BinaryReader reader(request);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  switch (static_cast<TrivialOp>(op_byte)) {
+    case TrivialOp::kPutBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      for (uint64_t i = 0; i < count; ++i) {
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, reader.ReadBytes());
+        blobs_.emplace_back(id, std::move(blob));
+      }
+      BinaryWriter writer;
+      writer.WriteVarint(count);
+      return writer.TakeBuffer();
+    }
+    case TrivialOp::kFetchAll: {
+      BinaryWriter writer;
+      writer.WriteVarint(blobs_.size());
+      for (const auto& [id, blob] : blobs_) {
+        writer.WriteVarint(id);
+        writer.WriteBytes(blob);
+      }
+      return writer.TakeBuffer();
+    }
+  }
+  return Status::Corruption("unknown trivial opcode");
+}
+
+Result<TrivialClient> TrivialClient::Create(
+    Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+    net::Transport* transport) {
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      crypto::Cipher cipher,
+      crypto::Cipher::Create(aes_key, crypto::CipherMode::kCbc));
+  return TrivialClient(std::move(cipher), std::move(metric), transport);
+}
+
+Status TrivialClient::InsertBulk(const std::vector<VectorObject>& objects,
+                                 size_t bulk_size) {
+  if (bulk_size == 0) {
+    return Status::InvalidArgument("bulk size must be > 0");
+  }
+  size_t offset = 0;
+  while (offset < objects.size()) {
+    const size_t batch = std::min(bulk_size, objects.size() - offset);
+    BinaryWriter writer;
+    writer.WriteU8(static_cast<uint8_t>(TrivialOp::kPutBatch));
+    writer.WriteVarint(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VectorObject& object = objects[offset + i];
+      BinaryWriter payload;
+      object.Serialize(&payload);
+      SIMCLOUD_ASSIGN_OR_RETURN(Bytes ciphertext,
+                                cipher_.Encrypt(payload.buffer()));
+      writer.WriteVarint(object.id());
+      writer.WriteBytes(ciphertext);
+    }
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                              transport_->Call(writer.buffer()));
+    (void)response;
+    offset += batch;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<VectorObject>> TrivialClient::FetchAll() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(TrivialOp::kFetchAll));
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(writer.buffer()));
+
+  BinaryReader reader(response);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  std::vector<VectorObject> objects;
+  objects.reserve(reader.BoundedCount(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+    (void)id;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes blob, reader.ReadBytes());
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes plaintext, cipher_.Decrypt(blob));
+    BinaryReader object_reader(plaintext);
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                              VectorObject::Deserialize(&object_reader));
+    objects.push_back(std::move(object));
+  }
+  return objects;
+}
+
+Result<NeighborList> TrivialClient::Knn(const VectorObject& query, size_t k) {
+  SIMCLOUD_ASSIGN_OR_RETURN(std::vector<VectorObject> objects, FetchAll());
+  return metric::LinearKnnSearch(objects, *metric_, query, k);
+}
+
+Result<NeighborList> TrivialClient::RangeSearch(const VectorObject& query,
+                                                double radius) {
+  SIMCLOUD_ASSIGN_OR_RETURN(std::vector<VectorObject> objects, FetchAll());
+  return metric::LinearRangeSearch(objects, *metric_, query, radius);
+}
+
+}  // namespace baselines
+}  // namespace simcloud

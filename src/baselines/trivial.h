@@ -1,0 +1,70 @@
+// The trivial "perfectly secure" baseline (paper Section 3): the server
+// is a dumb encrypted blob store; an authorized client downloads the
+// entire collection, decrypts it, and searches locally. Perfect privacy,
+// maximal communication cost — the strawman the Encrypted M-Index is
+// measured against.
+
+#ifndef SIMCLOUD_BASELINES_TRIVIAL_H_
+#define SIMCLOUD_BASELINES_TRIVIAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace baselines {
+
+/// Encrypted blob store with two operations: put and fetch-all.
+class BlobStoreServer : public net::RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  size_t size() const { return blobs_.size(); }
+
+ private:
+  std::vector<std::pair<metric::ObjectId, Bytes>> blobs_;
+};
+
+/// Download-everything client.
+class TrivialClient {
+ public:
+  /// `aes_key` is the shared symmetric key (16/24/32 bytes).
+  static Result<TrivialClient> Create(
+      Bytes aes_key, std::shared_ptr<metric::DistanceFunction> metric,
+      net::Transport* transport);
+
+  /// Encrypts and uploads objects.
+  Status InsertBulk(const std::vector<metric::VectorObject>& objects,
+                    size_t bulk_size = 1000);
+
+  /// Exact k-NN by downloading and scanning the whole collection.
+  Result<metric::NeighborList> Knn(const metric::VectorObject& query,
+                                   size_t k);
+
+  /// Exact range query by downloading and scanning the whole collection.
+  Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
+                                           double radius);
+
+ private:
+  TrivialClient(crypto::Cipher cipher,
+                std::shared_ptr<metric::DistanceFunction> metric,
+                net::Transport* transport)
+      : cipher_(std::move(cipher)), metric_(std::move(metric)),
+        transport_(transport) {}
+
+  /// Downloads and decrypts the entire collection.
+  Result<std::vector<metric::VectorObject>> FetchAll();
+
+  crypto::Cipher cipher_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  net::Transport* transport_;
+};
+
+}  // namespace baselines
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_BASELINES_TRIVIAL_H_

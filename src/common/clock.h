@@ -1,0 +1,106 @@
+// Wall-clock timing utilities used by the cost-accounting layer.
+//
+// The paper's evaluation decomposes every operation into client /
+// encryption / distance-computation / server / communication time.
+// Stopwatch measures one interval; CostAccumulator sums named intervals.
+
+#ifndef SIMCLOUD_COMMON_CLOCK_H_
+#define SIMCLOUD_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace simcloud {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_)
+        .count();
+  }
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations and counters across many operations,
+/// e.g. total "encryption" time over a 100-query batch.
+class CostAccumulator {
+ public:
+  /// Adds `nanos` to the named duration bucket.
+  void AddNanos(const std::string& name, int64_t nanos) {
+    nanos_[name] += nanos;
+  }
+  /// Adds `count` to the named counter (e.g. bytes transferred).
+  void AddCount(const std::string& name, int64_t count) {
+    counts_[name] += count;
+  }
+
+  /// Total seconds accumulated under `name` (0 if absent).
+  double Seconds(const std::string& name) const {
+    auto it = nanos_.find(name);
+    return it == nanos_.end() ? 0.0 : it->second * 1e-9;
+  }
+  /// Total count accumulated under `name` (0 if absent).
+  int64_t Count(const std::string& name) const {
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Merges another accumulator into this one.
+  void Merge(const CostAccumulator& other) {
+    for (const auto& [k, v] : other.nanos_) nanos_[k] += v;
+    for (const auto& [k, v] : other.counts_) counts_[k] += v;
+  }
+
+  void Clear() {
+    nanos_.clear();
+    counts_.clear();
+  }
+
+  const std::map<std::string, int64_t>& durations_nanos() const {
+    return nanos_;
+  }
+  const std::map<std::string, int64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, int64_t> nanos_;
+  std::map<std::string, int64_t> counts_;
+};
+
+/// RAII guard adding the elapsed time of its scope to an accumulator bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(CostAccumulator* acc, std::string name)
+      : acc_(acc), name_(std::move(name)) {}
+  ~ScopedTimer() {
+    if (acc_ != nullptr) acc_->AddNanos(name_, watch_.ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  CostAccumulator* acc_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_COMMON_CLOCK_H_

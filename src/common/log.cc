@@ -1,0 +1,50 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace simcloud {
+
+namespace {
+LogLevel InitialLevel() {
+  const char* env = std::getenv("SIMCLOUD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(InitialLevel())};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[simcloud %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace simcloud

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default for benchmarks; level settable via
+// code or the SIMCLOUD_LOG_LEVEL environment variable (ERROR|WARN|INFO|DEBUG).
+
+#ifndef SIMCLOUD_COMMON_LOG_H_
+#define SIMCLOUD_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace simcloud {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void SetLogLevel(LogLevel level);
+/// Current global log threshold.
+LogLevel GetLogLevel();
+/// Emits one line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+/// Stream-style one-line log emitter; flushes in the destructor.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace simcloud
+
+#define SIMCLOUD_LOG(level) \
+  ::simcloud::internal::LogLine(::simcloud::LogLevel::level)
+
+#endif  // SIMCLOUD_COMMON_LOG_H_

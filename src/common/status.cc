@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace simcloud {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kNetworkError: return "NetworkError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace simcloud

@@ -1,0 +1,162 @@
+// Status / Result error-handling primitives for simcloud.
+//
+// The library does not throw exceptions across public API boundaries;
+// recoverable failures are reported through Status (for void operations)
+// and Result<T> (for value-returning operations), in the style of
+// RocksDB's rocksdb::Status and Arrow's arrow::Result.
+
+#ifndef SIMCLOUD_COMMON_STATUS_H_
+#define SIMCLOUD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace simcloud {
+
+/// Error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kNotFound = 2,          ///< Requested entity does not exist.
+  kAlreadyExists = 3,     ///< Entity with the same identity already present.
+  kOutOfRange = 4,        ///< Index/offset beyond the valid range.
+  kCorruption = 5,        ///< Stored or received bytes failed validation.
+  kIoError = 6,           ///< Filesystem or socket operation failed.
+  kNotSupported = 7,      ///< Operation not implemented for this configuration.
+  kFailedPrecondition = 8,///< Object not in the required state.
+  kPermissionDenied = 9,  ///< Caller lacks the secret key / authorization.
+  kNetworkError = 10,     ///< Transport-level failure (framing, disconnect).
+  kInternal = 11,         ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code plus a message.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a
+/// message string describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status.ok()` is forbidden.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace simcloud
+
+/// Propagates a non-OK Status from an expression (RocksDB-style).
+#define SIMCLOUD_RETURN_NOT_OK(expr)                  \
+  do {                                                \
+    ::simcloud::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define SIMCLOUD_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto SIMCLOUD_CONCAT_(res_, __LINE__) = (expr);     \
+  if (!SIMCLOUD_CONCAT_(res_, __LINE__).ok())         \
+    return SIMCLOUD_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(SIMCLOUD_CONCAT_(res_, __LINE__)).value()
+
+#define SIMCLOUD_CONCAT_IMPL_(a, b) a##b
+#define SIMCLOUD_CONCAT_(a, b) SIMCLOUD_CONCAT_IMPL_(a, b)
+
+#endif  // SIMCLOUD_COMMON_STATUS_H_

@@ -1,0 +1,75 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace simcloud {
+namespace crypto {
+
+namespace {
+
+// Domain-separation labels for subkey derivation. Deriving both subkeys
+// from one master key with distinct labels keeps the public API a single
+// secret while guaranteeing the AES and MAC keys are independent.
+Bytes DeriveSubkey(const Bytes& master_key, const char* label, size_t len) {
+  Bytes message(label, label + std::strlen(label));
+  Bytes digest = HmacSha256(master_key, message);
+  digest.resize(len);
+  return digest;
+}
+
+}  // namespace
+
+Result<AeadCipher> AeadCipher::Create(const Bytes& master_key) {
+  if (master_key.size() != 16 && master_key.size() != 24 &&
+      master_key.size() != 32) {
+    return Status::InvalidArgument("AEAD master key must be 16/24/32 bytes");
+  }
+  Bytes enc_key =
+      DeriveSubkey(master_key, "simcloud-aead-enc", master_key.size());
+  Bytes mac_key = DeriveSubkey(master_key, "simcloud-aead-mac", kTagSize);
+  SIMCLOUD_ASSIGN_OR_RETURN(Cipher enc,
+                            Cipher::Create(enc_key, CipherMode::kCtr));
+  return AeadCipher(std::move(enc), std::move(mac_key));
+}
+
+Bytes AeadCipher::ComputeTag(const Bytes& iv_and_ciphertext,
+                             const Bytes& associated_data) const {
+  Bytes message;
+  message.reserve(8 + associated_data.size() + iv_and_ciphertext.size());
+  const uint64_t ad_len = associated_data.size();
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    message.push_back(static_cast<uint8_t>(ad_len >> shift));
+  }
+  message.insert(message.end(), associated_data.begin(),
+                 associated_data.end());
+  message.insert(message.end(), iv_and_ciphertext.begin(),
+                 iv_and_ciphertext.end());
+  return HmacSha256(mac_key_, message);
+}
+
+Result<Bytes> AeadCipher::Seal(const Bytes& plaintext,
+                               const Bytes& associated_data) const {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes sealed, enc_->Encrypt(plaintext));
+  const Bytes tag = ComputeTag(sealed, associated_data);
+  sealed.insert(sealed.end(), tag.begin(), tag.end());
+  return sealed;
+}
+
+Result<Bytes> AeadCipher::Open(const Bytes& sealed,
+                               const Bytes& associated_data) const {
+  if (sealed.size() < kIvSize + kTagSize) {
+    return Status::Corruption("sealed buffer too short for iv + tag");
+  }
+  const Bytes body(sealed.begin(), sealed.end() - kTagSize);
+  const Bytes tag(sealed.end() - kTagSize, sealed.end());
+  const Bytes expected = ComputeTag(body, associated_data);
+  if (!ConstantTimeEquals(tag, expected)) {
+    return Status::Corruption("AEAD tag mismatch: payload was tampered with");
+  }
+  return enc_->Decrypt(body);
+}
+
+}  // namespace crypto
+}  // namespace simcloud

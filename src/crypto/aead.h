@@ -1,0 +1,79 @@
+// Authenticated encryption (encrypt-then-MAC): AES-CTR for
+// confidentiality plus HMAC-SHA256 for integrity.
+//
+// The paper's Encrypted M-Index protects confidentiality only — a
+// compromised server could silently corrupt stored ciphertexts and the
+// client would compute distances over garbage plaintexts. Sealing object
+// payloads with this AEAD lets the authorized client detect any
+// modification of the candidate objects it receives (Section 4.3
+// threat model, hardened).
+//
+// Sealed layout: iv (16 B) || ciphertext (n B, CTR keeps length) ||
+// tag (32 B). The tag is HMAC-SHA256 over
+//   len(associated_data) as 8-byte big-endian || associated_data ||
+//   iv || ciphertext
+// so tampering with the IV, the ciphertext, or the binding context is
+// detected. Encryption and MAC keys are derived from one master key by
+// domain-separated HMAC, so callers manage a single secret.
+
+#ifndef SIMCLOUD_CRYPTO_AEAD_H_
+#define SIMCLOUD_CRYPTO_AEAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/cipher.h"
+
+namespace simcloud {
+namespace crypto {
+
+/// Encrypt-then-MAC AEAD on top of AES-CTR + HMAC-SHA256.
+/// One instance per master key; safe for concurrent use.
+class AeadCipher {
+ public:
+  /// HMAC-SHA256 output length; every sealed buffer ends with a tag of
+  /// this size.
+  static constexpr size_t kTagSize = 32;
+  /// CTR-mode IV length prepended to every sealed buffer.
+  static constexpr size_t kIvSize = 16;
+
+  /// Creates an AEAD from a 16/24/32-byte master key. The AES encryption
+  /// key (same length as the master key) and the 32-byte MAC key are
+  /// derived with domain-separated HMAC-SHA256 invocations.
+  static Result<AeadCipher> Create(const Bytes& master_key);
+
+  /// Encrypts and authenticates `plaintext`, binding `associated_data`
+  /// (not transmitted) into the tag. Returns iv || ciphertext || tag.
+  Result<Bytes> Seal(const Bytes& plaintext,
+                     const Bytes& associated_data = {}) const;
+
+  /// Verifies the tag (constant-time) and decrypts. Returns Corruption if
+  /// the buffer is malformed or the tag does not match — in that case no
+  /// plaintext is revealed.
+  Result<Bytes> Open(const Bytes& sealed,
+                     const Bytes& associated_data = {}) const;
+
+  /// Size in bytes of Seal()'s output for an n-byte plaintext.
+  static size_t SealedSize(size_t plaintext_size) {
+    return kIvSize + plaintext_size + kTagSize;
+  }
+
+ private:
+  AeadCipher(Cipher enc, Bytes mac_key)
+      : enc_(std::make_shared<Cipher>(std::move(enc))),
+        mac_key_(std::move(mac_key)) {}
+
+  /// Computes the tag over (len(ad) || ad || iv_and_ciphertext).
+  Bytes ComputeTag(const Bytes& iv_and_ciphertext,
+                   const Bytes& associated_data) const;
+
+  std::shared_ptr<Cipher> enc_;
+  Bytes mac_key_;
+};
+
+}  // namespace crypto
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_CRYPTO_AEAD_H_

@@ -1,0 +1,55 @@
+// FIPS-197 AES block cipher (128/192/256-bit keys), implemented from
+// scratch so the library has no external crypto dependency.
+//
+// This class is the raw 16-byte block transform; use crypto::Cipher
+// (cipher.h) for CBC/CTR modes over arbitrary-length messages. The paper's
+// Encrypted M-Index uses AES-128, matching its evaluation setup.
+//
+// Correctness is validated against the FIPS-197 appendix vectors and the
+// NIST AESAVS known-answer tests (see tests/crypto_test.cc).
+
+#ifndef SIMCLOUD_CRYPTO_AES_H_
+#define SIMCLOUD_CRYPTO_AES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace crypto {
+
+/// AES block cipher. Thread-safe for concurrent Encrypt/Decrypt calls after
+/// construction (the expanded key schedule is immutable).
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Expands `key` (16, 24, or 32 bytes) into round keys.
+  static Result<Aes> Create(const Bytes& key);
+
+  /// Encrypts one 16-byte block in place-compatible fashion (in == out ok).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Number of rounds (10/12/14 for AES-128/192/256).
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(const uint8_t* key, size_t key_len);
+
+  // Round keys as 4-byte words; max 60 words for AES-256 (15 round keys).
+  uint32_t round_keys_[60] = {};
+  int rounds_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_CRYPTO_AES_H_

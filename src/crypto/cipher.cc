@@ -1,0 +1,142 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "crypto/secure_random.h"
+
+namespace simcloud {
+namespace crypto {
+
+namespace {
+constexpr size_t kBlock = Aes::kBlockSize;
+
+void IncrementCounter(uint8_t counter[kBlock]) {
+  // Big-endian increment of the rightmost 8 bytes (NIST SP 800-38A style).
+  for (int i = static_cast<int>(kBlock) - 1; i >= 8; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+}  // namespace
+
+Bytes Pkcs7Pad(const Bytes& data, size_t block_size) {
+  const size_t pad = block_size - (data.size() % block_size);
+  Bytes out = data;
+  out.insert(out.end(), pad, static_cast<uint8_t>(pad));
+  return out;
+}
+
+Result<Bytes> Pkcs7Unpad(const Bytes& data, size_t block_size) {
+  if (data.empty() || data.size() % block_size != 0) {
+    return Status::Corruption("padded data size not a multiple of block size");
+  }
+  const uint8_t pad = data.back();
+  if (pad == 0 || pad > block_size) {
+    return Status::Corruption("invalid PKCS#7 padding byte");
+  }
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) return Status::Corruption("inconsistent PKCS#7 padding");
+  }
+  return Bytes(data.begin(), data.end() - pad);
+}
+
+Result<Cipher> Cipher::Create(const Bytes& key, CipherMode mode) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return Cipher(std::move(aes), mode);
+}
+
+size_t Cipher::CiphertextSize(size_t plaintext_size) const {
+  if (mode_ == CipherMode::kCbc) {
+    return kBlock + (plaintext_size / kBlock + 1) * kBlock;
+  }
+  return kBlock + plaintext_size;
+}
+
+Result<Bytes> Cipher::Encrypt(const Bytes& plaintext) const {
+  Bytes iv(kBlock);
+  SIMCLOUD_RETURN_NOT_OK(SecureRandom::Fill(iv.data(), iv.size()));
+  return EncryptWithIv(plaintext, iv);
+}
+
+Result<Bytes> Cipher::EncryptWithIv(const Bytes& plaintext,
+                                    const Bytes& iv) const {
+  if (iv.size() != kBlock) {
+    return Status::InvalidArgument("IV must be 16 bytes");
+  }
+  return mode_ == CipherMode::kCbc ? EncryptCbc(plaintext, iv)
+                                   : EncryptCtr(plaintext, iv);
+}
+
+Result<Bytes> Cipher::Decrypt(const Bytes& ciphertext) const {
+  if (ciphertext.size() < kBlock) {
+    return Status::Corruption("ciphertext shorter than IV");
+  }
+  return mode_ == CipherMode::kCbc ? DecryptCbc(ciphertext)
+                                   : DecryptCtr(ciphertext);
+}
+
+Result<Bytes> Cipher::EncryptCbc(const Bytes& plaintext,
+                                 const Bytes& iv) const {
+  const Bytes padded = Pkcs7Pad(plaintext, kBlock);
+  Bytes out;
+  out.reserve(kBlock + padded.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+
+  uint8_t chain[kBlock];
+  std::memcpy(chain, iv.data(), kBlock);
+  uint8_t block[kBlock];
+  for (size_t off = 0; off < padded.size(); off += kBlock) {
+    for (size_t i = 0; i < kBlock; ++i) block[i] = padded[off + i] ^ chain[i];
+    aes_.EncryptBlock(block, chain);
+    out.insert(out.end(), chain, chain + kBlock);
+  }
+  return out;
+}
+
+Result<Bytes> Cipher::DecryptCbc(const Bytes& ciphertext) const {
+  const size_t body = ciphertext.size() - kBlock;
+  if (body == 0 || body % kBlock != 0) {
+    return Status::Corruption("CBC ciphertext body not block-aligned");
+  }
+  Bytes padded(body);
+  uint8_t chain[kBlock];
+  std::memcpy(chain, ciphertext.data(), kBlock);
+  uint8_t block[kBlock];
+  for (size_t off = 0; off < body; off += kBlock) {
+    const uint8_t* ct = ciphertext.data() + kBlock + off;
+    aes_.DecryptBlock(ct, block);
+    for (size_t i = 0; i < kBlock; ++i) padded[off + i] = block[i] ^ chain[i];
+    std::memcpy(chain, ct, kBlock);
+  }
+  return Pkcs7Unpad(padded, kBlock);
+}
+
+Result<Bytes> Cipher::EncryptCtr(const Bytes& plaintext,
+                                 const Bytes& iv) const {
+  Bytes out;
+  out.reserve(kBlock + plaintext.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+
+  uint8_t counter[kBlock];
+  std::memcpy(counter, iv.data(), kBlock);
+  uint8_t keystream[kBlock];
+  for (size_t off = 0; off < plaintext.size(); off += kBlock) {
+    aes_.EncryptBlock(counter, keystream);
+    const size_t n = std::min(kBlock, plaintext.size() - off);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(plaintext[off + i] ^ keystream[i]);
+    }
+    IncrementCounter(counter);
+  }
+  return out;
+}
+
+Result<Bytes> Cipher::DecryptCtr(const Bytes& ciphertext) const {
+  // CTR decryption is encryption of the body under the stored IV.
+  Bytes iv(ciphertext.begin(), ciphertext.begin() + kBlock);
+  Bytes body(ciphertext.begin() + kBlock, ciphertext.end());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes round_trip, EncryptCtr(body, iv));
+  return Bytes(round_trip.begin() + kBlock, round_trip.end());
+}
+
+}  // namespace crypto
+}  // namespace simcloud

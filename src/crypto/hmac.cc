@@ -1,0 +1,66 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace simcloud {
+namespace crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0x00);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  auto digest = outer.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Result<Bytes> Pbkdf2Sha256(const Bytes& password, const Bytes& salt,
+                           uint32_t iterations, size_t out_len) {
+  if (iterations == 0) {
+    return Status::InvalidArgument("PBKDF2 iterations must be >= 1");
+  }
+  if (out_len == 0) {
+    return Status::InvalidArgument("PBKDF2 output length must be >= 1");
+  }
+
+  Bytes out;
+  out.reserve(out_len);
+  uint32_t block_index = 1;
+  while (out.size() < out_len) {
+    Bytes salt_block = salt;
+    salt_block.push_back(static_cast<uint8_t>(block_index >> 24));
+    salt_block.push_back(static_cast<uint8_t>(block_index >> 16));
+    salt_block.push_back(static_cast<uint8_t>(block_index >> 8));
+    salt_block.push_back(static_cast<uint8_t>(block_index));
+
+    Bytes u = HmacSha256(password, salt_block);
+    Bytes t = u;
+    for (uint32_t iter = 1; iter < iterations; ++iter) {
+      u = HmacSha256(password, u);
+      for (size_t i = 0; i < t.size(); ++i) t[i] ^= u[i];
+    }
+    const size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++block_index;
+  }
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace simcloud

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104) and PBKDF2-HMAC-SHA256 (RFC 8018) key derivation.
+//
+// The data owner derives the AES object-encryption key from a passphrase
+// with PBKDF2; HMAC also underpins deterministic per-experiment key
+// generation in the benchmarks.
+
+#ifndef SIMCLOUD_CRYPTO_HMAC_H_
+#define SIMCLOUD_CRYPTO_HMAC_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace crypto {
+
+/// Computes HMAC-SHA256(key, message); 32-byte output.
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Derives `out_len` bytes from `password` and `salt` using
+/// PBKDF2-HMAC-SHA256 with `iterations` rounds (>= 1).
+Result<Bytes> Pbkdf2Sha256(const Bytes& password, const Bytes& salt,
+                           uint32_t iterations, size_t out_len);
+
+}  // namespace crypto
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_CRYPTO_HMAC_H_

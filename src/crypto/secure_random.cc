@@ -1,0 +1,29 @@
+#include "crypto/secure_random.h"
+
+#include <cstdio>
+
+namespace simcloud {
+namespace crypto {
+
+Status SecureRandom::Fill(uint8_t* buf, size_t len) {
+  static FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom == nullptr) {
+    return Status::IoError("cannot open /dev/urandom");
+  }
+  size_t done = 0;
+  while (done < len) {
+    const size_t n = std::fread(buf + done, 1, len - done, urandom);
+    if (n == 0) return Status::IoError("short read from /dev/urandom");
+    done += n;
+  }
+  return Status::OK();
+}
+
+Result<Bytes> SecureRandom::Generate(size_t len) {
+  Bytes out(len);
+  SIMCLOUD_RETURN_NOT_OK(Fill(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace simcloud

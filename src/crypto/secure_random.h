@@ -1,0 +1,29 @@
+// Cryptographically secure randomness (IVs, key generation).
+// Reads the operating system entropy source (/dev/urandom).
+
+#ifndef SIMCLOUD_CRYPTO_SECURE_RANDOM_H_
+#define SIMCLOUD_CRYPTO_SECURE_RANDOM_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace crypto {
+
+/// OS-backed secure random source.
+class SecureRandom {
+ public:
+  /// Fills `buf[0..len)` with OS entropy.
+  static Status Fill(uint8_t* buf, size_t len);
+
+  /// Returns `len` secure random bytes.
+  static Result<Bytes> Generate(size_t len);
+};
+
+}  // namespace crypto
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_CRYPTO_SECURE_RANDOM_H_

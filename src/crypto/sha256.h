@@ -1,0 +1,48 @@
+// FIPS-180-4 SHA-256, implemented from scratch. Used for key derivation
+// (PBKDF2-HMAC-SHA256) and integrity checks in the wire protocol tests.
+
+#ifndef SIMCLOUD_CRYPTO_SHA256_H_
+#define SIMCLOUD_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace simcloud {
+namespace crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  /// Finalizes and returns the 32-byte digest; the hasher must be Reset()
+  /// before reuse.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience digest.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace crypto
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_CRYPTO_SHA256_H_

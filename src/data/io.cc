@@ -1,0 +1,188 @@
+#include "data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace simcloud {
+namespace data {
+
+using metric::SequenceObject;
+using metric::VectorObject;
+
+namespace {
+
+/// Splits `line` on `delimiter`, trimming surrounding whitespace.
+std::vector<std::string> SplitFields(const std::string& line,
+                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) {
+    const size_t begin = field.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      fields.emplace_back();
+      continue;
+    }
+    const size_t end = field.find_last_not_of(" \t\r");
+    fields.push_back(field.substr(begin, end - begin + 1));
+  }
+  return fields;
+}
+
+bool ParseFloat(const std::string& text, float* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<VectorObject>> LoadVectorsCsv(const std::string& path,
+                                                 const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open CSV file " + path);
+  }
+  std::vector<VectorObject> objects;
+  std::string line;
+  size_t line_number = 0;
+  size_t expected_dimension = 0;
+  uint64_t next_row_id = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line_number <= options.skip_lines) continue;
+    if (line.empty()) continue;
+    if (options.comment_char != '\0' && line[0] == options.comment_char) {
+      continue;
+    }
+    const std::vector<std::string> fields =
+        SplitFields(line, options.delimiter);
+
+    uint64_t id = next_row_id;
+    std::vector<float> values;
+    values.reserve(fields.size());
+    for (size_t column = 0; column < fields.size(); ++column) {
+      if (options.id_column >= 0 &&
+          column == static_cast<size_t>(options.id_column)) {
+        // Numeric ids are honoured; non-numeric id fields (gene names)
+        // fall back to row order.
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(fields[column].c_str(), &end, 10);
+        if (end == fields[column].c_str() + fields[column].size() &&
+            !fields[column].empty()) {
+          id = parsed;
+        }
+        continue;
+      }
+      float value = 0;
+      if (!ParseFloat(fields[column], &value)) {
+        return Status::Corruption("non-numeric value '" + fields[column] +
+                                  "' at " + path + ":" +
+                                  std::to_string(line_number));
+      }
+      values.push_back(value);
+    }
+    if (values.empty()) {
+      return Status::Corruption("no numeric columns at " + path + ":" +
+                                std::to_string(line_number));
+    }
+    if (expected_dimension == 0) {
+      expected_dimension = values.size();
+    } else if (values.size() != expected_dimension) {
+      return Status::Corruption(
+          "row with " + std::to_string(values.size()) + " columns, expected " +
+          std::to_string(expected_dimension) + " at " + path + ":" +
+          std::to_string(line_number));
+    }
+    objects.emplace_back(id, std::move(values));
+    ++next_row_id;
+  }
+  if (objects.empty()) {
+    return Status::InvalidArgument("CSV file " + path + " holds no data rows");
+  }
+  return objects;
+}
+
+Status SaveVectorsCsv(const std::vector<VectorObject>& objects,
+                      const std::string& path, char delimiter,
+                      bool with_ids) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  for (const VectorObject& object : objects) {
+    if (with_ids) file << object.id() << delimiter;
+    const auto& values = object.values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) file << delimiter;
+      file << values[i];
+    }
+    file << '\n';
+  }
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<SequenceObject>> LoadFasta(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open FASTA file " + path);
+  }
+  std::vector<SequenceObject> sequences;
+  std::string line;
+  std::string current;
+  bool in_record = false;
+  uint64_t next_id = 0;
+  auto flush = [&]() {
+    if (in_record) {
+      sequences.emplace_back(next_id++, std::move(current));
+      current.clear();
+    }
+  };
+  while (std::getline(file, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      continue;
+    }
+    if (!in_record) {
+      return Status::Corruption("FASTA body before first '>' header in " +
+                                path);
+    }
+    current += line;
+  }
+  flush();
+  if (sequences.empty()) {
+    return Status::InvalidArgument("FASTA file " + path +
+                                   " holds no records");
+  }
+  return sequences;
+}
+
+Status SaveFasta(const std::vector<SequenceObject>& sequences,
+                 const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  for (const SequenceObject& sequence : sequences) {
+    file << ">seq" << sequence.id() << '\n';
+    const std::string& body = sequence.sequence();
+    for (size_t offset = 0; offset < body.size(); offset += 70) {
+      file << body.substr(offset, 70) << '\n';
+    }
+    if (body.empty()) file << '\n';
+  }
+  if (!file.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace simcloud

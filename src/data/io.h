@@ -1,0 +1,60 @@
+// Data-set file loaders.
+//
+// The paper's collections are a gene-expression matrix (numeric rows —
+// effectively CSV/TSV) and MPEG-7 descriptor vectors. The synthetic
+// generators in data/synthetic.h stand in for them offline; this module
+// is the adoption path for the real thing: drop the original YEAST/HUMAN
+// matrix (or any numeric CSV) or a FASTA file of sequences next to the
+// binary and load it into the same pipeline.
+
+#ifndef SIMCLOUD_DATA_IO_H_
+#define SIMCLOUD_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/object.h"
+#include "metric/sequence.h"
+
+namespace simcloud {
+namespace data {
+
+/// Options for LoadVectorsCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip this many leading lines (column headers).
+  size_t skip_lines = 0;
+  /// Zero-based column holding the object id; -1 assigns row order.
+  /// Id columns may be non-numeric (gene names); ids are then row order.
+  int id_column = -1;
+  /// Lines starting with this character are ignored ('\0' disables).
+  char comment_char = '#';
+};
+
+/// Loads a numeric matrix: one object per row, one value per column.
+/// Every data row must have the same number of numeric columns;
+/// otherwise Corruption with the offending line number.
+Result<std::vector<metric::VectorObject>> LoadVectorsCsv(
+    const std::string& path, const CsvOptions& options = {});
+
+/// Writes objects as CSV (no header; id first when `with_ids`).
+Status SaveVectorsCsv(const std::vector<metric::VectorObject>& objects,
+                      const std::string& path, char delimiter = ',',
+                      bool with_ids = true);
+
+/// Loads sequences from FASTA: `>`-prefixed description lines start a
+/// record, subsequent lines are concatenated into its sequence. Ids are
+/// assigned in file order.
+Result<std::vector<metric::SequenceObject>> LoadFasta(
+    const std::string& path);
+
+/// Writes sequences as FASTA (`>seq<id>` description lines, 70-char
+/// wrapped bodies).
+Status SaveFasta(const std::vector<metric::SequenceObject>& sequences,
+                 const std::string& path);
+
+}  // namespace data
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_DATA_IO_H_

@@ -1,0 +1,147 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace simcloud {
+namespace data {
+
+using metric::Dataset;
+using metric::DistanceFunction;
+using metric::SegmentedLpDistance;
+using metric::VectorObject;
+
+std::vector<VectorObject> MakeGaussianMixture(const MixtureOptions& options) {
+  Rng rng(options.seed);
+
+  // Draw component centers, then sample objects from randomly chosen
+  // components with unequal (Zipf-ish) mixing weights so that the index's
+  // Voronoi cells have realistically skewed occupancy.
+  std::vector<std::vector<double>> centers(options.num_clusters);
+  for (auto& center : centers) {
+    center.resize(options.dimension);
+    for (auto& c : center) c = rng.NextGaussian(0.0, options.center_spread);
+  }
+  std::vector<double> weights(options.num_clusters);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < options.num_clusters; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+    total_weight += weights[i];
+  }
+
+  std::vector<VectorObject> objects;
+  objects.reserve(options.num_objects);
+  for (size_t id = 0; id < options.num_objects; ++id) {
+    // Pick a component proportionally to weight.
+    double pick = rng.NextDouble() * total_weight;
+    size_t component = 0;
+    while (component + 1 < options.num_clusters && pick > weights[component]) {
+      pick -= weights[component];
+      ++component;
+    }
+
+    std::vector<float> values(options.dimension);
+    for (size_t d = 0; d < options.dimension; ++d) {
+      double v = centers[component][d] +
+                 rng.NextGaussian(0.0, options.point_stddev);
+      v = std::clamp(v, options.min_value, options.max_value);
+      if (options.round_to_int) v = std::nearbyint(v);
+      values[d] = static_cast<float>(v);
+    }
+    objects.emplace_back(static_cast<metric::ObjectId>(id),
+                         std::move(values));
+  }
+  return objects;
+}
+
+Dataset MakeYeastLike(uint64_t seed) {
+  MixtureOptions options;
+  options.num_objects = 2882;
+  options.dimension = 17;
+  options.num_clusters = 16;
+  options.center_spread = 120.0;
+  options.point_stddev = 35.0;
+  options.min_value = -200.0;
+  options.max_value = 600.0;
+  options.round_to_int = true;  // microarray expression levels are counts
+  options.seed = seed;
+  return Dataset("YEAST", MakeGaussianMixture(options),
+                 std::make_shared<metric::L1Distance>());
+}
+
+Dataset MakeHumanLike(uint64_t seed) {
+  MixtureOptions options;
+  options.num_objects = 4026;
+  options.dimension = 96;
+  options.num_clusters = 24;
+  options.center_spread = 110.0;
+  options.point_stddev = 30.0;
+  options.min_value = -300.0;
+  options.max_value = 600.0;
+  options.round_to_int = true;
+  options.seed = seed;
+  return Dataset("HUMAN", MakeGaussianMixture(options),
+                 std::make_shared<metric::L1Distance>());
+}
+
+std::shared_ptr<DistanceFunction> MakeCophirDistance() {
+  // Five MPEG-7 descriptor segments as used by the CoPhIR aggregate
+  // distance (MESSIF weights, normalized): ColorLayout (12 dims, L2),
+  // ScalableColor (64, L1), ColorStructure (64, L1), EdgeHistogram (80,
+  // L1), HomogeneousTexture (60, L1). Total dimension 280.
+  std::vector<SegmentedLpDistance::Segment> segments = {
+      {12, 2.0, 1.5},  // ColorLayout
+      {64, 1.0, 2.5},  // ScalableColor
+      {64, 1.0, 2.5},  // ColorStructure
+      {80, 1.0, 4.5},  // EdgeHistogram
+      {60, 1.0, 0.5},  // HomogeneousTexture
+  };
+  auto result = SegmentedLpDistance::Create(std::move(segments));
+  // Static parameters above are always valid.
+  return std::make_shared<SegmentedLpDistance>(std::move(result).value());
+}
+
+Dataset MakeCophirLike(size_t num_objects, uint64_t seed) {
+  MixtureOptions options;
+  options.num_objects = num_objects;
+  options.dimension = 280;
+  options.num_clusters = 64;  // image collections are strongly clustered
+  options.center_spread = 60.0;
+  options.point_stddev = 15.0;
+  options.min_value = 0.0;    // MPEG-7 descriptor values are non-negative
+  options.max_value = 255.0;
+  options.round_to_int = true;
+  options.seed = seed;
+  return Dataset("CoPhIR", MakeGaussianMixture(options), MakeCophirDistance());
+}
+
+size_t DefaultCophirSize() {
+  const char* env = std::getenv("SIMCLOUD_COPHIR_N");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1000 && parsed <= 1000000) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return 200000;
+}
+
+std::vector<VectorObject> MakeUniformVectors(size_t num_objects,
+                                             size_t dimension, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VectorObject> objects;
+  objects.reserve(num_objects);
+  for (size_t id = 0; id < num_objects; ++id) {
+    std::vector<float> values(dimension);
+    for (auto& v : values) v = rng.NextFloat();
+    objects.emplace_back(static_cast<metric::ObjectId>(id),
+                         std::move(values));
+  }
+  return objects;
+}
+
+}  // namespace data
+}  // namespace simcloud

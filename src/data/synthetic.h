@@ -1,0 +1,74 @@
+// Synthetic data-set generators reproducing the *statistical profile* of
+// the paper's three evaluation collections (Table 1):
+//
+//   YEAST   2,882 x  17-dim numeric vectors, L1 metric
+//   HUMAN   4,026 x  96-dim numeric vectors, L1 metric
+//   CoPhIR  1M    x 280-dim numeric vectors, weighted combination of Lp
+//
+// The original YEAST/HUMAN gene-expression matrices (arep.med.harvard.edu)
+// and the CoPhIR MPEG-7 collection are not redistributable/offline, so we
+// generate Gaussian-mixture data with identical cardinality, dimensionality
+// and metric (see DESIGN.md §5 for why this preserves the measured
+// behaviour). All generators are deterministic given their seed.
+
+#ifndef SIMCLOUD_DATA_SYNTHETIC_H_
+#define SIMCLOUD_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "metric/dataset.h"
+#include "metric/distance.h"
+#include "metric/object.h"
+
+namespace simcloud {
+namespace data {
+
+/// Parameters of a clustered Gaussian-mixture vector generator.
+struct MixtureOptions {
+  size_t num_objects = 1000;
+  size_t dimension = 16;
+  size_t num_clusters = 10;   ///< mixture components
+  double center_spread = 100; ///< stddev of component centers around 0
+  double point_stddev = 20;   ///< per-dimension stddev within a component
+  double min_value = -500;    ///< clip lower bound
+  double max_value = 500;     ///< clip upper bound
+  bool round_to_int = false;  ///< quantize (gene-expression-like counts)
+  uint64_t seed = 1;
+};
+
+/// Generates `options.num_objects` clustered vectors with ids 0..n-1.
+std::vector<metric::VectorObject> MakeGaussianMixture(
+    const MixtureOptions& options);
+
+/// YEAST-like data set: 2,882 x 17-dim integer-valued vectors, L1 metric.
+metric::Dataset MakeYeastLike(uint64_t seed = 42);
+
+/// HUMAN-like data set: 4,026 x 96-dim integer-valued vectors, L1 metric.
+metric::Dataset MakeHumanLike(uint64_t seed = 43);
+
+/// CoPhIR-style aggregate metric: weighted sum of per-descriptor Lp
+/// distances over five contiguous segments (ColorLayout L2 + four L1
+/// histogram/texture descriptors), total dimension 280.
+std::shared_ptr<metric::DistanceFunction> MakeCophirDistance();
+
+/// CoPhIR-like data set: `num_objects` x 280-dim vectors under the
+/// aggregate metric. The paper indexes 1M objects; pass a smaller n to
+/// trade fidelity for runtime (see DefaultCophirSize()).
+metric::Dataset MakeCophirLike(size_t num_objects, uint64_t seed = 44);
+
+/// Collection size for CoPhIR experiments: the SIMCLOUD_COPHIR_N
+/// environment variable if set (clamped to [1000, 1000000]), else 200,000.
+size_t DefaultCophirSize();
+
+/// Uniform random vectors in [0,1]^dim — the hardest case for any metric
+/// index (no cluster structure); used by property tests and ablations.
+std::vector<metric::VectorObject> MakeUniformVectors(size_t num_objects,
+                                                     size_t dimension,
+                                                     uint64_t seed);
+
+}  // namespace data
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_DATA_SYNTHETIC_H_

@@ -1,0 +1,90 @@
+#include "metric/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "common/serialize.h"
+
+namespace simcloud {
+namespace metric {
+
+std::vector<VectorObject> Dataset::ExtractQueries(size_t count,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  count = std::min(count, objects_.size());
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(objects_.size(), count);
+  std::vector<VectorObject> queries;
+  queries.reserve(count);
+  for (size_t idx : picked) queries.push_back(objects_[idx]);
+
+  // Remove the picked objects (descending index order keeps indices valid).
+  std::sort(picked.begin(), picked.end(), std::greater<size_t>());
+  for (size_t idx : picked) {
+    objects_[idx] = std::move(objects_.back());
+    objects_.pop_back();
+  }
+  return queries;
+}
+
+std::vector<VectorObject> Dataset::SampleQueries(size_t count,
+                                                 uint64_t seed) const {
+  Rng rng(seed);
+  count = std::min(count, objects_.size());
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(objects_.size(), count);
+  std::vector<VectorObject> queries;
+  queries.reserve(count);
+  for (size_t idx : picked) queries.push_back(objects_[idx]);
+  return queries;
+}
+
+Status Dataset::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(0x53434453);  // "SCDS" magic
+  writer.WriteVarint(objects_.size());
+  for (const auto& obj : objects_) obj.Serialize(&writer);
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const Bytes& buf = writer.buffer();
+  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (written != buf.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::LoadFromFile(
+    const std::string& path, std::string name,
+    std::shared_ptr<DistanceFunction> distance) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes buf(static_cast<size_t>(size));
+  const size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::IoError("short read from " + path);
+
+  BinaryReader reader(buf);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != 0x53434453) {
+    return Status::Corruption("bad dataset magic in " + path);
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+  std::vector<VectorObject> objects;
+  objects.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject obj,
+                              VectorObject::Deserialize(&reader));
+    objects.push_back(std::move(obj));
+  }
+  return Dataset(std::move(name), std::move(objects), std::move(distance));
+}
+
+}  // namespace metric
+}  // namespace simcloud

@@ -1,0 +1,74 @@
+// In-memory data set: a named collection of MS objects plus the metric
+// they are compared with, with binary save/load and query sampling.
+
+#ifndef SIMCLOUD_METRIC_DATASET_H_
+#define SIMCLOUD_METRIC_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "metric/object.h"
+
+namespace simcloud {
+namespace metric {
+
+/// A collection of MS objects together with its distance function.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::vector<VectorObject> objects,
+          std::shared_ptr<DistanceFunction> distance)
+      : name_(std::move(name)),
+        objects_(std::move(objects)),
+        distance_(std::move(distance)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<VectorObject>& objects() const { return objects_; }
+  std::vector<VectorObject>& mutable_objects() { return objects_; }
+  const std::shared_ptr<DistanceFunction>& distance() const {
+    return distance_;
+  }
+  size_t size() const { return objects_.size(); }
+  /// Dimensionality of the first object (0 if empty).
+  size_t dimension() const {
+    return objects_.empty() ? 0 : objects_[0].dimension();
+  }
+
+  /// Computes d(a, b) with this data set's metric.
+  double Distance(const VectorObject& a, const VectorObject& b) const {
+    return distance_->Distance(a, b);
+  }
+
+  /// Removes `count` random objects from the data set and returns them as a
+  /// query workload (the paper excludes 1-NN query objects from the indexed
+  /// set, Section 5.4). Deterministic given `seed`.
+  std::vector<VectorObject> ExtractQueries(size_t count, uint64_t seed);
+
+  /// Samples `count` objects (without removal) as a query workload, as in
+  /// the paper's 30-NN experiments ("query objects randomly chosen from the
+  /// data set"). Deterministic given `seed`.
+  std::vector<VectorObject> SampleQueries(size_t count, uint64_t seed) const;
+
+  /// Saves objects to a binary file (the distance is not persisted).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads objects previously written by SaveToFile; the caller supplies
+  /// the matching distance function.
+  static Result<Dataset> LoadFromFile(
+      const std::string& path, std::string name,
+      std::shared_ptr<DistanceFunction> distance);
+
+ private:
+  std::string name_;
+  std::vector<VectorObject> objects_;
+  std::shared_ptr<DistanceFunction> distance_;
+};
+
+}  // namespace metric
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_METRIC_DATASET_H_

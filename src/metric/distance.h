@@ -1,0 +1,170 @@
+// Metric distance functions over VectorObject descriptors.
+//
+// All functions here satisfy the metric postulates (non-negativity,
+// identity of indiscernibles, symmetry, triangle inequality); the property
+// test suite verifies this on random inputs. Distances are the only
+// data-dependent operation the M-Index needs, and in the Encrypted
+// M-Index they are computed exclusively by the key-holding client.
+//
+// Provided metrics (matching the paper's data sets, Table 1):
+//  * L1 (Manhattan)            — YEAST / HUMAN gene-expression matrices
+//  * L2 (Euclidean), Lp, L∞    — general-purpose
+//  * SegmentedLpDistance       — CoPhIR-style weighted combination of Lp
+//                                distances over descriptor segments
+
+#ifndef SIMCLOUD_METRIC_DISTANCE_H_
+#define SIMCLOUD_METRIC_DISTANCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/object.h"
+
+namespace simcloud {
+namespace metric {
+
+/// Abstract total distance function d : D x D -> R satisfying the metric
+/// postulates. Implementations must be thread-safe and stateless apart
+/// from the global evaluation counter.
+class DistanceFunction {
+ public:
+  DistanceFunction() = default;
+  virtual ~DistanceFunction() = default;
+  // Copying a distance function starts a fresh evaluation counter.
+  DistanceFunction(const DistanceFunction&) : evaluations_(0) {}
+  DistanceFunction& operator=(const DistanceFunction&) { return *this; }
+
+  /// Computes d(a, b). Both objects must have the same dimensionality.
+  double Distance(const VectorObject& a, const VectorObject& b) const {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    return DistanceImpl(a, b);
+  }
+
+  /// Short identifier ("L1", "L2", "Lp(0.5)", "cophir", ...).
+  virtual std::string Name() const = 0;
+
+  /// Number of Distance() evaluations since construction or ResetCounter().
+  /// The paper's cost model counts distance computations as the dominant
+  /// client-side search cost; benches read this counter.
+  uint64_t evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  void ResetCounter() const {
+    evaluations_.store(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual double DistanceImpl(const VectorObject& a,
+                              const VectorObject& b) const = 0;
+
+ private:
+  mutable std::atomic<uint64_t> evaluations_{0};
+};
+
+/// Manhattan distance: sum_i |a_i - b_i|.
+class L1Distance : public DistanceFunction {
+ public:
+  std::string Name() const override { return "L1"; }
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+};
+
+/// Euclidean distance: sqrt(sum_i (a_i - b_i)^2).
+class L2Distance : public DistanceFunction {
+ public:
+  std::string Name() const override { return "L2"; }
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+};
+
+/// Chebyshev distance: max_i |a_i - b_i|.
+class LInfDistance : public DistanceFunction {
+ public:
+  std::string Name() const override { return "Linf"; }
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+};
+
+/// Minkowski distance with parameter p >= 1.
+class LpDistance : public DistanceFunction {
+ public:
+  /// p must be >= 1 for the triangle inequality to hold.
+  explicit LpDistance(double p) : p_(p) {}
+
+  std::string Name() const override;
+  double p() const { return p_; }
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+
+ private:
+  double p_;
+};
+
+/// Weighted combination of per-segment Lp distances, modelling the CoPhIR
+/// aggregate over five MPEG-7 descriptors. The vector is partitioned into
+/// contiguous segments; d(a,b) = sum_s w_s * Lp_s(a_s, b_s). A non-negative
+/// weighted sum of metrics over projections is itself a metric.
+class SegmentedLpDistance : public DistanceFunction {
+ public:
+  struct Segment {
+    size_t length;   ///< number of dimensions in this segment
+    double p;        ///< Minkowski parameter (>= 1)
+    double weight;   ///< non-negative combination weight
+  };
+
+  /// Validates segment parameters (lengths > 0, p >= 1, weights >= 0).
+  static Result<SegmentedLpDistance> Create(std::vector<Segment> segments);
+
+  std::string Name() const override { return "segmented-lp"; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  /// Total dimensionality covered by the segments.
+  size_t TotalDimension() const;
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+
+ private:
+  explicit SegmentedLpDistance(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {}
+
+  std::vector<Segment> segments_;
+};
+
+/// Angular distance: the angle arccos(<a,b> / (|a||b|)) in [0, pi].
+/// A metric on *directions* (the unit sphere) — the natural choice for
+/// normalized embedding descriptors. Note the identity postulate holds up
+/// to positive scaling only (d(a, 2a) = 0); use it for collections of
+/// normalized vectors. Zero vectors are rejected as NaN-free by mapping
+/// to the maximal angle pi.
+class AngularDistance : public DistanceFunction {
+ public:
+  std::string Name() const override { return "angular"; }
+
+ protected:
+  double DistanceImpl(const VectorObject& a,
+                      const VectorObject& b) const override;
+};
+
+/// Creates the standard distance function for a given name:
+/// "L1", "L2", "Linf", "angular", or "Lp:<p>". Used by config/CLI
+/// plumbing.
+Result<std::shared_ptr<DistanceFunction>> MakeDistanceByName(
+    const std::string& name);
+
+}  // namespace metric
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_METRIC_DISTANCE_H_

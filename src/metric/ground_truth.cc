@@ -1,0 +1,56 @@
+#include "metric/ground_truth.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace simcloud {
+namespace metric {
+
+NeighborList LinearRangeSearch(const std::vector<VectorObject>& objects,
+                               const DistanceFunction& distance,
+                               const VectorObject& query, double radius) {
+  NeighborList result;
+  for (const auto& obj : objects) {
+    const double d = distance.Distance(query, obj);
+    if (d <= radius) result.push_back({obj.id(), d});
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+NeighborList LinearKnnSearch(const std::vector<VectorObject>& objects,
+                             const DistanceFunction& distance,
+                             const VectorObject& query, size_t k) {
+  if (k == 0) return {};
+  // Max-heap of the k best seen so far.
+  std::priority_queue<Neighbor> heap;
+  for (const auto& obj : objects) {
+    const double d = distance.Distance(query, obj);
+    if (heap.size() < k) {
+      heap.push({obj.id(), d});
+    } else if (Neighbor{obj.id(), d} < heap.top()) {
+      heap.pop();
+      heap.push({obj.id(), d});
+    }
+  }
+  NeighborList result(heap.size());
+  for (size_t i = heap.size(); i > 0; --i) {
+    result[i - 1] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+NeighborList LinearRangeSearch(const Dataset& dataset,
+                               const VectorObject& query, double radius) {
+  return LinearRangeSearch(dataset.objects(), *dataset.distance(), query,
+                           radius);
+}
+
+NeighborList LinearKnnSearch(const Dataset& dataset, const VectorObject& query,
+                             size_t k) {
+  return LinearKnnSearch(dataset.objects(), *dataset.distance(), query, k);
+}
+
+}  // namespace metric
+}  // namespace simcloud

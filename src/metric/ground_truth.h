@@ -1,0 +1,37 @@
+// Exact linear-scan search. Serves two purposes: ground truth for recall
+// measurements (paper Section 4.1) and the scan core of the trivial
+// download-everything baseline (paper Section 3).
+
+#ifndef SIMCLOUD_METRIC_GROUND_TRUTH_H_
+#define SIMCLOUD_METRIC_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "metric/dataset.h"
+#include "metric/neighbor.h"
+
+namespace simcloud {
+namespace metric {
+
+/// Exact range query R(q, r) over `objects`: all objects within distance r
+/// of q, sorted by ascending distance.
+NeighborList LinearRangeSearch(const std::vector<VectorObject>& objects,
+                               const DistanceFunction& distance,
+                               const VectorObject& query, double radius);
+
+/// Exact k-NN(q) over `objects`: the k closest objects, sorted by ascending
+/// distance (fewer if the collection is smaller than k).
+NeighborList LinearKnnSearch(const std::vector<VectorObject>& objects,
+                             const DistanceFunction& distance,
+                             const VectorObject& query, size_t k);
+
+/// Convenience overloads operating on a Dataset.
+NeighborList LinearRangeSearch(const Dataset& dataset,
+                               const VectorObject& query, double radius);
+NeighborList LinearKnnSearch(const Dataset& dataset, const VectorObject& query,
+                             size_t k);
+
+}  // namespace metric
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_METRIC_GROUND_TRUTH_H_

@@ -1,0 +1,23 @@
+#include "metric/neighbor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace simcloud {
+namespace metric {
+
+double RecallPercent(const NeighborList& answer, const NeighborList& exact) {
+  if (exact.empty()) return 100.0;
+  std::unordered_set<ObjectId> exact_ids;
+  exact_ids.reserve(exact.size());
+  for (const auto& n : exact) exact_ids.insert(n.id);
+  size_t hits = 0;
+  for (const auto& n : answer) {
+    if (exact_ids.count(n.id) != 0) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) /
+         static_cast<double>(exact.size());
+}
+
+}  // namespace metric
+}  // namespace simcloud

@@ -1,0 +1,39 @@
+// Search-result types shared by every index and baseline in simcloud.
+
+#ifndef SIMCLOUD_METRIC_NEIGHBOR_H_
+#define SIMCLOUD_METRIC_NEIGHBOR_H_
+
+#include <vector>
+
+#include "metric/object.h"
+
+namespace simcloud {
+namespace metric {
+
+/// One search hit: an object id plus its distance to the query.
+struct Neighbor {
+  ObjectId id = 0;
+  double distance = 0.0;
+
+  /// Orders by distance, ties broken by id for deterministic results.
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+  bool operator==(const Neighbor& other) const {
+    return id == other.id && distance == other.distance;
+  }
+};
+
+/// Result of a query: hits sorted by ascending distance.
+using NeighborList = std::vector<Neighbor>;
+
+/// Recall of `answer` against the exact answer `exact`:
+/// |answer ∩ exact| / |exact| * 100, matching the paper's definition
+/// (Section 4.1). Membership is by object id. Returns 100 for empty exact.
+double RecallPercent(const NeighborList& answer, const NeighborList& exact);
+
+}  // namespace metric
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_METRIC_NEIGHBOR_H_

@@ -1,0 +1,23 @@
+#include "metric/object.h"
+
+namespace simcloud {
+namespace metric {
+
+namespace {
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+size_t VectorObject::SerializedSize() const {
+  return VarintSize(id_) + VarintSize(values_.size()) +
+         values_.size() * sizeof(float);
+}
+
+}  // namespace metric
+}  // namespace simcloud

@@ -1,0 +1,63 @@
+// Metric-space objects: fixed-dimension float vectors with an identifier.
+//
+// In the paper's terminology these are the "MS objects" — descriptors
+// extracted from raw data. The id is the reference back to the raw object
+// held in (encrypted) raw-data storage.
+
+#ifndef SIMCLOUD_METRIC_OBJECT_H_
+#define SIMCLOUD_METRIC_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace metric {
+
+/// Identifier referring to the raw data object behind an MS object.
+using ObjectId = uint64_t;
+
+/// A metric-space object: an id plus a dense float vector descriptor.
+class VectorObject {
+ public:
+  VectorObject() = default;
+  VectorObject(ObjectId id, std::vector<float> values)
+      : id_(id), values_(std::move(values)) {}
+
+  ObjectId id() const { return id_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+  size_t dimension() const { return values_.size(); }
+
+  /// Serializes as {varint id, float vector}.
+  void Serialize(BinaryWriter* writer) const {
+    writer->WriteVarint(id_);
+    writer->WriteFloatVector(values_);
+  }
+
+  /// Parses an object previously written by Serialize().
+  static Result<VectorObject> Deserialize(BinaryReader* reader) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t id, reader->ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(std::vector<float> values,
+                              reader->ReadFloatVector());
+    return VectorObject(id, std::move(values));
+  }
+
+  /// Serialized size in bytes (used by communication-cost accounting).
+  size_t SerializedSize() const;
+
+  bool operator==(const VectorObject& other) const {
+    return id_ == other.id_ && values_ == other.values_;
+  }
+
+ private:
+  ObjectId id_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace metric
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_METRIC_OBJECT_H_

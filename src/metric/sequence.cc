@@ -1,0 +1,83 @@
+#include "metric/sequence.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace simcloud {
+namespace metric {
+
+size_t LevenshteinDistance(const std::string& a, const std::string& b) {
+  // Keep the shorter string in the inner dimension for O(min) space.
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  if (s.empty()) return t.size();
+
+  std::vector<size_t> row(s.size() + 1);
+  for (size_t j = 0; j <= s.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= t.size(); ++i) {
+    size_t diagonal = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= s.size(); ++j) {
+      const size_t above = row[j];  // D[i-1][j]
+      const size_t substitution = diagonal + (t[i - 1] != s[j - 1] ? 1 : 0);
+      row[j] = std::min({row[j - 1] + 1, above + 1, substitution});
+      diagonal = above;
+    }
+  }
+  return row[s.size()];
+}
+
+size_t BoundedLevenshteinDistance(const std::string& a, const std::string& b,
+                                  size_t bound) {
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  // The length difference alone forces at least that many edits.
+  if (t.size() - s.size() > bound) return bound + 1;
+  if (s.empty()) return t.size();
+
+  // Banded DP: cells further than `bound` off the diagonal can never come
+  // back under the bound. kInf marks cells outside the band.
+  constexpr size_t kInf = static_cast<size_t>(-1) / 2;
+  std::vector<size_t> row(s.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(s.size(), bound); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= t.size(); ++i) {
+    const size_t band_lo = i > bound ? i - bound : 0;
+    const size_t band_hi = std::min(s.size(), i + bound);
+    size_t diagonal = row[band_lo == 0 ? 0 : band_lo - 1];
+    size_t new_first = kInf;
+    if (band_lo == 0) {
+      new_first = i;
+    }
+    size_t prev = new_first;  // D[i][band_lo-1] equivalent within band
+    if (band_lo > 0) {
+      prev = kInf;
+      diagonal = row[band_lo - 1];
+    }
+    size_t row_min = kInf;
+    for (size_t j = std::max<size_t>(band_lo, 1); j <= band_hi; ++j) {
+      const size_t above = row[j];
+      const size_t substitution =
+          diagonal == kInf ? kInf
+                           : diagonal + (t[i - 1] != s[j - 1] ? 1 : 0);
+      size_t best = substitution;
+      if (prev != kInf) best = std::min(best, prev + 1);
+      if (above != kInf) best = std::min(best, above + 1);
+      diagonal = above;
+      row[j] = best;
+      prev = best;
+      row_min = std::min(row_min, best);
+    }
+    if (band_lo == 0) {
+      row[0] = new_first;
+      row_min = std::min(row_min, new_first);
+    } else if (band_lo >= 1) {
+      row[band_lo - 1] = kInf;  // left edge leaves the band
+    }
+    if (row_min > bound) return bound + 1;  // whole band exceeded the bound
+  }
+  return row[s.size()] <= bound ? row[s.size()] : bound + 1;
+}
+
+}  // namespace metric
+}  // namespace simcloud

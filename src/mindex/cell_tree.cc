@@ -1,0 +1,426 @@
+#include "mindex/cell_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace simcloud {
+namespace mindex {
+
+CellTree::CellTree(size_t num_pivots, size_t bucket_capacity,
+                   size_t max_level)
+    : num_pivots_(num_pivots),
+      bucket_capacity_(bucket_capacity),
+      max_level_(std::min(max_level, num_pivots)),
+      root_(std::make_unique<Node>()) {}
+
+void CellTree::UpdateDistBounds(Node* node, float dist) {
+  if (!node->has_dist_bounds) {
+    node->min_pivot_dist = dist;
+    node->max_pivot_dist = dist;
+    node->has_dist_bounds = true;
+  } else {
+    node->min_pivot_dist = std::min(node->min_pivot_dist, dist);
+    node->max_pivot_dist = std::max(node->max_pivot_dist, dist);
+  }
+}
+
+Status CellTree::Insert(Entry entry) {
+  if (entry.permutation.size() < max_level_) {
+    return Status::InvalidArgument(
+        "entry permutation prefix shorter than tree max level");
+  }
+  if (!IsValidPermutation(entry.permutation, num_pivots_)) {
+    return Status::InvalidArgument("entry permutation is not valid");
+  }
+  if (!entry.pivot_distances.empty() &&
+      entry.pivot_distances.size() != num_pivots_) {
+    return Status::InvalidArgument(
+        "entry pivot distance vector has wrong length");
+  }
+
+  Node* node = root_.get();
+  size_t depth = 0;
+  node->subtree_size++;
+  while (!node->is_leaf) {
+    const uint32_t pivot = entry.permutation[depth];
+    auto& child = node->children[pivot];
+    if (child == nullptr) child = std::make_unique<Node>();
+    node = child.get();
+    ++depth;
+    node->subtree_size++;
+    if (!entry.pivot_distances.empty()) {
+      UpdateDistBounds(node, entry.pivot_distances[pivot]);
+    }
+  }
+  node->entries.push_back(std::move(entry));
+  ++size_;
+
+  if (node->entries.size() > bucket_capacity_ && depth < max_level_) {
+    SplitLeaf(node, depth);
+  }
+  return Status::OK();
+}
+
+Result<Entry> CellTree::Remove(metric::ObjectId id,
+                               const Permutation& permutation) {
+  if (!IsValidPermutation(permutation, num_pivots_)) {
+    return Status::InvalidArgument("removal permutation is not valid");
+  }
+  // Locate the leaf along the permutation prefix, remembering the path so
+  // subtree sizes can be fixed up only after the entry is actually found.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  size_t depth = 0;
+  path.push_back(node);
+  while (!node->is_leaf) {
+    if (depth >= permutation.size()) {
+      return Status::NotFound("permutation prefix exhausted during routing");
+    }
+    auto it = node->children.find(permutation[depth]);
+    if (it == node->children.end()) {
+      return Status::NotFound("no cell under the given permutation prefix");
+    }
+    node = it->second.get();
+    path.push_back(node);
+    ++depth;
+  }
+
+  auto entry_it =
+      std::find_if(node->entries.begin(), node->entries.end(),
+                   [id](const Entry& e) { return e.id == id; });
+  if (entry_it == node->entries.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " not present in its cell");
+  }
+  Entry removed = std::move(*entry_it);
+  node->entries.erase(entry_it);
+  // Subtree distance bounds are left as-is: after a removal they may be
+  // wider than necessary, which only weakens pruning — never correctness.
+  for (Node* visited : path) visited->subtree_size--;
+  --size_;
+  return removed;
+}
+
+Status CellTree::ForEachEntry(
+    const std::function<Status(const Entry&)>& fn) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      for (const Entry& entry : node->entries) {
+        SIMCLOUD_RETURN_NOT_OK(fn(entry));
+      }
+    } else {
+      // Reverse order so the (ordered) children pop in ascending pivot
+      // order — deterministic walks make persistence byte-stable.
+      for (auto it = node->children.rbegin(); it != node->children.rend();
+           ++it) {
+        stack.push_back(it->second.get());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void CellTree::SplitLeaf(Node* node, size_t depth) {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+  node->is_leaf = false;
+
+  for (auto& entry : entries) {
+    const uint32_t pivot = entry.permutation[depth];
+    auto& child = node->children[pivot];
+    if (child == nullptr) child = std::make_unique<Node>();
+    child->subtree_size++;
+    if (!entry.pivot_distances.empty()) {
+      UpdateDistBounds(child.get(), entry.pivot_distances[pivot]);
+    }
+    child->entries.push_back(std::move(entry));
+  }
+
+  // A child can inherit more than `bucket_capacity_` entries when the
+  // parent's population shares a long permutation prefix; split further
+  // while depth allows.
+  if (depth + 1 < max_level_) {
+    for (auto& [pivot, child] : node->children) {
+      if (child->entries.size() > bucket_capacity_) {
+        SplitLeaf(child.get(), depth + 1);
+      }
+    }
+  }
+}
+
+double CellTree::MinAllowedDistance(
+    const std::vector<float>& query_distances,
+    const Permutation& query_perm_by_dist,
+    const std::vector<uint32_t>& used_chain) {
+  for (uint32_t pivot : query_perm_by_dist) {
+    if (std::find(used_chain.begin(), used_chain.end(), pivot) ==
+        used_chain.end()) {
+      return query_distances[pivot];
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Status CellTree::CollectRange(
+    const std::vector<float>& query_distances, double radius,
+    std::vector<std::pair<double, const Entry*>>* out,
+    SearchStats* stats) const {
+  if (query_distances.size() != num_pivots_) {
+    return Status::InvalidArgument(
+        "range query requires distances to all pivots");
+  }
+  if (radius < 0) {
+    return Status::InvalidArgument("range query radius must be >= 0");
+  }
+  const Permutation query_perm = DistancesToPermutation(query_distances);
+  std::vector<uint32_t> chain;
+  chain.reserve(max_level_);
+  CollectRangeRecursive(*root_, 0, query_distances, query_perm, radius, chain,
+                        out, stats);
+  return Status::OK();
+}
+
+void CellTree::CollectRangeRecursive(
+    const Node& node, size_t depth, const std::vector<float>& query_distances,
+    const Permutation& query_perm_by_dist, double radius,
+    std::vector<uint32_t>& chain,
+    std::vector<std::pair<double, const Entry*>>* out,
+    SearchStats* stats) const {
+  if (node.is_leaf) {
+    if (stats != nullptr) stats->cells_visited++;
+    for (const Entry& entry : node.entries) {
+      if (stats != nullptr) stats->entries_scanned++;
+      double lower_bound = 0.0;
+      if (!entry.pivot_distances.empty()) {
+        // Pivot filtering (Alg. 3 lines 5-7): max_i |d(q,p_i) - d(o,p_i)|
+        // lower-bounds d(q,o) by the triangle inequality.
+        for (size_t i = 0; i < num_pivots_; ++i) {
+          const double diff = std::fabs(
+              static_cast<double>(query_distances[i]) -
+              static_cast<double>(entry.pivot_distances[i]));
+          if (diff > lower_bound) lower_bound = diff;
+        }
+        if (lower_bound > radius) {
+          if (stats != nullptr) stats->entries_filtered++;
+          continue;
+        }
+      }
+      out->emplace_back(lower_bound, &entry);
+      if (stats != nullptr) stats->candidates++;
+    }
+    return;
+  }
+
+  // Double-pivot constraint: a child keyed by pivot j only holds objects o
+  // with d(p_j, o) <= d(p_m, o) for every pivot m unused at this level, so
+  // d(q, p_j) > min_m d(q, p_m) + 2r implies the whole subtree is out of
+  // range.
+  const double min_allowed =
+      MinAllowedDistance(query_distances, query_perm_by_dist, chain);
+
+  for (const auto& [pivot, child] : node.children) {
+    const double query_to_pivot = query_distances[pivot];
+    if (query_to_pivot > min_allowed + 2.0 * radius) {
+      if (stats != nullptr) stats->cells_pruned++;
+      continue;
+    }
+    // Range-pivot constraint using the subtree's distance bounds.
+    if (child->has_dist_bounds &&
+        (query_to_pivot - radius > child->max_pivot_dist ||
+         query_to_pivot + radius < child->min_pivot_dist)) {
+      if (stats != nullptr) stats->cells_pruned++;
+      continue;
+    }
+    chain.push_back(pivot);
+    CollectRangeRecursive(*child, depth + 1, query_distances,
+                          query_perm_by_dist, radius, chain, out, stats);
+    chain.pop_back();
+  }
+}
+
+Status CellTree::CollectApprox(
+    const QuerySignature& query, size_t cand_size, double promise_decay,
+    std::vector<std::pair<double, const Entry*>>* out,
+    SearchStats* stats) const {
+  if (!query.has_distances() && query.permutation.empty()) {
+    return Status::InvalidArgument(
+        "approximate query needs distances or a permutation");
+  }
+  if (query.has_distances() &&
+      query.pivot_distances.size() != num_pivots_) {
+    return Status::InvalidArgument("query distance vector has wrong length");
+  }
+
+  // Promise key per pivot: the query-pivot distance when available,
+  // otherwise the pivot's rank in the query permutation.
+  std::vector<double> key(num_pivots_);
+  if (query.has_distances()) {
+    for (size_t i = 0; i < num_pivots_; ++i) {
+      key[i] = query.pivot_distances[i];
+    }
+  } else {
+    const std::vector<uint32_t> ranks =
+        PermutationRanks(query.permutation, num_pivots_);
+    for (size_t i = 0; i < num_pivots_; ++i) {
+      key[i] = static_cast<double>(ranks[i]);
+    }
+  }
+
+  // Best-first traversal over cells ordered by the decay-weighted mean of
+  // their pivot-chain keys (the "promise value" of Alg. 4 line 3).
+  struct Frontier {
+    double sum;
+    double weight;
+    const Node* node;
+    size_t depth;  // chain length of `node`
+    double Score() const { return sum / weight; }
+    bool operator>(const Frontier& other) const {
+      return Score() > other.Score();
+    }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+
+  for (const auto& [pivot, child] : root_->children) {
+    frontier.push({key[pivot], 1.0, child.get(), 1});
+  }
+  if (root_->is_leaf) {
+    // Tiny index: the root itself still holds everything.
+    frontier.push({0.0, 1.0, root_.get(), 0});
+  }
+
+  const std::vector<uint32_t> query_ranks =
+      query.permutation.empty()
+          ? std::vector<uint32_t>()
+          : PermutationRanks(query.permutation, num_pivots_);
+
+  size_t collected = 0;
+  while (!frontier.empty() && collected < cand_size) {
+    const Frontier top = frontier.top();
+    frontier.pop();
+    if (top.node->is_leaf) {
+      if (stats != nullptr) stats->cells_visited++;
+      for (const Entry& entry : top.node->entries) {
+        if (stats != nullptr) stats->entries_scanned++;
+        double score;
+        if (query.has_distances() && !entry.pivot_distances.empty()) {
+          // Tightest available pre-ranking: pivot-filtering lower bound.
+          double lb = 0.0;
+          for (size_t i = 0; i < num_pivots_; ++i) {
+            const double diff = std::fabs(
+                static_cast<double>(query.pivot_distances[i]) -
+                static_cast<double>(entry.pivot_distances[i]));
+            if (diff > lb) lb = diff;
+          }
+          score = lb;
+        } else if (!query_ranks.empty()) {
+          // Permutation-only pre-ranking: Spearman footrule between the
+          // entry's stored prefix and the query permutation.
+          double sum = 0.0;
+          for (size_t pos = 0; pos < entry.permutation.size(); ++pos) {
+            const uint32_t pivot = entry.permutation[pos];
+            sum += std::fabs(static_cast<double>(query_ranks[pivot]) -
+                             static_cast<double>(pos));
+          }
+          score = sum;
+        } else {
+          score = top.Score();
+        }
+        out->emplace_back(score, &entry);
+        ++collected;
+        if (stats != nullptr) stats->candidates++;
+      }
+    } else {
+      const double level_weight = std::pow(promise_decay, top.depth);
+      for (const auto& [pivot, child] : top.node->children) {
+        frontier.push({top.sum + level_weight * key[pivot],
+                       top.weight + level_weight, child.get(),
+                       top.depth + 1});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void CellTree::FillStats(IndexStats* stats) const {
+  stats->object_count = size_;
+  stats->leaf_count = 0;
+  stats->inner_count = 0;
+  stats->max_depth = 0;
+
+  // Iterative walk to avoid exposing Node in the header's private section.
+  struct Item {
+    const Node* node;
+    uint64_t depth;
+  };
+  std::vector<Item> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    stats->max_depth = std::max(stats->max_depth, item.depth);
+    if (item.node->is_leaf) {
+      stats->leaf_count++;
+    } else {
+      stats->inner_count++;
+      for (const auto& [pivot, child] : item.node->children) {
+        stack.push_back({child.get(), item.depth + 1});
+      }
+    }
+  }
+}
+
+Status CellTree::CheckInvariants() const {
+  struct Item {
+    const Node* node;
+    std::vector<uint32_t> chain;
+  };
+  std::vector<Item> stack = {{root_.get(), {}}};
+  size_t total = 0;
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      if (node->entries.size() > bucket_capacity_ &&
+          item.chain.size() < max_level_) {
+        return Status::Internal("leaf above capacity but below max level");
+      }
+      total += node->entries.size();
+      for (const Entry& entry : node->entries) {
+        if (entry.permutation.size() < item.chain.size()) {
+          return Status::Internal("entry permutation shorter than its chain");
+        }
+        for (size_t i = 0; i < item.chain.size(); ++i) {
+          if (entry.permutation[i] != item.chain[i]) {
+            return Status::Internal(
+                "entry stored in a cell that does not match its "
+                "permutation prefix");
+          }
+        }
+      }
+    } else {
+      if (!node->entries.empty()) {
+        return Status::Internal("inner node holds entries");
+      }
+      for (const auto& [pivot, child] : node->children) {
+        Item next{child.get(), item.chain};
+        next.chain.push_back(pivot);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  if (total != size_) {
+    return Status::Internal("entry count mismatch: tree=" +
+                            std::to_string(total) +
+                            " expected=" + std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace mindex
+}  // namespace simcloud

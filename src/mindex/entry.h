@@ -1,0 +1,83 @@
+// Core record types shared by the M-Index tree, server wrappers, and the
+// encryption layer.
+
+#ifndef SIMCLOUD_MINDEX_ENTRY_H_
+#define SIMCLOUD_MINDEX_ENTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "metric/object.h"
+#include "mindex/permutation.h"
+#include "mindex/storage.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// One indexed record as stored by the server. Matches the paper's
+/// `e := struct {distances, permutation, data}` (Algorithm 1): routing
+/// metadata in the clear, payload opaque (serialized plaintext object for
+/// the plain M-Index, AES ciphertext for the Encrypted M-Index).
+struct Entry {
+  metric::ObjectId id = 0;
+  /// Pivot-permutation prefix used for routing (length >= tree max level).
+  Permutation permutation;
+  /// Object-pivot distances d(o, p_i) for all pivots; empty when the
+  /// permutation-only (approximate) strategy is used.
+  std::vector<float> pivot_distances;
+  /// Handle of the payload in the index's BucketStorage.
+  PayloadHandle payload_handle = 0;
+  /// Payload size in bytes (for communication-cost accounting).
+  uint32_t payload_size = 0;
+};
+
+/// A candidate returned to the querying client: pre-ranked, payload still
+/// opaque. `score` is the ranking key (lower = more promising); for
+/// distance-bearing queries it is the pivot-filtering lower bound of
+/// d(q, o), so it can also drive early termination on the client.
+struct Candidate {
+  metric::ObjectId id = 0;
+  double score = 0.0;
+  Bytes payload;
+};
+
+using CandidateList = std::vector<Candidate>;
+
+/// What the client sends instead of the query object (Algorithm 2):
+/// query-pivot distances (precise strategy) or just the permutation
+/// (approximate strategy). The query object itself never leaves the client.
+struct QuerySignature {
+  std::vector<float> pivot_distances;  ///< empty for permutation-only
+  Permutation permutation;             ///< derived from distances if empty
+  /// When true, the candidate set is not trimmed to `cand_size`: whole
+  /// Voronoi cells are returned until at least `cand_size` entries are
+  /// collected. With cand_size = 1 this yields exactly the single most
+  /// promising cell — the paper's Table 9 configuration.
+  bool whole_cells = false;
+
+  bool has_distances() const { return !pivot_distances.empty(); }
+};
+
+/// Counters describing one server-side search.
+struct SearchStats {
+  uint64_t cells_visited = 0;    ///< leaf cells read
+  uint64_t cells_pruned = 0;     ///< subtrees cut by metric constraints
+  uint64_t entries_scanned = 0;  ///< entries inspected in visited cells
+  uint64_t entries_filtered = 0; ///< entries removed by pivot filtering
+  uint64_t candidates = 0;       ///< entries returned to the client
+};
+
+/// Structural statistics of the index.
+struct IndexStats {
+  uint64_t object_count = 0;
+  uint64_t leaf_count = 0;
+  uint64_t inner_count = 0;
+  uint64_t max_depth = 0;
+  uint64_t storage_bytes = 0;
+};
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_ENTRY_H_

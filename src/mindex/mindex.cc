@@ -1,0 +1,155 @@
+#include "mindex/mindex.h"
+
+#include <algorithm>
+
+namespace simcloud {
+namespace mindex {
+
+Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
+  if (options.num_pivots == 0) {
+    return Status::InvalidArgument("num_pivots must be > 0");
+  }
+  if (options.bucket_capacity == 0) {
+    return Status::InvalidArgument("bucket_capacity must be > 0");
+  }
+  if (options.max_level == 0) {
+    return Status::InvalidArgument("max_level must be >= 1");
+  }
+  if (options.stored_prefix_length != 0 &&
+      options.stored_prefix_length < options.max_level) {
+    return Status::InvalidArgument(
+        "stored_prefix_length must be 0 (full) or >= max_level");
+  }
+  if (options.promise_decay <= 0.0 || options.promise_decay > 1.0) {
+    return Status::InvalidArgument("promise_decay must be in (0, 1]");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      std::unique_ptr<BucketStorage> storage,
+      MakeStorage(options.storage_kind, options.disk_path));
+  return std::unique_ptr<MIndex>(new MIndex(options, std::move(storage)));
+}
+
+Status MIndex::Insert(metric::ObjectId id,
+                      std::vector<float> pivot_distances,
+                      Permutation permutation, const Bytes& payload) {
+  if (pivot_distances.empty() && permutation.empty()) {
+    return Status::InvalidArgument(
+        "insert needs pivot distances or a permutation");
+  }
+  if (!pivot_distances.empty() &&
+      pivot_distances.size() != options_.num_pivots) {
+    return Status::InvalidArgument("pivot distance vector has wrong length");
+  }
+  const size_t prefix_len = options_.stored_prefix_length == 0
+                                ? options_.num_pivots
+                                : options_.stored_prefix_length;
+  if (permutation.empty()) {
+    // Server-side derivation (sorting only; no distance computations,
+    // paper Section 4.2).
+    permutation = prefix_len == options_.num_pivots
+                      ? DistancesToPermutation(pivot_distances)
+                      : DistancesToPermutationPrefix(pivot_distances,
+                                                     prefix_len);
+  } else if (permutation.size() > prefix_len) {
+    permutation.resize(prefix_len);
+  }
+
+  SIMCLOUD_ASSIGN_OR_RETURN(PayloadHandle handle, storage_->Store(payload));
+
+  Entry entry;
+  entry.id = id;
+  entry.permutation = std::move(permutation);
+  entry.pivot_distances = std::move(pivot_distances);
+  entry.payload_handle = handle;
+  entry.payload_size = static_cast<uint32_t>(payload.size());
+  return tree_.Insert(std::move(entry));
+}
+
+Status MIndex::Delete(metric::ObjectId id,
+                      std::vector<float> pivot_distances,
+                      Permutation permutation) {
+  if (pivot_distances.empty() && permutation.empty()) {
+    return Status::InvalidArgument(
+        "delete needs pivot distances or a permutation");
+  }
+  if (!pivot_distances.empty() &&
+      pivot_distances.size() != options_.num_pivots) {
+    return Status::InvalidArgument("pivot distance vector has wrong length");
+  }
+  const size_t prefix_len = options_.stored_prefix_length == 0
+                                ? options_.num_pivots
+                                : options_.stored_prefix_length;
+  if (permutation.empty()) {
+    permutation = prefix_len == options_.num_pivots
+                      ? DistancesToPermutation(pivot_distances)
+                      : DistancesToPermutationPrefix(pivot_distances,
+                                                     prefix_len);
+  } else if (permutation.size() > prefix_len) {
+    permutation.resize(prefix_len);
+  }
+  return tree_.Remove(id, permutation).status();
+}
+
+Status MIndex::ForEachEntry(
+    const std::function<Status(const Entry&, const Bytes&)>& fn) const {
+  return tree_.ForEachEntry([&](const Entry& entry) -> Status {
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload,
+                              storage_->Fetch(entry.payload_handle));
+    return fn(entry, payload);
+  });
+}
+
+Result<CandidateList> MIndex::MaterializeCandidates(
+    std::vector<std::pair<double, const Entry*>> scored, size_t limit,
+    SearchStats* stats) const {
+  // Pre-rank (ascending score), then trim to the requested size
+  // (Algorithm 4 line 5) and fetch payloads.
+  std::stable_sort(
+      scored.begin(), scored.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (scored.size() > limit) scored.resize(limit);
+
+  CandidateList result;
+  result.reserve(scored.size());
+  for (const auto& [score, entry] : scored) {
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload,
+                              storage_->Fetch(entry->payload_handle));
+    result.push_back(Candidate{entry->id, score, std::move(payload)});
+  }
+  if (stats != nullptr) stats->candidates = result.size();
+  return result;
+}
+
+Result<CandidateList> MIndex::RangeSearchCandidates(
+    const std::vector<float>& query_distances, double radius,
+    SearchStats* stats) const {
+  std::vector<std::pair<double, const Entry*>> scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_.CollectRange(query_distances, radius, &scored, stats));
+  const size_t count = scored.size();
+  return MaterializeCandidates(std::move(scored), count, stats);
+}
+
+Result<CandidateList> MIndex::ApproxKnnCandidates(const QuerySignature& query,
+                                                  size_t cand_size,
+                                                  SearchStats* stats) const {
+  if (cand_size == 0) {
+    return Status::InvalidArgument("candidate set size must be > 0");
+  }
+  std::vector<std::pair<double, const Entry*>> scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_.CollectApprox(query, cand_size, options_.promise_decay, &scored,
+                          stats));
+  const size_t limit = query.whole_cells ? scored.size() : cand_size;
+  return MaterializeCandidates(std::move(scored), limit, stats);
+}
+
+IndexStats MIndex::Stats() const {
+  IndexStats stats;
+  tree_.FillStats(&stats);
+  stats.storage_bytes = storage_->TotalBytes();
+  return stats;
+}
+
+}  // namespace mindex
+}  // namespace simcloud

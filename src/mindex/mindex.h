@@ -1,0 +1,121 @@
+// M-Index: dynamic, disk-efficient metric index based on pivot
+// permutations (Novak & Batko; paper Section 4.1).
+//
+// This class is the *server-side* index core. It is deliberately
+// payload-agnostic: it routes and prunes using only pivot permutations and
+// object-pivot distances supplied at insert time, never touching payload
+// bytes. That property is exactly what makes the Encrypted M-Index
+// possible — the same code serves both the plain index (payload =
+// serialized object) and the encrypted one (payload = AES ciphertext,
+// pivots secret).
+//
+// Query surface:
+//  * RangeSearchCandidates  — precise candidates for R(q, r) after cell
+//    pruning + pivot filtering; the caller refines with true distances.
+//  * ApproxKnnCandidates    — pre-ranked candidate set of a requested size
+//    from the most promising Voronoi cells.
+
+#ifndef SIMCLOUD_MINDEX_MINDEX_H_
+#define SIMCLOUD_MINDEX_MINDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mindex/cell_tree.h"
+#include "mindex/entry.h"
+#include "mindex/storage.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// Tunables of an M-Index instance (paper Table 2 lists the per-data-set
+/// values used in the evaluation).
+struct MIndexOptions {
+  /// Number of pivots the clients use; inserts/queries must match.
+  size_t num_pivots = 30;
+  /// Leaf capacity before a split is attempted.
+  size_t bucket_capacity = 200;
+  /// Maximum permutation-prefix depth of the dynamic cell tree.
+  size_t max_level = 8;
+  /// Payload backend ("Storage type" in Table 2).
+  StorageKind storage_kind = StorageKind::kMemory;
+  /// Backing file for disk storage.
+  std::string disk_path;
+  /// Length of the permutation prefix stored per entry; 0 = full
+  /// permutation. Must be >= max_level when non-zero.
+  size_t stored_prefix_length = 0;
+  /// Decay of per-level promise weights for approximate search.
+  double promise_decay = 0.5;
+};
+
+/// The M-Index proper.
+class MIndex {
+ public:
+  /// Validates options and creates an empty index.
+  static Result<std::unique_ptr<MIndex>> Create(const MIndexOptions& options);
+
+  /// Inserts one object. Exactly the information of the paper's encrypted
+  /// object `e` is accepted: `pivot_distances` (precise strategy),
+  /// and/or `permutation`; if the permutation is empty it is derived from
+  /// the distances server-side. `payload` is opaque.
+  Status Insert(metric::ObjectId id, std::vector<float> pivot_distances,
+                Permutation permutation, const Bytes& payload);
+
+  /// Deletes one object, routed by the same information the insert used:
+  /// `pivot_distances` and/or `permutation` (derived server-side when the
+  /// permutation is empty). NotFound if the object is not indexed. The
+  /// payload bytes stay in the append-only storage until the index is
+  /// compacted (e.g. via a Save/Load round trip).
+  Status Delete(metric::ObjectId id, std::vector<float> pivot_distances,
+                Permutation permutation);
+
+  /// Candidate set for precise range query R(q, r) (Algorithm 3). Returns
+  /// candidates sorted by their pivot-filtering lower bound.
+  Result<CandidateList> RangeSearchCandidates(
+      const std::vector<float>& query_distances, double radius,
+      SearchStats* stats = nullptr) const;
+
+  /// Pre-ranked candidate set of size <= cand_size for approximate k-NN
+  /// (Algorithm 4).
+  Result<CandidateList> ApproxKnnCandidates(const QuerySignature& query,
+                                            size_t cand_size,
+                                            SearchStats* stats = nullptr) const;
+
+  /// Number of indexed objects.
+  size_t size() const { return tree_.size(); }
+  const MIndexOptions& options() const { return options_; }
+
+  /// Structural statistics (leaf/inner counts, depth, payload bytes).
+  IndexStats Stats() const;
+
+  /// Visits every indexed entry together with its payload bytes, in
+  /// deterministic order (persistence and compaction support).
+  Status ForEachEntry(
+      const std::function<Status(const Entry&, const Bytes&)>& fn) const;
+
+  /// Verifies internal tree invariants (test support).
+  Status CheckInvariants() const { return tree_.CheckInvariants(); }
+
+ private:
+  MIndex(const MIndexOptions& options,
+         std::unique_ptr<BucketStorage> storage)
+      : options_(options), storage_(std::move(storage)),
+        tree_(options.num_pivots, options.bucket_capacity,
+              options.max_level) {}
+
+  Result<CandidateList> MaterializeCandidates(
+      std::vector<std::pair<double, const Entry*>> scored, size_t limit,
+      SearchStats* stats) const;
+
+  MIndexOptions options_;
+  std::unique_ptr<BucketStorage> storage_;
+  CellTree tree_;
+};
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_MINDEX_H_

@@ -1,0 +1,73 @@
+#include "mindex/permutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace simcloud {
+namespace mindex {
+
+namespace {
+/// Comparator implementing the paper's ordering: by distance, ties by index.
+struct ByDistanceThenIndex {
+  const std::vector<float>& distances;
+  bool operator()(uint32_t a, uint32_t b) const {
+    if (distances[a] != distances[b]) return distances[a] < distances[b];
+    return a < b;
+  }
+};
+}  // namespace
+
+Permutation DistancesToPermutation(const std::vector<float>& distances) {
+  Permutation perm(distances.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), ByDistanceThenIndex{distances});
+  return perm;
+}
+
+Permutation DistancesToPermutationPrefix(const std::vector<float>& distances,
+                                         size_t prefix_len) {
+  Permutation perm(distances.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  prefix_len = std::min(prefix_len, perm.size());
+  std::partial_sort(perm.begin(), perm.begin() + prefix_len, perm.end(),
+                    ByDistanceThenIndex{distances});
+  perm.resize(prefix_len);
+  return perm;
+}
+
+std::vector<uint32_t> PermutationRanks(const Permutation& perm,
+                                       size_t num_pivots) {
+  std::vector<uint32_t> ranks(num_pivots, static_cast<uint32_t>(num_pivots));
+  for (size_t pos = 0; pos < perm.size(); ++pos) {
+    if (perm[pos] < num_pivots) ranks[perm[pos]] = static_cast<uint32_t>(pos);
+  }
+  return ranks;
+}
+
+double PrefixFootrule(const Permutation& a, const Permutation& b,
+                      size_t prefix_len, size_t num_pivots) {
+  const std::vector<uint32_t> rank_b = PermutationRanks(b, num_pivots);
+  prefix_len = std::min(prefix_len, a.size());
+  double sum = 0.0;
+  for (size_t pos = 0; pos < prefix_len; ++pos) {
+    const uint32_t pivot = a[pos];
+    const double rb = (pivot < num_pivots)
+                          ? static_cast<double>(rank_b[pivot])
+                          : static_cast<double>(num_pivots);
+    sum += std::fabs(rb - static_cast<double>(pos));
+  }
+  return sum;
+}
+
+bool IsValidPermutation(const Permutation& perm, size_t num_pivots) {
+  std::vector<bool> seen(num_pivots, false);
+  for (uint32_t idx : perm) {
+    if (idx >= num_pivots || seen[idx]) return false;
+    seen[idx] = true;
+  }
+  return true;
+}
+
+}  // namespace mindex
+}  // namespace simcloud

@@ -1,0 +1,46 @@
+// Whole-index persistence: save an M-Index (options + every entry with
+// its payload) to a single file and load it back.
+//
+// The snapshot stores the logical content, not the physical tree: loading
+// re-inserts every entry, which reproduces the same routing (the tree
+// shape is a function of the multiset of stored permutations, not the
+// insertion order) and doubles as compaction — payload bytes orphaned by
+// MIndex::Delete are not written out.
+//
+// For the Encrypted M-Index this is the server-restart path: the snapshot
+// contains exactly what the untrusted server already holds (permutations,
+// optional pivot distances, ciphertexts), so persisting it leaks nothing
+// beyond the live index.
+
+#ifndef SIMCLOUD_MINDEX_PERSISTENCE_H_
+#define SIMCLOUD_MINDEX_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "mindex/mindex.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// Serializes the index snapshot into a byte buffer.
+Result<Bytes> SerializeIndex(const MIndex& index);
+
+/// Rebuilds an index from a snapshot produced by SerializeIndex.
+/// `disk_path_override`, when non-empty, replaces the stored disk-storage
+/// path (snapshots move between machines; backing files do not).
+Result<std::unique_ptr<MIndex>> DeserializeIndex(
+    const Bytes& snapshot, const std::string& disk_path_override = "");
+
+/// Writes SerializeIndex output to `path` (atomically via rename).
+Status SaveIndex(const MIndex& index, const std::string& path);
+
+/// Reads a snapshot file and rebuilds the index.
+Result<std::unique_ptr<MIndex>> LoadIndex(
+    const std::string& path, const std::string& disk_path_override = "");
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_PERSISTENCE_H_

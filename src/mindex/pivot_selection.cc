@@ -1,0 +1,239 @@
+#include "mindex/pivot_selection.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace simcloud {
+namespace mindex {
+
+using metric::DistanceFunction;
+using metric::VectorObject;
+
+namespace {
+
+/// Draws min(sample_size, n) distinct indices into `objects`;
+/// sample_size == 0 keeps the whole collection.
+std::vector<size_t> SampleIndices(size_t n, size_t sample_size, Rng* rng) {
+  if (sample_size == 0 || sample_size >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  return rng->SampleWithoutReplacement(n, sample_size);
+}
+
+/// Greedy max-min (Gonzalez farthest-first traversal) over the sample.
+std::vector<size_t> FarthestFirst(const std::vector<VectorObject>& objects,
+                                  const DistanceFunction& distance,
+                                  const std::vector<size_t>& sample,
+                                  size_t count, Rng* rng) {
+  std::vector<size_t> chosen;
+  chosen.reserve(count);
+  chosen.push_back(sample[rng->NextBounded(sample.size())]);
+
+  // min_dist[i] = distance from sample[i] to its closest chosen pivot.
+  std::vector<double> min_dist(sample.size(),
+                               std::numeric_limits<double>::infinity());
+  while (chosen.size() < count) {
+    const VectorObject& last = objects[chosen.back()];
+    size_t best = 0;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const double d = distance.Distance(objects[sample[i]], last);
+      min_dist[i] = std::min(min_dist[i], d);
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    if (best_dist <= 0.0) {
+      // Sample exhausted (fewer distinct objects than pivots requested);
+      // pad with arbitrary sample members to honour the count.
+      for (size_t i = 0; i < sample.size() && chosen.size() < count; ++i) {
+        if (std::find(chosen.begin(), chosen.end(), sample[i]) ==
+            chosen.end()) {
+          chosen.push_back(sample[i]);
+        }
+      }
+      break;
+    }
+    chosen.push_back(sample[best]);
+  }
+  return chosen;
+}
+
+/// Incremental selection maximizing the variance of distances between the
+/// candidate pivot and the sample.
+std::vector<size_t> MaxVariance(const std::vector<VectorObject>& objects,
+                                const DistanceFunction& distance,
+                                const std::vector<size_t>& sample,
+                                size_t count, Rng* rng) {
+  // Evaluate a bounded number of candidates per slot to keep the cost
+  // linear in the sample rather than quadratic.
+  const size_t candidates_per_slot = std::min<size_t>(32, sample.size());
+  std::vector<size_t> chosen;
+  chosen.reserve(count);
+  std::vector<bool> used(objects.size(), false);
+
+  for (size_t slot = 0; slot < count; ++slot) {
+    size_t best_index = sample[0];
+    double best_score = -1.0;
+    for (size_t c = 0; c < candidates_per_slot; ++c) {
+      const size_t candidate = sample[rng->NextBounded(sample.size())];
+      if (used[candidate]) continue;
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (size_t i = 0; i < sample.size(); ++i) {
+        const double d =
+            distance.Distance(objects[candidate], objects[sample[i]]);
+        sum += d;
+        sum_sq += d * d;
+      }
+      const double n = static_cast<double>(sample.size());
+      const double variance = sum_sq / n - (sum / n) * (sum / n);
+      if (variance > best_score) {
+        best_score = variance;
+        best_index = candidate;
+      }
+    }
+    if (used[best_index]) {
+      // All sampled candidates were taken — fall back to first free.
+      for (size_t i : sample) {
+        if (!used[i]) {
+          best_index = i;
+          break;
+        }
+      }
+    }
+    used[best_index] = true;
+    chosen.push_back(best_index);
+  }
+  return chosen;
+}
+
+/// Random init + a few sweeps replacing each pivot by the medoid of its
+/// sample Voronoi cell.
+std::vector<size_t> Medoids(const std::vector<VectorObject>& objects,
+                            const DistanceFunction& distance,
+                            const std::vector<size_t>& sample, size_t count,
+                            size_t iterations, Rng* rng) {
+  std::vector<size_t> chosen(count);
+  std::vector<size_t> init =
+      rng->SampleWithoutReplacement(sample.size(), count);
+  for (size_t i = 0; i < count; ++i) chosen[i] = sample[init[i]];
+
+  std::vector<size_t> assignment(sample.size());
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    // Assign each sample object to its closest pivot.
+    for (size_t i = 0; i < sample.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t arg = 0;
+      for (size_t p = 0; p < count; ++p) {
+        const double d =
+            distance.Distance(objects[sample[i]], objects[chosen[p]]);
+        if (d < best) {
+          best = d;
+          arg = p;
+        }
+      }
+      assignment[i] = arg;
+    }
+    // Replace each pivot by its cell's medoid (member minimizing the sum
+    // of distances to the rest of the cell).
+    bool changed = false;
+    for (size_t p = 0; p < count; ++p) {
+      std::vector<size_t> cell;
+      for (size_t i = 0; i < sample.size(); ++i) {
+        if (assignment[i] == p) cell.push_back(sample[i]);
+      }
+      if (cell.empty()) continue;
+      size_t best_member = chosen[p];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (size_t candidate : cell) {
+        double cost = 0.0;
+        for (size_t other : cell) {
+          cost += distance.Distance(objects[candidate], objects[other]);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_member = candidate;
+        }
+      }
+      if (best_member != chosen[p]) {
+        chosen[p] = best_member;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::string PivotStrategyName(PivotStrategy strategy) {
+  switch (strategy) {
+    case PivotStrategy::kRandom:
+      return "random";
+    case PivotStrategy::kFarthestFirst:
+      return "farthest-first";
+    case PivotStrategy::kMaxVariance:
+      return "max-variance";
+    case PivotStrategy::kMedoids:
+      return "medoids";
+  }
+  return "unknown";
+}
+
+Result<PivotSet> SelectPivots(const std::vector<VectorObject>& objects,
+                              const DistanceFunction& distance,
+                              const PivotSelectionOptions& options) {
+  if (options.count == 0) {
+    return Status::InvalidArgument("pivot count must be > 0");
+  }
+  if (options.count > objects.size()) {
+    return Status::InvalidArgument(
+        "pivot count " + std::to_string(options.count) +
+        " exceeds collection size " + std::to_string(objects.size()));
+  }
+  if (options.strategy == PivotStrategy::kRandom) {
+    return PivotSet::SelectRandom(objects, options.count, options.seed);
+  }
+
+  Rng rng(options.seed);
+  std::vector<size_t> sample =
+      SampleIndices(objects.size(), options.sample_size, &rng);
+  if (sample.size() < options.count) {
+    return Status::InvalidArgument(
+        "selection sample smaller than the requested pivot count");
+  }
+
+  std::vector<size_t> chosen;
+  switch (options.strategy) {
+    case PivotStrategy::kFarthestFirst:
+      chosen = FarthestFirst(objects, distance, sample, options.count, &rng);
+      break;
+    case PivotStrategy::kMaxVariance:
+      chosen = MaxVariance(objects, distance, sample, options.count, &rng);
+      break;
+    case PivotStrategy::kMedoids:
+      chosen = Medoids(objects, distance, sample, options.count,
+                       options.medoid_iterations, &rng);
+      break;
+    case PivotStrategy::kRandom:
+      break;  // handled above
+  }
+  if (chosen.size() != options.count) {
+    return Status::Internal("pivot selection produced wrong count");
+  }
+
+  std::vector<VectorObject> pivots;
+  pivots.reserve(chosen.size());
+  for (size_t index : chosen) pivots.push_back(objects[index]);
+  return PivotSet(std::move(pivots));
+}
+
+}  // namespace mindex
+}  // namespace simcloud

@@ -1,0 +1,77 @@
+// Pivot selection strategies.
+//
+// The paper selects pivots "at random from within the data set"
+// (Section 5.1) — but the quality of the recursive Voronoi partitioning,
+// and with it the recall of the approximate search at a fixed candidate
+// budget, depends on how the pivots are chosen. This module implements
+// the classic alternatives studied in the metric-search literature
+// (Zezula et al., "Similarity Search: The Metric Space Approach", §2.7)
+// so the choice can be ablated:
+//
+//  * kRandom         — the paper's baseline: uniform sample of the data.
+//  * kFarthestFirst  — greedy max-min (Gonzalez): each new pivot is the
+//                      object maximizing the distance to its closest
+//                      already-selected pivot. Produces well-spread
+//                      pivots ("outliers are good pivots").
+//  * kMaxVariance    — incremental selection maximizing the variance of
+//                      object-pivot distances over a sample; high-variance
+//                      pivots discriminate cells more evenly.
+//  * kMedoids        — a light k-medoids pass over a sample: random init,
+//                      then each pivot is replaced by the sample medoid of
+//                      its Voronoi cell. Centers data clusters.
+//
+// All strategies are deterministic given the seed, run on an optional
+// subsample (selection cost is quadratic in the sample for the greedy
+// strategies), and return a PivotSet usable anywhere a random one is.
+
+#ifndef SIMCLOUD_MINDEX_PIVOT_SELECTION_H_
+#define SIMCLOUD_MINDEX_PIVOT_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/distance.h"
+#include "metric/object.h"
+#include "mindex/pivot_set.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// Strategy for choosing the pivots from the data collection.
+enum class PivotStrategy : uint8_t {
+  kRandom = 0,
+  kFarthestFirst = 1,
+  kMaxVariance = 2,
+  kMedoids = 3,
+};
+
+/// Human-readable strategy name ("random", "farthest-first", ...).
+std::string PivotStrategyName(PivotStrategy strategy);
+
+/// Tunables for SelectPivots.
+struct PivotSelectionOptions {
+  PivotStrategy strategy = PivotStrategy::kRandom;
+  /// Number of pivots to select (n in the paper).
+  size_t count = 0;
+  /// Deterministic seed for sampling and random choices.
+  uint64_t seed = 0;
+  /// Greedy strategies evaluate candidates over a subsample of at most
+  /// this many objects; 0 means "use the whole collection".
+  size_t sample_size = 2000;
+  /// Number of medoid-refinement sweeps (kMedoids only).
+  size_t medoid_iterations = 3;
+};
+
+/// Selects `options.count` pivots from `objects` under the given strategy.
+/// InvalidArgument if count is zero or exceeds the collection size.
+Result<PivotSet> SelectPivots(
+    const std::vector<metric::VectorObject>& objects,
+    const metric::DistanceFunction& distance,
+    const PivotSelectionOptions& options);
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_PIVOT_SELECTION_H_

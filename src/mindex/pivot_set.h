@@ -1,0 +1,57 @@
+// The fixed set of reference objects (pivots) driving the recursive
+// Voronoi partitioning.
+//
+// In the Encrypted M-Index the pivot set is *secret*: it is part of the
+// key shared between data owner and authorized clients, and the server
+// never sees it (paper Section 4.2). PivotSet therefore lives on the
+// client side of the secure stack and serializes into the SecretKey.
+
+#ifndef SIMCLOUD_MINDEX_PIVOT_SET_H_
+#define SIMCLOUD_MINDEX_PIVOT_SET_H_
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "metric/object.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// An ordered set of pivot objects p_1..p_n.
+class PivotSet {
+ public:
+  PivotSet() = default;
+  explicit PivotSet(std::vector<metric::VectorObject> pivots)
+      : pivots_(std::move(pivots)) {}
+
+  /// Selects `count` pivots uniformly at random from `objects` (the paper
+  /// chooses pivots "at random from within the data set"). Deterministic
+  /// given `seed`. count must be <= objects.size().
+  static Result<PivotSet> SelectRandom(
+      const std::vector<metric::VectorObject>& objects, size_t count,
+      uint64_t seed);
+
+  size_t size() const { return pivots_.size(); }
+  const std::vector<metric::VectorObject>& pivots() const { return pivots_; }
+  const metric::VectorObject& pivot(size_t i) const { return pivots_[i]; }
+
+  /// Computes d(o, p_i) for every pivot — the client-side step of both
+  /// Algorithm 1 (insert) and Algorithm 2 (search).
+  std::vector<float> ComputeDistances(
+      const metric::VectorObject& object,
+      const metric::DistanceFunction& distance) const;
+
+  /// Serializes the pivot objects (into the secret key).
+  void Serialize(BinaryWriter* writer) const;
+  static Result<PivotSet> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<metric::VectorObject> pivots_;
+};
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_PIVOT_SET_H_

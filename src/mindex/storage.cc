@@ -1,0 +1,94 @@
+#include "mindex/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace simcloud {
+namespace mindex {
+
+Result<PayloadHandle> MemoryStorage::Store(const Bytes& payload) {
+  payloads_.push_back(payload);
+  total_bytes_ += payload.size();
+  return static_cast<PayloadHandle>(payloads_.size() - 1);
+}
+
+Result<Bytes> MemoryStorage::Fetch(PayloadHandle handle) const {
+  if (handle >= payloads_.size()) {
+    return Status::NotFound("memory storage handle out of range");
+  }
+  return payloads_[handle];
+}
+
+Result<std::unique_ptr<DiskStorage>> DiskStorage::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create disk storage at " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<DiskStorage>(new DiskStorage(fd, path));
+}
+
+DiskStorage::~DiskStorage() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PayloadHandle> DiskStorage::Store(const Bytes& payload) {
+  size_t done = 0;
+  while (done < payload.size()) {
+    const ssize_t n = ::pwrite(fd_, payload.data() + done,
+                               payload.size() - done,
+                               static_cast<off_t>(next_offset_ + done));
+    if (n < 0) {
+      return Status::IoError("pwrite failed on " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  const PayloadHandle handle = offsets_.size();
+  offsets_.push_back(next_offset_);
+  lengths_.push_back(static_cast<uint32_t>(payload.size()));
+  next_offset_ += payload.size();
+  total_bytes_ += payload.size();
+  return handle;
+}
+
+Result<Bytes> DiskStorage::Fetch(PayloadHandle handle) const {
+  if (handle >= offsets_.size()) {
+    return Status::NotFound("disk storage handle out of range");
+  }
+  Bytes out(lengths_[handle]);
+  size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offsets_[handle] + done));
+    if (n < 0) {
+      return Status::IoError("pread failed on " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption("unexpected EOF in disk storage " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BucketStorage>> MakeStorage(
+    StorageKind kind, const std::string& disk_path) {
+  if (kind == StorageKind::kMemory) {
+    return std::unique_ptr<BucketStorage>(new MemoryStorage());
+  }
+  if (disk_path.empty()) {
+    return Status::InvalidArgument("disk storage requires a path");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<DiskStorage> disk,
+                            DiskStorage::Create(disk_path));
+  return std::unique_ptr<BucketStorage>(std::move(disk));
+}
+
+}  // namespace mindex
+}  // namespace simcloud

@@ -1,0 +1,240 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace simcloud {
+namespace net {
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(std::string("send failed: ") +
+                                  std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd, data + done, len - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(std::string("recv failed: ") +
+                                  std::strerror(errno));
+    }
+    if (n == 0) return Status::NetworkError("peer closed connection");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const Bytes& payload) {
+  uint8_t header[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  SIMCLOUD_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<Bytes> ReadFrame(int fd, size_t max_len) {
+  uint8_t header[4];
+  SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header)));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  if (len > max_len) {
+    return Status::NetworkError("frame length " + std::to_string(len) +
+                                " exceeds limit");
+  }
+  Bytes payload(len);
+  SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, payload.data(), payload.size()));
+  return payload;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::NetworkError(std::string("socket failed: ") +
+                                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::NetworkError(std::string("bind failed: ") +
+                                std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return Status::NetworkError(std::string("getsockname failed: ") +
+                                std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 4) < 0) {
+    return Status::NetworkError(std::string("listen failed: ") +
+                                std::strerror(errno));
+  }
+  running_.store(true);
+  thread_ = std::thread(&TcpServer::ServeLoop, this);
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Wake connection threads blocked in recv; they unregister themselves.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::ServeLoop() {
+  while (running_.load()) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (running_.load()) {
+        SIMCLOUD_LOG(kWarn) << "accept failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load()) {
+      ::close(client_fd);
+      return;
+    }
+    live_fds_.push_back(client_fd);
+    conn_threads_.emplace_back([this, client_fd] {
+      ServeConnection(client_fd);
+      UnregisterConnection(client_fd);
+      ::close(client_fd);
+    });
+  }
+}
+
+void TcpServer::UnregisterConnection(int client_fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), client_fd),
+                  live_fds_.end());
+}
+
+void TcpServer::ServeConnection(int client_fd) {
+  while (running_.load()) {
+    Result<Bytes> request = ReadFrame(client_fd);
+    if (!request.ok()) return;  // client disconnected or shutdown
+
+    Stopwatch watch;
+    Result<Bytes> response = handler_->Handle(*request);
+    const int64_t server_nanos = watch.ElapsedNanos();
+
+    BinaryWriter writer;
+    writer.WriteU64(static_cast<uint64_t>(server_nanos));
+    writer.WriteBool(response.ok());
+    if (response.ok()) {
+      writer.WriteRaw(response->data(), response->size());
+    } else {
+      writer.WriteString(response.status().ToString());
+    }
+    if (!WriteFrame(client_fd, writer.buffer()).ok()) return;
+  }
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::NetworkError(std::string("socket failed: ") +
+                                std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::NetworkError(std::string("connect failed: ") +
+                                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Bytes> TcpTransport::Call(const Bytes& request) {
+  costs_.calls++;
+  costs_.bytes_sent += request.size();
+
+  Stopwatch watch;
+  SIMCLOUD_RETURN_NOT_OK(WriteFrame(fd_, request));
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes framed, ReadFrame(fd_));
+  const int64_t wall_nanos = watch.ElapsedNanos();
+
+  BinaryReader reader(framed);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t server_nanos, reader.ReadU64());
+  SIMCLOUD_ASSIGN_OR_RETURN(bool ok, reader.ReadBool());
+  costs_.bytes_received += framed.size();
+  costs_.server_nanos += static_cast<int64_t>(server_nanos);
+  costs_.communication_nanos +=
+      std::max<int64_t>(0, wall_nanos - static_cast<int64_t>(server_nanos));
+
+  if (!ok) {
+    SIMCLOUD_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+    return Status::NetworkError("remote error: " + message);
+  }
+  return Bytes(framed.begin() + reader.position(), framed.end());
+}
+
+}  // namespace net
+}  // namespace simcloud

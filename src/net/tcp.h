@@ -1,0 +1,92 @@
+// Real TCP client/server for the similarity cloud, mirroring the paper's
+// deployment of the encryption client and M-Index server as two processes
+// communicating over the loopback interface.
+//
+// Wire format per message: u32 little-endian frame length, then the frame.
+// Responses additionally carry the server's processing time (u64 nanos)
+// before the payload so the client can split wall time into server vs.
+// communication components, as the paper's tables require.
+
+#ifndef SIMCLOUD_NET_TCP_H_
+#define SIMCLOUD_NET_TCP_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace net {
+
+/// Multi-client TCP server running the accept loop on a background thread
+/// and each connection on its own thread. The handler must be safe for
+/// concurrent calls (or the caller must serialize externally).
+class TcpServer {
+ public:
+  explicit TcpServer(RequestHandler* handler) : handler_(handler) {}
+  ~TcpServer();
+
+  /// Binds to 127.0.0.1:`port` (0 = pick a free port) and starts serving.
+  Status Start(uint16_t port = 0);
+  /// Shuts down the listener and all live connections, then joins every
+  /// server thread. Safe to call while clients are still connected.
+  void Stop();
+
+  /// Bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+  /// Connections accepted since Start (live + finished).
+  uint64_t connections_accepted() const { return connections_accepted_.load(); }
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int client_fd);
+  void UnregisterConnection(int client_fd);
+
+  RequestHandler* handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread thread_;
+
+  std::mutex mutex_;                        // guards the two fields below
+  std::vector<int> live_fds_;               // accepted fds still being served
+  std::vector<std::thread> conn_threads_;   // one per accepted connection
+};
+
+/// TCP client transport. Measured wall time minus the server-reported
+/// processing time is attributed to communication.
+class TcpTransport : public Transport {
+ public:
+  /// Connects to `host`:`port`.
+  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host,
+                                                       uint16_t port);
+  ~TcpTransport() override;
+
+  Result<Bytes> Call(const Bytes& request) override;
+
+  const TransportCosts& costs() const override { return costs_; }
+  void ResetCosts() override { costs_.Clear(); }
+
+ private:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+
+  int fd_;
+  TransportCosts costs_;
+};
+
+/// Writes one length-prefixed frame to `fd`.
+Status WriteFrame(int fd, const Bytes& payload);
+/// Reads one length-prefixed frame from `fd` (up to `max_len` bytes).
+Result<Bytes> ReadFrame(int fd, size_t max_len = 1ull << 31);
+
+}  // namespace net
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_NET_TCP_H_

@@ -1,0 +1,25 @@
+#include "net/transport.h"
+
+#include "common/clock.h"
+
+namespace simcloud {
+namespace net {
+
+Result<Bytes> LoopbackTransport::Call(const Bytes& request) {
+  costs_.calls++;
+  costs_.bytes_sent += request.size();
+
+  Stopwatch watch;
+  Result<Bytes> response = handler_->Handle(request);
+  costs_.server_nanos += watch.ElapsedNanos();
+  if (!response.ok()) return response.status();
+
+  costs_.bytes_received += response->size();
+  const double comm_seconds = link_.TransferSeconds(request.size()) +
+                              link_.TransferSeconds(response->size());
+  costs_.communication_nanos += static_cast<int64_t>(comm_seconds * 1e9);
+  return response;
+}
+
+}  // namespace net
+}  // namespace simcloud

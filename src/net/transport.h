@@ -1,0 +1,101 @@
+// Client-server transport abstraction with cost accounting.
+//
+// The paper evaluates a real client/server deployment (two processes on
+// one machine, TCP over loopback) and reports three separate cost
+// components per operation: client time, server time, and communication
+// time. To reproduce that decomposition the transport protocol carries the
+// server's processing time in every response, so the client can attribute
+//   call wall time = server time + communication time.
+//
+// Two implementations:
+//  * LoopbackTransport — in-process; bytes are counted exactly and
+//    communication time is modelled from a configurable LinkModel
+//    (latency + bandwidth), keeping benchmarks deterministic.
+//  * TcpTransport/TcpServer (tcp.h) — real POSIX sockets for integration
+//    testing of the full wire path.
+
+#ifndef SIMCLOUD_NET_TRANSPORT_H_
+#define SIMCLOUD_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace net {
+
+/// Server-side request handler: consumes a request message, produces a
+/// response message. Implementations are the "similarity cloud" services.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  /// Handles one request; errors become transport-level failures.
+  virtual Result<Bytes> Handle(const Bytes& request) = 0;
+};
+
+/// Aggregated transport-level costs (the paper's server/communication
+/// split plus the exchanged volume, its "communication cost").
+struct TransportCosts {
+  int64_t server_nanos = 0;         ///< time spent inside the handler
+  int64_t communication_nanos = 0;  ///< wire time (modelled or measured)
+  uint64_t bytes_sent = 0;          ///< client -> server volume
+  uint64_t bytes_received = 0;      ///< server -> client volume
+  uint64_t calls = 0;
+
+  uint64_t TotalBytes() const { return bytes_sent + bytes_received; }
+  void Clear() { *this = TransportCosts{}; }
+};
+
+/// Synchronous request/response channel as seen by a client.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `request` and waits for the response.
+  virtual Result<Bytes> Call(const Bytes& request) = 0;
+
+  /// Costs accumulated over all Call()s so far.
+  virtual const TransportCosts& costs() const = 0;
+  /// Resets the cost accumulators.
+  virtual void ResetCosts() = 0;
+};
+
+/// Network link model for deterministic communication-time accounting.
+/// Defaults approximate the paper's setup (loopback interface on one
+/// machine): per-message latency plus volume / bandwidth.
+struct LinkModel {
+  double latency_seconds = 100e-6;        ///< per direction, per message
+  double bandwidth_bytes_per_sec = 100e6; ///< ~1 GbE payload rate
+
+  /// Modelled one-way transfer time for a message of `bytes`.
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+/// In-process transport: invokes the handler directly, counting bytes
+/// exactly and charging communication time from the LinkModel.
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(RequestHandler* handler,
+                             LinkModel link = LinkModel())
+      : handler_(handler), link_(link) {}
+
+  Result<Bytes> Call(const Bytes& request) override;
+
+  const TransportCosts& costs() const override { return costs_; }
+  void ResetCosts() override { costs_.Clear(); }
+
+ private:
+  RequestHandler* handler_;
+  LinkModel link_;
+  TransportCosts costs_;
+};
+
+}  // namespace net
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_NET_TRANSPORT_H_

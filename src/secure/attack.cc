@@ -1,0 +1,210 @@
+#include "secure/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace simcloud {
+namespace secure {
+
+Result<LeakedServerView> ExtractServerView(const mindex::MIndex& index) {
+  LeakedServerView view;
+  view.entries.reserve(index.size());
+  SIMCLOUD_RETURN_NOT_OK(index.ForEachEntry(
+      [&view](const mindex::Entry& entry, const Bytes& payload) -> Status {
+        LeakedEntry leaked;
+        leaked.id = entry.id;
+        leaked.permutation = entry.permutation;
+        leaked.pivot_distances = entry.pivot_distances;
+        leaked.payload_size = payload.size();
+        view.entries.push_back(std::move(leaked));
+        return Status::OK();
+      }));
+  return view;
+}
+
+double KolmogorovSmirnovStatistic(std::vector<double> a,
+                                  std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0;
+  size_t ib = 0;
+  double max_diff = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    // Advance both CDFs past the smaller current value; ties advance both
+    // at once so equal samples contribute zero difference.
+    const double threshold = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= threshold) ++ia;
+    while (ib < b.size() && b[ib] <= threshold) ++ib;
+    const double fa = static_cast<double>(ia) / a.size();
+    const double fb = static_cast<double>(ib) / b.size();
+    max_diff = std::max(max_diff, std::fabs(fa - fb));
+  }
+  return max_diff;
+}
+
+namespace {
+
+/// Average ranks (1-based, ties share the mean rank).
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return values[x] < values[y]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mean_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = a.size();
+  double mean_a = 0;
+  double mean_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0;
+  double var_a = 0;
+  double var_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+double SpearmanRankCorrelation(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double ShannonEntropyBits(const std::vector<size_t>& values) {
+  if (values.empty()) return 0.0;
+  std::unordered_map<size_t, size_t> counts;
+  for (size_t v : values) counts[v]++;
+  double entropy = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (const auto& [value, count] : counts) {
+    const double p = count / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+Result<AttackReport> EvaluateLeakage(
+    const LeakedServerView& view,
+    const std::vector<metric::VectorObject>& objects,
+    const metric::DistanceFunction& metric, const mindex::PivotSet& pivots,
+    uint64_t seed) {
+  if (view.entries.empty()) {
+    return Status::InvalidArgument("leaked view is empty");
+  }
+  if (pivots.size() == 0) {
+    return Status::InvalidArgument("ground-truth pivot set is empty");
+  }
+  std::unordered_map<metric::ObjectId, const metric::VectorObject*> by_id;
+  by_id.reserve(objects.size());
+  for (const auto& object : objects) by_id[object.id()] = &object;
+
+  AttackReport report;
+
+  // ---- distance-marginal attacks (first pivot, precise strategy only).
+  std::vector<double> leaked_values;
+  std::vector<double> true_values;
+  for (const LeakedEntry& entry : view.entries) {
+    if (entry.pivot_distances.empty()) continue;
+    auto it = by_id.find(entry.id);
+    if (it == by_id.end()) {
+      return Status::InvalidArgument(
+          "leaked entry id not found in ground-truth objects");
+    }
+    leaked_values.push_back(entry.pivot_distances[0]);
+    true_values.push_back(metric.Distance(*it->second, pivots.pivot(0)));
+  }
+  report.distances_leaked = !leaked_values.empty();
+  if (report.distances_leaked) {
+    report.distance_ks_statistic =
+        KolmogorovSmirnovStatistic(leaked_values, true_values);
+    report.rank_correlation =
+        SpearmanRankCorrelation(leaked_values, true_values);
+  }
+
+  // ---- co-cell proximity inference from permutations.
+  std::map<uint32_t, std::vector<const metric::VectorObject*>> cells;
+  for (const LeakedEntry& entry : view.entries) {
+    if (entry.permutation.empty()) continue;
+    auto it = by_id.find(entry.id);
+    if (it == by_id.end()) continue;
+    cells[entry.permutation[0]].push_back(it->second);
+  }
+  Rng rng(seed);
+  const size_t kPairSamples = 2000;
+  double same_cell_sum = 0.0;
+  size_t same_cell_count = 0;
+  std::vector<const std::vector<const metric::VectorObject*>*> big_cells;
+  for (const auto& [pivot, members] : cells) {
+    if (members.size() >= 2) big_cells.push_back(&members);
+  }
+  if (!big_cells.empty()) {
+    for (size_t s = 0; s < kPairSamples; ++s) {
+      const auto& members =
+          *big_cells[rng.NextBounded(big_cells.size())];
+      const size_t i = rng.NextBounded(members.size());
+      size_t j = rng.NextBounded(members.size());
+      if (i == j) continue;
+      same_cell_sum += metric.Distance(*members[i], *members[j]);
+      ++same_cell_count;
+    }
+  }
+  double random_sum = 0.0;
+  size_t random_count = 0;
+  for (size_t s = 0; s < kPairSamples; ++s) {
+    const size_t i = rng.NextBounded(objects.size());
+    const size_t j = rng.NextBounded(objects.size());
+    if (i == j) continue;
+    random_sum += metric.Distance(objects[i], objects[j]);
+    ++random_count;
+  }
+  if (same_cell_count > 0 && random_count > 0 && random_sum > 0) {
+    report.same_cell_distance_ratio =
+        (same_cell_sum / same_cell_count) / (random_sum / random_count);
+  }
+
+  // ---- ciphertext-size side channel.
+  std::vector<size_t> sizes;
+  sizes.reserve(view.entries.size());
+  for (const LeakedEntry& entry : view.entries) {
+    sizes.push_back(entry.payload_size);
+  }
+  report.payload_size_entropy_bits = ShannonEntropyBits(sizes);
+  std::sort(sizes.begin(), sizes.end());
+  report.distinct_payload_sizes =
+      std::unique(sizes.begin(), sizes.end()) - sizes.begin();
+  return report;
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,351 @@
+#include "secure/client.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/clock.h"
+#include "mindex/permutation.h"
+
+namespace simcloud {
+namespace secure {
+
+using metric::Neighbor;
+using metric::NeighborList;
+using metric::VectorObject;
+
+std::vector<float> EncryptionClient::ComputePivotDistances(
+    const VectorObject& object, bool apply_transform) {
+  Stopwatch watch;
+  std::vector<float> distances =
+      key_.pivots().ComputeDistances(object, *metric_);
+  costs_.distance_nanos += watch.ElapsedNanos();
+  costs_.distance_computations += key_.num_pivots();
+
+  if (apply_transform && key_.has_transform()) {
+    distances = key_.transform().ApplyAll(distances);
+  }
+  return distances;
+}
+
+Status EncryptionClient::Insert(const VectorObject& object,
+                                InsertStrategy strategy) {
+  return InsertBulk({object}, strategy, 1);
+}
+
+Status EncryptionClient::InsertBulk(const std::vector<VectorObject>& objects,
+                                    InsertStrategy strategy,
+                                    size_t bulk_size) {
+  if (bulk_size == 0) {
+    return Status::InvalidArgument("bulk size must be > 0");
+  }
+  size_t offset = 0;
+  while (offset < objects.size()) {
+    const size_t batch = std::min(bulk_size, objects.size() - offset);
+    Stopwatch op_watch;
+    int64_t tracked_before =
+        costs_.distance_nanos + costs_.encryption_nanos;
+
+    std::vector<InsertItem> items;
+    items.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VectorObject& object = objects[offset + i];
+      InsertItem item;
+      item.id = object.id();
+
+      // Algorithm 1 lines 1-7: distances, then distances or permutation.
+      std::vector<float> distances =
+          ComputePivotDistances(object, /*apply_transform=*/true);
+      if (strategy == InsertStrategy::kPrecise) {
+        item.pivot_distances = std::move(distances);
+      } else {
+        // A strictly monotone transform preserves the permutation, so the
+        // permutation is computed from the (possibly transformed) values.
+        item.permutation = mindex::DistancesToPermutation(distances);
+      }
+
+      // Algorithm 1 line 8: store encrypted data only.
+      Stopwatch enc_watch;
+      SIMCLOUD_ASSIGN_OR_RETURN(item.payload, key_.EncryptObject(object));
+      costs_.encryption_nanos += enc_watch.ElapsedNanos();
+      costs_.objects_encrypted++;
+
+      items.push_back(std::move(item));
+    }
+
+    const Bytes request = EncodeInsertBatchRequest(items);
+    const int64_t server_before = transport_->costs().server_nanos;
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes,
+                              transport_->Call(request));
+    const int64_t server_delta =
+        transport_->costs().server_nanos - server_before;
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t inserted,
+                              DecodeInsertResponse(response_bytes));
+    if (inserted != batch) {
+      return Status::Internal("server acknowledged " +
+                              std::to_string(inserted) + " of " +
+                              std::to_string(batch) + " inserts");
+    }
+
+    const int64_t tracked_delta =
+        costs_.distance_nanos + costs_.encryption_nanos - tracked_before;
+    costs_.overhead_nanos += std::max<int64_t>(
+        0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+    offset += batch;
+  }
+  return Status::OK();
+}
+
+Status EncryptionClient::Delete(const metric::VectorObject& object) {
+  // The routing permutation is derived exactly as the insert derived it
+  // (both strategies route by the permutation of the transformed
+  // distances), so the delete reaches the same cell.
+  std::vector<float> distances =
+      ComputePivotDistances(object, /*apply_transform=*/true);
+  const mindex::Permutation permutation =
+      mindex::DistancesToPermutation(distances);
+  const Bytes request = EncodeDeleteRequest(object.id(), permutation);
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(request));
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted, DecodeInsertResponse(response));
+  if (deleted != 1) {
+    return Status::Internal("server acknowledged an unexpected delete count");
+  }
+  return Status::OK();
+}
+
+Result<NeighborList> EncryptionClient::RefineCandidates(
+    const mindex::CandidateList& candidates, const VectorObject& query) {
+  NeighborList refined;
+  refined.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    Stopwatch dec_watch;
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                              key_.DecryptObject(candidate.payload));
+    costs_.decryption_nanos += dec_watch.ElapsedNanos();
+    costs_.candidates_decrypted++;
+
+    Stopwatch dist_watch;
+    const double d = metric_->Distance(query, object);
+    costs_.distance_nanos += dist_watch.ElapsedNanos();
+    costs_.distance_computations++;
+
+    refined.push_back(Neighbor{object.id(), d});
+  }
+  std::sort(refined.begin(), refined.end());
+  return refined;
+}
+
+Result<NeighborList> EncryptionClient::RangeSearch(const VectorObject& query,
+                                                   double radius) {
+  if (radius < 0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  // Algorithm 2 lines 1-6 (precise branch): distances only, no query object.
+  std::vector<float> query_distances =
+      ComputePivotDistances(query, /*apply_transform=*/true);
+  const double sent_radius =
+      key_.has_transform() ? key_.transform().Apply(radius) : radius;
+
+  const Bytes request = EncodeRangeSearchRequest(query_distances, sent_radius);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse response,
+                            DecodeCandidateResponse(response_bytes));
+
+  // Algorithm 2 lines 11-16: decrypt + refine with the true metric.
+  SIMCLOUD_ASSIGN_OR_RETURN(NeighborList refined,
+                            RefineCandidates(response.candidates, query));
+  NeighborList answer;
+  for (const Neighbor& n : refined) {
+    if (n.distance <= radius) answer.push_back(n);
+  }
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return answer;
+}
+
+Result<NeighborList> EncryptionClient::ApproxKnnSingleCell(
+    const VectorObject& query, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  std::vector<float> query_distances =
+      ComputePivotDistances(query, /*apply_transform=*/true);
+  mindex::QuerySignature signature;
+  signature.permutation = mindex::DistancesToPermutation(query_distances);
+  signature.whole_cells = true;
+
+  const Bytes request = EncodeApproxKnnRequest(signature, 1);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse response,
+                            DecodeCandidateResponse(response_bytes));
+
+  SIMCLOUD_ASSIGN_OR_RETURN(NeighborList refined,
+                            RefineCandidates(response.candidates, query));
+  if (refined.size() > k) refined.resize(k);
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return refined;
+}
+
+Result<NeighborList> EncryptionClient::ApproxKnn(const VectorObject& query,
+                                                 size_t k, size_t cand_size) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  if (cand_size < k) {
+    return Status::InvalidArgument("candidate set size must be >= k");
+  }
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  // Algorithm 2 lines 7-10 (approximate branch): permutation only.
+  std::vector<float> query_distances =
+      ComputePivotDistances(query, /*apply_transform=*/true);
+  mindex::QuerySignature signature;
+  signature.permutation = mindex::DistancesToPermutation(query_distances);
+
+  const Bytes request = EncodeApproxKnnRequest(signature, cand_size);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse response,
+                            DecodeCandidateResponse(response_bytes));
+
+  SIMCLOUD_ASSIGN_OR_RETURN(NeighborList refined,
+                            RefineCandidates(response.candidates, query));
+  if (refined.size() > k) refined.resize(k);
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return refined;
+}
+
+Result<NeighborList> EncryptionClient::ApproxKnnEarlyStop(
+    const VectorObject& query, size_t k, size_t cand_size) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  if (cand_size < k) {
+    return Status::InvalidArgument("candidate set size must be >= k");
+  }
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  // Send the distances, not just the permutation: the server then ranks
+  // candidates by their pivot-filtering lower bound on d(q, o) (in the
+  // transformed space when a transform is enabled).
+  std::vector<float> query_distances =
+      ComputePivotDistances(query, /*apply_transform=*/true);
+  mindex::QuerySignature signature;
+  signature.pivot_distances = query_distances;
+  signature.permutation = mindex::DistancesToPermutation(query_distances);
+
+  const Bytes request = EncodeApproxKnnRequest(signature, cand_size);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse response,
+                            DecodeCandidateResponse(response_bytes));
+
+  // Refine in rank order; stop when the next candidate's lower bound
+  // already exceeds the k-th best true distance found so far. Scores are
+  // lower bounds in the (possibly transformed) space, so the comparison
+  // maps the current k-th distance through the transform first.
+  NeighborList best;  // kept sorted ascending, size <= k
+  for (const auto& candidate : response.candidates) {
+    if (best.size() == k) {
+      const double kth = best.back().distance;
+      const double kth_in_score_space =
+          key_.has_transform() ? key_.transform().Apply(kth) : kth;
+      if (candidate.score > kth_in_score_space) break;  // sound stop
+    }
+    Stopwatch dec_watch;
+    SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
+                              key_.DecryptObject(candidate.payload));
+    costs_.decryption_nanos += dec_watch.ElapsedNanos();
+    costs_.candidates_decrypted++;
+
+    Stopwatch dist_watch;
+    const double d = metric_->Distance(query, object);
+    costs_.distance_nanos += dist_watch.ElapsedNanos();
+    costs_.distance_computations++;
+
+    const Neighbor neighbor{object.id(), d};
+    auto pos = std::lower_bound(best.begin(), best.end(), neighbor);
+    if (best.size() < k) {
+      best.insert(pos, neighbor);
+    } else if (pos != best.end()) {
+      best.insert(pos, neighbor);
+      best.pop_back();
+    }
+  }
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return best;
+}
+
+Result<NeighborList> EncryptionClient::PreciseKnn(const VectorObject& query,
+                                                  size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+
+  // Phase 1: approximate k-NN to find an upper bound rho_k on the k-th
+  // nearest neighbor distance.
+  const size_t cand_size = std::max<size_t>(2 * k, 50);
+  SIMCLOUD_ASSIGN_OR_RETURN(NeighborList approx,
+                            ApproxKnn(query, k, cand_size));
+  if (approx.size() < k) {
+    // Collection may simply be smaller than k; a full range scan with an
+    // infinite radius would be the fallback. Use the largest distance
+    // observed, or fall back to a plain range over everything.
+    if (approx.empty()) {
+      return RangeSearch(query, std::numeric_limits<double>::max() / 4);
+    }
+  }
+  const double rho_k = approx.back().distance;
+
+  // Phase 2: precise range query with radius rho_k covers every true
+  // k-nearest neighbor (their distances are <= true rho_k <= this rho_k).
+  SIMCLOUD_ASSIGN_OR_RETURN(NeighborList in_range,
+                            RangeSearch(query, rho_k));
+  if (in_range.size() > k) in_range.resize(k);
+  return in_range;
+}
+
+Result<mindex::IndexStats> EncryptionClient::GetServerStats() {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                            transport_->Call(EncodeGetStatsRequest()));
+  return DecodeStatsResponse(response);
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,150 @@
+// The encryption client — the authorized client of the similarity cloud
+// (paper Section 4.2, Algorithms 1 and 2).
+//
+// The client holds the secret key (pivots + AES key). For inserts it
+// computes object-pivot distances, encrypts objects, and ships only
+// {distances | permutation, ciphertext}. For searches it sends only the
+// query's pivot distances or permutation, receives a pre-ranked candidate
+// set of ciphertexts, then decrypts and refines locally. The query object
+// and the pivots never leave the client.
+//
+// Every operation feeds the cost accounting the paper's evaluation is
+// built on: encryption/decryption time, distance-computation time, and
+// client processing overhead (ClientCosts), plus the transport's
+// server/communication split (net::TransportCosts).
+
+#ifndef SIMCLOUD_SECURE_CLIENT_H_
+#define SIMCLOUD_SECURE_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "metric/dataset.h"
+#include "metric/distance.h"
+#include "metric/neighbor.h"
+#include "net/transport.h"
+#include "secure/protocol.h"
+#include "secure/secret_key.h"
+
+namespace simcloud {
+namespace secure {
+
+/// What routing metadata accompanies an encrypted object (Algorithm 1
+/// lines 3-7).
+enum class InsertStrategy {
+  /// Store distances to all pivots: enables precise range/k-NN search and
+  /// server-side pivot filtering.
+  kPrecise,
+  /// Store only the pivot permutation: smaller server footprint, supports
+  /// the approximate strategy only.
+  kPermutationOnly,
+};
+
+/// Client-side cost components (paper Tables 3, 5, 6, 9).
+struct ClientCosts {
+  int64_t encryption_nanos = 0;  ///< AES encryption of inserted objects
+  int64_t decryption_nanos = 0;  ///< decrypt + deserialize candidates
+  int64_t distance_nanos = 0;    ///< object-pivot + refine distances
+  int64_t overhead_nanos = 0;    ///< serialization & bookkeeping
+  uint64_t distance_computations = 0;
+  uint64_t objects_encrypted = 0;
+  uint64_t candidates_decrypted = 0;
+
+  /// Total client computation time ("Client time" table rows).
+  int64_t TotalNanos() const {
+    return encryption_nanos + decryption_nanos + distance_nanos +
+           overhead_nanos;
+  }
+  void Clear() { *this = ClientCosts{}; }
+};
+
+/// Authorized client of an Encrypted M-Index server.
+class EncryptionClient {
+ public:
+  /// `metric` must be the distance the data owner chose for the data set;
+  /// `transport` connects to an EncryptedMIndexServer and must outlive
+  /// the client.
+  EncryptionClient(SecretKey key,
+                   std::shared_ptr<metric::DistanceFunction> metric,
+                   net::Transport* transport)
+      : key_(std::move(key)), metric_(std::move(metric)),
+        transport_(transport) {}
+
+  /// Inserts one object (Algorithm 1).
+  Status Insert(const metric::VectorObject& object, InsertStrategy strategy);
+
+  /// Inserts objects in bulks of `bulk_size` (the paper uses bulks of
+  /// 1,000 in the construction experiments).
+  Status InsertBulk(const std::vector<metric::VectorObject>& objects,
+                    InsertStrategy strategy, size_t bulk_size = 1000);
+
+  /// Deletes one object. The client recomputes the routing permutation
+  /// from the object and its secret pivots, so the request carries no
+  /// more information than the original insert did. NotFound if the
+  /// object is not indexed.
+  Status Delete(const metric::VectorObject& object);
+
+  /// Precise range query R(q, r) (Algorithm 2, precise branch). Returns
+  /// exactly the objects within `radius`, sorted by distance.
+  Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
+                                           double radius);
+
+  /// Approximate k-NN (Algorithm 2, approximate branch): asks the server
+  /// for `cand_size` pre-ranked candidates, decrypts and refines them.
+  Result<metric::NeighborList> ApproxKnn(const metric::VectorObject& query,
+                                         size_t k, size_t cand_size);
+
+  /// Approximate k-NN restricted to the single most promising Voronoi
+  /// cell (the paper's Table 9 / Section 5.4 setup): the server returns
+  /// that one whole cell as the candidate set.
+  Result<metric::NeighborList> ApproxKnnSingleCell(
+      const metric::VectorObject& query, size_t k);
+
+  /// Approximate k-NN with early-stopping refinement — the optimization
+  /// the paper sketches in Section 5.3: "S_C retrieved from the server is
+  /// pre-ranked, therefore the client can choose to decrypt and compute
+  /// distances only for candidates with the highest rank". The query is
+  /// sent WITH pivot distances so the server pre-ranks candidates by
+  /// their pivot-filtering lower bound on d(q, o); the client refines in
+  /// rank order and stops decrypting once the next lower bound cannot
+  /// beat the current k-th best distance. Returns exactly the same
+  /// answer as ApproxKnn over the same candidate set (the stop rule is
+  /// sound), with fewer decryptions. Requires precise-strategy inserts
+  /// (stored pivot distances).
+  Result<metric::NeighborList> ApproxKnnEarlyStop(
+      const metric::VectorObject& query, size_t k, size_t cand_size);
+
+  /// Precise k-NN: approximate k-NN determines rho_k, then a precise
+  /// range query R(q, rho_k) guarantees the exact answer (Section 4.2).
+  Result<metric::NeighborList> PreciseKnn(const metric::VectorObject& query,
+                                          size_t k);
+
+  /// Fetches index statistics from the server.
+  Result<mindex::IndexStats> GetServerStats();
+
+  const ClientCosts& costs() const { return costs_; }
+  void ResetCosts() { costs_.Clear(); }
+  const SecretKey& key() const { return key_; }
+
+ private:
+  /// Computes (and counts) distances from `object` to all pivots, applying
+  /// the distribution-hiding transform when enabled.
+  std::vector<float> ComputePivotDistances(const metric::VectorObject& object,
+                                           bool apply_transform);
+
+  /// Decrypts candidates and evaluates true distances (Alg. 2 lines 11-16),
+  /// keeping those satisfying `predicate`.
+  Result<metric::NeighborList> RefineCandidates(
+      const mindex::CandidateList& candidates,
+      const metric::VectorObject& query);
+
+  SecretKey key_;
+  std::shared_ptr<metric::DistanceFunction> metric_;
+  net::Transport* transport_;
+  ClientCosts costs_;
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_CLIENT_H_

@@ -1,0 +1,88 @@
+#include "secure/distance_transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace simcloud {
+namespace secure {
+
+Result<ConcaveTransform> ConcaveTransform::FromSeed(uint64_t seed,
+                                                    double domain_max,
+                                                    size_t num_knots) {
+  if (domain_max <= 0) {
+    return Status::InvalidArgument("transform domain_max must be > 0");
+  }
+  if (num_knots == 0) {
+    return Status::InvalidArgument("transform needs at least one knot");
+  }
+
+  Rng rng(seed);
+  ConcaveTransform t;
+  t.domain_max_ = domain_max;
+  t.knot_width_ = domain_max / static_cast<double>(num_knots);
+
+  // Positive random slopes, sorted descending => concave. A random global
+  // scale keeps the codomain from trivially revealing the domain.
+  t.slopes_.resize(num_knots);
+  const double scale = rng.NextUniform(0.5, 2.0);
+  for (auto& s : t.slopes_) s = scale * (0.05 + rng.NextExponential(1.0));
+  std::sort(t.slopes_.begin(), t.slopes_.end(), std::greater<double>());
+
+  t.cum_values_.resize(num_knots + 1);
+  t.cum_values_[0] = 0.0;
+  for (size_t i = 0; i < num_knots; ++i) {
+    t.cum_values_[i + 1] = t.cum_values_[i] + t.slopes_[i] * t.knot_width_;
+  }
+  return t;
+}
+
+double ConcaveTransform::Apply(double x) const {
+  if (slopes_.empty() || x <= 0.0) return std::max(0.0, x);
+  if (x >= domain_max_) {
+    // Continue with the final (smallest) slope: still concave + increasing.
+    return cum_values_.back() + slopes_.back() * (x - domain_max_);
+  }
+  const size_t segment =
+      std::min(static_cast<size_t>(x / knot_width_), slopes_.size() - 1);
+  const double base = cum_values_[segment];
+  return base + slopes_[segment] * (x - static_cast<double>(segment) *
+                                            knot_width_);
+}
+
+std::vector<float> ConcaveTransform::ApplyAll(
+    const std::vector<float>& values) const {
+  std::vector<float> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<float>(Apply(static_cast<double>(values[i])));
+  }
+  return out;
+}
+
+void ConcaveTransform::Serialize(BinaryWriter* writer) const {
+  writer->WriteDouble(domain_max_);
+  writer->WriteDouble(knot_width_);
+  writer->WriteVarint(slopes_.size());
+  for (double s : slopes_) writer->WriteDouble(s);
+}
+
+Result<ConcaveTransform> ConcaveTransform::Deserialize(BinaryReader* reader) {
+  ConcaveTransform t;
+  SIMCLOUD_ASSIGN_OR_RETURN(t.domain_max_, reader->ReadDouble());
+  SIMCLOUD_ASSIGN_OR_RETURN(t.knot_width_, reader->ReadDouble());
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+  t.slopes_.resize(n);
+  for (auto& s : t.slopes_) {
+    SIMCLOUD_ASSIGN_OR_RETURN(s, reader->ReadDouble());
+  }
+  t.cum_values_.resize(n + 1);
+  t.cum_values_[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t.cum_values_[i + 1] = t.cum_values_[i] + t.slopes_[i] * t.knot_width_;
+  }
+  return t;
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,68 @@
+// Distribution-hiding distance transformation (the paper's Section 4.3 /
+// future-work direction, here implemented as an optional extension).
+//
+// A strictly increasing, concave function T with T(0) = 0 is subadditive:
+//   T(x + y) <= T(x) + T(y),   |T(a) - T(b)| <= T(|a - b|).
+// If the client stores T(d(o, p_i)) instead of d(o, p_i) and queries with
+// T(d(q, p_i)) and transformed radius T(r), every server-side constraint
+// the M-Index applies remains *sound* (it may prune less):
+//
+//  * pivot filtering:    |T(qd_i) - T(od_i)| > T(r)      ==> d(q,o) > r
+//  * range-pivot:        T(qd) - T(max) > T(r)           ==> safe prune
+//  * double-pivot:       T(qd_ik) > T(qd_j) + 2 T(r)     ==> safe prune
+//
+// so precise range search still returns a superset of the true result and
+// the client refine step keeps correctness, while the server now observes
+// only nonlinearly distorted distances — hiding the data distribution
+// (privacy level 4 of the paper's taxonomy, Section 2.3).
+//
+// The transform is part of the secret key: a piecewise-linear concave
+// function with knots and strictly decreasing positive slopes derived
+// deterministically from a seed.
+
+#ifndef SIMCLOUD_SECURE_DISTANCE_TRANSFORM_H_
+#define SIMCLOUD_SECURE_DISTANCE_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace secure {
+
+/// Secret monotone concave distance transform T : [0, inf) -> [0, inf).
+class ConcaveTransform {
+ public:
+  ConcaveTransform() = default;
+
+  /// Builds a transform with `num_knots` segments covering [0,
+  /// domain_max]; beyond domain_max the last (smallest) slope continues,
+  /// preserving monotonicity and concavity on the whole half-line.
+  static Result<ConcaveTransform> FromSeed(uint64_t seed, double domain_max,
+                                           size_t num_knots = 32);
+
+  /// Evaluates T(x) for x >= 0 (monotone increasing, concave, T(0)=0).
+  double Apply(double x) const;
+
+  /// Transforms a whole distance vector.
+  std::vector<float> ApplyAll(const std::vector<float>& values) const;
+
+  bool empty() const { return slopes_.empty(); }
+  double domain_max() const { return domain_max_; }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<ConcaveTransform> Deserialize(BinaryReader* reader);
+
+ private:
+  double domain_max_ = 0;
+  double knot_width_ = 0;
+  std::vector<double> slopes_;       // strictly decreasing, positive
+  std::vector<double> cum_values_;   // T at each knot boundary
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_DISTANCE_TRANSFORM_H_

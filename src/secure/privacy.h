@@ -1,0 +1,65 @@
+// The paper's taxonomy of privacy levels in similarity clouds
+// (Section 2.3), as a first-class library concept. Used by the privacy
+// audit example and by documentation to position each index/baseline.
+
+#ifndef SIMCLOUD_SECURE_PRIVACY_H_
+#define SIMCLOUD_SECURE_PRIVACY_H_
+
+#include <string>
+
+namespace simcloud {
+namespace secure {
+
+/// Levels of privacy of an outsourced similarity-search deployment,
+/// ordered from weakest to strongest.
+enum class PrivacyLevel : int {
+  /// Level 1 — "No encryption": everything is stored and searched in the
+  /// clear; maximal efficiency, no protection.
+  kNoEncryption = 1,
+  /// Level 2 — "Raw data encryption": MS objects and the index are plain,
+  /// only the raw payloads are encrypted in the data storage.
+  kRawDataEncryption = 2,
+  /// Level 3 — "MS objects encryption": MS objects are encrypted; the
+  /// server keeps only routing metadata (pivot permutations / distances).
+  /// This is the Encrypted M-Index's level.
+  kMsObjectEncryption = 3,
+  /// Level 4 — "MS objects and their distribution encryption": also the
+  /// distance information visible to the server is transformed so the
+  /// data distribution is hidden (EHI/MPT of Yiu et al.; our
+  /// ConcaveTransform extension).
+  kDistributionHiding = 4,
+};
+
+/// Human-readable name of a privacy level.
+inline const char* PrivacyLevelName(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kNoEncryption: return "no-encryption";
+    case PrivacyLevel::kRawDataEncryption: return "raw-data-encryption";
+    case PrivacyLevel::kMsObjectEncryption: return "ms-object-encryption";
+    case PrivacyLevel::kDistributionHiding: return "distribution-hiding";
+  }
+  return "unknown";
+}
+
+/// What an attacker who compromises the server learns at each level
+/// (paper Sections 2.3 and 4.3).
+inline const char* AttackerView(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kNoEncryption:
+      return "full data set, metric, and index structure";
+    case PrivacyLevel::kRawDataEncryption:
+      return "all MS objects and their distances; raw payloads encrypted";
+    case PrivacyLevel::kMsObjectEncryption:
+      return "encrypted objects plus pivot permutations / pivot distances; "
+             "pivots and metric unknown";
+    case PrivacyLevel::kDistributionHiding:
+      return "encrypted objects plus nonlinearly transformed routing "
+             "metadata; distance distribution hidden";
+  }
+  return "unknown";
+}
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_PRIVACY_H_

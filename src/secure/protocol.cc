@@ -1,0 +1,185 @@
+#include "secure/protocol.h"
+
+namespace simcloud {
+namespace secure {
+
+namespace {
+
+void WriteSearchStats(BinaryWriter* writer, const mindex::SearchStats& stats) {
+  writer->WriteVarint(stats.cells_visited);
+  writer->WriteVarint(stats.cells_pruned);
+  writer->WriteVarint(stats.entries_scanned);
+  writer->WriteVarint(stats.entries_filtered);
+  writer->WriteVarint(stats.candidates);
+}
+
+Result<mindex::SearchStats> ReadSearchStats(BinaryReader* reader) {
+  mindex::SearchStats stats;
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.cells_visited, reader->ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.cells_pruned, reader->ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.entries_scanned, reader->ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.entries_filtered, reader->ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.candidates, reader->ReadVarint());
+  return stats;
+}
+
+}  // namespace
+
+Bytes EncodeInsertBatchRequest(const std::vector<InsertItem>& items) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kInsertBatch));
+  writer.WriteVarint(items.size());
+  for (const auto& item : items) {
+    writer.WriteVarint(item.id);
+    writer.WriteFloatVector(item.pivot_distances);
+    writer.WriteU32Vector(item.permutation);
+    writer.WriteBytes(item.payload);
+  }
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeRangeSearchRequest(const std::vector<float>& query_distances,
+                               double radius) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kRangeSearch));
+  writer.WriteFloatVector(query_distances);
+  writer.WriteDouble(radius);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeApproxKnnRequest(const mindex::QuerySignature& query,
+                             uint64_t cand_size) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kApproxKnn));
+  writer.WriteFloatVector(query.pivot_distances);
+  writer.WriteU32Vector(query.permutation);
+  writer.WriteBool(query.whole_cells);
+  writer.WriteVarint(cand_size);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeGetStatsRequest() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kGetStats));
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeDeleteRequest(metric::ObjectId id,
+                          const mindex::Permutation& permutation) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kDelete));
+  writer.WriteVarint(id);
+  writer.WriteU32Vector(permutation);
+  return writer.TakeBuffer();
+}
+
+Result<Request> DecodeRequest(const Bytes& data) {
+  BinaryReader reader(data);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
+  Request request;
+  request.op = static_cast<Op>(op_byte);
+  switch (request.op) {
+    case Op::kInsertBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      request.insert_items.reserve(reader.BoundedCount(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        InsertItem item;
+        SIMCLOUD_ASSIGN_OR_RETURN(item.id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(item.pivot_distances,
+                                  reader.ReadFloatVector());
+        SIMCLOUD_ASSIGN_OR_RETURN(item.permutation, reader.ReadU32Vector());
+        SIMCLOUD_ASSIGN_OR_RETURN(item.payload, reader.ReadBytes());
+        request.insert_items.push_back(std::move(item));
+      }
+      return request;
+    }
+    case Op::kRangeSearch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query_distances,
+                                reader.ReadFloatVector());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.radius, reader.ReadDouble());
+      return request;
+    }
+    case Op::kApproxKnn: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query.pivot_distances,
+                                reader.ReadFloatVector());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query.permutation,
+                                reader.ReadU32Vector());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query.whole_cells, reader.ReadBool());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.cand_size, reader.ReadVarint());
+      return request;
+    }
+    case Op::kGetStats:
+      return request;
+    case Op::kDelete: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.delete_id, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.delete_permutation,
+                                reader.ReadU32Vector());
+      return request;
+    }
+  }
+  return Status::Corruption("unknown opcode " + std::to_string(op_byte));
+}
+
+Bytes EncodeCandidateResponse(const mindex::CandidateList& candidates,
+                              const mindex::SearchStats& stats) {
+  BinaryWriter writer;
+  WriteSearchStats(&writer, stats);
+  writer.WriteVarint(candidates.size());
+  for (const auto& candidate : candidates) {
+    writer.WriteVarint(candidate.id);
+    writer.WriteDouble(candidate.score);
+    writer.WriteBytes(candidate.payload);
+  }
+  return writer.TakeBuffer();
+}
+
+Result<CandidateResponse> DecodeCandidateResponse(const Bytes& data) {
+  BinaryReader reader(data);
+  CandidateResponse response;
+  SIMCLOUD_ASSIGN_OR_RETURN(response.stats, ReadSearchStats(&reader));
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  response.candidates.reserve(reader.BoundedCount(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    mindex::Candidate candidate;
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.id, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.score, reader.ReadDouble());
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.payload, reader.ReadBytes());
+    response.candidates.push_back(std::move(candidate));
+  }
+  return response;
+}
+
+Bytes EncodeInsertResponse(uint64_t inserted) {
+  BinaryWriter writer;
+  writer.WriteVarint(inserted);
+  return writer.TakeBuffer();
+}
+
+Result<uint64_t> DecodeInsertResponse(const Bytes& data) {
+  BinaryReader reader(data);
+  return reader.ReadVarint();
+}
+
+Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
+  BinaryWriter writer;
+  writer.WriteVarint(stats.object_count);
+  writer.WriteVarint(stats.leaf_count);
+  writer.WriteVarint(stats.inner_count);
+  writer.WriteVarint(stats.max_depth);
+  writer.WriteVarint(stats.storage_bytes);
+  return writer.TakeBuffer();
+}
+
+Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
+  BinaryReader reader(data);
+  mindex::IndexStats stats;
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.object_count, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.leaf_count, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.inner_count, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.max_depth, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.storage_bytes, reader.ReadVarint());
+  return stats;
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,83 @@
+// Wire protocol between the encryption client and the M-Index server.
+//
+// Every request starts with a one-byte opcode; bodies are BinaryWriter
+// encodings of the structures below. The protocol deliberately carries
+// only what the paper's Algorithms 1-4 exchange: routing metadata
+// (permutations / pivot distances), opaque payloads, radii and candidate
+// set sizes — never plaintext objects or pivots.
+
+#ifndef SIMCLOUD_SECURE_PROTOCOL_H_
+#define SIMCLOUD_SECURE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "mindex/entry.h"
+
+namespace simcloud {
+namespace secure {
+
+/// Opcodes of the encrypted M-Index service.
+enum class Op : uint8_t {
+  kInsertBatch = 1,  ///< bulk insert of encrypted objects (Alg. 1)
+  kRangeSearch = 2,  ///< precise range candidates (Alg. 3)
+  kApproxKnn = 3,    ///< pre-ranked approximate candidates (Alg. 4)
+  kGetStats = 4,     ///< index statistics
+  kDelete = 5,       ///< remove one object by id + routing permutation
+};
+
+/// One insert item: exactly the encrypted object `e` of Algorithm 1.
+struct InsertItem {
+  metric::ObjectId id = 0;
+  std::vector<float> pivot_distances;  ///< precise strategy (may be empty)
+  mindex::Permutation permutation;     ///< approx strategy (may be empty)
+  Bytes payload;                       ///< AES ciphertext
+};
+
+/// Serialized requests.
+Bytes EncodeInsertBatchRequest(const std::vector<InsertItem>& items);
+Bytes EncodeRangeSearchRequest(const std::vector<float>& query_distances,
+                               double radius);
+Bytes EncodeApproxKnnRequest(const mindex::QuerySignature& query,
+                             uint64_t cand_size);
+Bytes EncodeGetStatsRequest();
+Bytes EncodeDeleteRequest(metric::ObjectId id,
+                          const mindex::Permutation& permutation);
+
+/// Decoded request (server side).
+struct Request {
+  Op op;
+  std::vector<InsertItem> insert_items;      // kInsertBatch
+  std::vector<float> query_distances;        // kRangeSearch
+  double radius = 0;                         // kRangeSearch
+  mindex::QuerySignature query;              // kApproxKnn
+  uint64_t cand_size = 0;                    // kApproxKnn
+  metric::ObjectId delete_id = 0;            // kDelete
+  mindex::Permutation delete_permutation;    // kDelete
+};
+Result<Request> DecodeRequest(const Bytes& data);
+
+/// Candidate-set response (kRangeSearch / kApproxKnn).
+Bytes EncodeCandidateResponse(const mindex::CandidateList& candidates,
+                              const mindex::SearchStats& stats);
+struct CandidateResponse {
+  mindex::CandidateList candidates;
+  mindex::SearchStats stats;
+};
+Result<CandidateResponse> DecodeCandidateResponse(const Bytes& data);
+
+/// Insert acknowledgement.
+Bytes EncodeInsertResponse(uint64_t inserted);
+Result<uint64_t> DecodeInsertResponse(const Bytes& data);
+
+/// Index statistics response.
+Bytes EncodeStatsResponse(const mindex::IndexStats& stats);
+Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data);
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_PROTOCOL_H_

@@ -1,0 +1,110 @@
+#include "secure/secret_key.h"
+
+#include "common/serialize.h"
+#include "crypto/hmac.h"
+
+namespace simcloud {
+namespace secure {
+
+Result<SecretKey> SecretKey::Create(mindex::PivotSet pivots, Bytes aes_key,
+                                    PayloadScheme scheme) {
+  if (pivots.size() == 0) {
+    return Status::InvalidArgument("secret key needs at least one pivot");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      crypto::Cipher cipher,
+      crypto::Cipher::Create(aes_key, crypto::CipherMode::kCbc));
+  std::optional<crypto::AeadCipher> aead;
+  if (scheme == PayloadScheme::kAuthenticated) {
+    SIMCLOUD_ASSIGN_OR_RETURN(crypto::AeadCipher a,
+                              crypto::AeadCipher::Create(aes_key));
+    aead = std::move(a);
+  }
+  return SecretKey(std::move(pivots), std::move(aes_key), std::move(cipher),
+                   std::move(aead), scheme);
+}
+
+Result<SecretKey> SecretKey::FromPassword(mindex::PivotSet pivots,
+                                          const std::string& password,
+                                          const Bytes& salt,
+                                          uint32_t iterations) {
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      Bytes aes_key,
+      crypto::Pbkdf2Sha256(Bytes(password.begin(), password.end()), salt,
+                           iterations, 16));
+  return Create(std::move(pivots), std::move(aes_key));
+}
+
+Status SecretKey::EnableDistanceTransform(uint64_t seed, double domain_max) {
+  SIMCLOUD_ASSIGN_OR_RETURN(ConcaveTransform t,
+                            ConcaveTransform::FromSeed(seed, domain_max));
+  transform_ = std::move(t);
+  return Status::OK();
+}
+
+Bytes SecretKey::DeriveQueryMacKey() const {
+  const char* label = "simcloud-query-auth";
+  return crypto::HmacSha256(aes_key_,
+                            Bytes(label, label + std::strlen(label)));
+}
+
+Result<Bytes> SecretKey::EncryptObject(
+    const metric::VectorObject& object) const {
+  BinaryWriter writer;
+  object.Serialize(&writer);
+  if (scheme_ == PayloadScheme::kAuthenticated) {
+    return aead_->Seal(writer.buffer());
+  }
+  return cipher_->Encrypt(writer.buffer());
+}
+
+Result<metric::VectorObject> SecretKey::DecryptObject(
+    const Bytes& ciphertext) const {
+  Bytes plaintext;
+  if (scheme_ == PayloadScheme::kAuthenticated) {
+    SIMCLOUD_ASSIGN_OR_RETURN(plaintext, aead_->Open(ciphertext));
+  } else {
+    SIMCLOUD_ASSIGN_OR_RETURN(plaintext, cipher_->Decrypt(ciphertext));
+  }
+  BinaryReader reader(plaintext);
+  return metric::VectorObject::Deserialize(&reader);
+}
+
+Result<Bytes> SecretKey::Serialize() const {
+  BinaryWriter writer;
+  writer.WriteU32(0x534B4559);  // "SKEY"
+  writer.WriteU8(static_cast<uint8_t>(scheme_));
+  writer.WriteBytes(aes_key_);
+  pivots_.Serialize(&writer);
+  writer.WriteBool(transform_.has_value());
+  if (transform_.has_value()) transform_->Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+Result<SecretKey> SecretKey::Deserialize(const Bytes& data) {
+  BinaryReader reader(data);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != 0x534B4559) {
+    return Status::Corruption("bad secret key magic");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t scheme_byte, reader.ReadU8());
+  if (scheme_byte > static_cast<uint8_t>(PayloadScheme::kAuthenticated)) {
+    return Status::Corruption("unknown payload scheme in secret key");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes aes_key, reader.ReadBytes());
+  SIMCLOUD_ASSIGN_OR_RETURN(mindex::PivotSet pivots,
+                            mindex::PivotSet::Deserialize(&reader));
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      SecretKey key, Create(std::move(pivots), std::move(aes_key),
+                            static_cast<PayloadScheme>(scheme_byte)));
+  SIMCLOUD_ASSIGN_OR_RETURN(bool has_transform, reader.ReadBool());
+  if (has_transform) {
+    SIMCLOUD_ASSIGN_OR_RETURN(ConcaveTransform t,
+                              ConcaveTransform::Deserialize(&reader));
+    key.transform_ = std::move(t);
+  }
+  return key;
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,98 @@
+// The secret key of the Encrypted M-Index (paper Section 4.2/4.3):
+// the set of pivots + the symmetric cipher key, optionally extended with
+// the distribution-hiding distance transform (Section 4.3 future work).
+//
+// The data owner generates the key, builds the index through it, and
+// shares its serialized form with authorized clients. The server never
+// sees any part of it.
+
+#ifndef SIMCLOUD_SECURE_SECRET_KEY_H_
+#define SIMCLOUD_SECURE_SECRET_KEY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aead.h"
+#include "crypto/cipher.h"
+#include "metric/object.h"
+#include "mindex/pivot_set.h"
+#include "secure/distance_transform.h"
+
+namespace simcloud {
+namespace secure {
+
+/// How object payloads are protected on the untrusted server.
+enum class PayloadScheme : uint8_t {
+  /// AES-CBC with PKCS#7 — confidentiality only, the paper's setup.
+  kCbc = 0,
+  /// Encrypt-then-MAC (AES-CTR + HMAC-SHA256) — confidentiality plus
+  /// integrity: the client detects any server-side tampering with the
+  /// candidate objects it receives.
+  kAuthenticated = 1,
+};
+
+/// Pivots + AES key (+ optional distance transform). Immutable after
+/// construction; safe to share across threads.
+class SecretKey {
+ public:
+  /// Creates a key from explicit pivots and a raw AES key (16/24/32 B).
+  static Result<SecretKey> Create(
+      mindex::PivotSet pivots, Bytes aes_key,
+      PayloadScheme scheme = PayloadScheme::kCbc);
+
+  /// Creates a key deriving the AES-128 key from a passphrase via
+  /// PBKDF2-HMAC-SHA256 (salt fixed per deployment, supplied by caller).
+  static Result<SecretKey> FromPassword(mindex::PivotSet pivots,
+                                        const std::string& password,
+                                        const Bytes& salt,
+                                        uint32_t iterations = 10000);
+
+  /// Adds the distribution-hiding transform (privacy level 4); distances
+  /// stored on the server will be T-transformed. `domain_max` should be a
+  /// generous upper bound on object-pivot distances.
+  Status EnableDistanceTransform(uint64_t seed, double domain_max);
+
+  const mindex::PivotSet& pivots() const { return pivots_; }
+  size_t num_pivots() const { return pivots_.size(); }
+  const crypto::Cipher& cipher() const { return *cipher_; }
+  PayloadScheme scheme() const { return scheme_; }
+  bool has_transform() const { return transform_.has_value(); }
+  const ConcaveTransform& transform() const { return *transform_; }
+
+  /// Derives the query-authentication MAC key shared with the server
+  /// (domain-separated from the object-encryption key; see secure/auth.h).
+  Bytes DeriveQueryMacKey() const;
+
+  /// AES-encrypts a serialized MS object (Algorithm 1 line 8).
+  Result<Bytes> EncryptObject(const metric::VectorObject& object) const;
+  /// Decrypts and deserializes a candidate payload (Algorithm 2 line 13).
+  Result<metric::VectorObject> DecryptObject(const Bytes& ciphertext) const;
+
+  /// Serializes the whole key for distribution to authorized clients.
+  Result<Bytes> Serialize() const;
+  static Result<SecretKey> Deserialize(const Bytes& data);
+
+ private:
+  SecretKey(mindex::PivotSet pivots, Bytes aes_key, crypto::Cipher cipher,
+            std::optional<crypto::AeadCipher> aead, PayloadScheme scheme)
+      : pivots_(std::move(pivots)),
+        aes_key_(std::move(aes_key)),
+        cipher_(std::make_shared<crypto::Cipher>(std::move(cipher))),
+        aead_(std::move(aead)),
+        scheme_(scheme) {}
+
+  mindex::PivotSet pivots_;
+  Bytes aes_key_;
+  std::shared_ptr<crypto::Cipher> cipher_;
+  std::optional<crypto::AeadCipher> aead_;
+  PayloadScheme scheme_ = PayloadScheme::kCbc;
+  std::optional<ConcaveTransform> transform_;
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_SECRET_KEY_H_

@@ -1,0 +1,77 @@
+#include "secure/server.h"
+
+#include <mutex>
+
+namespace simcloud {
+namespace secure {
+
+Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
+    const mindex::MIndexOptions& options) {
+  SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<mindex::MIndex> index,
+                            mindex::MIndex::Create(options));
+  return std::unique_ptr<EncryptedMIndexServer>(
+      new EncryptedMIndexServer(std::move(index)));
+}
+
+void EncryptedMIndexServer::AccumulateStats(
+    const mindex::SearchStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  total_stats_.cells_visited += stats.cells_visited;
+  total_stats_.cells_pruned += stats.cells_pruned;
+  total_stats_.entries_scanned += stats.entries_scanned;
+  total_stats_.entries_filtered += stats.entries_filtered;
+  total_stats_.candidates += stats.candidates;
+}
+
+Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
+  switch (request.op) {
+    case Op::kInsertBatch: {
+      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      uint64_t inserted = 0;
+      for (auto& item : request.insert_items) {
+        SIMCLOUD_RETURN_NOT_OK(
+            index_->Insert(item.id, std::move(item.pivot_distances),
+                           std::move(item.permutation), item.payload));
+        ++inserted;
+      }
+      return EncodeInsertResponse(inserted);
+    }
+    case Op::kRangeSearch: {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      mindex::SearchStats stats;
+      SIMCLOUD_ASSIGN_OR_RETURN(
+          mindex::CandidateList candidates,
+          index_->RangeSearchCandidates(request.query_distances,
+                                        request.radius, &stats));
+      lock.unlock();
+      AccumulateStats(stats);
+      return EncodeCandidateResponse(candidates, stats);
+    }
+    case Op::kApproxKnn: {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      mindex::SearchStats stats;
+      SIMCLOUD_ASSIGN_OR_RETURN(
+          mindex::CandidateList candidates,
+          index_->ApproxKnnCandidates(request.query, request.cand_size,
+                                      &stats));
+      lock.unlock();
+      AccumulateStats(stats);
+      return EncodeCandidateResponse(candidates, stats);
+    }
+    case Op::kGetStats: {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      return EncodeStatsResponse(index_->Stats());
+    }
+    case Op::kDelete: {
+      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      SIMCLOUD_RETURN_NOT_OK(
+          index_->Delete(request.delete_id, {}, request.delete_permutation));
+      return EncodeInsertResponse(1);
+    }
+  }
+  return Status::Corruption("unhandled opcode");
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,59 @@
+// Server side of the Encrypted M-Index: an M-Index behind the wire
+// protocol. The server holds no secret — it sees only pivot permutations
+// / (optionally transformed) pivot distances and AES ciphertexts, and
+// implements Algorithms 3 and 4 of the paper.
+
+#ifndef SIMCLOUD_SECURE_SERVER_H_
+#define SIMCLOUD_SECURE_SERVER_H_
+
+#include <memory>
+#include <shared_mutex>
+
+#include "mindex/mindex.h"
+#include "net/transport.h"
+#include "secure/protocol.h"
+
+namespace simcloud {
+namespace secure {
+
+/// Request handler wrapping a server-side M-Index.
+///
+/// Handle() is safe for concurrent calls: mutating requests (insert,
+/// delete) take an exclusive lock, searches and stats take a shared lock,
+/// so a multi-client TcpServer can drive one instance from many
+/// connection threads (paper: "parallel, potentially distributed").
+class EncryptedMIndexServer : public net::RequestHandler {
+ public:
+  /// Creates the server with an empty index configured by `options`.
+  static Result<std::unique_ptr<EncryptedMIndexServer>> Create(
+      const mindex::MIndexOptions& options);
+
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  /// Direct access for white-box tests and stats.
+  const mindex::MIndex& index() const { return *index_; }
+
+  /// Search statistics accumulated over all handled queries.
+  mindex::SearchStats total_search_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return total_stats_;
+  }
+
+ private:
+  explicit EncryptedMIndexServer(std::unique_ptr<mindex::MIndex> index)
+      : index_(std::move(index)) {}
+
+  void AccumulateStats(const mindex::SearchStats& stats);
+
+  std::unique_ptr<mindex::MIndex> index_;
+  /// Readers-writer lock over the index: searches run concurrently,
+  /// inserts/deletes exclusively.
+  mutable std::shared_mutex index_mutex_;
+  mutable std::mutex stats_mutex_;  // guards total_stats_ only
+  mindex::SearchStats total_stats_;
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_SERVER_H_

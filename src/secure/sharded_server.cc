@@ -1,0 +1,143 @@
+#include "secure/sharded_server.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace simcloud {
+namespace secure {
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
+    const mindex::MIndexOptions& options, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    mindex::MIndexOptions shard_options = options;
+    if (!shard_options.disk_path.empty()) {
+      shard_options.disk_path += "." + std::to_string(i);
+    }
+    SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<EncryptedMIndexServer> shard,
+                              EncryptedMIndexServer::Create(shard_options));
+    shards.push_back(std::move(shard));
+  }
+  return std::unique_ptr<ShardedServer>(new ShardedServer(std::move(shards)));
+}
+
+size_t ShardedServer::OwnerOf(const mindex::Permutation& permutation) const {
+  return permutation.empty() ? 0 : permutation[0] % shards_.size();
+}
+
+namespace {
+
+/// First permutation element of an insert item: the stored permutation's
+/// head, or the closest pivot derived from the distances (ties to the
+/// lower index, matching DistancesToPermutation).
+uint32_t FirstPivotOf(const InsertItem& item) {
+  if (!item.permutation.empty()) return item.permutation[0];
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < item.pivot_distances.size(); ++i) {
+    if (item.pivot_distances[i] < item.pivot_distances[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+uint64_t ShardedServer::TotalObjects() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->index().size();
+  return total;
+}
+
+Result<Bytes> ShardedServer::FanOut(const Bytes& request, size_t limit) {
+  std::vector<Result<Bytes>> responses(shards_.size(),
+                                       Status::Internal("not run"));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      threads.emplace_back([this, i, &request, &responses] {
+        responses[i] = shards_[i]->Handle(request);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  mindex::CandidateList merged;
+  mindex::SearchStats stats;
+  for (const auto& response : responses) {
+    SIMCLOUD_RETURN_NOT_OK(response.status());
+    SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse decoded,
+                              DecodeCandidateResponse(*response));
+    stats.cells_visited += decoded.stats.cells_visited;
+    stats.cells_pruned += decoded.stats.cells_pruned;
+    stats.entries_scanned += decoded.stats.entries_scanned;
+    stats.entries_filtered += decoded.stats.entries_filtered;
+    for (auto& candidate : decoded.candidates) {
+      merged.push_back(std::move(candidate));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const mindex::Candidate& a, const mindex::Candidate& b) {
+                     return a.score < b.score;
+                   });
+  if (limit > 0 && merged.size() > limit) merged.resize(limit);
+  stats.candidates = merged.size();
+  return EncodeCandidateResponse(merged, stats);
+}
+
+Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
+  switch (request.op) {
+    case Op::kInsertBatch: {
+      // Partition the batch by owning shard, forward sub-batches.
+      std::vector<std::vector<InsertItem>> per_shard(shards_.size());
+      for (auto& item : request.insert_items) {
+        per_shard[FirstPivotOf(item) % shards_.size()].push_back(
+            std::move(item));
+      }
+      uint64_t inserted = 0;
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (per_shard[i].empty()) continue;
+        SIMCLOUD_ASSIGN_OR_RETURN(
+            Bytes response,
+            shards_[i]->Handle(EncodeInsertBatchRequest(per_shard[i])));
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count,
+                                  DecodeInsertResponse(response));
+        inserted += count;
+      }
+      return EncodeInsertResponse(inserted);
+    }
+    case Op::kRangeSearch:
+      // Every shard prunes its own subtrees; the union of the per-shard
+      // candidate supersets is a superset for the whole collection.
+      return FanOut(request_bytes, /*limit=*/0);
+    case Op::kApproxKnn:
+      // Each shard contributes up to the full budget; the merge keeps
+      // the globally best-ranked cand_size candidates. Whole-cell
+      // queries return the union of per-shard best cells untrimmed.
+      return FanOut(request_bytes,
+                    request.query.whole_cells ? 0 : request.cand_size);
+    case Op::kGetStats: {
+      mindex::IndexStats total;
+      for (const auto& shard : shards_) {
+        const mindex::IndexStats stats = shard->index().Stats();
+        total.object_count += stats.object_count;
+        total.leaf_count += stats.leaf_count;
+        total.inner_count += stats.inner_count;
+        total.max_depth = std::max(total.max_depth, stats.max_depth);
+        total.storage_bytes += stats.storage_bytes;
+      }
+      return EncodeStatsResponse(total);
+    }
+    case Op::kDelete:
+      return shards_[OwnerOf(request.delete_permutation)]->Handle(
+          request_bytes);
+  }
+  return Status::Corruption("unhandled opcode");
+}
+
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,78 @@
+// Sharded similarity cloud: the Encrypted M-Index distributed over
+// multiple server nodes.
+//
+// The paper deploys the M-Index as a "disk-efficient, parallel,
+// potentially distributed" server (Section 6) — the similarity *cloud* of
+// the title. This module provides that deployment shape: N independent
+// M-Index shards behind one RequestHandler facade. Placement follows the
+// recursive Voronoi partitioning itself — an object lives on the shard
+// owning its first permutation element (its closest secret pivot), so
+// each top-level Voronoi cell is wholly on one node and cell-local
+// operations never cross shards.
+//
+//   * insert / delete  — routed to the owning shard by permutation[0];
+//   * range search     — fanned out to every shard in parallel (each
+//     prunes its own subtree), candidate lists concatenated; the same
+//     superset-of-true-results guarantee as the single-node index;
+//   * approximate k-NN — fanned out with the full budget, merged by
+//     pre-rank score, trimmed to the budget;
+//   * stats            — aggregated.
+//
+// Privacy is unchanged: every shard stores exactly what the single
+// untrusted server stored (permutations / transformed distances and
+// ciphertext). Authorized clients connect through the facade without
+// modification — EncryptionClient works against a ShardedServer as-is.
+
+#ifndef SIMCLOUD_SECURE_SHARDED_SERVER_H_
+#define SIMCLOUD_SECURE_SHARDED_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "mindex/mindex.h"
+#include "net/transport.h"
+#include "secure/protocol.h"
+#include "secure/server.h"
+
+namespace simcloud {
+namespace secure {
+
+/// A fleet of EncryptedMIndexServer shards behind one request handler.
+class ShardedServer : public net::RequestHandler {
+ public:
+  /// Creates `num_shards` (>= 1) identically-configured shards. The
+  /// per-shard options are `options` with the disk path suffixed by the
+  /// shard number (when disk storage is configured).
+  static Result<std::unique_ptr<ShardedServer>> Create(
+      const mindex::MIndexOptions& options, size_t num_shards);
+
+  Result<Bytes> Handle(const Bytes& request) override;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Direct access for white-box tests.
+  const EncryptedMIndexServer& shard(size_t i) const { return *shards_[i]; }
+
+  /// Total object count across shards.
+  uint64_t TotalObjects() const;
+
+ private:
+  explicit ShardedServer(
+      std::vector<std::unique_ptr<EncryptedMIndexServer>> shards)
+      : shards_(std::move(shards)) {}
+
+  /// Shard owning a routing permutation: permutation[0] mod num_shards.
+  /// Objects of one top-level Voronoi cell always land together.
+  size_t OwnerOf(const mindex::Permutation& permutation) const;
+
+  /// Runs `op(shard)` on every shard concurrently and concatenates the
+  /// candidate responses (merged stats), trimming to `limit` by score
+  /// when limit > 0.
+  Result<Bytes> FanOut(const Bytes& request, size_t limit);
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_SHARDED_SERVER_H_

@@ -1,0 +1,357 @@
+// Baseline tests: each comparator (plain M-Index, trivial, EHI, MPT, FDH)
+// must return correct (or plausibly approximate) results, so the Table 9
+// comparison bench measures real algorithms, not broken ones.
+
+#include <gtest/gtest.h>
+
+#include "baselines/ehi.h"
+#include "baselines/fdh.h"
+#include "baselines/mpt.h"
+#include "baselines/plain_mindex.h"
+#include "baselines/trivial.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metric/ground_truth.h"
+
+namespace simcloud {
+namespace baselines {
+namespace {
+
+using metric::VectorObject;
+
+metric::Dataset MakeSmallDataset(uint64_t seed = 7) {
+  data::MixtureOptions options;
+  options.num_objects = 600;
+  options.dimension = 8;
+  options.num_clusters = 6;
+  options.seed = seed;
+  return metric::Dataset("test", data::MakeGaussianMixture(options),
+                         std::make_shared<metric::L2Distance>());
+}
+
+// ------------------------------------------------------------ Plain index
+
+TEST(PlainMIndexTest, ServerSideKnnMatchesGroundTruthWithFullCandidates) {
+  auto dataset = MakeSmallDataset();
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 10, 1);
+  ASSERT_TRUE(pivots.ok());
+  mindex::MIndexOptions options;
+  options.num_pivots = 10;
+  options.bucket_capacity = 50;
+  options.max_level = 4;
+  auto server = PlainMIndexServer::Create(options, std::move(pivots).value(),
+                                          dataset.distance());
+  ASSERT_TRUE(server.ok());
+  net::LoopbackTransport transport(server->get());
+  PlainClient client(&transport);
+  ASSERT_TRUE(client.InsertBulk(dataset.objects(), 200).ok());
+
+  Rng rng(2);
+  for (int iter = 0; iter < 6; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const auto exact = metric::LinearKnnSearch(dataset, query, 10);
+    // Candidate set = whole collection => exact result.
+    auto answer = client.ApproxKnn(query, 10, dataset.size());
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+  EXPECT_GT((*server)->costs().distance_computations, 0u);
+}
+
+TEST(PlainMIndexTest, RangeSearchIsExact) {
+  auto dataset = MakeSmallDataset(8);
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 10, 1);
+  ASSERT_TRUE(pivots.ok());
+  mindex::MIndexOptions options;
+  options.num_pivots = 10;
+  options.max_level = 4;
+  auto server = PlainMIndexServer::Create(options, std::move(pivots).value(),
+                                          dataset.distance());
+  ASSERT_TRUE(server.ok());
+  net::LoopbackTransport transport(server->get());
+  PlainClient client(&transport);
+  ASSERT_TRUE(client.InsertBulk(dataset.objects(), 200).ok());
+
+  Rng rng(3);
+  for (int iter = 0; iter < 6; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const double radius = rng.NextUniform(10.0, 60.0);
+    const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+    auto answer = client.RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+}
+
+TEST(PlainMIndexTest, AnswerCommunicationIsConstantInCandSize) {
+  // The paper's key contrast (Tables 7/8): the plain server returns only k
+  // objects, so communication does not grow with the candidate set.
+  auto dataset = MakeSmallDataset(9);
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 10, 1);
+  ASSERT_TRUE(pivots.ok());
+  mindex::MIndexOptions options;
+  options.num_pivots = 10;
+  options.max_level = 4;
+  auto server = PlainMIndexServer::Create(options, std::move(pivots).value(),
+                                          dataset.distance());
+  ASSERT_TRUE(server.ok());
+  net::LoopbackTransport transport(server->get());
+  PlainClient client(&transport);
+  ASSERT_TRUE(client.InsertBulk(dataset.objects(), 200).ok());
+
+  transport.ResetCosts();
+  ASSERT_TRUE(client.ApproxKnn(dataset.objects()[0], 30, 50).ok());
+  const uint64_t volume_small = transport.costs().bytes_received;
+  transport.ResetCosts();
+  ASSERT_TRUE(client.ApproxKnn(dataset.objects()[0], 30, 500).ok());
+  const uint64_t volume_large = transport.costs().bytes_received;
+  EXPECT_NEAR(static_cast<double>(volume_large),
+              static_cast<double>(volume_small), volume_small * 0.1);
+}
+
+// --------------------------------------------------------------- Trivial
+
+TEST(TrivialTest, ExactResultsAndFullDownload) {
+  auto dataset = MakeSmallDataset(10);
+  BlobStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client = TrivialClient::Create(Bytes(16, 3), dataset.distance(),
+                                      &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->InsertBulk(dataset.objects(), 200).ok());
+  EXPECT_EQ(server.size(), dataset.size());
+
+  const VectorObject& query = dataset.objects()[17];
+  const auto exact = metric::LinearKnnSearch(dataset, query, 7);
+  transport.ResetCosts();
+  auto answer = client->Knn(query, 7);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ((*answer)[i].id, exact[i].id);
+  }
+  // The whole encrypted collection crossed the wire: >= n * (IV + 1 block).
+  EXPECT_GE(transport.costs().bytes_received, dataset.size() * 32);
+}
+
+TEST(TrivialTest, RangeSearchIsExact) {
+  auto dataset = MakeSmallDataset(11);
+  BlobStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client = TrivialClient::Create(Bytes(16, 3), dataset.distance(),
+                                      &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->InsertBulk(dataset.objects(), 200).ok());
+  const VectorObject& query = dataset.objects()[3];
+  const auto exact = metric::LinearRangeSearch(dataset, query, 30.0);
+  auto answer = client->RangeSearch(query, 30.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), exact.size());
+}
+
+// ------------------------------------------------------------------- EHI
+
+class EhiTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EhiTest, KnnIsExact) {
+  auto dataset = MakeSmallDataset(GetParam());
+  EhiNodeStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      EhiClient::Create(Bytes(16, 4), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildAndUpload(dataset.objects()).ok());
+  EXPECT_GT(server.node_count(), 1u);
+
+  Rng rng(GetParam() + 100);
+  for (int iter = 0; iter < 5; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const auto exact = metric::LinearKnnSearch(dataset, query, 5);
+    auto answer = client->Knn(query, 5);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id) << "query iter " << iter;
+    }
+  }
+  EXPECT_GT(client->costs().nodes_fetched, 0u);
+  EXPECT_GT(client->costs().decryption_nanos, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EhiTest, ::testing::Values(20, 21, 22));
+
+TEST(EhiTest, RangeSearchIsExact) {
+  auto dataset = MakeSmallDataset(25);
+  EhiNodeStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      EhiClient::Create(Bytes(16, 4), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildAndUpload(dataset.objects()).ok());
+
+  const VectorObject& query = dataset.objects()[40];
+  for (double radius : {5.0, 25.0, 80.0}) {
+    const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+    auto answer = client->RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size()) << "radius " << radius;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+}
+
+TEST(EhiTest, DegenerateIdenticalObjectsStillBuild) {
+  std::vector<VectorObject> identical;
+  for (int i = 0; i < 200; ++i) {
+    identical.emplace_back(i, std::vector<float>{1.0f, 2.0f});
+  }
+  EhiNodeStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client = EhiClient::Create(
+      Bytes(16, 4), std::make_shared<metric::L2Distance>(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildAndUpload(identical).ok());
+  auto answer = client->Knn(VectorObject(999, {1.0f, 2.0f}), 3);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 3u);
+}
+
+TEST(EhiTest, CommunicationGrowsWithNodesFetched) {
+  auto dataset = MakeSmallDataset(26);
+  EhiNodeStoreServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      EhiClient::Create(Bytes(16, 4), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildAndUpload(dataset.objects()).ok());
+  transport.ResetCosts();
+  client->ResetCosts();
+  ASSERT_TRUE(client->Knn(dataset.objects()[0], 5).ok());
+  EXPECT_EQ(transport.costs().calls, client->costs().nodes_fetched);
+  EXPECT_GT(transport.costs().calls, 1u);
+}
+
+// ------------------------------------------------------------------- MPT
+
+TEST(MptTest, RangeSearchIsExact) {
+  auto dataset = MakeSmallDataset(30);
+  MptServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      MptClient::Create(Bytes(16, 5), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildKey(dataset.SampleQueries(150, 31)).ok());
+  ASSERT_TRUE(client->InsertBulk(dataset.objects(), 200).ok());
+  EXPECT_EQ(server.size(), dataset.size());
+
+  Rng rng(32);
+  for (int iter = 0; iter < 5; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const double radius = rng.NextUniform(10.0, 50.0);
+    const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+    auto answer = client->RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+}
+
+TEST(MptTest, KnnIsExact) {
+  auto dataset = MakeSmallDataset(33);
+  MptServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      MptClient::Create(Bytes(16, 5), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildKey(dataset.SampleQueries(150, 34)).ok());
+  ASSERT_TRUE(client->InsertBulk(dataset.objects(), 200).ok());
+
+  Rng rng(35);
+  for (int iter = 0; iter < 5; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const auto exact = metric::LinearKnnSearch(dataset, query, 8);
+    auto answer = client->Knn(query, 8);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+  EXPECT_GT(client->costs().probe_rounds, 0u);
+}
+
+TEST(MptTest, RequiresBuildKeyFirst) {
+  auto dataset = MakeSmallDataset(36);
+  MptServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      MptClient::Create(Bytes(16, 5), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->InsertBulk(dataset.objects()).ok());
+  EXPECT_FALSE(client->RangeSearch(dataset.objects()[0], 1.0).ok());
+  EXPECT_FALSE(client->Knn(dataset.objects()[0], 3).ok());
+}
+
+// ------------------------------------------------------------------- FDH
+
+TEST(FdhTest, KnnReturnsKWithReasonableRecall) {
+  auto dataset = MakeSmallDataset(40);
+  FdhServer server;
+  net::LoopbackTransport transport(&server);
+  auto client =
+      FdhClient::Create(Bytes(16, 6), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->BuildKey(dataset.SampleQueries(150, 41)).ok());
+  ASSERT_TRUE(client->InsertBulk(dataset.objects(), 200).ok());
+  EXPECT_GT(server.bucket_count(), 1u);
+
+  Rng rng(42);
+  double recall_total = 0;
+  const int query_count = 10;
+  for (int iter = 0; iter < query_count; ++iter) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const auto exact = metric::LinearKnnSearch(dataset, query, 5);
+    auto answer = client->Knn(query, 5, 200);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer->size(), 5u);
+    recall_total += metric::RecallPercent(*answer, exact);
+  }
+  // Approximate: not exact, but with a third of the collection as the
+  // candidate budget recall must be substantial.
+  EXPECT_GT(recall_total / query_count, 50.0);
+}
+
+TEST(FdhTest, ValidatesConfiguration) {
+  auto metric = std::make_shared<metric::L2Distance>();
+  net::LoopbackTransport transport(nullptr);
+  FdhOptions bad;
+  bad.num_bits = 0;
+  EXPECT_FALSE(FdhClient::Create(Bytes(16), metric, &transport, bad).ok());
+  bad.num_bits = 65;
+  EXPECT_FALSE(FdhClient::Create(Bytes(16), metric, &transport, bad).ok());
+
+  auto dataset = MakeSmallDataset(43);
+  auto client = FdhClient::Create(Bytes(16, 1), dataset.distance(), &transport);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->BuildKey(dataset.SampleQueries(5, 1)).ok())
+      << "sample smaller than num_bits must be rejected";
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace simcloud

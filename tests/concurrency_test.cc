@@ -1,0 +1,221 @@
+// Concurrency tests: one Encrypted M-Index server driven by many client
+// threads over real TCP and over loopback — concurrent searches must
+// return exactly what a single-threaded client gets, and interleaved
+// writers/readers must never corrupt the index.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metric/ground_truth.h"
+#include "net/tcp.h"
+#include "secure/client.h"
+#include "secure/server.h"
+
+namespace simcloud {
+namespace secure {
+namespace {
+
+using metric::VectorObject;
+
+metric::Dataset MakeDataset(uint64_t seed, size_t n = 600) {
+  data::MixtureOptions options;
+  options.num_objects = n;
+  options.dimension = 8;
+  options.num_clusters = 5;
+  options.seed = seed;
+  return metric::Dataset("ctest", data::MakeGaussianMixture(options),
+                         std::make_shared<metric::L2Distance>());
+}
+
+TEST(ConcurrencyTest, ParallelTcpClientsGetExactAnswers) {
+  auto dataset = MakeDataset(201);
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 8, 202);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x61));
+  ASSERT_TRUE(key.ok());
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 8;
+  options.bucket_capacity = 40;
+  options.max_level = 4;
+  auto handler = EncryptedMIndexServer::Create(options);
+  ASSERT_TRUE(handler.ok());
+  net::TcpServer server(handler->get());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  {
+    // The data owner loads the index once.
+    auto owner_transport = net::TcpTransport::Connect("127.0.0.1",
+                                                      server.port());
+    ASSERT_TRUE(owner_transport.ok());
+    EncryptionClient owner(*key, dataset.distance(), owner_transport->get());
+    ASSERT_TRUE(owner
+                    .InsertBulk(dataset.objects(), InsertStrategy::kPrecise,
+                                200)
+                    .ok());
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+      if (!transport.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      EncryptionClient client(*key, dataset.distance(), transport->get());
+      Rng rng(300 + c);
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const VectorObject& query =
+            dataset.objects()[rng.NextBounded(dataset.size())];
+        const double radius = rng.NextUniform(1.0, 3.0);
+        const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+        auto answer = client.RangeSearch(query, radius);
+        if (!answer.ok() || answer->size() != exact.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t i = 0; i < exact.size(); ++i) {
+          if ((*answer)[i].id != exact[i].id) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kClients));
+  server.Stop();
+}
+
+TEST(ConcurrencyTest, ConcurrentReadersAndWritersKeepIndexConsistent) {
+  auto dataset = MakeDataset(211, 800);
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 8, 212);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x62));
+  ASSERT_TRUE(key.ok());
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 8;
+  options.bucket_capacity = 30;
+  options.max_level = 4;
+  auto handler = EncryptedMIndexServer::Create(options);
+  ASSERT_TRUE(handler.ok());
+  net::TcpServer server(handler->get());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Preload the first half; writers insert the second half while readers
+  // query continuously.
+  const size_t half = dataset.size() / 2;
+  {
+    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(transport.ok());
+    EncryptionClient owner(*key, dataset.distance(), transport->get());
+    std::vector<VectorObject> first_half(dataset.objects().begin(),
+                                         dataset.objects().begin() + half);
+    ASSERT_TRUE(
+        owner.InsertBulk(first_half, InsertStrategy::kPrecise, 200).ok());
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> writers_done{false};
+
+  std::thread writer([&] {
+    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    if (!transport.ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    EncryptionClient client(*key, dataset.distance(), transport->get());
+    for (size_t i = half; i < dataset.size(); ++i) {
+      if (!client.Insert(dataset.objects()[i], InsertStrategy::kPrecise)
+               .ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+      if (!transport.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      EncryptionClient client(*key, dataset.distance(), transport->get());
+      Rng rng(400 + r);
+      while (!writers_done.load()) {
+        // Query within the preloaded half: those objects are always
+        // present, so the answer must always contain the query itself.
+        const VectorObject& query =
+            dataset.objects()[rng.NextBounded(half)];
+        auto answer = client.ApproxKnn(query, 1, 50);
+        if (!answer.ok() || answer->empty()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  writers_done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the dust settles the index holds everything and is consistent.
+  auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+  EncryptionClient client(*key, dataset.distance(), transport->get());
+  auto stats = client.GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->object_count, dataset.size());
+  EXPECT_TRUE(handler->get()->index().CheckInvariants().ok());
+  server.Stop();
+}
+
+TEST(ConcurrencyTest, ServerStopWhileClientsConnectedIsClean) {
+  auto dataset = MakeDataset(221, 100);
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 6, 222);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x63));
+  ASSERT_TRUE(key.ok());
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 6;
+  options.max_level = 3;
+  auto handler = EncryptedMIndexServer::Create(options);
+  ASSERT_TRUE(handler.ok());
+  auto server = std::make_unique<net::TcpServer>(handler->get());
+  ASSERT_TRUE(server->Start(0).ok());
+
+  auto transport = net::TcpTransport::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(transport.ok());
+  EncryptionClient client(*key, dataset.distance(), transport->get());
+  ASSERT_TRUE(
+      client.InsertBulk(dataset.objects(), InsertStrategy::kPrecise, 50)
+          .ok());
+
+  // Stop with the connection still open: must join cleanly, and the
+  // client must observe an error rather than hanging.
+  server->Stop();
+  auto after = client.RangeSearch(dataset.objects()[0], 1.0);
+  EXPECT_FALSE(after.ok());
+}
+
+}  // namespace
+}  // namespace secure
+}  // namespace simcloud

@@ -1,0 +1,447 @@
+// Crypto substrate tests: AES against FIPS-197 / NIST SP 800-38A known
+// answers, SHA-256 and HMAC-SHA256 against FIPS/RFC vectors, PBKDF2
+// against published vectors, plus round-trip and tamper-detection
+// property tests for the Cipher wrapper.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/cipher.h"
+#include "crypto/hmac.h"
+#include "crypto/secure_random.h"
+#include "crypto/sha256.h"
+
+namespace simcloud {
+namespace crypto {
+namespace {
+
+Bytes Hex(const std::string& h) {
+  auto r = FromHex(h);
+  EXPECT_TRUE(r.ok()) << h;
+  return r.value_or(Bytes{});
+}
+
+// ---------------------------------------------------------------- AES KATs
+
+TEST(AesTest, Fips197Appendix_Aes128) {
+  // FIPS-197 Appendix C.1.
+  auto aes = Aes::Create(Hex("000102030405060708090a0b0c0d0e0f"));
+  ASSERT_TRUE(aes.ok());
+  const Bytes plaintext = Hex("00112233445566778899aabbccddeeff");
+  uint8_t out[16];
+  aes->EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(out, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  uint8_t back[16];
+  aes->DecryptBlock(out, back);
+  EXPECT_EQ(ToHex(back, 16), "00112233445566778899aabbccddeeff");
+}
+
+TEST(AesTest, Fips197Appendix_Aes192) {
+  // FIPS-197 Appendix C.2.
+  auto aes =
+      Aes::Create(Hex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 12);
+  const Bytes plaintext = Hex("00112233445566778899aabbccddeeff");
+  uint8_t out[16];
+  aes->EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(out, 16), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesTest, Fips197Appendix_Aes256) {
+  // FIPS-197 Appendix C.3.
+  auto aes = Aes::Create(Hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 14);
+  const Bytes plaintext = Hex("00112233445566778899aabbccddeeff");
+  uint8_t out[16];
+  aes->EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(out, 16), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, Sp800_38a_Ecb128Vectors) {
+  // NIST SP 800-38A F.1.1 (ECB-AES128) block 1 and 2.
+  auto aes = Aes::Create(Hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.ok());
+  uint8_t out[16];
+  aes->EncryptBlock(Hex("6bc1bee22e409f96e93d7e117393172a").data(), out);
+  EXPECT_EQ(ToHex(out, 16), "3ad77bb40d7a3660a89ecaf32466ef97");
+  aes->EncryptBlock(Hex("ae2d8a571e03ac9c9eb76fac45af8e51").data(), out);
+  EXPECT_EQ(ToHex(out, 16), "f5d3d58503b9699de785895a96fdbaaf");
+}
+
+TEST(AesTest, RejectsBadKeySizes) {
+  EXPECT_FALSE(Aes::Create(Bytes(15)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(17)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(0)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(16)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(24)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(32)).ok());
+}
+
+TEST(AesTest, EncryptDecryptAllKeySizes) {
+  Rng rng(100);
+  for (size_t key_len : {16u, 24u, 32u}) {
+    Bytes key(key_len);
+    for (auto& b : key) b = static_cast<uint8_t>(rng.NextBounded(256));
+    auto aes = Aes::Create(key);
+    ASSERT_TRUE(aes.ok());
+    for (int i = 0; i < 50; ++i) {
+      uint8_t block[16], enc[16], dec[16];
+      for (auto& b : block) b = static_cast<uint8_t>(rng.NextBounded(256));
+      aes->EncryptBlock(block, enc);
+      aes->DecryptBlock(enc, dec);
+      EXPECT_EQ(ToHex(dec, 16), ToHex(block, 16));
+    }
+  }
+}
+
+// ------------------------------------------------------------- CBC / CTR
+
+TEST(CipherTest, Sp800_38a_Cbc128FirstBlock) {
+  // NIST SP 800-38A F.2.1: CBC-AES128.Encrypt, segment 1.
+  auto cipher = Cipher::Create(Hex("2b7e151628aed2a6abf7158809cf4f3c"),
+                               CipherMode::kCbc);
+  ASSERT_TRUE(cipher.ok());
+  const Bytes iv = Hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes plaintext = Hex("6bc1bee22e409f96e93d7e117393172a");
+  auto ct = cipher->EncryptWithIv(plaintext, iv);
+  ASSERT_TRUE(ct.ok());
+  // Layout: IV || C1 || padding block. First ciphertext block must match.
+  EXPECT_EQ(ToHex(ct->data() + 16, 16), "7649abac8119b246cee98e9b12e9197d");
+  auto back = cipher->Decrypt(*ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, plaintext);
+}
+
+TEST(CipherTest, Sp800_38a_Ctr128) {
+  // NIST SP 800-38A F.5.1: CTR-AES128.Encrypt, all four segments.
+  auto cipher = Cipher::Create(Hex("2b7e151628aed2a6abf7158809cf4f3c"),
+                               CipherMode::kCtr);
+  ASSERT_TRUE(cipher.ok());
+  const Bytes iv = Hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plaintext = Hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  auto ct = cipher->EncryptWithIv(plaintext, iv);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ToHex(ct->data() + 16, ct->size() - 16),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(CipherTest, CiphertextSizeFormulas) {
+  auto cbc = Cipher::Create(Bytes(16, 1), CipherMode::kCbc);
+  auto ctr = Cipher::Create(Bytes(16, 1), CipherMode::kCtr);
+  ASSERT_TRUE(cbc.ok());
+  ASSERT_TRUE(ctr.ok());
+  EXPECT_EQ(cbc->CiphertextSize(0), 32u);    // IV + 1 padding block
+  EXPECT_EQ(cbc->CiphertextSize(15), 32u);
+  EXPECT_EQ(cbc->CiphertextSize(16), 48u);   // full block forces extra pad
+  EXPECT_EQ(ctr->CiphertextSize(0), 16u);
+  EXPECT_EQ(ctr->CiphertextSize(100), 116u);
+}
+
+class CipherRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<CipherMode, uint64_t>> {};
+
+TEST_P(CipherRoundTripTest, RandomMessagesRoundTrip) {
+  const auto [mode, seed] = GetParam();
+  Rng rng(seed);
+  Bytes key(16);
+  for (auto& b : key) b = static_cast<uint8_t>(rng.NextBounded(256));
+  auto cipher = Cipher::Create(key, mode);
+  ASSERT_TRUE(cipher.ok());
+
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u, 1000u}) {
+    Bytes plaintext(len);
+    for (auto& b : plaintext) b = static_cast<uint8_t>(rng.NextBounded(256));
+    auto ct = cipher->Encrypt(plaintext);
+    ASSERT_TRUE(ct.ok());
+    EXPECT_EQ(ct->size(), cipher->CiphertextSize(len));
+    auto back = cipher->Decrypt(*ct);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, plaintext);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, CipherRoundTripTest,
+    ::testing::Combine(::testing::Values(CipherMode::kCbc, CipherMode::kCtr),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(CipherTest, FreshIvRandomizesCiphertext) {
+  auto cipher = Cipher::Create(Bytes(16, 7), CipherMode::kCbc);
+  ASSERT_TRUE(cipher.ok());
+  const Bytes plaintext(64, 0x42);
+  auto c1 = cipher->Encrypt(plaintext);
+  auto c2 = cipher->Encrypt(plaintext);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2) << "same plaintext must not produce same ciphertext";
+}
+
+TEST(CipherTest, RejectsShortCiphertext) {
+  auto cipher = Cipher::Create(Bytes(16, 7), CipherMode::kCbc);
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_FALSE(cipher->Decrypt(Bytes(8)).ok());
+  EXPECT_FALSE(cipher->Decrypt(Bytes(16)).ok());  // IV only, no body
+  EXPECT_FALSE(cipher->Decrypt(Bytes(40)).ok());  // unaligned body
+}
+
+TEST(CipherTest, RejectsWrongIvSize) {
+  auto cipher = Cipher::Create(Bytes(16, 7), CipherMode::kCbc);
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_FALSE(cipher->EncryptWithIv(Bytes(10), Bytes(8)).ok());
+}
+
+TEST(CipherTest, PaddingTamperDetected) {
+  auto cipher = Cipher::Create(Bytes(16, 7), CipherMode::kCbc);
+  ASSERT_TRUE(cipher.ok());
+  auto ct = cipher->Encrypt(Bytes(20, 0x55));
+  ASSERT_TRUE(ct.ok());
+  // Corrupt the last ciphertext byte: padding check should usually fail
+  // (probability of accidental valid padding is small but non-zero; the
+  // chosen plaintext/key here is deterministic, so this test is stable).
+  Bytes tampered = *ct;
+  tampered.back() ^= 0xFF;
+  auto r = cipher->Decrypt(tampered);
+  if (r.ok()) {
+    EXPECT_NE(*r, Bytes(20, 0x55));  // at minimum the content changed
+  }
+}
+
+TEST(Pkcs7Test, PadUnpadAllResidues) {
+  for (size_t len = 0; len <= 48; ++len) {
+    Bytes data(len, 0xAA);
+    Bytes padded = Pkcs7Pad(data, 16);
+    EXPECT_EQ(padded.size() % 16, 0u);
+    EXPECT_GT(padded.size(), data.size());
+    auto back = Pkcs7Unpad(padded, 16);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(Pkcs7Test, RejectsMalformedPadding) {
+  EXPECT_FALSE(Pkcs7Unpad(Bytes{}, 16).ok());
+  EXPECT_FALSE(Pkcs7Unpad(Bytes(15, 1), 16).ok());        // unaligned
+  Bytes zero_pad(16, 0);
+  EXPECT_FALSE(Pkcs7Unpad(zero_pad, 16).ok());            // pad byte 0
+  Bytes too_big(16, 17);
+  EXPECT_FALSE(Pkcs7Unpad(too_big, 16).ok());             // pad byte > block
+  Bytes inconsistent(16, 4);
+  inconsistent[13] = 3;
+  EXPECT_FALSE(Pkcs7Unpad(inconsistent, 16).ok());        // mixed pad bytes
+}
+
+// ----------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(ToHex(Sha256::Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const std::string abc = "abc";
+  EXPECT_EQ(ToHex(Sha256::Hash(Bytes(abc.begin(), abc.end()))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const std::string two_blocks =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(ToHex(Sha256::Hash(Bytes(two_blocks.begin(), two_blocks.end()))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  auto digest = hasher.Finish();
+  EXPECT_EQ(ToHex(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(77);
+  Bytes data(777);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextBounded(256));
+  Sha256 hasher;
+  size_t off = 0;
+  while (off < data.size()) {
+    const size_t take = std::min<size_t>(1 + rng.NextBounded(100),
+                                         data.size() - off);
+    hasher.Update(data.data() + off, take);
+    off += take;
+  }
+  auto incremental = hasher.Finish();
+  EXPECT_EQ(Bytes(incremental.begin(), incremental.end()),
+            Sha256::Hash(data));
+}
+
+// -------------------------------------------------------------- HMAC/PBKDF2
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  EXPECT_EQ(ToHex(HmacSha256(key, Bytes(msg.begin(), msg.end()))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  EXPECT_EQ(ToHex(HmacSha256(Bytes(key.begin(), key.end()),
+                             Bytes(msg.begin(), msg.end()))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6_LongKey) {
+  const Bytes key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(ToHex(HmacSha256(key, Bytes(msg.begin(), msg.end()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Pbkdf2Test, KnownVectors) {
+  const std::string p = "password", s = "salt";
+  const Bytes password(p.begin(), p.end());
+  const Bytes salt(s.begin(), s.end());
+  auto dk1 = Pbkdf2Sha256(password, salt, 1, 32);
+  ASSERT_TRUE(dk1.ok());
+  EXPECT_EQ(ToHex(*dk1),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b");
+  auto dk2 = Pbkdf2Sha256(password, salt, 2, 32);
+  ASSERT_TRUE(dk2.ok());
+  EXPECT_EQ(ToHex(*dk2),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43");
+  auto dk4096 = Pbkdf2Sha256(password, salt, 4096, 32);
+  ASSERT_TRUE(dk4096.ok());
+  EXPECT_EQ(ToHex(*dk4096),
+            "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a");
+}
+
+TEST(Pbkdf2Test, MultiBlockOutput) {
+  const std::string p = "passwordPASSWORDpassword";
+  const std::string s = "saltSALTsaltSALTsaltSALTsaltSALTsalt";
+  auto dk = Pbkdf2Sha256(Bytes(p.begin(), p.end()), Bytes(s.begin(), s.end()),
+                         4096, 40);
+  ASSERT_TRUE(dk.ok());
+  EXPECT_EQ(ToHex(*dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"
+            "c635518c7dac47e9");
+}
+
+TEST(Pbkdf2Test, RejectsBadArguments) {
+  EXPECT_FALSE(Pbkdf2Sha256({}, {}, 0, 16).ok());
+  EXPECT_FALSE(Pbkdf2Sha256({}, {}, 1, 0).ok());
+}
+
+// ----------------------------------------------------------- SecureRandom
+
+TEST(SecureRandomTest, ProducesRequestedLengthAndVaries) {
+  auto a = SecureRandom::Generate(32);
+  auto b = SecureRandom::Generate(32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size(), 32u);
+  EXPECT_NE(*a, *b);
+}
+
+// ------------------------------------------------------------------ AEAD
+
+TEST(AeadTest, SealOpenRoundTrip) {
+  auto aead = AeadCipher::Create(Bytes(16, 0xAB));
+  ASSERT_TRUE(aead.ok());
+  Rng rng(77);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{17},
+                     size_t{100}, size_t{4096}}) {
+    Bytes plaintext(len);
+    for (auto& b : plaintext) b = static_cast<uint8_t>(rng.NextBounded(256));
+    auto sealed = aead->Seal(plaintext);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed->size(), AeadCipher::SealedSize(len));
+    auto opened = aead->Open(*sealed);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, plaintext);
+  }
+}
+
+TEST(AeadTest, DetectsCiphertextTampering) {
+  auto aead = AeadCipher::Create(Bytes(16, 0x01));
+  ASSERT_TRUE(aead.ok());
+  const Bytes plaintext(64, 0x5A);
+  auto sealed = aead->Seal(plaintext);
+  ASSERT_TRUE(sealed.ok());
+  // Flip one bit in every position class: IV, body, tag.
+  for (size_t pos : {size_t{0}, size_t{20}, sealed->size() - 1}) {
+    Bytes corrupted = *sealed;
+    corrupted[pos] ^= 0x80;
+    auto opened = aead->Open(corrupted);
+    EXPECT_FALSE(opened.ok()) << "tampering at byte " << pos << " undetected";
+  }
+}
+
+TEST(AeadTest, DetectsTruncation) {
+  auto aead = AeadCipher::Create(Bytes(16, 0x02));
+  ASSERT_TRUE(aead.ok());
+  auto sealed = aead->Seal(Bytes(32, 0x11));
+  ASSERT_TRUE(sealed.ok());
+  Bytes truncated(sealed->begin(), sealed->end() - 1);
+  EXPECT_FALSE(aead->Open(truncated).ok());
+  Bytes tiny(sealed->begin(), sealed->begin() + 10);
+  EXPECT_FALSE(aead->Open(tiny).ok());
+}
+
+TEST(AeadTest, AssociatedDataIsBound) {
+  auto aead = AeadCipher::Create(Bytes(16, 0x03));
+  ASSERT_TRUE(aead.ok());
+  const Bytes plaintext(24, 0x42);
+  const Bytes ad = {'c', 't', 'x'};
+  auto sealed = aead->Seal(plaintext, ad);
+  ASSERT_TRUE(sealed.ok());
+  auto ok = aead->Open(*sealed, ad);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, plaintext);
+  EXPECT_FALSE(aead->Open(*sealed, Bytes{'c', 't', 'y'}).ok());
+  EXPECT_FALSE(aead->Open(*sealed, Bytes{}).ok());
+}
+
+TEST(AeadTest, DifferentKeysCannotOpen) {
+  auto a = AeadCipher::Create(Bytes(16, 0x04));
+  auto b = AeadCipher::Create(Bytes(16, 0x05));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto sealed = a->Seal(Bytes(16, 0x77));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(b->Open(*sealed).ok());
+}
+
+TEST(AeadTest, SealedLengthEqualsPlaintextPlusOverhead) {
+  // CTR keeps the body length equal to the plaintext length, so the
+  // size formula is exact, not an upper bound.
+  auto aead = AeadCipher::Create(Bytes(32, 0x06));
+  ASSERT_TRUE(aead.ok());
+  for (size_t len = 0; len < 70; ++len) {
+    auto sealed = aead->Seal(Bytes(len, 0x01));
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed->size(),
+              len + AeadCipher::kIvSize + AeadCipher::kTagSize);
+  }
+}
+
+TEST(AeadTest, RejectsBadMasterKeySizes) {
+  EXPECT_FALSE(AeadCipher::Create(Bytes(15, 0)).ok());
+  EXPECT_FALSE(AeadCipher::Create(Bytes(0, 0)).ok());
+  EXPECT_FALSE(AeadCipher::Create(Bytes(33, 0)).ok());
+  EXPECT_TRUE(AeadCipher::Create(Bytes(24, 0)).ok());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace simcloud

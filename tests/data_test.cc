@@ -1,0 +1,150 @@
+// Synthetic-data generator tests: the three data-set profiles must match
+// the paper's Table 1 (cardinality, dimensionality, metric) and be
+// deterministic, clustered, and value-bounded.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "data/synthetic.h"
+#include "metric/ground_truth.h"
+
+namespace simcloud {
+namespace data {
+namespace {
+
+TEST(SyntheticTest, YeastProfileMatchesTable1) {
+  auto dataset = MakeYeastLike();
+  EXPECT_EQ(dataset.size(), 2882u);
+  EXPECT_EQ(dataset.dimension(), 17u);
+  EXPECT_EQ(dataset.name(), "YEAST");
+  EXPECT_EQ(dataset.distance()->Name(), "L1");
+}
+
+TEST(SyntheticTest, HumanProfileMatchesTable1) {
+  auto dataset = MakeHumanLike();
+  EXPECT_EQ(dataset.size(), 4026u);
+  EXPECT_EQ(dataset.dimension(), 96u);
+  EXPECT_EQ(dataset.name(), "HUMAN");
+  EXPECT_EQ(dataset.distance()->Name(), "L1");
+}
+
+TEST(SyntheticTest, CophirProfileMatchesTable1) {
+  auto dataset = MakeCophirLike(5000);
+  EXPECT_EQ(dataset.size(), 5000u);
+  EXPECT_EQ(dataset.dimension(), 280u);
+  EXPECT_EQ(dataset.name(), "CoPhIR");
+}
+
+TEST(SyntheticTest, CophirDistanceCoversAllDimensions) {
+  auto distance = MakeCophirDistance();
+  auto* segmented =
+      dynamic_cast<metric::SegmentedLpDistance*>(distance.get());
+  ASSERT_NE(segmented, nullptr);
+  EXPECT_EQ(segmented->TotalDimension(), 280u);
+  EXPECT_EQ(segmented->segments().size(), 5u);  // five MPEG-7 descriptors
+}
+
+TEST(SyntheticTest, GeneratorsAreDeterministic) {
+  auto a = MakeYeastLike(42);
+  auto b = MakeYeastLike(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.objects()[i], b.objects()[i]);
+  }
+  auto c = MakeYeastLike(43);
+  EXPECT_NE(a.objects()[0], c.objects()[0]);
+}
+
+TEST(SyntheticTest, ObjectIdsAreSequentialAndUnique) {
+  auto dataset = MakeHumanLike(1);
+  std::set<metric::ObjectId> ids;
+  for (const auto& o : dataset.objects()) ids.insert(o.id());
+  EXPECT_EQ(ids.size(), dataset.size());
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), dataset.size() - 1);
+}
+
+TEST(SyntheticTest, ValuesRespectClipRange) {
+  MixtureOptions options;
+  options.num_objects = 500;
+  options.dimension = 4;
+  options.min_value = -10;
+  options.max_value = 10;
+  options.center_spread = 100;  // force clipping to matter
+  options.point_stddev = 50;
+  auto objects = MakeGaussianMixture(options);
+  for (const auto& o : objects) {
+    for (float v : o.values()) {
+      EXPECT_GE(v, -10.0f);
+      EXPECT_LE(v, 10.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, RoundToIntQuantizes) {
+  MixtureOptions options;
+  options.num_objects = 100;
+  options.dimension = 3;
+  options.round_to_int = true;
+  auto objects = MakeGaussianMixture(options);
+  for (const auto& o : objects) {
+    for (float v : o.values()) {
+      EXPECT_EQ(v, std::nearbyint(v));
+    }
+  }
+}
+
+TEST(SyntheticTest, MixtureIsClustered) {
+  // Clustered data: the average 1-NN distance must be much smaller than
+  // the average distance to a random object.
+  auto dataset = MakeYeastLike(11);
+  const auto queries = dataset.SampleQueries(20, 5);
+  double nn_sum = 0, random_sum = 0;
+  for (const auto& q : queries) {
+    auto nn = metric::LinearKnnSearch(dataset, q, 2);  // [0]=self, [1]=1-NN
+    ASSERT_GE(nn.size(), 2u);
+    nn_sum += nn[1].distance;
+    random_sum += dataset.Distance(q, dataset.objects()[dataset.size() / 2]);
+  }
+  EXPECT_LT(nn_sum, random_sum * 0.8);
+}
+
+TEST(SyntheticTest, CophirValuesNonNegativeDescriptorRange) {
+  auto dataset = MakeCophirLike(500, 3);
+  for (size_t i = 0; i < dataset.size(); i += 53) {
+    for (float v : dataset.objects()[i].values()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, DefaultCophirSizeRespectsEnv) {
+  unsetenv("SIMCLOUD_COPHIR_N");
+  EXPECT_EQ(DefaultCophirSize(), 200000u);
+  setenv("SIMCLOUD_COPHIR_N", "50000", 1);
+  EXPECT_EQ(DefaultCophirSize(), 50000u);
+  setenv("SIMCLOUD_COPHIR_N", "10", 1);  // below clamp -> default
+  EXPECT_EQ(DefaultCophirSize(), 200000u);
+  setenv("SIMCLOUD_COPHIR_N", "junk", 1);
+  EXPECT_EQ(DefaultCophirSize(), 200000u);
+  unsetenv("SIMCLOUD_COPHIR_N");
+}
+
+TEST(SyntheticTest, UniformVectorsInUnitCube) {
+  auto objects = MakeUniformVectors(200, 6, 21);
+  EXPECT_EQ(objects.size(), 200u);
+  for (const auto& o : objects) {
+    EXPECT_EQ(o.dimension(), 6u);
+    for (float v : o.values()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LT(v, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace simcloud

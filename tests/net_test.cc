@@ -1,0 +1,176 @@
+// Transport tests: loopback cost accounting, real TCP framing, error
+// propagation, and the server/communication time split.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace simcloud {
+namespace net {
+namespace {
+
+/// Echoes the request back, optionally burning some CPU first.
+class EchoHandler : public RequestHandler {
+ public:
+  explicit EchoHandler(bool burn_cpu = false) : burn_cpu_(burn_cpu) {}
+
+  Result<Bytes> Handle(const Bytes& request) override {
+    if (!request.empty() && request[0] == 0xEE) {
+      return Status::InvalidArgument("poison request");
+    }
+    if (burn_cpu_) {
+      volatile double x = 0;
+      for (int i = 0; i < 200000; ++i) x = x + i * 0.5;
+    }
+    handled_++;
+    return request;
+  }
+
+  int handled() const { return handled_; }
+
+ private:
+  bool burn_cpu_;
+  int handled_ = 0;
+};
+
+TEST(LoopbackTransportTest, EchoAndByteAccounting) {
+  EchoHandler handler;
+  LoopbackTransport transport(&handler);
+
+  const Bytes request = {1, 2, 3, 4, 5};
+  auto response = transport.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, request);
+
+  const TransportCosts& costs = transport.costs();
+  EXPECT_EQ(costs.calls, 1u);
+  EXPECT_EQ(costs.bytes_sent, 5u);
+  EXPECT_EQ(costs.bytes_received, 5u);
+  EXPECT_EQ(costs.TotalBytes(), 10u);
+  EXPECT_GT(costs.communication_nanos, 0);
+}
+
+TEST(LoopbackTransportTest, ServerTimeIsMeasured) {
+  EchoHandler handler(/*burn_cpu=*/true);
+  LoopbackTransport transport(&handler);
+  ASSERT_TRUE(transport.Call(Bytes(10)).ok());
+  EXPECT_GT(transport.costs().server_nanos, 0);
+}
+
+TEST(LoopbackTransportTest, LinkModelScalesWithVolume) {
+  EchoHandler handler;
+  LinkModel slow;
+  slow.latency_seconds = 0.0;
+  slow.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  LoopbackTransport transport(&handler, slow);
+
+  ASSERT_TRUE(transport.Call(Bytes(1000)).ok());
+  const int64_t small_comm = transport.costs().communication_nanos;
+  transport.ResetCosts();
+  ASSERT_TRUE(transport.Call(Bytes(100000)).ok());
+  const int64_t large_comm = transport.costs().communication_nanos;
+  EXPECT_GT(large_comm, small_comm * 50);
+}
+
+TEST(LoopbackTransportTest, HandlerErrorsPropagate) {
+  EchoHandler handler;
+  LoopbackTransport transport(&handler);
+  auto response = transport.Call(Bytes{0xEE});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoopbackTransportTest, ResetClearsCosts) {
+  EchoHandler handler;
+  LoopbackTransport transport(&handler);
+  ASSERT_TRUE(transport.Call(Bytes(10)).ok());
+  transport.ResetCosts();
+  EXPECT_EQ(transport.costs().calls, 0u);
+  EXPECT_EQ(transport.costs().TotalBytes(), 0u);
+}
+
+TEST(TcpTest, EndToEndEcho) {
+  EchoHandler handler;
+  TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+
+  for (int i = 0; i < 10; ++i) {
+    Bytes request(100 + i, static_cast<uint8_t>(i));
+    auto response = (*transport)->Call(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(*response, request);
+  }
+  EXPECT_EQ(handler.handled(), 10);
+  EXPECT_EQ((*transport)->costs().calls, 10u);
+  EXPECT_GT((*transport)->costs().communication_nanos, 0);
+  server.Stop();
+}
+
+TEST(TcpTest, LargeMessageRoundTrip) {
+  EchoHandler handler;
+  TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+
+  Bytes request(4 * 1024 * 1024);
+  for (size_t i = 0; i < request.size(); ++i) {
+    request[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  auto response = (*transport)->Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, request);
+  server.Stop();
+}
+
+TEST(TcpTest, RemoteErrorsSurfaceAsStatus) {
+  EchoHandler handler;
+  TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+
+  auto response = (*transport)->Call(Bytes{0xEE});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNetworkError);
+  EXPECT_NE(response.status().message().find("poison"), std::string::npos);
+
+  // The connection survives an application-level error.
+  auto ok_response = (*transport)->Call(Bytes{1, 2});
+  EXPECT_TRUE(ok_response.ok());
+  server.Stop();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  auto transport = TcpTransport::Connect("127.0.0.1", 1);
+  EXPECT_FALSE(transport.ok());
+}
+
+TEST(TcpTest, RejectsInvalidAddress) {
+  auto transport = TcpTransport::Connect("not-an-ip", 80);
+  EXPECT_FALSE(transport.ok());
+}
+
+TEST(TcpTest, SequentialConnectionsAreServed) {
+  EchoHandler handler;
+  TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  for (int round = 0; round < 3; ++round) {
+    auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(transport.ok());
+    auto response = (*transport)->Call(Bytes{9});
+    ASSERT_TRUE(response.ok());
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace simcloud

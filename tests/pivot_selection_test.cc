@@ -1,0 +1,198 @@
+// Pivot selection strategy tests: basic contracts (count, distinctness,
+// determinism, error paths) for every strategy, plus geometric sanity
+// checks — farthest-first must spread pivots wider than random, medoids
+// must sit closer to cluster mass.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "data/synthetic.h"
+#include "metric/dataset.h"
+#include "mindex/pivot_selection.h"
+
+namespace simcloud {
+namespace mindex {
+namespace {
+
+using metric::VectorObject;
+
+std::vector<VectorObject> MakeClusteredObjects(uint64_t seed) {
+  data::MixtureOptions options;
+  options.num_objects = 600;
+  options.dimension = 10;
+  options.num_clusters = 6;
+  options.seed = seed;
+  return data::MakeGaussianMixture(options);
+}
+
+double MinPairwiseDistance(const PivotSet& pivots,
+                           const metric::DistanceFunction& distance) {
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    for (size_t j = i + 1; j < pivots.size(); ++j) {
+      min_dist = std::min(
+          min_dist, distance.Distance(pivots.pivot(i), pivots.pivot(j)));
+    }
+  }
+  return min_dist;
+}
+
+class PivotStrategyContractTest
+    : public ::testing::TestWithParam<PivotStrategy> {};
+
+TEST_P(PivotStrategyContractTest, ReturnsRequestedCountOfDistinctPivots) {
+  const auto objects = MakeClusteredObjects(21);
+  metric::L2Distance distance;
+  PivotSelectionOptions options;
+  options.strategy = GetParam();
+  options.count = 12;
+  options.seed = 5;
+  auto pivots = SelectPivots(objects, distance, options);
+  ASSERT_TRUE(pivots.ok()) << PivotStrategyName(GetParam());
+  EXPECT_EQ(pivots->size(), 12u);
+
+  std::set<uint64_t> ids;
+  for (size_t i = 0; i < pivots->size(); ++i) {
+    ids.insert(pivots->pivot(i).id());
+  }
+  EXPECT_EQ(ids.size(), 12u) << "duplicate pivots selected";
+}
+
+TEST_P(PivotStrategyContractTest, DeterministicGivenSeed) {
+  const auto objects = MakeClusteredObjects(22);
+  metric::L2Distance distance;
+  PivotSelectionOptions options;
+  options.strategy = GetParam();
+  options.count = 8;
+  options.seed = 99;
+  auto a = SelectPivots(objects, distance, options);
+  auto b = SelectPivots(objects, distance, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->pivot(i).id(), b->pivot(i).id()) << "slot " << i;
+  }
+}
+
+TEST_P(PivotStrategyContractTest, RejectsDegenerateCounts) {
+  const auto objects = MakeClusteredObjects(23);
+  metric::L2Distance distance;
+  PivotSelectionOptions options;
+  options.strategy = GetParam();
+  options.seed = 1;
+  options.count = 0;
+  EXPECT_FALSE(SelectPivots(objects, distance, options).ok());
+  options.count = objects.size() + 1;
+  EXPECT_FALSE(SelectPivots(objects, distance, options).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PivotStrategyContractTest,
+    ::testing::Values(PivotStrategy::kRandom, PivotStrategy::kFarthestFirst,
+                      PivotStrategy::kMaxVariance, PivotStrategy::kMedoids),
+    [](const ::testing::TestParamInfo<PivotStrategy>& info) {
+      std::string name = PivotStrategyName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(PivotSelectionTest, FarthestFirstSpreadsWiderThanRandom) {
+  const auto objects = MakeClusteredObjects(31);
+  metric::L2Distance distance;
+
+  PivotSelectionOptions ff;
+  ff.strategy = PivotStrategy::kFarthestFirst;
+  ff.count = 10;
+  ff.seed = 7;
+  auto ff_pivots = SelectPivots(objects, distance, ff);
+  ASSERT_TRUE(ff_pivots.ok());
+
+  // Average the random spread over several seeds so the comparison is not
+  // hostage to one lucky draw.
+  double random_spread = 0.0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    PivotSelectionOptions rnd;
+    rnd.strategy = PivotStrategy::kRandom;
+    rnd.count = 10;
+    rnd.seed = 100 + trial;
+    auto rnd_pivots = SelectPivots(objects, distance, rnd);
+    ASSERT_TRUE(rnd_pivots.ok());
+    random_spread += MinPairwiseDistance(*rnd_pivots, distance);
+  }
+  random_spread /= kTrials;
+
+  EXPECT_GT(MinPairwiseDistance(*ff_pivots, distance), random_spread);
+}
+
+TEST(PivotSelectionTest, MedoidsReduceAssignmentCostVersusRandom) {
+  const auto objects = MakeClusteredObjects(33);
+  metric::L2Distance distance;
+  const size_t count = 6;  // one pivot per generated cluster
+
+  auto assignment_cost = [&](const PivotSet& pivots) {
+    double total = 0.0;
+    for (const auto& object : objects) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t p = 0; p < pivots.size(); ++p) {
+        best = std::min(best, distance.Distance(object, pivots.pivot(p)));
+      }
+      total += best;
+    }
+    return total;
+  };
+
+  PivotSelectionOptions med;
+  med.strategy = PivotStrategy::kMedoids;
+  med.count = count;
+  med.seed = 4;
+  auto med_pivots = SelectPivots(objects, distance, med);
+  ASSERT_TRUE(med_pivots.ok());
+
+  double random_cost = 0.0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    PivotSelectionOptions rnd;
+    rnd.strategy = PivotStrategy::kRandom;
+    rnd.count = count;
+    rnd.seed = 200 + trial;
+    auto rnd_pivots = SelectPivots(objects, distance, rnd);
+    ASSERT_TRUE(rnd_pivots.ok());
+    random_cost += assignment_cost(*rnd_pivots);
+  }
+  random_cost /= kTrials;
+
+  EXPECT_LT(assignment_cost(*med_pivots), random_cost);
+}
+
+TEST(PivotSelectionTest, SampleSizeBoundsSelectionWork) {
+  const auto objects = MakeClusteredObjects(35);
+  metric::L2Distance distance;
+  PivotSelectionOptions options;
+  options.strategy = PivotStrategy::kFarthestFirst;
+  options.count = 5;
+  options.seed = 11;
+  options.sample_size = 50;  // far below the collection size
+  auto pivots = SelectPivots(objects, distance, options);
+  ASSERT_TRUE(pivots.ok());
+  EXPECT_EQ(pivots->size(), 5u);
+
+  // A sample smaller than the pivot count is rejected.
+  options.sample_size = 3;
+  EXPECT_FALSE(SelectPivots(objects, distance, options).ok());
+}
+
+TEST(PivotSelectionTest, StrategyNamesAreStable) {
+  EXPECT_EQ(PivotStrategyName(PivotStrategy::kRandom), "random");
+  EXPECT_EQ(PivotStrategyName(PivotStrategy::kFarthestFirst),
+            "farthest-first");
+  EXPECT_EQ(PivotStrategyName(PivotStrategy::kMaxVariance), "max-variance");
+  EXPECT_EQ(PivotStrategyName(PivotStrategy::kMedoids), "medoids");
+}
+
+}  // namespace
+}  // namespace mindex
+}  // namespace simcloud

@@ -1,0 +1,235 @@
+// Sequence metric + generic-client tests: Levenshtein known answers and
+// metric postulates (property-swept), the banded bounded variant against
+// the full DP, and the end-to-end generalization claim — encrypted gene
+// sequences under edit distance served by the SAME untrusted server
+// binary that serves vectors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "metric/sequence.h"
+#include "secure/generic_client.h"
+#include "secure/server.h"
+
+namespace simcloud {
+namespace metric {
+namespace {
+
+// ----------------------------------------------------------- Levenshtein
+
+TEST(LevenshteinTest, KnownAnswers) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("intention", "execution"), 5u);
+  EXPECT_EQ(LevenshteinDistance("ACGT", "AGT"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ACGTACGT", "TGCATGCA"), 6u);
+}
+
+std::string RandomDna(Rng* rng, size_t min_len, size_t max_len) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  const size_t len = min_len + rng->NextBounded(max_len - min_len + 1);
+  std::string s(len, 'A');
+  for (auto& c : s) c = kBases[rng->NextBounded(4)];
+  return s;
+}
+
+class LevenshteinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LevenshteinPropertyTest, MetricPostulatesHold) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::string x = RandomDna(&rng, 0, 30);
+    const std::string y = RandomDna(&rng, 0, 30);
+    const std::string z = RandomDna(&rng, 0, 30);
+    const size_t dxy = LevenshteinDistance(x, y);
+    const size_t dyx = LevenshteinDistance(y, x);
+    const size_t dxz = LevenshteinDistance(x, z);
+    const size_t dzy = LevenshteinDistance(z, y);
+    // Identity.
+    EXPECT_EQ(LevenshteinDistance(x, x), 0u);
+    EXPECT_EQ(dxy == 0, x == y);
+    // Symmetry.
+    EXPECT_EQ(dxy, dyx);
+    // Triangle inequality.
+    EXPECT_LE(dxy, dxz + dzy);
+    // Length-difference lower bound, max-length upper bound.
+    EXPECT_GE(dxy, x.size() > y.size() ? x.size() - y.size()
+                                       : y.size() - x.size());
+    EXPECT_LE(dxy, std::max(x.size(), y.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LevenshteinTest, BoundedMatchesFullWithinBound) {
+  Rng rng(17);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string a = RandomDna(&rng, 0, 40);
+    const std::string b = RandomDna(&rng, 0, 40);
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound : {size_t{0}, size_t{1}, size_t{3}, size_t{10},
+                         size_t{40}}) {
+      const size_t bounded = BoundedLevenshteinDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " / " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound) << a << " / " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(SequenceObjectTest, SerializeRoundTrip) {
+  SequenceObject object(42, "ACGTACGTNNN");
+  BinaryWriter writer;
+  object.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  auto back = SequenceObject::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, object);
+}
+
+// ----------------------------------- generic client over the same server
+
+std::vector<SequenceObject> MakeGeneFamily(size_t count, uint64_t seed) {
+  // A few ancestral sequences; descendants are small mutations — the
+  // clustered structure a metric index exploits.
+  Rng rng(seed);
+  std::vector<std::string> ancestors;
+  for (int a = 0; a < 5; ++a) ancestors.push_back(RandomDna(&rng, 60, 80));
+
+  std::vector<SequenceObject> family;
+  family.reserve(count);
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (size_t i = 0; i < count; ++i) {
+    std::string s = ancestors[rng.NextBounded(ancestors.size())];
+    const size_t mutations = rng.NextBounded(6);
+    for (size_t m = 0; m < mutations && !s.empty(); ++m) {
+      const size_t pos = rng.NextBounded(s.size());
+      switch (rng.NextBounded(3)) {
+        case 0: s[pos] = kBases[rng.NextBounded(4)]; break;      // subst
+        case 1: s.erase(pos, 1); break;                          // delete
+        default: s.insert(pos, 1, kBases[rng.NextBounded(4)]);   // insert
+      }
+    }
+    family.emplace_back(i, std::move(s));
+  }
+  return family;
+}
+
+using GeneClient =
+    secure::GenericEncryptionClient<SequenceObject, EditDistance>;
+
+struct GeneWorld {
+  std::vector<SequenceObject> genes;
+  std::unique_ptr<secure::EncryptedMIndexServer> server;
+  std::unique_ptr<net::LoopbackTransport> transport;
+  std::unique_ptr<GeneClient> client;
+};
+
+GeneWorld MakeGeneWorld(bool precise, uint64_t seed = 7) {
+  GeneWorld world;
+  world.genes = MakeGeneFamily(400, seed);
+
+  Rng rng(seed + 1);
+  std::vector<SequenceObject> pivots;
+  for (size_t i = 0; i < 8; ++i) {
+    pivots.push_back(world.genes[rng.NextBounded(world.genes.size())]);
+  }
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 8;
+  options.bucket_capacity = 40;
+  options.max_level = 3;
+  auto server = secure::EncryptedMIndexServer::Create(options);
+  EXPECT_TRUE(server.ok());
+  world.server = std::move(server).value();
+  world.transport =
+      std::make_unique<net::LoopbackTransport>(world.server.get());
+
+  auto cipher = crypto::Cipher::Create(Bytes(16, 0x33),
+                                       crypto::CipherMode::kCbc);
+  EXPECT_TRUE(cipher.ok());
+  world.client = std::make_unique<GeneClient>(
+      std::move(pivots), std::move(cipher).value(), EditDistance{},
+      world.transport.get());
+  EXPECT_TRUE(world.client->InsertBulk(world.genes, precise, 100).ok());
+  return world;
+}
+
+TEST(GenericClientTest, EncryptedSequenceRangeSearchEqualsLinearScan) {
+  GeneWorld world = MakeGeneWorld(/*precise=*/true);
+  EditDistance distance;
+  Rng rng(11);
+  for (int iter = 0; iter < 5; ++iter) {
+    const SequenceObject& query =
+        world.genes[rng.NextBounded(world.genes.size())];
+    const double radius = 4.0;
+
+    std::vector<metric::Neighbor> exact;
+    for (const auto& gene : world.genes) {
+      const double d = distance(query, gene);
+      if (d <= radius) exact.push_back({gene.id(), d});
+    }
+    std::sort(exact.begin(), exact.end());
+
+    auto answer = world.client->RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ASSERT_EQ(answer->size(), exact.size()) << "iter " << iter;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+      EXPECT_DOUBLE_EQ((*answer)[i].distance, exact[i].distance);
+    }
+  }
+}
+
+TEST(GenericClientTest, ApproxKnnFindsMutatedRelatives) {
+  GeneWorld world = MakeGeneWorld(/*precise=*/false);
+  const SequenceObject& query = world.genes[0];
+  auto answer = world.client->ApproxKnn(query, 10, 120);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), 10u);
+  // Rank 0 is the query itself (distance 0); relatives are a handful of
+  // edits away — far below the distance to another ancestor family.
+  EXPECT_EQ((*answer)[0].id, query.id());
+  EXPECT_DOUBLE_EQ((*answer)[0].distance, 0.0);
+  EXPECT_LT((*answer)[9].distance, 30.0);
+}
+
+TEST(GenericClientTest, ServerSeesOnlyCiphertextAndPermutations) {
+  GeneWorld world = MakeGeneWorld(/*precise=*/false);
+  // White-box check on the server state: no payload byte sequence equals
+  // any plaintext gene sequence.
+  Status walk = world.server->index().ForEachEntry(
+      [&](const mindex::Entry& entry, const Bytes& payload) -> Status {
+        EXPECT_TRUE(entry.pivot_distances.empty());
+        EXPECT_FALSE(entry.permutation.empty());
+        const std::string payload_str(payload.begin(), payload.end());
+        for (const auto& gene : world.genes) {
+          EXPECT_EQ(payload_str.find(gene.sequence()), std::string::npos)
+              << "plaintext leaked into stored payload";
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(walk.ok());
+}
+
+TEST(GenericClientTest, ValidatesArguments) {
+  GeneWorld world = MakeGeneWorld(/*precise=*/true);
+  const SequenceObject& query = world.genes[0];
+  EXPECT_FALSE(world.client->RangeSearch(query, -1.0).ok());
+  EXPECT_FALSE(world.client->ApproxKnn(query, 0, 10).ok());
+  EXPECT_FALSE(world.client->ApproxKnn(query, 20, 10).ok());
+  EXPECT_FALSE(world.client->InsertBulk(world.genes, true, 0).ok());
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace simcloud

@@ -1,0 +1,107 @@
+// Bucket storage tests: memory and disk backends must behave identically.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "mindex/storage.h"
+
+namespace simcloud {
+namespace mindex {
+namespace {
+
+class StorageTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/simcloud_storage_test.bin";
+    auto storage = MakeStorage(GetParam(), path_);
+    ASSERT_TRUE(storage.ok());
+    storage_ = std::move(storage).value();
+  }
+  void TearDown() override {
+    storage_.reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  std::unique_ptr<BucketStorage> storage_;
+};
+
+TEST_P(StorageTest, StoreFetchRoundTrip) {
+  Rng rng(1);
+  std::vector<std::pair<PayloadHandle, Bytes>> stored;
+  for (int i = 0; i < 100; ++i) {
+    Bytes payload(rng.NextBounded(500));
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBounded(256));
+    auto handle = storage_->Store(payload);
+    ASSERT_TRUE(handle.ok());
+    stored.emplace_back(*handle, std::move(payload));
+  }
+  // Fetch in shuffled order.
+  rng.Shuffle(stored);
+  for (const auto& [handle, expected] : stored) {
+    auto got = storage_->Fetch(handle);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected);
+  }
+}
+
+TEST_P(StorageTest, EmptyPayloadIsAllowed) {
+  auto handle = storage_->Store({});
+  ASSERT_TRUE(handle.ok());
+  auto got = storage_->Fetch(*handle);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(StorageTest, CountersTrackVolume) {
+  EXPECT_EQ(storage_->TotalBytes(), 0u);
+  EXPECT_EQ(storage_->Count(), 0u);
+  ASSERT_TRUE(storage_->Store(Bytes(100)).ok());
+  ASSERT_TRUE(storage_->Store(Bytes(50)).ok());
+  EXPECT_EQ(storage_->TotalBytes(), 150u);
+  EXPECT_EQ(storage_->Count(), 2u);
+}
+
+TEST_P(StorageTest, OutOfRangeHandleIsNotFound) {
+  ASSERT_TRUE(storage_->Store(Bytes(10)).ok());
+  auto got = storage_->Fetch(999);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
+                         ::testing::Values(StorageKind::kMemory,
+                                           StorageKind::kDisk),
+                         [](const auto& info) {
+                           return info.param == StorageKind::kMemory
+                                      ? "memory"
+                                      : "disk";
+                         });
+
+TEST(StorageFactoryTest, DiskRequiresPath) {
+  EXPECT_FALSE(MakeStorage(StorageKind::kDisk, "").ok());
+  EXPECT_TRUE(MakeStorage(StorageKind::kMemory, "").ok());
+}
+
+TEST(StorageFactoryTest, DiskRejectsUnwritablePath) {
+  EXPECT_FALSE(
+      MakeStorage(StorageKind::kDisk, "/nonexistent/dir/file.bin").ok());
+}
+
+TEST(StorageTest, NamesIdentifyBackend) {
+  auto mem = MakeStorage(StorageKind::kMemory, "");
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ((*mem)->Name(), "memory");
+  const std::string path = testing::TempDir() + "/simcloud_named.bin";
+  auto disk = MakeStorage(StorageKind::kDisk, path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->Name(), "disk");
+  disk->reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mindex
+}  // namespace simcloud
