@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 verify command plus benchmark smoke runs.
+# Mirrors .github/workflows/ci.yml so the same gate runs everywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== configure + build ==="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+echo "=== tier-1 tests ==="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== bench smoke: microbenchmarks ==="
+if [ -x build/bench_micro ]; then
+  ./build/bench_micro --benchmark_min_time=0.01 >/dev/null
+  echo "bench_micro OK"
+else
+  echo "bench_micro not built (google-benchmark missing); skipped"
+fi
+
+echo "=== bench smoke: batched query throughput ==="
+./build/bench_batch_throughput --smoke
+
+echo "CI OK"

@@ -58,6 +58,11 @@ class BinaryWriter {
   /// Varint count followed by each varint value.
   void WriteU32Vector(const std::vector<uint32_t>& v);
 
+  /// Pre-allocates room for `n` more bytes (large messages — e.g. batch
+  /// candidate responses — avoid repeated reallocation of a buffer that
+  /// can reach tens of megabytes).
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   const Bytes& buffer() const { return buf_; }
   Bytes TakeBuffer() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <queue>
 
 namespace simcloud {
@@ -239,6 +240,110 @@ void CellTree::CollectRangeRecursive(
     chain.push_back(pivot);
     CollectRangeRecursive(*child, depth + 1, query_distances,
                           query_perm_by_dist, radius, chain, out, stats);
+    chain.pop_back();
+  }
+}
+
+Status CellTree::CollectRangeBatch(
+    const std::vector<RangeQuery>& queries,
+    std::vector<std::vector<std::pair<double, const Entry*>>>* out,
+    std::vector<SearchStats>* stats) const {
+  std::vector<Permutation> query_perms;
+  query_perms.reserve(queries.size());
+  for (const RangeQuery& query : queries) {
+    if (query.pivot_distances.size() != num_pivots_) {
+      return Status::InvalidArgument(
+          "range query requires distances to all pivots");
+    }
+    if (query.radius < 0) {
+      return Status::InvalidArgument("range query radius must be >= 0");
+    }
+    query_perms.push_back(DistancesToPermutation(query.pivot_distances));
+  }
+  out->assign(queries.size(), {});
+  if (stats != nullptr && stats->size() != queries.size()) {
+    return Status::InvalidArgument("stats vector has wrong length");
+  }
+  if (queries.empty()) return Status::OK();
+
+  std::vector<size_t> active(queries.size());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<uint32_t> chain;
+  chain.reserve(max_level_);
+  CollectRangeBatchRecursive(*root_, queries, query_perms, active, chain, out,
+                             stats);
+  return Status::OK();
+}
+
+void CellTree::CollectRangeBatchRecursive(
+    const Node& node, const std::vector<RangeQuery>& queries,
+    const std::vector<Permutation>& query_perms,
+    const std::vector<size_t>& active, std::vector<uint32_t>& chain,
+    std::vector<std::vector<std::pair<double, const Entry*>>>* out,
+    std::vector<SearchStats>* stats) const {
+  if (node.is_leaf) {
+    if (stats != nullptr) {
+      for (size_t q : active) (*stats)[q].cells_visited++;
+    }
+    for (const Entry& entry : node.entries) {
+      for (size_t q : active) {
+        if (stats != nullptr) (*stats)[q].entries_scanned++;
+        const std::vector<float>& query_distances =
+            queries[q].pivot_distances;
+        double lower_bound = 0.0;
+        if (!entry.pivot_distances.empty()) {
+          for (size_t i = 0; i < num_pivots_; ++i) {
+            const double diff = std::fabs(
+                static_cast<double>(query_distances[i]) -
+                static_cast<double>(entry.pivot_distances[i]));
+            if (diff > lower_bound) lower_bound = diff;
+          }
+          if (lower_bound > queries[q].radius) {
+            if (stats != nullptr) (*stats)[q].entries_filtered++;
+            continue;
+          }
+        }
+        (*out)[q].emplace_back(lower_bound, &entry);
+        if (stats != nullptr) (*stats)[q].candidates++;
+      }
+    }
+    return;
+  }
+
+  // Same double-pivot and range-pivot constraints as the single-query
+  // traversal, evaluated per query; a child is descended once with the
+  // subset of queries it survives for.
+  std::vector<double> min_allowed(active.size());
+  for (size_t a = 0; a < active.size(); ++a) {
+    const size_t q = active[a];
+    min_allowed[a] = MinAllowedDistance(queries[q].pivot_distances,
+                                        query_perms[q], chain);
+  }
+
+  std::vector<size_t> child_active;
+  child_active.reserve(active.size());
+  for (const auto& [pivot, child] : node.children) {
+    child_active.clear();
+    for (size_t a = 0; a < active.size(); ++a) {
+      const size_t q = active[a];
+      const double query_to_pivot = queries[q].pivot_distances[pivot];
+      const double radius = queries[q].radius;
+      if (query_to_pivot > min_allowed[a] + 2.0 * radius) {
+        if (stats != nullptr) (*stats)[q].cells_pruned++;
+        continue;
+      }
+      if (child->has_dist_bounds &&
+          (query_to_pivot - radius > child->max_pivot_dist ||
+           query_to_pivot + radius < child->min_pivot_dist)) {
+        if (stats != nullptr) (*stats)[q].cells_pruned++;
+        continue;
+      }
+      child_active.push_back(q);
+    }
+    if (child_active.empty()) continue;
+    chain.push_back(pivot);
+    CollectRangeBatchRecursive(*child, queries, query_perms, child_active,
+                               chain, out, stats);
     chain.pop_back();
   }
 }

@@ -57,6 +57,17 @@ class CellTree {
                       std::vector<std::pair<double, const Entry*>>* out,
                       SearchStats* stats) const;
 
+  /// Multi-query variant of CollectRange: evaluates every query in ONE
+  /// traversal of the tree. A node is descended once and each query prunes
+  /// independently along the way, so per-query results, ordering, and
+  /// stats are identical to `queries.size()` CollectRange calls while
+  /// shared tree nodes are touched once. `out` and (when non-null) `stats`
+  /// must have one element per query.
+  Status CollectRangeBatch(
+      const std::vector<RangeQuery>& queries,
+      std::vector<std::vector<std::pair<double, const Entry*>>>* out,
+      std::vector<SearchStats>* stats) const;
+
   /// Collects at least `cand_size` entries (then trimmed by the caller)
   /// from the most promising cells in best-first order. Each entry carries
   /// its pre-ranking score. Works with distances or permutation-only
@@ -107,6 +118,13 @@ class CellTree {
       std::vector<uint32_t>& chain,
       std::vector<std::pair<double, const Entry*>>* out,
       SearchStats* stats) const;
+
+  void CollectRangeBatchRecursive(
+      const Node& node, const std::vector<RangeQuery>& queries,
+      const std::vector<Permutation>& query_perms,
+      const std::vector<size_t>& active, std::vector<uint32_t>& chain,
+      std::vector<std::vector<std::pair<double, const Entry*>>>* out,
+      std::vector<SearchStats>* stats) const;
 
   size_t num_pivots_;
   size_t bucket_capacity_;

@@ -59,6 +59,47 @@ struct QuerySignature {
   bool has_distances() const { return !pivot_distances.empty(); }
 };
 
+/// One candidate of a batched search, referencing its payload in the
+/// batch's deduplicated payload dictionary.
+struct BatchCandidateRef {
+  metric::ObjectId id = 0;
+  double score = 0.0;
+  uint32_t payload_index = 0;  ///< index into BatchCandidates::payloads
+};
+
+/// Result of a batched search. Payload bytes are deduplicated across the
+/// whole batch — a ciphertext appearing in many queries' candidate sets
+/// (overlapping or repeated queries, the hot-traffic case) is stored,
+/// shipped, and decrypted once; per-query candidates reference it by
+/// index. MaterializeQuery expands one query back into an owning
+/// CandidateList identical to what the single-query path returns.
+struct BatchCandidates {
+  std::vector<Bytes> payloads;  ///< unique payload bytes (the dictionary)
+  std::vector<std::vector<BatchCandidateRef>> per_query;  ///< ranked refs
+
+  CandidateList MaterializeQuery(size_t q) const {
+    CandidateList result;
+    result.reserve(per_query[q].size());
+    for (const BatchCandidateRef& ref : per_query[q]) {
+      result.push_back(Candidate{ref.id, ref.score,
+                                 payloads[ref.payload_index]});
+    }
+    return result;
+  }
+};
+
+/// One precise range query of a multi-query batch (Algorithm 3 input).
+struct RangeQuery {
+  std::vector<float> pivot_distances;  ///< query-pivot distances, all pivots
+  double radius = 0;
+};
+
+/// One approximate k-NN query of a multi-query batch (Algorithm 4 input).
+struct KnnQuery {
+  QuerySignature signature;
+  uint64_t cand_size = 0;
+};
+
 /// Counters describing one server-side search.
 struct SearchStats {
   uint64_t cells_visited = 0;    ///< leaf cells read
@@ -66,6 +107,15 @@ struct SearchStats {
   uint64_t entries_scanned = 0;  ///< entries inspected in visited cells
   uint64_t entries_filtered = 0; ///< entries removed by pivot filtering
   uint64_t candidates = 0;       ///< entries returned to the client
+
+  /// Accumulates all counters of `other` (batch/shard aggregation).
+  void Add(const SearchStats& other) {
+    cells_visited += other.cells_visited;
+    cells_pruned += other.cells_pruned;
+    entries_scanned += other.entries_scanned;
+    entries_filtered += other.entries_filtered;
+    candidates += other.candidates;
+  }
 };
 
 /// Structural statistics of the index.

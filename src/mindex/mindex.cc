@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mindex/payload_cache.h"
+
 namespace simcloud {
 namespace mindex {
 
@@ -26,6 +28,10 @@ Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
   SIMCLOUD_ASSIGN_OR_RETURN(
       std::unique_ptr<BucketStorage> storage,
       MakeStorage(options.storage_kind, options.disk_path));
+  if (options.cache_bytes > 0) {
+    storage = std::make_unique<PayloadCache>(std::move(storage),
+                                             options.cache_bytes);
+  }
   return std::unique_ptr<MIndex>(new MIndex(options, std::move(storage)));
 }
 
@@ -99,49 +105,28 @@ Status MIndex::ForEachEntry(
   });
 }
 
-Result<CandidateList> MIndex::MaterializeCandidates(
-    std::vector<std::pair<double, const Entry*>> scored, size_t limit,
-    SearchStats* stats) const {
-  // Pre-rank (ascending score), then trim to the requested size
-  // (Algorithm 4 line 5) and fetch payloads.
-  std::stable_sort(
-      scored.begin(), scored.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (scored.size() > limit) scored.resize(limit);
-
-  CandidateList result;
-  result.reserve(scored.size());
-  for (const auto& [score, entry] : scored) {
-    SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload,
-                              storage_->Fetch(entry->payload_handle));
-    result.push_back(Candidate{entry->id, score, std::move(payload)});
-  }
-  if (stats != nullptr) stats->candidates = result.size();
-  return result;
-}
-
 Result<CandidateList> MIndex::RangeSearchCandidates(
     const std::vector<float>& query_distances, double radius,
     SearchStats* stats) const {
-  std::vector<std::pair<double, const Entry*>> scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_.CollectRange(query_distances, radius, &scored, stats));
-  const size_t count = scored.size();
-  return MaterializeCandidates(std::move(scored), count, stats);
+  return engine_.RangeSearch(query_distances, radius, stats);
 }
 
 Result<CandidateList> MIndex::ApproxKnnCandidates(const QuerySignature& query,
                                                   size_t cand_size,
                                                   SearchStats* stats) const {
-  if (cand_size == 0) {
-    return Status::InvalidArgument("candidate set size must be > 0");
-  }
-  std::vector<std::pair<double, const Entry*>> scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_.CollectApprox(query, cand_size, options_.promise_decay, &scored,
-                          stats));
-  const size_t limit = query.whole_cells ? scored.size() : cand_size;
-  return MaterializeCandidates(std::move(scored), limit, stats);
+  return engine_.ApproxKnn(query, cand_size, stats);
+}
+
+Result<BatchCandidates> MIndex::RangeSearchBatchCandidates(
+    const std::vector<RangeQuery>& queries,
+    std::vector<SearchStats>* stats) const {
+  return engine_.RangeSearchBatch(queries, stats);
+}
+
+Result<BatchCandidates> MIndex::ApproxKnnBatchCandidates(
+    const std::vector<KnnQuery>& queries,
+    std::vector<SearchStats>* stats) const {
+  return engine_.ApproxKnnBatch(queries, stats);
 }
 
 IndexStats MIndex::Stats() const {

@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "mindex/cell_tree.h"
 #include "mindex/entry.h"
+#include "mindex/query_engine.h"
 #include "mindex/storage.h"
 
 namespace simcloud {
@@ -49,6 +50,10 @@ struct MIndexOptions {
   size_t stored_prefix_length = 0;
   /// Decay of per-level promise weights for approximate search.
   double promise_decay = 0.5;
+  /// Payload-cache budget in bytes; 0 disables the cache. When non-zero
+  /// the storage backend is wrapped in a sharded LRU PayloadCache so hot
+  /// ciphertexts are served from memory (most valuable with disk storage).
+  uint64_t cache_bytes = 0;
 };
 
 /// The M-Index proper.
@@ -84,6 +89,21 @@ class MIndex {
                                             size_t cand_size,
                                             SearchStats* stats = nullptr) const;
 
+  /// Batched range search: duplicate queries memoized, distinct queries
+  /// evaluated in one tree traversal, payloads fetched once and
+  /// deduplicated into the result dictionary. `result.per_query[i]` /
+  /// `(*stats)[i]` answer `queries[i]` and materialize to exactly what
+  /// RangeSearchCandidates would return.
+  Result<BatchCandidates> RangeSearchBatchCandidates(
+      const std::vector<RangeQuery>& queries,
+      std::vector<SearchStats>* stats = nullptr) const;
+
+  /// Batched approximate k-NN: one payload materialization pass for the
+  /// whole batch, per-query results identical to ApproxKnnCandidates.
+  Result<BatchCandidates> ApproxKnnBatchCandidates(
+      const std::vector<KnnQuery>& queries,
+      std::vector<SearchStats>* stats = nullptr) const;
+
   /// Number of indexed objects.
   size_t size() const { return tree_.size(); }
   const MIndexOptions& options() const { return options_; }
@@ -104,15 +124,13 @@ class MIndex {
          std::unique_ptr<BucketStorage> storage)
       : options_(options), storage_(std::move(storage)),
         tree_(options.num_pivots, options.bucket_capacity,
-              options.max_level) {}
-
-  Result<CandidateList> MaterializeCandidates(
-      std::vector<std::pair<double, const Entry*>> scored, size_t limit,
-      SearchStats* stats) const;
+              options.max_level),
+        engine_(&tree_, storage_.get(), options.promise_decay) {}
 
   MIndexOptions options_;
   std::unique_ptr<BucketStorage> storage_;
   CellTree tree_;
+  QueryEngine engine_;
 };
 
 }  // namespace mindex

@@ -1,0 +1,115 @@
+#include "mindex/payload_cache.h"
+
+#include <algorithm>
+
+namespace simcloud {
+namespace mindex {
+
+namespace {
+
+// Cap the shard count so every shard's budget stays large enough to
+// actually admit entries — a tiny capacity split 16 ways would leave
+// each shard below kEntryOverhead and silently cache nothing.
+constexpr uint64_t kMinShardCapacity = 4096;
+
+size_t EffectiveShards(uint64_t capacity_bytes, size_t requested) {
+  const uint64_t fitting = capacity_bytes / kMinShardCapacity;
+  return std::max<size_t>(
+      1, std::min<uint64_t>(std::max<size_t>(requested, 1), fitting));
+}
+
+}  // namespace
+
+PayloadCache::PayloadCache(std::unique_ptr<BucketStorage> base,
+                           uint64_t capacity_bytes, size_t num_shards)
+    : base_(std::move(base)),
+      shard_capacity_(capacity_bytes /
+                      EffectiveShards(capacity_bytes, num_shards)),
+      shards_(EffectiveShards(capacity_bytes, num_shards)) {}
+
+bool PayloadCache::Lookup(PayloadHandle handle, Bytes* out) const {
+  Shard& shard = ShardFor(handle);
+  std::shared_ptr<const Bytes> payload;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(handle);
+    if (it == shard.index.end()) {
+      shard.misses++;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.hits++;
+    payload = it->second->second;
+  }
+  *out = *payload;  // byte copy outside the critical section
+  return true;
+}
+
+void PayloadCache::Insert(PayloadHandle handle, const Bytes& payload) const {
+  const uint64_t charge = payload.size() + kEntryOverhead;
+  if (charge > shard_capacity_) return;  // would evict everything
+  Shard& shard = ShardFor(handle);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(handle);
+  if (it != shard.index.end()) {
+    // Raced with another fetch of the same handle; refresh recency only.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= victim.second->size() + kEntryOverhead;
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    shard.evictions++;
+  }
+  shard.lru.emplace_front(handle, std::make_shared<const Bytes>(payload));
+  shard.index[handle] = shard.lru.begin();
+  shard.bytes += charge;
+}
+
+Result<Bytes> PayloadCache::Fetch(PayloadHandle handle) const {
+  Bytes cached;
+  if (Lookup(handle, &cached)) return cached;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload, base_->Fetch(handle));
+  Insert(handle, payload);
+  return payload;
+}
+
+Status PayloadCache::FetchMany(std::span<const PayloadHandle> handles,
+                               std::vector<Bytes>* out) const {
+  out->assign(handles.size(), Bytes());
+  std::vector<PayloadHandle> miss_handles;
+  std::vector<size_t> miss_positions;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (!Lookup(handles[i], &(*out)[i])) {
+      miss_handles.push_back(handles[i]);
+      miss_positions.push_back(i);
+    }
+  }
+  if (miss_handles.empty()) return Status::OK();
+
+  std::vector<Bytes> fetched;
+  SIMCLOUD_RETURN_NOT_OK(base_->FetchMany(miss_handles, &fetched));
+  for (size_t m = 0; m < miss_handles.size(); ++m) {
+    Insert(miss_handles[m], fetched[m]);
+    (*out)[miss_positions[m]] = std::move(fetched[m]);
+  }
+  return Status::OK();
+}
+
+PayloadCache::CacheStats PayloadCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.cached_bytes += shard.bytes;
+    total.cached_payloads += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace mindex
+}  // namespace simcloud

@@ -10,7 +10,9 @@ namespace mindex {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4D494458;  // "MIDX"
-constexpr uint32_t kSnapshotVersion = 1;
+// Version 2 appends cache_bytes to the options block; version 1
+// snapshots (no payload cache) remain loadable.
+constexpr uint32_t kSnapshotVersion = 2;
 
 void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteVarint(options.num_pivots);
@@ -20,9 +22,11 @@ void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteString(options.disk_path);
   writer->WriteVarint(options.stored_prefix_length);
   writer->WriteDouble(options.promise_decay);
+  writer->WriteVarint(options.cache_bytes);
 }
 
-Result<MIndexOptions> DeserializeOptions(BinaryReader* reader) {
+Result<MIndexOptions> DeserializeOptions(BinaryReader* reader,
+                                         uint32_t version) {
   MIndexOptions options;
   SIMCLOUD_ASSIGN_OR_RETURN(uint64_t num_pivots, reader->ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(uint64_t bucket_capacity, reader->ReadVarint());
@@ -31,6 +35,9 @@ Result<MIndexOptions> DeserializeOptions(BinaryReader* reader) {
   SIMCLOUD_ASSIGN_OR_RETURN(options.disk_path, reader->ReadString());
   SIMCLOUD_ASSIGN_OR_RETURN(uint64_t prefix_len, reader->ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(options.promise_decay, reader->ReadDouble());
+  if (version >= 2) {
+    SIMCLOUD_ASSIGN_OR_RETURN(options.cache_bytes, reader->ReadVarint());
+  }
   options.num_pivots = num_pivots;
   options.bucket_capacity = bucket_capacity;
   options.max_level = max_level;
@@ -67,12 +74,12 @@ Result<std::unique_ptr<MIndex>> DeserializeIndex(
     return Status::Corruption("bad index snapshot magic");
   }
   SIMCLOUD_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     return Status::Corruption("unsupported index snapshot version " +
                               std::to_string(version));
   }
   SIMCLOUD_ASSIGN_OR_RETURN(MIndexOptions options,
-                            DeserializeOptions(&reader));
+                            DeserializeOptions(&reader, version));
   if (!disk_path_override.empty()) options.disk_path = disk_path_override;
   SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<MIndex> index,
                             MIndex::Create(options));

@@ -1,0 +1,210 @@
+#include "mindex/query_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace simcloud {
+namespace mindex {
+
+void QueryEngine::RankAndTrim(ScoredEntries* scored, size_t limit) {
+  std::stable_sort(
+      scored->begin(), scored->end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (scored->size() > limit) scored->resize(limit);
+}
+
+Result<CandidateList> QueryEngine::Materialize(ScoredEntries scored,
+                                               size_t limit,
+                                               SearchStats* stats) const {
+  RankAndTrim(&scored, limit);
+
+  std::vector<PayloadHandle> handles;
+  handles.reserve(scored.size());
+  for (const auto& [score, entry] : scored) {
+    handles.push_back(entry->payload_handle);
+  }
+  std::vector<Bytes> payloads;
+  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &payloads));
+
+  CandidateList result;
+  result.reserve(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    result.push_back(Candidate{scored[i].second->id, scored[i].first,
+                               std::move(payloads[i])});
+  }
+  if (stats != nullptr) stats->candidates = result.size();
+  return result;
+}
+
+Result<BatchCandidates> QueryEngine::MaterializeBatch(
+    std::vector<ScoredEntries> scored, const std::vector<size_t>& limits,
+    const std::vector<size_t>& rep,
+    const std::vector<SearchStats>& unique_stats,
+    std::vector<SearchStats>* stats) const {
+  // Rank each distinct query's candidates, then fetch every payload the
+  // batch needs in one call; a handle shared between queries lands in the
+  // dictionary once.
+  size_t total_candidates = 0;
+  for (const ScoredEntries& entries : scored) {
+    total_candidates += entries.size();
+  }
+  std::vector<PayloadHandle> handles;
+  handles.reserve(total_candidates);
+  std::unordered_map<PayloadHandle, uint32_t> handle_slot;
+  handle_slot.reserve(total_candidates);
+  std::vector<std::vector<BatchCandidateRef>> unique_refs(scored.size());
+  for (size_t u = 0; u < scored.size(); ++u) {
+    RankAndTrim(&scored[u], limits[u]);
+    unique_refs[u].reserve(scored[u].size());
+    for (const auto& [score, entry] : scored[u]) {
+      auto [it, inserted] = handle_slot.emplace(
+          entry->payload_handle, static_cast<uint32_t>(handles.size()));
+      if (inserted) handles.push_back(entry->payload_handle);
+      unique_refs[u].push_back(
+          BatchCandidateRef{entry->id, score, it->second});
+    }
+  }
+
+  BatchCandidates batch;
+  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &batch.payloads));
+
+  batch.per_query.resize(rep.size());
+  for (size_t q = 0; q < rep.size(); ++q) {
+    batch.per_query[q] = unique_refs[rep[q]];
+    if (stats != nullptr) {
+      (*stats)[q] = unique_stats[rep[q]];
+      (*stats)[q].candidates = batch.per_query[q].size();
+    }
+  }
+  return batch;
+}
+
+Result<CandidateList> QueryEngine::RangeSearch(
+    const std::vector<float>& query_distances, double radius,
+    SearchStats* stats) const {
+  ScoredEntries scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_->CollectRange(query_distances, radius, &scored, stats));
+  const size_t count = scored.size();
+  return Materialize(std::move(scored), count, stats);
+}
+
+Result<CandidateList> QueryEngine::ApproxKnn(const QuerySignature& query,
+                                             size_t cand_size,
+                                             SearchStats* stats) const {
+  if (cand_size == 0) {
+    return Status::InvalidArgument("candidate set size must be > 0");
+  }
+  ScoredEntries scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_->CollectApprox(query, cand_size, promise_decay_, &scored, stats));
+  const size_t limit = query.whole_cells ? scored.size() : cand_size;
+  return Materialize(std::move(scored), limit, stats);
+}
+
+namespace {
+
+/// Memoization support: maps every query to the first query with a
+/// bit-identical signature (byte key, hashed — linear in batch size).
+/// Returns rep[i] = index into `uniques`; `queries[(*uniques)[rep[i]]]`
+/// is the query actually evaluated for position i. Under a hot-query
+/// workload (the same popular query issued by many users inside one
+/// batch) this collapses the per-query tree work to one evaluation per
+/// distinct query.
+template <typename KeyOf>
+std::vector<size_t> DeduplicateQueries(size_t count, KeyOf key_of,
+                                       std::vector<size_t>* uniques) {
+  std::vector<size_t> rep(count);
+  std::unordered_map<std::string, size_t> seen;
+  seen.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    auto [it, inserted] = seen.emplace(key_of(q), uniques->size());
+    if (inserted) uniques->push_back(q);
+    rep[q] = it->second;
+  }
+  return rep;
+}
+
+void AppendBytes(std::string* key, const void* data, size_t len) {
+  key->append(static_cast<const char*>(data), len);
+}
+
+std::string RangeQueryKey(const RangeQuery& query) {
+  std::string key;
+  key.reserve(sizeof(double) + query.pivot_distances.size() * sizeof(float));
+  AppendBytes(&key, &query.radius, sizeof(query.radius));
+  AppendBytes(&key, query.pivot_distances.data(),
+              query.pivot_distances.size() * sizeof(float));
+  return key;
+}
+
+std::string KnnQueryKey(const KnnQuery& query) {
+  std::string key;
+  const uint64_t distance_count = query.signature.pivot_distances.size();
+  key.reserve(24 + distance_count * sizeof(float) +
+              query.signature.permutation.size() * sizeof(uint32_t));
+  AppendBytes(&key, &query.cand_size, sizeof(query.cand_size));
+  key.push_back(query.signature.whole_cells ? 1 : 0);
+  AppendBytes(&key, &distance_count, sizeof(distance_count));
+  AppendBytes(&key, query.signature.pivot_distances.data(),
+              distance_count * sizeof(float));
+  AppendBytes(&key, query.signature.permutation.data(),
+              query.signature.permutation.size() * sizeof(uint32_t));
+  return key;
+}
+
+}  // namespace
+
+Result<BatchCandidates> QueryEngine::RangeSearchBatch(
+    const std::vector<RangeQuery>& queries,
+    std::vector<SearchStats>* stats) const {
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  std::vector<size_t> uniques;
+  const std::vector<size_t> rep = DeduplicateQueries(
+      queries.size(), [&](size_t q) { return RangeQueryKey(queries[q]); },
+      &uniques);
+  std::vector<RangeQuery> unique_queries;
+  unique_queries.reserve(uniques.size());
+  for (size_t q : uniques) unique_queries.push_back(queries[q]);
+
+  std::vector<SearchStats> unique_stats(uniques.size());
+  std::vector<ScoredEntries> scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_->CollectRangeBatch(unique_queries, &scored, &unique_stats));
+  std::vector<size_t> limits(scored.size());
+  for (size_t u = 0; u < scored.size(); ++u) limits[u] = scored[u].size();
+  return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
+                          stats);
+}
+
+Result<BatchCandidates> QueryEngine::ApproxKnnBatch(
+    const std::vector<KnnQuery>& queries,
+    std::vector<SearchStats>* stats) const {
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  std::vector<size_t> uniques;
+  const std::vector<size_t> rep = DeduplicateQueries(
+      queries.size(), [&](size_t q) { return KnnQueryKey(queries[q]); },
+      &uniques);
+
+  std::vector<SearchStats> unique_stats(uniques.size());
+  std::vector<ScoredEntries> scored(uniques.size());
+  std::vector<size_t> limits(uniques.size());
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    const KnnQuery& query = queries[uniques[u]];
+    if (query.cand_size == 0) {
+      return Status::InvalidArgument("candidate set size must be > 0");
+    }
+    SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(
+        query.signature, query.cand_size, promise_decay_, &scored[u],
+        &unique_stats[u]));
+    limits[u] = query.signature.whole_cells
+                    ? scored[u].size()
+                    : static_cast<size_t>(query.cand_size);
+  }
+  return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
+                          stats);
+}
+
+}  // namespace mindex
+}  // namespace simcloud

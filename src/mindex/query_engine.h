@@ -1,0 +1,105 @@
+// Query engine of the M-Index: the shared scoring / pruning / payload
+// materialization pipeline behind every search, single or batched.
+//
+// The engine factors what RangeSearchCandidates and ApproxKnnCandidates
+// used to duplicate inside MIndex: collect scored entries from the cell
+// tree, pre-rank them (ascending score, Algorithm 4 line 5), trim to the
+// requested size, and materialize payload bytes. Materialization is where
+// the batching pays off — every search gathers all payload handles first
+// and issues ONE BucketStorage::FetchMany call, so the disk backend can
+// sort and coalesce the reads and the payload cache splits the batch into
+// hits and one backend round.
+//
+// Batch evaluation goes further:
+//  * identical queries inside a batch (repeated hot queries — the
+//    dominant pattern under heavy traffic) are detected by signature
+//    equality and evaluated ONCE, then replicated by reference;
+//  * RangeSearchBatch pushes all distinct queries through one tree
+//    traversal (CellTree::CollectRangeBatch) — shared nodes are visited
+//    once;
+//  * payload handles are deduplicated across the whole batch before one
+//    FetchMany call, and results are returned as a BatchCandidates
+//    dictionary: each distinct payload is fetched and stored once no
+//    matter how many queries' candidate sets contain it.
+//
+// Per-query results and stats are bit-identical to issuing the same
+// queries one at a time — the batch paths change the I/O and memory
+// schedule, never the answer.
+
+#ifndef SIMCLOUD_MINDEX_QUERY_ENGINE_H_
+#define SIMCLOUD_MINDEX_QUERY_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mindex/cell_tree.h"
+#include "mindex/entry.h"
+#include "mindex/storage.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// Stateless search executor over a cell tree and a payload store. The
+/// referenced tree and storage must outlive the engine; concurrent const
+/// calls are safe (the tree is read-only and storage fetches are
+/// concurrent by contract).
+class QueryEngine {
+ public:
+  QueryEngine(const CellTree* tree, const BucketStorage* storage,
+              double promise_decay)
+      : tree_(tree), storage_(storage), promise_decay_(promise_decay) {}
+
+  /// Precise range query R(q, r) (Algorithm 3): cell pruning + pivot
+  /// filtering, candidates sorted by filtering lower bound.
+  Result<CandidateList> RangeSearch(const std::vector<float>& query_distances,
+                                    double radius, SearchStats* stats) const;
+
+  /// Pre-ranked candidate set of size <= cand_size for approximate k-NN
+  /// (Algorithm 4).
+  Result<CandidateList> ApproxKnn(const QuerySignature& query,
+                                  size_t cand_size, SearchStats* stats) const;
+
+  /// Evaluates a batch of range queries: duplicate queries memoized, the
+  /// distinct ones evaluated in one tree traversal, payloads fetched in
+  /// one call and deduplicated into the result dictionary.
+  /// `result.per_query[i]` / `(*stats)[i]` answer `queries[i]`; `stats`
+  /// may be null, otherwise it is resized.
+  Result<BatchCandidates> RangeSearchBatch(
+      const std::vector<RangeQuery>& queries,
+      std::vector<SearchStats>* stats) const;
+
+  /// Evaluates a batch of approximate k-NN queries the same way.
+  Result<BatchCandidates> ApproxKnnBatch(
+      const std::vector<KnnQuery>& queries,
+      std::vector<SearchStats>* stats) const;
+
+ private:
+  using ScoredEntries = std::vector<std::pair<double, const Entry*>>;
+
+  /// Pre-ranks ascending by score (stable) and trims to `limit`.
+  static void RankAndTrim(ScoredEntries* scored, size_t limit);
+
+  /// Fetches payloads for one ranked candidate set in a single FetchMany.
+  Result<CandidateList> Materialize(ScoredEntries scored, size_t limit,
+                                    SearchStats* stats) const;
+
+  /// Builds the batch dictionary: ranks each distinct query's candidates,
+  /// fetches the deduplicated handle set in one FetchMany, then expands
+  /// to one ref list per original query via `rep` (original -> index into
+  /// `scored`). `unique_stats` are replicated into `stats` the same way.
+  Result<BatchCandidates> MaterializeBatch(
+      std::vector<ScoredEntries> scored, const std::vector<size_t>& limits,
+      const std::vector<size_t>& rep,
+      const std::vector<SearchStats>& unique_stats,
+      std::vector<SearchStats>* stats) const;
+
+  const CellTree* tree_;
+  const BucketStorage* storage_;
+  double promise_decay_;
+};
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_QUERY_ENGINE_H_

@@ -3,11 +3,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <numeric>
 
 namespace simcloud {
 namespace mindex {
+
+Status BucketStorage::FetchMany(std::span<const PayloadHandle> handles,
+                                std::vector<Bytes>* out) const {
+  out->clear();
+  out->reserve(handles.size());
+  for (PayloadHandle handle : handles) {
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload, Fetch(handle));
+    out->push_back(std::move(payload));
+  }
+  return Status::OK();
+}
 
 Result<PayloadHandle> MemoryStorage::Store(const Bytes& payload) {
   payloads_.push_back(payload);
@@ -20,6 +33,19 @@ Result<Bytes> MemoryStorage::Fetch(PayloadHandle handle) const {
     return Status::NotFound("memory storage handle out of range");
   }
   return payloads_[handle];
+}
+
+Status MemoryStorage::FetchMany(std::span<const PayloadHandle> handles,
+                                std::vector<Bytes>* out) const {
+  for (PayloadHandle handle : handles) {
+    if (handle >= payloads_.size()) {
+      return Status::NotFound("memory storage handle out of range");
+    }
+  }
+  out->clear();
+  out->reserve(handles.size());
+  for (PayloadHandle handle : handles) out->push_back(payloads_[handle]);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<DiskStorage>> DiskStorage::Create(
@@ -36,13 +62,55 @@ DiskStorage::~DiskStorage() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status DiskStorage::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::IoError("close failed on " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status DiskStorage::CheckOpen() const {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("disk storage " + path_ +
+                                      " is not open");
+  }
+  return Status::OK();
+}
+
+Status DiskStorage::ReadExactly(uint8_t* dst, size_t len,
+                                uint64_t offset) const {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, dst + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread failed on " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption(
+          "short read in disk storage " + path_ + ": got " +
+          std::to_string(done) + " of " + std::to_string(len) + " bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 Result<PayloadHandle> DiskStorage::Store(const Bytes& payload) {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
   size_t done = 0;
   while (done < payload.size()) {
     const ssize_t n = ::pwrite(fd_, payload.data() + done,
                                payload.size() - done,
                                static_cast<off_t>(next_offset_ + done));
     if (n < 0) {
+      if (errno == EINTR) continue;
       return Status::IoError("pwrite failed on " + path_ + ": " +
                              std::strerror(errno));
     }
@@ -57,24 +125,58 @@ Result<PayloadHandle> DiskStorage::Store(const Bytes& payload) {
 }
 
 Result<Bytes> DiskStorage::Fetch(PayloadHandle handle) const {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
   if (handle >= offsets_.size()) {
     return Status::NotFound("disk storage handle out of range");
   }
   Bytes out(lengths_[handle]);
-  size_t done = 0;
-  while (done < out.size()) {
-    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
-                              static_cast<off_t>(offsets_[handle] + done));
-    if (n < 0) {
-      return Status::IoError("pread failed on " + path_ + ": " +
-                             std::strerror(errno));
-    }
-    if (n == 0) {
-      return Status::Corruption("unexpected EOF in disk storage " + path_);
-    }
-    done += static_cast<size_t>(n);
-  }
+  SIMCLOUD_RETURN_NOT_OK(ReadExactly(out.data(), out.size(),
+                                     offsets_[handle]));
   return out;
+}
+
+Status DiskStorage::FetchMany(std::span<const PayloadHandle> handles,
+                              std::vector<Bytes>* out) const {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
+  for (PayloadHandle handle : handles) {
+    if (handle >= offsets_.size()) {
+      return Status::NotFound("disk storage handle out of range");
+    }
+  }
+  out->assign(handles.size(), Bytes());
+
+  // Read in offset order: adjacent payloads (the common case — candidates
+  // of one bucket were appended together) collapse into one pread.
+  std::vector<size_t> order(handles.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return offsets_[handles[a]] < offsets_[handles[b]];
+  });
+
+  Bytes buffer;
+  size_t i = 0;
+  while (i < order.size()) {
+    const uint64_t run_offset = offsets_[handles[order[i]]];
+    uint64_t run_length = lengths_[handles[order[i]]];
+    size_t j = i + 1;
+    while (j < order.size() &&
+           offsets_[handles[order[j]]] == run_offset + run_length) {
+      run_length += lengths_[handles[order[j]]];
+      ++j;
+    }
+    buffer.resize(run_length);
+    SIMCLOUD_RETURN_NOT_OK(
+        ReadExactly(buffer.data(), buffer.size(), run_offset));
+    uint64_t cursor = 0;
+    for (size_t k = i; k < j; ++k) {
+      const uint32_t length = lengths_[handles[order[k]]];
+      (*out)[order[k]].assign(buffer.begin() + cursor,
+                              buffer.begin() + cursor + length);
+      cursor += length;
+    }
+    i = j;
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<BucketStorage>> MakeStorage(

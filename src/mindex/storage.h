@@ -6,12 +6,20 @@
 // keeps routing metadata (permutations / pivot distances) in memory and
 // stores opaque payload bytes — serialized plaintext objects for the plain
 // M-Index, AES ciphertexts for the Encrypted M-Index — in a BucketStorage.
+//
+// Batched reads: FetchMany retrieves a whole candidate set in one call.
+// DiskStorage sorts the handles by file offset and coalesces adjacent
+// payloads into single pread(2) calls, which is what makes batched queries
+// disk-efficient; MemoryStorage copies everything in one pass. A sharded
+// LRU decorator (payload_cache.h) adds an in-memory hot set on top of
+// either backend.
 
 #ifndef SIMCLOUD_MINDEX_STORAGE_H_
 #define SIMCLOUD_MINDEX_STORAGE_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,8 +32,8 @@ namespace mindex {
 /// Handle to a stored payload.
 using PayloadHandle = uint64_t;
 
-/// Abstract payload store. Implementations must support concurrent Fetch
-/// calls; Store calls are serialized by the index.
+/// Abstract payload store. Implementations must support concurrent Fetch /
+/// FetchMany calls; Store calls are serialized by the index.
 class BucketStorage {
  public:
   virtual ~BucketStorage() = default;
@@ -36,13 +44,19 @@ class BucketStorage {
   /// Retrieves a payload previously stored.
   virtual Result<Bytes> Fetch(PayloadHandle handle) const = 0;
 
+  /// Retrieves many payloads in one call; on success `(*out)[i]` holds the
+  /// payload of `handles[i]` (duplicates allowed). The default loops over
+  /// Fetch; backends override it to batch the underlying I/O.
+  virtual Status FetchMany(std::span<const PayloadHandle> handles,
+                           std::vector<Bytes>* out) const;
+
   /// Total payload bytes stored.
   virtual uint64_t TotalBytes() const = 0;
 
   /// Number of stored payloads.
   virtual uint64_t Count() const = 0;
 
-  /// "memory" or "disk".
+  /// "memory", "disk", or a decorated variant such as "disk+cache".
   virtual std::string Name() const = 0;
 };
 
@@ -51,6 +65,8 @@ class MemoryStorage : public BucketStorage {
  public:
   Result<PayloadHandle> Store(const Bytes& payload) override;
   Result<Bytes> Fetch(PayloadHandle handle) const override;
+  Status FetchMany(std::span<const PayloadHandle> handles,
+                   std::vector<Bytes>* out) const override;
   uint64_t TotalBytes() const override { return total_bytes_; }
   uint64_t Count() const override { return payloads_.size(); }
   std::string Name() const override { return "memory"; }
@@ -71,12 +87,27 @@ class DiskStorage : public BucketStorage {
 
   Result<PayloadHandle> Store(const Bytes& payload) override;
   Result<Bytes> Fetch(PayloadHandle handle) const override;
+  /// Sorts handles by offset and coalesces adjacent payloads into single
+  /// pread calls, so a batch over one bucket costs one disk read.
+  Status FetchMany(std::span<const PayloadHandle> handles,
+                   std::vector<Bytes>* out) const override;
   uint64_t TotalBytes() const override { return total_bytes_; }
   uint64_t Count() const override { return lengths_.size(); }
   std::string Name() const override { return "disk"; }
 
+  /// Closes the backing file; subsequent Store/Fetch calls fail with
+  /// FailedPrecondition instead of operating on a dead descriptor. The
+  /// destructor closes best-effort; call Close() to observe close errors.
+  Status Close();
+
  private:
   DiskStorage(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  /// FailedPrecondition unless the backing file is open.
+  Status CheckOpen() const;
+  /// pread exactly `len` bytes at `offset`; short reads (EOF before `len`
+  /// bytes, e.g. a truncated backing file) are Corruption, not silence.
+  Status ReadExactly(uint8_t* dst, size_t len, uint64_t offset) const;
 
   int fd_;
   std::string path_;

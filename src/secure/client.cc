@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "common/clock.h"
 #include "mindex/permutation.h"
@@ -112,23 +113,32 @@ Status EncryptionClient::Delete(const metric::VectorObject& object) {
   return Status::OK();
 }
 
+Result<VectorObject> EncryptionClient::DecryptCandidate(
+    const Bytes& payload) {
+  Stopwatch watch;
+  SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object, key_.DecryptObject(payload));
+  costs_.decryption_nanos += watch.ElapsedNanos();
+  costs_.candidates_decrypted++;
+  return object;
+}
+
+double EncryptionClient::MeasuredDistance(const VectorObject& query,
+                                          const VectorObject& object) {
+  Stopwatch watch;
+  const double d = metric_->Distance(query, object);
+  costs_.distance_nanos += watch.ElapsedNanos();
+  costs_.distance_computations++;
+  return d;
+}
+
 Result<NeighborList> EncryptionClient::RefineCandidates(
     const mindex::CandidateList& candidates, const VectorObject& query) {
   NeighborList refined;
   refined.reserve(candidates.size());
   for (const auto& candidate : candidates) {
-    Stopwatch dec_watch;
     SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
-                              key_.DecryptObject(candidate.payload));
-    costs_.decryption_nanos += dec_watch.ElapsedNanos();
-    costs_.candidates_decrypted++;
-
-    Stopwatch dist_watch;
-    const double d = metric_->Distance(query, object);
-    costs_.distance_nanos += dist_watch.ElapsedNanos();
-    costs_.distance_computations++;
-
-    refined.push_back(Neighbor{object.id(), d});
+                              DecryptCandidate(candidate.payload));
+    refined.push_back(Neighbor{object.id(), MeasuredDistance(query, object)});
   }
   std::sort(refined.begin(), refined.end());
   return refined;
@@ -245,6 +255,152 @@ Result<NeighborList> EncryptionClient::ApproxKnn(const VectorObject& query,
   return refined;
 }
 
+Result<std::vector<NeighborList>> EncryptionClient::RefineBatch(
+    const BatchCandidateResponse& response,
+    const std::vector<VectorObject>& queries) {
+  std::vector<std::optional<VectorObject>> decoded(
+      response.batch.payloads.size());
+  std::vector<NeighborList> results;
+  results.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    NeighborList refined;
+    refined.reserve(response.batch.per_query[q].size());
+    for (const mindex::BatchCandidateRef& ref : response.batch.per_query[q]) {
+      if (!decoded[ref.payload_index].has_value()) {
+        SIMCLOUD_ASSIGN_OR_RETURN(
+            VectorObject object,
+            DecryptCandidate(response.batch.payloads[ref.payload_index]));
+        decoded[ref.payload_index] = std::move(object);
+      }
+      const VectorObject& object = *decoded[ref.payload_index];
+      refined.push_back(
+          Neighbor{object.id(), MeasuredDistance(queries[q], object)});
+    }
+    std::sort(refined.begin(), refined.end());
+    results.push_back(std::move(refined));
+  }
+  return results;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
+    const std::vector<VectorObject>& queries, double radius) {
+  if (radius < 0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  if (queries.empty()) return std::vector<NeighborList>{};
+  if (queries.size() > kMaxBatchQueries) {
+    return Status::InvalidArgument(
+        "batch exceeds the " + std::to_string(kMaxBatchQueries) +
+        "-query protocol limit; split it into smaller batches");
+  }
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  const double sent_radius =
+      key_.has_transform() ? key_.transform().Apply(radius) : radius;
+  std::vector<mindex::RangeQuery> batch;
+  batch.reserve(queries.size());
+  for (const VectorObject& query : queries) {
+    mindex::RangeQuery item;
+    item.pivot_distances =
+        ComputePivotDistances(query, /*apply_transform=*/true);
+    item.radius = sent_radius;
+    batch.push_back(std::move(item));
+  }
+
+  const Bytes request = EncodeRangeSearchBatchRequest(batch);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(BatchCandidateResponse response,
+                            DecodeBatchCandidateResponse(response_bytes));
+  if (response.query_count() != queries.size()) {
+    return Status::Internal("server answered " +
+                            std::to_string(response.query_count()) + " of " +
+                            std::to_string(queries.size()) +
+                            " batched queries");
+  }
+
+  SIMCLOUD_ASSIGN_OR_RETURN(std::vector<NeighborList> refined_lists,
+                            RefineBatch(response, queries));
+  std::vector<NeighborList> answers;
+  answers.reserve(queries.size());
+  for (NeighborList& refined : refined_lists) {
+    NeighborList answer;
+    for (const Neighbor& n : refined) {
+      if (n.distance <= radius) answer.push_back(n);
+    }
+    answers.push_back(std::move(answer));
+  }
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return answers;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
+    const std::vector<VectorObject>& queries, size_t k, size_t cand_size) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  if (cand_size < k) {
+    return Status::InvalidArgument("candidate set size must be >= k");
+  }
+  if (queries.empty()) return std::vector<NeighborList>{};
+  if (queries.size() > kMaxBatchQueries) {
+    return Status::InvalidArgument(
+        "batch exceeds the " + std::to_string(kMaxBatchQueries) +
+        "-query protocol limit; split it into smaller batches");
+  }
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  std::vector<mindex::KnnQuery> batch;
+  batch.reserve(queries.size());
+  for (const VectorObject& query : queries) {
+    std::vector<float> query_distances =
+        ComputePivotDistances(query, /*apply_transform=*/true);
+    mindex::KnnQuery item;
+    item.signature.permutation =
+        mindex::DistancesToPermutation(query_distances);
+    item.cand_size = cand_size;
+    batch.push_back(std::move(item));
+  }
+
+  const Bytes request = EncodeApproxKnnBatchRequest(batch);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(BatchCandidateResponse response,
+                            DecodeBatchCandidateResponse(response_bytes));
+  if (response.query_count() != queries.size()) {
+    return Status::Internal("server answered " +
+                            std::to_string(response.query_count()) + " of " +
+                            std::to_string(queries.size()) +
+                            " batched queries");
+  }
+
+  SIMCLOUD_ASSIGN_OR_RETURN(std::vector<NeighborList> answers,
+                            RefineBatch(response, queries));
+  for (NeighborList& refined : answers) {
+    if (refined.size() > k) refined.resize(k);
+  }
+
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return answers;
+}
+
 Result<NeighborList> EncryptionClient::ApproxKnnEarlyStop(
     const VectorObject& query, size_t k, size_t cand_size) {
   if (k == 0) return Status::InvalidArgument("k must be > 0");
@@ -285,18 +441,9 @@ Result<NeighborList> EncryptionClient::ApproxKnnEarlyStop(
           key_.has_transform() ? key_.transform().Apply(kth) : kth;
       if (candidate.score > kth_in_score_space) break;  // sound stop
     }
-    Stopwatch dec_watch;
     SIMCLOUD_ASSIGN_OR_RETURN(VectorObject object,
-                              key_.DecryptObject(candidate.payload));
-    costs_.decryption_nanos += dec_watch.ElapsedNanos();
-    costs_.candidates_decrypted++;
-
-    Stopwatch dist_watch;
-    const double d = metric_->Distance(query, object);
-    costs_.distance_nanos += dist_watch.ElapsedNanos();
-    costs_.distance_computations++;
-
-    const Neighbor neighbor{object.id(), d};
+                              DecryptCandidate(candidate.payload));
+    const Neighbor neighbor{object.id(), MeasuredDistance(query, object)};
     auto pos = std::lower_bound(best.begin(), best.end(), neighbor);
     if (best.size() < k) {
       best.insert(pos, neighbor);

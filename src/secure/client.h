@@ -94,6 +94,20 @@ class EncryptionClient {
   Result<metric::NeighborList> ApproxKnn(const metric::VectorObject& query,
                                          size_t k, size_t cand_size);
 
+  /// Batched precise range search: all queries travel in ONE request
+  /// (kRangeSearchBatch), the server evaluates them in one pass, and the
+  /// client decrypts and refines every candidate set under a single
+  /// cost-accounting pass. `results[i]` answers `queries[i]` and equals
+  /// what RangeSearch(queries[i], radius) would return.
+  Result<std::vector<metric::NeighborList>> RangeSearchBatch(
+      const std::vector<metric::VectorObject>& queries, double radius);
+
+  /// Batched approximate k-NN: one kApproxKnnBatch round trip for the
+  /// whole query set; per-query answers equal ApproxKnn's.
+  Result<std::vector<metric::NeighborList>> ApproxKnnBatch(
+      const std::vector<metric::VectorObject>& queries, size_t k,
+      size_t cand_size);
+
   /// Approximate k-NN restricted to the single most promising Voronoi
   /// cell (the paper's Table 9 / Section 5.4 setup): the server returns
   /// that one whole cell as the candidate set.
@@ -132,11 +146,26 @@ class EncryptionClient {
   std::vector<float> ComputePivotDistances(const metric::VectorObject& object,
                                            bool apply_transform);
 
+  /// Decrypts one candidate payload under decryption-cost accounting.
+  Result<metric::VectorObject> DecryptCandidate(const Bytes& payload);
+
+  /// One true-metric evaluation under distance-cost accounting.
+  double MeasuredDistance(const metric::VectorObject& query,
+                          const metric::VectorObject& object);
+
   /// Decrypts candidates and evaluates true distances (Alg. 2 lines 11-16),
   /// keeping those satisfying `predicate`.
   Result<metric::NeighborList> RefineCandidates(
       const mindex::CandidateList& candidates,
       const metric::VectorObject& query);
+
+  /// Batch refinement: decrypts each distinct payload of the batch
+  /// dictionary ONCE (candidates shared between queries — overlapping or
+  /// repeated hot queries — cost one decryption), then evaluates true
+  /// distances per query. `results[i]` refines `queries[i]`.
+  Result<std::vector<metric::NeighborList>> RefineBatch(
+      const BatchCandidateResponse& response,
+      const std::vector<metric::VectorObject>& queries);
 
   SecretKey key_;
   std::shared_ptr<metric::DistanceFunction> metric_;

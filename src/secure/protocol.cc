@@ -23,6 +23,50 @@ Result<mindex::SearchStats> ReadSearchStats(BinaryReader* reader) {
   return stats;
 }
 
+/// One candidate-set block: stats, then the ranked candidates. Shared by
+/// the single response and each per-query block of a batch response.
+void WriteCandidateBlock(BinaryWriter* writer,
+                         const mindex::CandidateList& candidates,
+                         const mindex::SearchStats& stats) {
+  WriteSearchStats(writer, stats);
+  writer->WriteVarint(candidates.size());
+  for (const auto& candidate : candidates) {
+    writer->WriteVarint(candidate.id);
+    writer->WriteDouble(candidate.score);
+    writer->WriteBytes(candidate.payload);
+  }
+}
+
+Result<CandidateResponse> ReadCandidateBlock(BinaryReader* reader) {
+  CandidateResponse response;
+  SIMCLOUD_ASSIGN_OR_RETURN(response.stats, ReadSearchStats(reader));
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+  response.candidates.reserve(reader->BoundedCount(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    mindex::Candidate candidate;
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.id, reader->ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.score, reader->ReadDouble());
+    SIMCLOUD_ASSIGN_OR_RETURN(candidate.payload, reader->ReadBytes());
+    response.candidates.push_back(std::move(candidate));
+  }
+  return response;
+}
+
+void WriteQuerySignature(BinaryWriter* writer,
+                         const mindex::QuerySignature& query) {
+  writer->WriteFloatVector(query.pivot_distances);
+  writer->WriteU32Vector(query.permutation);
+  writer->WriteBool(query.whole_cells);
+}
+
+Result<mindex::QuerySignature> ReadQuerySignature(BinaryReader* reader) {
+  mindex::QuerySignature query;
+  SIMCLOUD_ASSIGN_OR_RETURN(query.pivot_distances, reader->ReadFloatVector());
+  SIMCLOUD_ASSIGN_OR_RETURN(query.permutation, reader->ReadU32Vector());
+  SIMCLOUD_ASSIGN_OR_RETURN(query.whole_cells, reader->ReadBool());
+  return query;
+}
+
 }  // namespace
 
 Bytes EncodeInsertBatchRequest(const std::vector<InsertItem>& items) {
@@ -51,10 +95,32 @@ Bytes EncodeApproxKnnRequest(const mindex::QuerySignature& query,
                              uint64_t cand_size) {
   BinaryWriter writer;
   writer.WriteU8(static_cast<uint8_t>(Op::kApproxKnn));
-  writer.WriteFloatVector(query.pivot_distances);
-  writer.WriteU32Vector(query.permutation);
-  writer.WriteBool(query.whole_cells);
+  WriteQuerySignature(&writer, query);
   writer.WriteVarint(cand_size);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeRangeSearchBatchRequest(
+    const std::vector<mindex::RangeQuery>& queries) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kRangeSearchBatch));
+  writer.WriteVarint(queries.size());
+  for (const auto& query : queries) {
+    writer.WriteFloatVector(query.pivot_distances);
+    writer.WriteDouble(query.radius);
+  }
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeApproxKnnBatchRequest(
+    const std::vector<mindex::KnnQuery>& queries) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kApproxKnnBatch));
+  writer.WriteVarint(queries.size());
+  for (const auto& query : queries) {
+    WriteQuerySignature(&writer, query.signature);
+    writer.WriteVarint(query.cand_size);
+  }
   return writer.TakeBuffer();
 }
 
@@ -100,11 +166,7 @@ Result<Request> DecodeRequest(const Bytes& data) {
       return request;
     }
     case Op::kApproxKnn: {
-      SIMCLOUD_ASSIGN_OR_RETURN(request.query.pivot_distances,
-                                reader.ReadFloatVector());
-      SIMCLOUD_ASSIGN_OR_RETURN(request.query.permutation,
-                                reader.ReadU32Vector());
-      SIMCLOUD_ASSIGN_OR_RETURN(request.query.whole_cells, reader.ReadBool());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query, ReadQuerySignature(&reader));
       SIMCLOUD_ASSIGN_OR_RETURN(request.cand_size, reader.ReadVarint());
       return request;
     }
@@ -116,6 +178,40 @@ Result<Request> DecodeRequest(const Bytes& data) {
                                 reader.ReadU32Vector());
       return request;
     }
+    case Op::kRangeSearchBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      if (count > kMaxBatchQueries) {
+        return Status::InvalidArgument(
+            "batch of " + std::to_string(count) + " queries exceeds the " +
+            std::to_string(kMaxBatchQueries) + "-query limit");
+      }
+      request.range_queries.reserve(reader.BoundedCount(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        mindex::RangeQuery query;
+        SIMCLOUD_ASSIGN_OR_RETURN(query.pivot_distances,
+                                  reader.ReadFloatVector());
+        SIMCLOUD_ASSIGN_OR_RETURN(query.radius, reader.ReadDouble());
+        request.range_queries.push_back(std::move(query));
+      }
+      return request;
+    }
+    case Op::kApproxKnnBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      if (count > kMaxBatchQueries) {
+        return Status::InvalidArgument(
+            "batch of " + std::to_string(count) + " queries exceeds the " +
+            std::to_string(kMaxBatchQueries) + "-query limit");
+      }
+      request.knn_queries.reserve(reader.BoundedCount(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        mindex::KnnQuery query;
+        SIMCLOUD_ASSIGN_OR_RETURN(query.signature,
+                                  ReadQuerySignature(&reader));
+        SIMCLOUD_ASSIGN_OR_RETURN(query.cand_size, reader.ReadVarint());
+        request.knn_queries.push_back(std::move(query));
+      }
+      return request;
+    }
   }
   return Status::Corruption("unknown opcode " + std::to_string(op_byte));
 }
@@ -123,28 +219,81 @@ Result<Request> DecodeRequest(const Bytes& data) {
 Bytes EncodeCandidateResponse(const mindex::CandidateList& candidates,
                               const mindex::SearchStats& stats) {
   BinaryWriter writer;
-  WriteSearchStats(&writer, stats);
-  writer.WriteVarint(candidates.size());
+  size_t payload_bytes = 0;
   for (const auto& candidate : candidates) {
-    writer.WriteVarint(candidate.id);
-    writer.WriteDouble(candidate.score);
-    writer.WriteBytes(candidate.payload);
+    payload_bytes += candidate.payload.size() + 24;
   }
+  writer.Reserve(payload_bytes + 64);
+  WriteCandidateBlock(&writer, candidates, stats);
   return writer.TakeBuffer();
 }
 
 Result<CandidateResponse> DecodeCandidateResponse(const Bytes& data) {
   BinaryReader reader(data);
-  CandidateResponse response;
-  SIMCLOUD_ASSIGN_OR_RETURN(response.stats, ReadSearchStats(&reader));
-  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
-  response.candidates.reserve(reader.BoundedCount(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    mindex::Candidate candidate;
-    SIMCLOUD_ASSIGN_OR_RETURN(candidate.id, reader.ReadVarint());
-    SIMCLOUD_ASSIGN_OR_RETURN(candidate.score, reader.ReadDouble());
-    SIMCLOUD_ASSIGN_OR_RETURN(candidate.payload, reader.ReadBytes());
-    response.candidates.push_back(std::move(candidate));
+  return ReadCandidateBlock(&reader);
+}
+
+Bytes EncodeBatchCandidateResponse(
+    const mindex::BatchCandidates& batch,
+    const std::vector<mindex::SearchStats>& stats) {
+  BinaryWriter writer;
+  size_t payload_bytes = 0;
+  for (const Bytes& payload : batch.payloads) {
+    payload_bytes += payload.size() + 8;
+  }
+  size_t ref_count = 0;
+  for (const auto& refs : batch.per_query) ref_count += refs.size();
+  writer.Reserve(payload_bytes + 24 * ref_count +
+                 64 * batch.per_query.size() + 32);
+
+  writer.WriteVarint(batch.payloads.size());
+  for (const Bytes& payload : batch.payloads) writer.WriteBytes(payload);
+  writer.WriteVarint(batch.per_query.size());
+  for (size_t q = 0; q < batch.per_query.size(); ++q) {
+    WriteSearchStats(&writer, stats[q]);
+    writer.WriteVarint(batch.per_query[q].size());
+    for (const mindex::BatchCandidateRef& ref : batch.per_query[q]) {
+      writer.WriteVarint(ref.id);
+      writer.WriteDouble(ref.score);
+      writer.WriteVarint(ref.payload_index);
+    }
+  }
+  return writer.TakeBuffer();
+}
+
+Result<BatchCandidateResponse> DecodeBatchCandidateResponse(
+    const Bytes& data) {
+  BinaryReader reader(data);
+  BatchCandidateResponse response;
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t payload_count, reader.ReadVarint());
+  response.batch.payloads.reserve(reader.BoundedCount(payload_count));
+  for (uint64_t i = 0; i < payload_count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes payload, reader.ReadBytes());
+    response.batch.payloads.push_back(std::move(payload));
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t query_count, reader.ReadVarint());
+  response.batch.per_query.reserve(reader.BoundedCount(query_count));
+  response.stats.reserve(reader.BoundedCount(query_count));
+  for (uint64_t q = 0; q < query_count; ++q) {
+    SIMCLOUD_ASSIGN_OR_RETURN(mindex::SearchStats stats,
+                              ReadSearchStats(&reader));
+    response.stats.push_back(stats);
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    std::vector<mindex::BatchCandidateRef> refs;
+    refs.reserve(reader.BoundedCount(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      mindex::BatchCandidateRef ref;
+      SIMCLOUD_ASSIGN_OR_RETURN(ref.id, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(ref.score, reader.ReadDouble());
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t index, reader.ReadVarint());
+      if (index >= response.batch.payloads.size()) {
+        return Status::Corruption("batch candidate payload index " +
+                                  std::to_string(index) + " out of range");
+      }
+      ref.payload_index = static_cast<uint32_t>(index);
+      refs.push_back(ref);
+    }
+    response.batch.per_query.push_back(std::move(refs));
   }
   return response;
 }

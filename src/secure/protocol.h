@@ -20,13 +20,19 @@
 namespace simcloud {
 namespace secure {
 
+/// Maximum queries per batch request the server accepts; a larger batch
+/// is rejected at decode time (bounds per-request server work).
+inline constexpr uint64_t kMaxBatchQueries = 4096;
+
 /// Opcodes of the encrypted M-Index service.
 enum class Op : uint8_t {
-  kInsertBatch = 1,  ///< bulk insert of encrypted objects (Alg. 1)
-  kRangeSearch = 2,  ///< precise range candidates (Alg. 3)
-  kApproxKnn = 3,    ///< pre-ranked approximate candidates (Alg. 4)
-  kGetStats = 4,     ///< index statistics
-  kDelete = 5,       ///< remove one object by id + routing permutation
+  kInsertBatch = 1,       ///< bulk insert of encrypted objects (Alg. 1)
+  kRangeSearch = 2,       ///< precise range candidates (Alg. 3)
+  kApproxKnn = 3,         ///< pre-ranked approximate candidates (Alg. 4)
+  kGetStats = 4,          ///< index statistics
+  kDelete = 5,            ///< remove one object by id + routing permutation
+  kRangeSearchBatch = 6,  ///< many range queries, one round trip
+  kApproxKnnBatch = 7,    ///< many approximate queries, one round trip
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -46,6 +52,9 @@ Bytes EncodeApproxKnnRequest(const mindex::QuerySignature& query,
 Bytes EncodeGetStatsRequest();
 Bytes EncodeDeleteRequest(metric::ObjectId id,
                           const mindex::Permutation& permutation);
+Bytes EncodeRangeSearchBatchRequest(
+    const std::vector<mindex::RangeQuery>& queries);
+Bytes EncodeApproxKnnBatchRequest(const std::vector<mindex::KnnQuery>& queries);
 
 /// Decoded request (server side).
 struct Request {
@@ -57,6 +66,8 @@ struct Request {
   uint64_t cand_size = 0;                    // kApproxKnn
   metric::ObjectId delete_id = 0;            // kDelete
   mindex::Permutation delete_permutation;    // kDelete
+  std::vector<mindex::RangeQuery> range_queries;  // kRangeSearchBatch
+  std::vector<mindex::KnnQuery> knn_queries;      // kApproxKnnBatch
 };
 Result<Request> DecodeRequest(const Bytes& data);
 
@@ -68,6 +79,26 @@ struct CandidateResponse {
   mindex::SearchStats stats;
 };
 Result<CandidateResponse> DecodeCandidateResponse(const Bytes& data);
+
+/// Batched candidate-set response (kRangeSearchBatch / kApproxKnnBatch).
+/// Dictionary-encoded: the deduplicated payload bytes are shipped once,
+/// followed by per-query blocks of (stats, ranked candidate references).
+/// Overlapping or repeated queries therefore cost one payload transfer
+/// per distinct ciphertext, not per candidate. Materialize(q) expands a
+/// query into the exact CandidateResponse the single-query opcode would
+/// have produced.
+Bytes EncodeBatchCandidateResponse(const mindex::BatchCandidates& batch,
+                                   const std::vector<mindex::SearchStats>& stats);
+struct BatchCandidateResponse {
+  mindex::BatchCandidates batch;
+  std::vector<mindex::SearchStats> stats;
+
+  size_t query_count() const { return batch.per_query.size(); }
+  CandidateResponse Materialize(size_t q) const {
+    return CandidateResponse{batch.MaterializeQuery(q), stats[q]};
+  }
+};
+Result<BatchCandidateResponse> DecodeBatchCandidateResponse(const Bytes& data);
 
 /// Insert acknowledgement.
 Bytes EncodeInsertResponse(uint64_t inserted);

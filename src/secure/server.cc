@@ -16,11 +16,13 @@ Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
 void EncryptedMIndexServer::AccumulateStats(
     const mindex::SearchStats& stats) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  total_stats_.cells_visited += stats.cells_visited;
-  total_stats_.cells_pruned += stats.cells_pruned;
-  total_stats_.entries_scanned += stats.entries_scanned;
-  total_stats_.entries_filtered += stats.entries_filtered;
-  total_stats_.candidates += stats.candidates;
+  total_stats_.Add(stats);
+}
+
+void EncryptedMIndexServer::AccumulateStatsBatch(
+    const std::vector<mindex::SearchStats>& stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (const auto& entry : stats) total_stats_.Add(entry);
 }
 
 Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
@@ -58,6 +60,28 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
       lock.unlock();
       AccumulateStats(stats);
       return EncodeCandidateResponse(candidates, stats);
+    }
+    case Op::kRangeSearchBatch: {
+      // The shared lock is taken once for the whole batch: the queries
+      // share one tree traversal and one payload fetch inside the index.
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      std::vector<mindex::SearchStats> stats;
+      SIMCLOUD_ASSIGN_OR_RETURN(
+          mindex::BatchCandidates batch,
+          index_->RangeSearchBatchCandidates(request.range_queries, &stats));
+      lock.unlock();
+      AccumulateStatsBatch(stats);
+      return EncodeBatchCandidateResponse(batch, stats);
+    }
+    case Op::kApproxKnnBatch: {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      std::vector<mindex::SearchStats> stats;
+      SIMCLOUD_ASSIGN_OR_RETURN(
+          mindex::BatchCandidates batch,
+          index_->ApproxKnnBatchCandidates(request.knn_queries, &stats));
+      lock.unlock();
+      AccumulateStatsBatch(stats);
+      return EncodeBatchCandidateResponse(batch, stats);
     }
     case Op::kGetStats: {
       std::shared_lock<std::shared_mutex> lock(index_mutex_);

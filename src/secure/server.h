@@ -44,6 +44,8 @@ class EncryptedMIndexServer : public net::RequestHandler {
       : index_(std::move(index)) {}
 
   void AccumulateStats(const mindex::SearchStats& stats);
+  /// One lock acquisition for a whole batch of per-query stats.
+  void AccumulateStatsBatch(const std::vector<mindex::SearchStats>& stats);
 
   std::unique_ptr<mindex::MIndex> index_;
   /// Readers-writer lock over the index: searches run concurrently,

@@ -51,41 +51,131 @@ uint64_t ShardedServer::TotalObjects() const {
   return total;
 }
 
-Result<Bytes> ShardedServer::FanOut(const Bytes& request, size_t limit) {
+std::vector<Result<Bytes>> ShardedServer::CallAllShards(
+    const Bytes& request) {
   std::vector<Result<Bytes>> responses(shards_.size(),
                                        Status::Internal("not run"));
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(shards_.size());
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      threads.emplace_back([this, i, &request, &responses] {
-        responses[i] = shards_[i]->Handle(request);
-      });
-    }
-    for (auto& thread : threads) thread.join();
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, &request, &responses] {
+      responses[i] = shards_[i]->Handle(request);
+    });
   }
+  for (auto& thread : threads) thread.join();
+  return responses;
+}
 
-  mindex::CandidateList merged;
-  mindex::SearchStats stats;
+namespace {
+
+/// Merges one query's per-shard results: concatenated candidates sorted
+/// by score (stable across shard order), trimmed to `limit` when > 0.
+void MergeShardResults(std::vector<CandidateResponse>&& shard_results,
+                       size_t limit, mindex::CandidateList* merged,
+                       mindex::SearchStats* stats) {
+  for (auto& decoded : shard_results) {
+    stats->Add(decoded.stats);
+    for (auto& candidate : decoded.candidates) {
+      merged->push_back(std::move(candidate));
+    }
+  }
+  std::stable_sort(merged->begin(), merged->end(),
+                   [](const mindex::Candidate& a, const mindex::Candidate& b) {
+                     return a.score < b.score;
+                   });
+  if (limit > 0 && merged->size() > limit) merged->resize(limit);
+  stats->candidates = merged->size();
+}
+
+}  // namespace
+
+Result<Bytes> ShardedServer::FanOut(const Bytes& request, size_t limit) {
+  std::vector<Result<Bytes>> responses = CallAllShards(request);
+
+  std::vector<CandidateResponse> shard_results;
+  shard_results.reserve(responses.size());
   for (const auto& response : responses) {
     SIMCLOUD_RETURN_NOT_OK(response.status());
     SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse decoded,
                               DecodeCandidateResponse(*response));
-    stats.cells_visited += decoded.stats.cells_visited;
-    stats.cells_pruned += decoded.stats.cells_pruned;
-    stats.entries_scanned += decoded.stats.entries_scanned;
-    stats.entries_filtered += decoded.stats.entries_filtered;
-    for (auto& candidate : decoded.candidates) {
-      merged.push_back(std::move(candidate));
+    shard_results.push_back(std::move(decoded));
+  }
+  mindex::CandidateList merged;
+  mindex::SearchStats stats;
+  MergeShardResults(std::move(shard_results), limit, &merged, &stats);
+  return EncodeCandidateResponse(merged, stats);
+}
+
+Result<Bytes> ShardedServer::FanOutBatch(const Bytes& request,
+                                         const std::vector<size_t>& limits) {
+  std::vector<Result<Bytes>> responses = CallAllShards(request);
+
+  std::vector<BatchCandidateResponse> decoded;
+  decoded.reserve(responses.size());
+  for (const auto& response : responses) {
+    SIMCLOUD_RETURN_NOT_OK(response.status());
+    SIMCLOUD_ASSIGN_OR_RETURN(BatchCandidateResponse batch,
+                              DecodeBatchCandidateResponse(*response));
+    if (batch.query_count() != limits.size()) {
+      return Status::Internal("shard answered " +
+                              std::to_string(batch.query_count()) + " of " +
+                              std::to_string(limits.size()) +
+                              " batched queries");
+    }
+    decoded.push_back(std::move(batch));
+  }
+
+  // Shard dictionaries are disjoint (an object lives on exactly one
+  // shard), so the combined dictionary is their concatenation; per-shard
+  // payload indices shift by the shard's offset.
+  size_t total_payloads = 0;
+  std::vector<uint32_t> shard_offset(decoded.size());
+  for (size_t s = 0; s < decoded.size(); ++s) {
+    shard_offset[s] = static_cast<uint32_t>(total_payloads);
+    total_payloads += decoded[s].batch.payloads.size();
+  }
+  std::vector<Bytes*> flat(total_payloads);
+  for (size_t s = 0; s < decoded.size(); ++s) {
+    for (size_t i = 0; i < decoded[s].batch.payloads.size(); ++i) {
+      flat[shard_offset[s] + i] = &decoded[s].batch.payloads[i];
     }
   }
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const mindex::Candidate& a, const mindex::Candidate& b) {
-                     return a.score < b.score;
-                   });
-  if (limit > 0 && merged.size() > limit) merged.resize(limit);
-  stats.candidates = merged.size();
-  return EncodeCandidateResponse(merged, stats);
+
+  mindex::BatchCandidates merged;
+  merged.per_query.resize(limits.size());
+  std::vector<mindex::SearchStats> stats(limits.size());
+  for (size_t q = 0; q < limits.size(); ++q) {
+    std::vector<mindex::BatchCandidateRef>& refs = merged.per_query[q];
+    for (size_t s = 0; s < decoded.size(); ++s) {
+      stats[q].Add(decoded[s].stats[q]);
+      for (const auto& ref : decoded[s].batch.per_query[q]) {
+        refs.push_back(mindex::BatchCandidateRef{
+            ref.id, ref.score, ref.payload_index + shard_offset[s]});
+      }
+    }
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const mindex::BatchCandidateRef& a,
+                        const mindex::BatchCandidateRef& b) {
+                       return a.score < b.score;
+                     });
+    if (limits[q] > 0 && refs.size() > limits[q]) refs.resize(limits[q]);
+    stats[q].candidates = refs.size();
+  }
+
+  // Compact the dictionary to payloads that survived trimming.
+  constexpr uint32_t kUnmapped = ~0u;
+  std::vector<uint32_t> remap(total_payloads, kUnmapped);
+  for (auto& refs : merged.per_query) {
+    for (auto& ref : refs) {
+      if (remap[ref.payload_index] == kUnmapped) {
+        remap[ref.payload_index] =
+            static_cast<uint32_t>(merged.payloads.size());
+        merged.payloads.push_back(std::move(*flat[ref.payload_index]));
+      }
+      ref.payload_index = remap[ref.payload_index];
+    }
+  }
+  return EncodeBatchCandidateResponse(merged, stats);
 }
 
 Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
@@ -120,6 +210,21 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       // queries return the union of per-shard best cells untrimmed.
       return FanOut(request_bytes,
                     request.query.whole_cells ? 0 : request.cand_size);
+    case Op::kRangeSearchBatch: {
+      // One round trip carries every query to every shard.
+      std::vector<size_t> limits(request.range_queries.size(), 0);
+      return FanOutBatch(request_bytes, limits);
+    }
+    case Op::kApproxKnnBatch: {
+      std::vector<size_t> limits(request.knn_queries.size());
+      for (size_t q = 0; q < request.knn_queries.size(); ++q) {
+        limits[q] = request.knn_queries[q].signature.whole_cells
+                        ? 0
+                        : static_cast<size_t>(
+                              request.knn_queries[q].cand_size);
+      }
+      return FanOutBatch(request_bytes, limits);
+    }
     case Op::kGetStats: {
       mindex::IndexStats total;
       for (const auto& shard : shards_) {

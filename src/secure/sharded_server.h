@@ -69,6 +69,17 @@ class ShardedServer : public net::RequestHandler {
   /// when limit > 0.
   Result<Bytes> FanOut(const Bytes& request, size_t limit);
 
+  /// Batch variant: ONE fan-out round trip carries the whole batch; each
+  /// shard evaluates every query, then the per-query candidate lists are
+  /// merged by score across shards and trimmed to `limits[q]` (0 = no
+  /// trim), exactly like `limits.size()` FanOut calls would.
+  Result<Bytes> FanOutBatch(const Bytes& request,
+                            const std::vector<size_t>& limits);
+
+  /// Dispatches the batch request concurrently to all shards and returns
+  /// the raw per-shard responses (shared by FanOut / FanOutBatch).
+  std::vector<Result<Bytes>> CallAllShards(const Bytes& request);
+
   std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;
 };
 
