@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
 # Local CI: the tier-1 verify command plus benchmark smoke runs.
 # Mirrors .github/workflows/ci.yml so the same gate runs everywhere.
+#
+# Usage: ci.sh [--asan]
+#   --asan  build and run the test suite under AddressSanitizer (separate
+#           build tree; the churn/compaction soak tests are where lifetime
+#           bugs in payload-handle remapping would hide). Skips the bench
+#           smoke runs — sanitized timings are meaningless.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "--asan" ]; then
+  echo "=== configure + build (AddressSanitizer) ==="
+  cmake -B build-asan -S . -DSIMCLOUD_SANITIZE=address
+  cmake --build build-asan -j "$(nproc)"
+
+  echo "=== tier-1 tests under ASan ==="
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" --timeout 300
+  echo "CI (asan) OK"
+  exit 0
+fi
 
 echo "=== configure + build ==="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 
 echo "=== tier-1 tests ==="
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then
@@ -21,5 +38,8 @@ fi
 
 echo "=== bench smoke: batched query throughput ==="
 ./build/bench_batch_throughput --smoke
+
+echo "=== bench smoke: churn + compaction acceptance ==="
+./build/bench_churn --smoke
 
 echo "CI OK"

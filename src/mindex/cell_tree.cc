@@ -106,12 +106,22 @@ Result<Entry> CellTree::Remove(metric::ObjectId id,
 
 Status CellTree::ForEachEntry(
     const std::function<Status(const Entry&)>& fn) const {
-  std::vector<const Node*> stack = {root_.get()};
+  // One traversal definition for both walks: persistence (const) and the
+  // compactor's handle remap (mutable) must visit in the same order, so
+  // the const walk wraps the mutable one instead of duplicating it. The
+  // cast is sound — the callback only reads.
+  return const_cast<CellTree*>(this)->ForEachEntryMutable(
+      [&fn](Entry& entry) { return fn(entry); });
+}
+
+Status CellTree::ForEachEntryMutable(
+    const std::function<Status(Entry&)>& fn) {
+  std::vector<Node*> stack = {root_.get()};
   while (!stack.empty()) {
-    const Node* node = stack.back();
+    Node* node = stack.back();
     stack.pop_back();
     if (node->is_leaf) {
-      for (const Entry& entry : node->entries) {
+      for (Entry& entry : node->entries) {
         SIMCLOUD_RETURN_NOT_OK(fn(entry));
       }
     } else {

@@ -49,6 +49,12 @@ class CellTree {
   Status ForEachEntry(
       const std::function<Status(const Entry&)>& fn) const;
 
+  /// Mutable variant of ForEachEntry (same order). `fn` may rewrite entry
+  /// fields that do not affect routing — the compactor remaps
+  /// payload_handle this way — but must not change id, permutation, or
+  /// pivot_distances.
+  Status ForEachEntryMutable(const std::function<Status(Entry&)>& fn);
+
   /// Collects pointers to all entries that survive cell pruning and pivot
   /// filtering for range query R(q, r), given query-pivot distances.
   /// Survivors are appended with their filtering lower bound.

@@ -1,0 +1,174 @@
+#include "mindex/compactor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "mindex/payload_cache.h"
+
+namespace simcloud {
+namespace mindex {
+
+namespace {
+
+/// One remembered hot payload: its handle in the NEW log plus the bytes
+/// (moved out of the rewrite batch, not copied), re-admitted into the
+/// fresh cache after the swap.
+struct HotPayload {
+  PayloadHandle new_handle = 0;
+  Bytes payload;
+};
+
+}  // namespace
+
+Result<CompactionReport> CompactIndexStorage(
+    CellTree* tree, std::unique_ptr<BucketStorage>* storage,
+    const std::string& disk_path, uint64_t cache_bytes,
+    const CompactionOptions& options) {
+  BucketStorage* view = storage->get();
+  const BucketStorage::CompactionStats stats = view->GetCompactionStats();
+
+  CompactionReport report;
+  report.bytes_before = stats.TotalBytes();
+  report.bytes_after = stats.TotalBytes();
+  if (stats.dead_bytes == 0) return report;  // nothing to reclaim
+  if (!options.force && (options.garbage_threshold <= 0.0 ||
+                         stats.GarbageRatio() < options.garbage_threshold)) {
+    return report;
+  }
+
+  // The stack is either a bare backend or PayloadCache-over-backend; the
+  // backend kind decides whether the rewrite goes through a temp file.
+  PayloadCache* cache = dynamic_cast<PayloadCache*>(view);
+  const BucketStorage* backend = cache ? &cache->base() : view;
+  const bool on_disk = dynamic_cast<const DiskStorage*>(backend) != nullptr;
+  if (on_disk && disk_path.empty()) {
+    return Status::FailedPrecondition(
+        "disk-backed index has no disk_path to compact into");
+  }
+  const std::string temp_path = disk_path + ".compact";
+
+  std::unique_ptr<BucketStorage> fresh;
+  DiskStorage* fresh_disk = nullptr;
+  if (on_disk) {
+    SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<DiskStorage> disk,
+                              DiskStorage::Create(temp_path));
+    fresh_disk = disk.get();
+    fresh = std::move(disk);
+  } else {
+    fresh = std::make_unique<MemoryStorage>();
+  }
+  // On any rewrite failure the fresh log is abandoned; the old stack and
+  // every entry are untouched, so the index keeps serving as if the pass
+  // never started. The one exception is the simulated-crash test hook,
+  // which deliberately leaves the half-written temp file behind.
+  auto abandon = [&](Status status, bool keep_temp_file) -> Status {
+    fresh.reset();  // close the temp file before removing it
+    if (on_disk && !keep_temp_file) std::remove(temp_path.c_str());
+    return status;
+  };
+
+  // Snapshot the hot set (most-recent first), then drop the old cache's
+  // bytes immediately: the rewrite reads the backend directly, and
+  // releasing the old copies up front keeps the pass's transient memory
+  // to roughly one hot set instead of three copies of it. If the pass
+  // fails below, the index keeps serving correctly — just cold.
+  std::vector<PayloadHandle> hot_snapshot;
+  std::unordered_set<PayloadHandle> hot_handles;
+  if (cache != nullptr) {
+    hot_snapshot = cache->HotHandles();
+    hot_handles.insert(hot_snapshot.begin(), hot_snapshot.end());
+    cache->Clear();
+  }
+
+  // REWRITE. Entry pointers stay valid throughout: the tree is not
+  // mutated (the caller holds the writer lock) and leaves are untouched.
+  std::vector<Entry*> entries;
+  entries.reserve(stats.live_payloads);
+  Status walk = tree->ForEachEntryMutable([&](Entry& entry) -> Status {
+    entries.push_back(&entry);
+    return Status::OK();
+  });
+  if (!walk.ok()) return abandon(walk, /*keep_temp_file=*/false);
+
+  std::vector<PayloadHandle> new_handles(entries.size());
+  std::unordered_map<PayloadHandle, HotPayload> hot;  // keyed by OLD handle
+  hot.reserve(hot_handles.size());
+  std::vector<PayloadHandle> batch_handles;
+  std::vector<Bytes> batch_payloads;
+  const size_t batch_size = options.batch_size == 0 ? 256 : options.batch_size;
+  for (size_t begin = 0; begin < entries.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, entries.size());
+    batch_handles.clear();
+    for (size_t i = begin; i < end; ++i) {
+      batch_handles.push_back(entries[i]->payload_handle);
+    }
+    // Fetch straight from the backend: routing the scan through the cache
+    // would insert every miss into a cache that REMAP discards anyway —
+    // one wasted allocation + eviction churn per live payload.
+    Status fetched = backend->FetchMany(batch_handles, &batch_payloads);
+    if (!fetched.ok()) return abandon(fetched, /*keep_temp_file=*/false);
+    for (size_t i = begin; i < end; ++i) {
+      if (options.fail_after_payloads > 0 &&
+          report.payloads_moved >= options.fail_after_payloads) {
+        return abandon(Status::IoError("simulated crash during compaction "
+                                       "(fail_after_payloads test hook)"),
+                       /*keep_temp_file=*/true);
+      }
+      Bytes& payload = batch_payloads[i - begin];
+      Result<PayloadHandle> stored = fresh->Store(payload);
+      if (!stored.ok()) {
+        return abandon(stored.status(), /*keep_temp_file=*/false);
+      }
+      new_handles[i] = *stored;
+      report.payloads_moved++;
+      if (hot_handles.count(entries[i]->payload_handle) > 0) {
+        hot[entries[i]->payload_handle] =
+            HotPayload{*stored, std::move(payload)};
+      }
+    }
+  }
+
+  // SWAP: make the fresh log durable, then atomically take over the old
+  // log's path. The old descriptor keeps serving the unlinked inode until
+  // the stack below is replaced.
+  if (on_disk) {
+    Status synced = fresh_disk->Sync();
+    if (!synced.ok()) return abandon(synced, /*keep_temp_file=*/false);
+    Status renamed = fresh_disk->RenameTo(disk_path);
+    if (!renamed.ok()) return abandon(renamed, /*keep_temp_file=*/false);
+  }
+
+  // REMAP: from here on nothing can fail. Point every entry at the new
+  // log and replace the stack; rebuilding the cache invalidates every
+  // old-handle entry in one stroke, and the saved hot set is re-admitted
+  // under the new handles so the working set survives the swap warm.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i]->payload_handle = new_handles[i];
+  }
+  if (cache_bytes > 0) {
+    auto fresh_cache =
+        std::make_unique<PayloadCache>(std::move(fresh), cache_bytes);
+    // Admit least-recent first so the rebuilt LRU order matches the
+    // pre-compaction recency, releasing each retained copy as it goes.
+    for (auto it = hot_snapshot.rbegin(); it != hot_snapshot.rend(); ++it) {
+      auto found = hot.find(*it);
+      if (found == hot.end()) continue;  // hot but no longer indexed
+      fresh_cache->Admit(found->second.new_handle, found->second.payload);
+      Bytes().swap(found->second.payload);
+    }
+    fresh = std::move(fresh_cache);
+  }
+  *storage = std::move(fresh);
+
+  report.compacted = true;
+  report.bytes_after = (*storage)->TotalBytes();
+  report.reclaimed_bytes = report.bytes_before - report.bytes_after;
+  return report;
+}
+
+}  // namespace mindex
+}  // namespace simcloud

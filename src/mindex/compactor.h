@@ -1,0 +1,79 @@
+// Online compaction for the append-only payload log.
+//
+// MIndex::Delete only unlinks index entries and marks the payload dead in
+// storage (Free); the bytes stay in the log. Under insert/delete churn
+// the log therefore grows without bound relative to the live collection.
+// The compactor bounds that space amplification without taking the index
+// offline for a Save/Load round trip:
+//
+//   1. DECIDE   — read BucketStorage::CompactionStats; skip unless forced
+//                 or the garbage ratio crossed the configured threshold.
+//   2. REWRITE  — walk the cell tree in deterministic order and copy every
+//                 live payload into a fresh log (disk: `<path>.compact`),
+//                 batch_size payloads per FetchMany straight from the
+//                 backend so the old log is read coalesced (the cache is
+//                 snapshotted for re-admission, then emptied — filling a
+//                 cache that the swap discards would be wasted work). The
+//                 old log and all index entries are untouched — a crash
+//                 here loses nothing but the temp file.
+//   3. SWAP     — fsync the fresh log and rename(2) it over the old path
+//                 (atomic: the log at `disk_path` is always either the
+//                 complete old log or the complete new one).
+//   4. REMAP    — point every entry's payload_handle at the new log and
+//                 replace the index's storage stack; a PayloadCache is
+//                 rebuilt and the pre-compaction hot set re-admitted under
+//                 the remapped handles, so the cache never serves a stale
+//                 handle and stays warm across the swap.
+//
+// Callers must hold the index's exclusive (writer) lock for the whole
+// call, exactly as for Insert/Delete — the similarity cloud's servers do.
+
+#ifndef SIMCLOUD_MINDEX_COMPACTOR_H_
+#define SIMCLOUD_MINDEX_COMPACTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "mindex/cell_tree.h"
+#include "mindex/storage.h"
+
+namespace simcloud {
+namespace mindex {
+
+/// Tunables of one compaction pass.
+struct CompactionOptions {
+  /// Compact whenever any dead bytes exist, ignoring `garbage_threshold`
+  /// (the explicit kCompact admin opcode).
+  bool force = false;
+  /// Minimum garbage ratio (dead / total log bytes) for an unforced pass
+  /// to run; <= 0 disables unforced compaction.
+  double garbage_threshold = 0.0;
+  /// Payloads copied per FetchMany call during the rewrite. Transient
+  /// memory of a pass is ~batch_size payloads plus at most one cache's
+  /// worth of retained hot bytes (the old cache is emptied up front and
+  /// each retained payload is released as it is re-admitted).
+  size_t batch_size = 256;
+  /// Test hook: abort with IoError after this many payloads have been
+  /// written to the fresh log, leaving the half-written temp file behind —
+  /// a crash image for recovery tests. 0 disables.
+  size_t fail_after_payloads = 0;
+};
+
+/// Compacts the payload log behind `*storage` (the index's storage stack:
+/// MemoryStorage, DiskStorage, or either wrapped in a PayloadCache) and
+/// remaps the payload handles of every entry in `tree`. On success
+/// `*storage` holds the compacted stack; on error the old stack, the old
+/// log, and all entries are untouched (the swap is all-or-nothing).
+/// `disk_path` / `cache_bytes` mirror the MIndexOptions the stack was
+/// built with.
+Result<CompactionReport> CompactIndexStorage(
+    CellTree* tree, std::unique_ptr<BucketStorage>* storage,
+    const std::string& disk_path, uint64_t cache_bytes,
+    const CompactionOptions& options);
+
+}  // namespace mindex
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_MINDEX_COMPACTOR_H_

@@ -88,6 +88,15 @@ struct BatchCandidates {
   }
 };
 
+/// One deletion of a batched delete: the same routing information the
+/// insert carried (distances and/or permutation; the permutation is
+/// derived server-side when empty).
+struct Deletion {
+  metric::ObjectId id = 0;
+  std::vector<float> pivot_distances;
+  Permutation permutation;
+};
+
 /// One precise range query of a multi-query batch (Algorithm 3 input).
 struct RangeQuery {
   std::vector<float> pivot_distances;  ///< query-pivot distances, all pivots
@@ -118,13 +127,37 @@ struct SearchStats {
   }
 };
 
+/// What one compaction pass did (also the kCompact wire response; see
+/// compactor.h for the engine itself).
+struct CompactionReport {
+  bool compacted = false;      ///< false: below threshold / nothing dead
+  uint64_t bytes_before = 0;   ///< log bytes (live + dead) before the pass
+  uint64_t bytes_after = 0;    ///< log bytes after (== live bytes if run)
+  uint64_t payloads_moved = 0; ///< live payloads rewritten
+  uint64_t reclaimed_bytes = 0;
+
+  /// Shard aggregation (ShardedServer fans kCompact out per shard).
+  void Add(const CompactionReport& other) {
+    compacted = compacted || other.compacted;
+    bytes_before += other.bytes_before;
+    bytes_after += other.bytes_after;
+    payloads_moved += other.payloads_moved;
+    reclaimed_bytes += other.reclaimed_bytes;
+  }
+};
+
 /// Structural statistics of the index.
 struct IndexStats {
   uint64_t object_count = 0;
   uint64_t leaf_count = 0;
   uint64_t inner_count = 0;
   uint64_t max_depth = 0;
+  /// Payload-log size, live + dead (deleted-but-uncompacted) bytes.
   uint64_t storage_bytes = 0;
+  /// Live payload bytes; storage_bytes - live_storage_bytes is what a
+  /// compaction would reclaim.
+  uint64_t live_storage_bytes = 0;
+  uint64_t dead_storage_bytes = 0;
 };
 
 }  // namespace mindex

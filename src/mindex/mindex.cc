@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/log.h"
 #include "mindex/payload_cache.h"
 
 namespace simcloud {
@@ -25,6 +26,10 @@ Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
   if (options.promise_decay <= 0.0 || options.promise_decay > 1.0) {
     return Status::InvalidArgument("promise_decay must be in (0, 1]");
   }
+  if (options.compaction_trigger < 0.0 || options.compaction_trigger > 1.0) {
+    return Status::InvalidArgument(
+        "compaction_trigger must be in [0, 1] (0 disables)");
+  }
   SIMCLOUD_ASSIGN_OR_RETURN(
       std::unique_ptr<BucketStorage> storage,
       MakeStorage(options.storage_kind, options.disk_path));
@@ -35,12 +40,12 @@ Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
   return std::unique_ptr<MIndex>(new MIndex(options, std::move(storage)));
 }
 
-Status MIndex::Insert(metric::ObjectId id,
-                      std::vector<float> pivot_distances,
-                      Permutation permutation, const Bytes& payload) {
+Result<Permutation> MIndex::RoutingPermutation(
+    const std::vector<float>& pivot_distances,
+    Permutation permutation) const {
   if (pivot_distances.empty() && permutation.empty()) {
     return Status::InvalidArgument(
-        "insert needs pivot distances or a permutation");
+        "routing needs pivot distances or a permutation");
   }
   if (!pivot_distances.empty() &&
       pivot_distances.size() != options_.num_pivots) {
@@ -59,6 +64,15 @@ Status MIndex::Insert(metric::ObjectId id,
   } else if (permutation.size() > prefix_len) {
     permutation.resize(prefix_len);
   }
+  return permutation;
+}
+
+Status MIndex::Insert(metric::ObjectId id,
+                      std::vector<float> pivot_distances,
+                      Permutation permutation, const Bytes& payload) {
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      permutation,
+      RoutingPermutation(pivot_distances, std::move(permutation)));
 
   SIMCLOUD_ASSIGN_OR_RETURN(PayloadHandle handle, storage_->Store(payload));
 
@@ -68,32 +82,104 @@ Status MIndex::Insert(metric::ObjectId id,
   entry.pivot_distances = std::move(pivot_distances);
   entry.payload_handle = handle;
   entry.payload_size = static_cast<uint32_t>(payload.size());
-  return tree_.Insert(std::move(entry));
+  Status inserted = tree_.Insert(std::move(entry));
+  if (!inserted.ok()) {
+    // The payload was already appended to the log; mark it dead so the
+    // accounting (and the compaction trigger) treats it as garbage
+    // instead of leaking it as permanently live.
+    Status freed = storage_->Free(handle);
+    if (!freed.ok()) {
+      SIMCLOUD_LOG(kWarn) << "cannot free payload of rejected insert: "
+                          << freed.ToString();
+    }
+  }
+  return inserted;
 }
 
 Status MIndex::Delete(metric::ObjectId id,
                       std::vector<float> pivot_distances,
                       Permutation permutation) {
-  if (pivot_distances.empty() && permutation.empty()) {
-    return Status::InvalidArgument(
-        "delete needs pivot distances or a permutation");
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      permutation,
+      RoutingPermutation(pivot_distances, std::move(permutation)));
+  SIMCLOUD_ASSIGN_OR_RETURN(Entry removed, tree_.Remove(id, permutation));
+  SIMCLOUD_RETURN_NOT_OK(storage_->Free(removed.payload_handle));
+  MaybeCompact();
+  return Status::OK();
+}
+
+Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
+  // Resolve and validate every deletion's routing before touching the
+  // tree, so a malformed item rejects the batch without applying any of
+  // it — the remaining per-item failure mode is NotFound, which skips.
+  std::vector<Permutation> permutations;
+  permutations.reserve(deletions.size());
+  for (const Deletion& deletion : deletions) {
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        Permutation permutation,
+        RoutingPermutation(deletion.pivot_distances, deletion.permutation));
+    if (!IsValidPermutation(permutation, options_.num_pivots)) {
+      return Status::InvalidArgument(
+          "delete batch carries an invalid routing permutation");
+    }
+    permutations.push_back(std::move(permutation));
   }
-  if (!pivot_distances.empty() &&
-      pivot_distances.size() != options_.num_pivots) {
-    return Status::InvalidArgument("pivot distance vector has wrong length");
+
+  // Remove every entry, collecting the dead handles, then free them in
+  // one pass and evaluate the compaction trigger once — a delete-heavy
+  // batch costs at most one compaction, not one per item.
+  std::vector<PayloadHandle> freed;
+  freed.reserve(deletions.size());
+  auto free_collected = [&]() -> Status {
+    for (PayloadHandle handle : freed) {
+      SIMCLOUD_RETURN_NOT_OK(storage_->Free(handle));
+    }
+    return Status::OK();
+  };
+  for (size_t i = 0; i < deletions.size(); ++i) {
+    Result<Entry> removed = tree_.Remove(deletions[i].id, permutations[i]);
+    if (!removed.ok()) {
+      if (removed.status().code() == StatusCode::kNotFound) continue;
+      // Unreachable after the up-front validation, but if the tree ever
+      // grows a new failure mode the entries already removed must not
+      // leak their storage handles.
+      SIMCLOUD_RETURN_NOT_OK(free_collected());
+      return removed.status();
+    }
+    freed.push_back(removed->payload_handle);
   }
-  const size_t prefix_len = options_.stored_prefix_length == 0
-                                ? options_.num_pivots
-                                : options_.stored_prefix_length;
-  if (permutation.empty()) {
-    permutation = prefix_len == options_.num_pivots
-                      ? DistancesToPermutation(pivot_distances)
-                      : DistancesToPermutationPrefix(pivot_distances,
-                                                     prefix_len);
-  } else if (permutation.size() > prefix_len) {
-    permutation.resize(prefix_len);
+  SIMCLOUD_RETURN_NOT_OK(free_collected());
+  MaybeCompact();
+  return static_cast<uint64_t>(freed.size());
+}
+
+void MIndex::MaybeCompact() {
+  if (options_.compaction_trigger <= 0.0) return;
+  CompactionOptions options;
+  options.force = false;  // Compact gates on compaction_trigger
+  // Best-effort: the deletes that got us here already succeeded, and a
+  // failed pass leaves the old log fully intact — report the failure
+  // without masking the mutation's own result (an explicit kCompact
+  // surfaces the same error to the operator).
+  Result<CompactionReport> report = Compact(options);
+  if (!report.ok()) {
+    SIMCLOUD_LOG(kWarn) << "automatic compaction failed: "
+                        << report.status().ToString();
   }
-  return tree_.Remove(id, permutation).status();
+}
+
+Result<CompactionReport> MIndex::Compact(CompactionOptions options) {
+  if (!options.force && options.garbage_threshold <= 0.0) {
+    // An unforced pass with no explicit threshold is gated by the
+    // configured trigger (which may itself be 0 = disabled).
+    options.garbage_threshold = options_.compaction_trigger;
+  }
+  Result<CompactionReport> report = CompactIndexStorage(
+      &tree_, &storage_, options_.disk_path, options_.cache_bytes, options);
+  // The compactor may have replaced the storage stack; re-point the query
+  // engine (cheap — it holds raw pointers only).
+  engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay);
+  return report;
 }
 
 Status MIndex::ForEachEntry(
@@ -133,6 +219,10 @@ IndexStats MIndex::Stats() const {
   IndexStats stats;
   tree_.FillStats(&stats);
   stats.storage_bytes = storage_->TotalBytes();
+  const BucketStorage::CompactionStats compaction =
+      storage_->GetCompactionStats();
+  stats.live_storage_bytes = compaction.live_bytes;
+  stats.dead_storage_bytes = compaction.dead_bytes;
   return stats;
 }
 

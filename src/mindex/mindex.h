@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "mindex/cell_tree.h"
+#include "mindex/compactor.h"
 #include "mindex/entry.h"
 #include "mindex/query_engine.h"
 #include "mindex/storage.h"
@@ -54,6 +55,11 @@ struct MIndexOptions {
   /// the storage backend is wrapped in a sharded LRU PayloadCache so hot
   /// ciphertexts are served from memory (most valuable with disk storage).
   uint64_t cache_bytes = 0;
+  /// Garbage ratio (dead / total payload-log bytes, in [0, 1]) past which
+  /// a delete triggers an automatic compaction pass. 0 disables automatic
+  /// compaction — the log then grows until an explicit Compact() (the
+  /// kCompact admin opcode) or a Save/Load round trip. See compactor.h.
+  double compaction_trigger = 0.0;
 };
 
 /// The M-Index proper.
@@ -72,10 +78,34 @@ class MIndex {
   /// Deletes one object, routed by the same information the insert used:
   /// `pivot_distances` and/or `permutation` (derived server-side when the
   /// permutation is empty). NotFound if the object is not indexed. The
-  /// payload bytes stay in the append-only storage until the index is
-  /// compacted (e.g. via a Save/Load round trip).
+  /// payload bytes are marked dead in the append-only storage and
+  /// reclaimed by compaction — automatically once the garbage ratio
+  /// passes `compaction_trigger`, or explicitly via Compact().
   Status Delete(metric::ObjectId id, std::vector<float> pivot_distances,
                 Permutation permutation);
+
+  /// Deletes a batch of objects: every entry is removed and its handle
+  /// freed in one pass, and the compaction trigger is evaluated once at
+  /// the end instead of per delete. Deletions whose object is not indexed
+  /// are skipped; returns the number actually deleted.
+  Result<uint64_t> DeleteBatch(const std::vector<Deletion>& deletions);
+
+  /// Runs one compaction pass over the payload log (see compactor.h).
+  /// When `options.force` is false the pass runs only past the configured
+  /// threshold (`options.garbage_threshold`, defaulting to
+  /// `MIndexOptions::compaction_trigger`). Callers must serialize Compact
+  /// with other mutations, exactly as for Insert/Delete.
+  Result<CompactionReport> Compact(CompactionOptions options = {.force =
+                                                                    true});
+
+  /// Live/dead accounting of the payload log.
+  BucketStorage::CompactionStats StorageStats() const {
+    return storage_->GetCompactionStats();
+  }
+
+  /// The payload storage stack (white-box tests: cache warmth etc.). The
+  /// reference is invalidated by Compact().
+  const BucketStorage& storage() const { return *storage_; }
 
   /// Candidate set for precise range query R(q, r) (Algorithm 3). Returns
   /// candidates sorted by their pivot-filtering lower bound.
@@ -126,6 +156,19 @@ class MIndex {
         tree_(options.num_pivots, options.bucket_capacity,
               options.max_level),
         engine_(&tree_, storage_.get(), options.promise_decay) {}
+
+  /// Validates the routing arguments shared by Insert and Delete and
+  /// resolves them to the stored-prefix permutation (derived from the
+  /// distances when the permutation is empty).
+  Result<Permutation> RoutingPermutation(
+      const std::vector<float>& pivot_distances,
+      Permutation permutation) const;
+
+  /// Runs a compaction pass if the garbage ratio passed
+  /// `compaction_trigger` (no-op when the trigger is disabled).
+  /// Best-effort: a failed pass is logged, never propagated — it must not
+  /// mask the result of the delete that triggered it.
+  void MaybeCompact();
 
   MIndexOptions options_;
   std::unique_ptr<BucketStorage> storage_;

@@ -68,6 +68,44 @@ void PayloadCache::Insert(PayloadHandle handle, const Bytes& payload) const {
   shard.bytes += charge;
 }
 
+Status PayloadCache::Free(PayloadHandle handle) {
+  Shard& shard = ShardFor(handle);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(handle);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->second->size() + kEntryOverhead;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+  }
+  return base_->Free(handle);
+}
+
+bool PayloadCache::Contains(PayloadHandle handle) const {
+  Shard& shard = ShardFor(handle);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.find(handle) != shard.index.end();
+}
+
+std::vector<PayloadHandle> PayloadCache::HotHandles() const {
+  std::vector<PayloadHandle> handles;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) handles.push_back(entry.first);
+  }
+  return handles;
+}
+
+void PayloadCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
 Result<Bytes> PayloadCache::Fetch(PayloadHandle handle) const {
   Bytes cached;
   if (Lookup(handle, &cached)) return cached;

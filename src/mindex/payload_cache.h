@@ -58,9 +58,34 @@ class PayloadCache : public BucketStorage {
   Result<Bytes> Fetch(PayloadHandle handle) const override;
   Status FetchMany(std::span<const PayloadHandle> handles,
                    std::vector<Bytes>* out) const override;
+  /// Evicts the handle from the cache BEFORE forwarding to the backend —
+  /// a backend whose compaction reuses freed handles must never see a
+  /// stale ciphertext served under the recycled handle.
+  Status Free(PayloadHandle handle) override;
+  CompactionStats GetCompactionStats() const override {
+    return base_->GetCompactionStats();
+  }
   uint64_t TotalBytes() const override { return base_->TotalBytes(); }
   uint64_t Count() const override { return base_->Count(); }
   std::string Name() const override { return base_->Name() + "+cache"; }
+
+  /// True if `handle` is currently cached (does not touch LRU recency —
+  /// the compactor probes the hot set without perturbing it).
+  bool Contains(PayloadHandle handle) const;
+
+  /// Every currently cached handle, most-recently-used first within each
+  /// shard (shards concatenated). The compactor snapshots the hot set
+  /// with this before clearing the cache, and re-admits in reverse so
+  /// per-shard recency survives the rebuild.
+  std::vector<PayloadHandle> HotHandles() const;
+
+  /// Caches `payload` under `handle` without consulting the backend (the
+  /// compactor re-admits the pre-compaction hot set under the remapped
+  /// handles). Subject to the normal budget/eviction rules.
+  void Admit(PayloadHandle handle, const Bytes& payload) { Insert(handle, payload); }
+
+  /// Drops every cached entry (hit/miss counters are kept).
+  void Clear();
 
   CacheStats stats() const;
   uint64_t capacity_bytes() const { return shard_capacity_ * shards_.size(); }

@@ -10,9 +10,10 @@ namespace mindex {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4D494458;  // "MIDX"
-// Version 2 appends cache_bytes to the options block; version 1
-// snapshots (no payload cache) remain loadable.
-constexpr uint32_t kSnapshotVersion = 2;
+// Version 2 appends cache_bytes to the options block; version 3 appends
+// compaction_trigger. Older snapshots remain loadable (missing fields
+// keep their defaults: no cache, no automatic compaction).
+constexpr uint32_t kSnapshotVersion = 3;
 
 void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteVarint(options.num_pivots);
@@ -23,6 +24,7 @@ void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteVarint(options.stored_prefix_length);
   writer->WriteDouble(options.promise_decay);
   writer->WriteVarint(options.cache_bytes);
+  writer->WriteDouble(options.compaction_trigger);
 }
 
 Result<MIndexOptions> DeserializeOptions(BinaryReader* reader,
@@ -37,6 +39,10 @@ Result<MIndexOptions> DeserializeOptions(BinaryReader* reader,
   SIMCLOUD_ASSIGN_OR_RETURN(options.promise_decay, reader->ReadDouble());
   if (version >= 2) {
     SIMCLOUD_ASSIGN_OR_RETURN(options.cache_bytes, reader->ReadVarint());
+  }
+  if (version >= 3) {
+    SIMCLOUD_ASSIGN_OR_RETURN(options.compaction_trigger,
+                              reader->ReadDouble());
   }
   options.num_pivots = num_pivots;
   options.bucket_capacity = bucket_capacity;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <numeric>
 
@@ -24,28 +25,57 @@ Status BucketStorage::FetchMany(std::span<const PayloadHandle> handles,
 
 Result<PayloadHandle> MemoryStorage::Store(const Bytes& payload) {
   payloads_.push_back(payload);
+  live_.push_back(true);
   total_bytes_ += payload.size();
   return static_cast<PayloadHandle>(payloads_.size() - 1);
 }
 
-Result<Bytes> MemoryStorage::Fetch(PayloadHandle handle) const {
+Status MemoryStorage::CheckLive(PayloadHandle handle) const {
   if (handle >= payloads_.size()) {
     return Status::NotFound("memory storage handle out of range");
   }
+  if (!live_[handle]) {
+    return Status::NotFound("memory storage handle " +
+                            std::to_string(handle) + " was freed");
+  }
+  return Status::OK();
+}
+
+Result<Bytes> MemoryStorage::Fetch(PayloadHandle handle) const {
+  SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
   return payloads_[handle];
 }
 
 Status MemoryStorage::FetchMany(std::span<const PayloadHandle> handles,
                                 std::vector<Bytes>* out) const {
   for (PayloadHandle handle : handles) {
-    if (handle >= payloads_.size()) {
-      return Status::NotFound("memory storage handle out of range");
-    }
+    SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
   }
   out->clear();
   out->reserve(handles.size());
   for (PayloadHandle handle : handles) out->push_back(payloads_[handle]);
   return Status::OK();
+}
+
+Status MemoryStorage::Free(PayloadHandle handle) {
+  SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
+  dead_bytes_ += payloads_[handle].size();
+  dead_count_++;
+  live_[handle] = false;
+  Bytes().swap(payloads_[handle]);  // release the heap bytes now
+  return Status::OK();
+}
+
+BucketStorage::CompactionStats MemoryStorage::GetCompactionStats() const {
+  CompactionStats stats;
+  stats.live_bytes = total_bytes_ - dead_bytes_;
+  stats.dead_bytes = dead_bytes_;
+  stats.live_payloads = payloads_.size() - dead_count_;
+  stats.dead_payloads = dead_count_;
+  stats.segment_count = payloads_.empty() ? 0 : 1;
+  stats.dead_segments =
+      (!payloads_.empty() && dead_count_ == payloads_.size()) ? 1 : 0;
+  return stats;
 }
 
 Result<std::unique_ptr<DiskStorage>> DiskStorage::Create(
@@ -73,10 +103,39 @@ Status DiskStorage::Close() {
   return Status::OK();
 }
 
+Status DiskStorage::Sync() {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync failed on " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status DiskStorage::RenameTo(const std::string& new_path) {
+  if (std::rename(path_.c_str(), new_path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + path_ + " to " + new_path +
+                           ": " + std::strerror(errno));
+  }
+  path_ = new_path;
+  return Status::OK();
+}
+
 Status DiskStorage::CheckOpen() const {
   if (fd_ < 0) {
     return Status::FailedPrecondition("disk storage " + path_ +
                                       " is not open");
+  }
+  return Status::OK();
+}
+
+Status DiskStorage::CheckLive(PayloadHandle handle) const {
+  if (handle >= offsets_.size()) {
+    return Status::NotFound("disk storage handle out of range");
+  }
+  if (!live_[handle]) {
+    return Status::NotFound("disk storage handle " + std::to_string(handle) +
+                            " was freed");
   }
   return Status::OK();
 }
@@ -119,16 +178,42 @@ Result<PayloadHandle> DiskStorage::Store(const Bytes& payload) {
   const PayloadHandle handle = offsets_.size();
   offsets_.push_back(next_offset_);
   lengths_.push_back(static_cast<uint32_t>(payload.size()));
+  live_.push_back(true);
+  const size_t segment = next_offset_ / kSegmentBytes;
+  if (segment >= segments_.size()) segments_.resize(segment + 1);
+  segments_[segment].bytes += payload.size();
   next_offset_ += payload.size();
   total_bytes_ += payload.size();
   return handle;
 }
 
+Status DiskStorage::Free(PayloadHandle handle) {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
+  SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
+  live_[handle] = false;
+  dead_bytes_ += lengths_[handle];
+  dead_count_++;
+  segments_[offsets_[handle] / kSegmentBytes].dead_bytes += lengths_[handle];
+  return Status::OK();
+}
+
+BucketStorage::CompactionStats DiskStorage::GetCompactionStats() const {
+  CompactionStats stats;
+  stats.live_bytes = total_bytes_ - dead_bytes_;
+  stats.dead_bytes = dead_bytes_;
+  stats.live_payloads = lengths_.size() - dead_count_;
+  stats.dead_payloads = dead_count_;
+  for (const Segment& segment : segments_) {
+    if (segment.bytes == 0) continue;
+    stats.segment_count++;
+    if (segment.dead_bytes == segment.bytes) stats.dead_segments++;
+  }
+  return stats;
+}
+
 Result<Bytes> DiskStorage::Fetch(PayloadHandle handle) const {
   SIMCLOUD_RETURN_NOT_OK(CheckOpen());
-  if (handle >= offsets_.size()) {
-    return Status::NotFound("disk storage handle out of range");
-  }
+  SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
   Bytes out(lengths_[handle]);
   SIMCLOUD_RETURN_NOT_OK(ReadExactly(out.data(), out.size(),
                                      offsets_[handle]));
@@ -139,9 +224,7 @@ Status DiskStorage::FetchMany(std::span<const PayloadHandle> handles,
                               std::vector<Bytes>* out) const {
   SIMCLOUD_RETURN_NOT_OK(CheckOpen());
   for (PayloadHandle handle : handles) {
-    if (handle >= offsets_.size()) {
-      return Status::NotFound("disk storage handle out of range");
-    }
+    SIMCLOUD_RETURN_NOT_OK(CheckLive(handle));
   }
   out->assign(handles.size(), Bytes());
 
@@ -187,6 +270,11 @@ Result<std::unique_ptr<BucketStorage>> MakeStorage(
   if (disk_path.empty()) {
     return Status::InvalidArgument("disk storage requires a path");
   }
+  // A fresh log at `disk_path` obsoletes any half-written temp log a
+  // crashed compaction left behind (the compactor writes to
+  // "<disk_path>.compact" and renames only on success) — reclaim it now
+  // rather than leaking it until the next successful compaction.
+  std::remove((disk_path + ".compact").c_str());
   SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<DiskStorage> disk,
                             DiskStorage::Create(disk_path));
   return std::unique_ptr<BucketStorage>(std::move(disk));

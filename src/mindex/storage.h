@@ -13,6 +13,13 @@
 // disk-efficient; MemoryStorage copies everything in one pass. A sharded
 // LRU decorator (payload_cache.h) adds an in-memory hot set on top of
 // either backend.
+//
+// Deletes and compaction: both backends are append-only logs — a payload,
+// once stored, is never rewritten in place. Free(handle) marks a payload
+// dead; the bytes stay in the log (TotalBytes does not shrink) but the
+// live/dead accounting, kept per fixed-size log segment for DiskStorage,
+// is exposed via CompactionStats so a compactor (compactor.h) can decide
+// when rewriting the live payloads into a fresh log pays off.
 
 #ifndef SIMCLOUD_MINDEX_STORAGE_H_
 #define SIMCLOUD_MINDEX_STORAGE_H_
@@ -33,15 +40,38 @@ namespace mindex {
 using PayloadHandle = uint64_t;
 
 /// Abstract payload store. Implementations must support concurrent Fetch /
-/// FetchMany calls; Store calls are serialized by the index.
+/// FetchMany calls; Store/Free calls are serialized by the index.
 class BucketStorage {
  public:
+  /// Live-vs-dead byte accounting of the append-only log. `dead` bytes
+  /// belong to freed payloads and are reclaimed only by compaction;
+  /// segment counters describe the DiskStorage log in units of
+  /// DiskStorage::kSegmentBytes (memory storage reports one segment).
+  struct CompactionStats {
+    uint64_t live_bytes = 0;
+    uint64_t dead_bytes = 0;
+    uint64_t live_payloads = 0;
+    uint64_t dead_payloads = 0;
+    uint64_t segment_count = 0;  ///< log segments holding any data
+    uint64_t dead_segments = 0;  ///< segments whose payloads are all dead
+
+    uint64_t TotalBytes() const { return live_bytes + dead_bytes; }
+    /// Fraction of the log occupied by dead bytes (0 when empty) — the
+    /// quantity MIndexOptions::compaction_trigger thresholds.
+    double GarbageRatio() const {
+      const uint64_t total = live_bytes + dead_bytes;
+      return total == 0 ? 0.0
+                        : static_cast<double>(dead_bytes) /
+                              static_cast<double>(total);
+    }
+  };
+
   virtual ~BucketStorage() = default;
 
   /// Persists `payload` and returns a handle for later retrieval.
   virtual Result<PayloadHandle> Store(const Bytes& payload) = 0;
 
-  /// Retrieves a payload previously stored.
+  /// Retrieves a payload previously stored. Freed handles are NotFound.
   virtual Result<Bytes> Fetch(PayloadHandle handle) const = 0;
 
   /// Retrieves many payloads in one call; on success `(*out)[i]` holds the
@@ -50,37 +80,61 @@ class BucketStorage {
   virtual Status FetchMany(std::span<const PayloadHandle> handles,
                            std::vector<Bytes>* out) const;
 
-  /// Total payload bytes stored.
+  /// Marks a stored payload dead. The handle becomes invalid (fetches
+  /// return NotFound); the bytes are reclaimed by the next compaction.
+  /// Freeing an unknown or already-freed handle is an error.
+  virtual Status Free(PayloadHandle handle) = 0;
+
+  /// Current live/dead accounting of the log.
+  virtual CompactionStats GetCompactionStats() const = 0;
+
+  /// Total payload bytes in the backing log, live plus dead (dead bytes
+  /// persist until compaction rewrites the log).
   virtual uint64_t TotalBytes() const = 0;
 
-  /// Number of stored payloads.
+  /// Number of live payloads.
   virtual uint64_t Count() const = 0;
 
   /// "memory", "disk", or a decorated variant such as "disk+cache".
   virtual std::string Name() const = 0;
 };
 
-/// Heap-backed storage (paper: "Memory storage").
+/// Heap-backed storage (paper: "Memory storage"). Free releases the
+/// payload's heap bytes immediately but keeps the handle slot occupied
+/// (and counted in TotalBytes) until compaction rebuilds the store.
 class MemoryStorage : public BucketStorage {
  public:
   Result<PayloadHandle> Store(const Bytes& payload) override;
   Result<Bytes> Fetch(PayloadHandle handle) const override;
   Status FetchMany(std::span<const PayloadHandle> handles,
                    std::vector<Bytes>* out) const override;
+  Status Free(PayloadHandle handle) override;
+  CompactionStats GetCompactionStats() const override;
   uint64_t TotalBytes() const override { return total_bytes_; }
-  uint64_t Count() const override { return payloads_.size(); }
+  uint64_t Count() const override { return payloads_.size() - dead_count_; }
   std::string Name() const override { return "memory"; }
 
  private:
+  Status CheckLive(PayloadHandle handle) const;
+
   std::vector<Bytes> payloads_;
+  std::vector<bool> live_;
   uint64_t total_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+  uint64_t dead_count_ = 0;
 };
 
 /// Append-only single-file storage (paper: "Disk storage"). Handles encode
 /// file offsets; lengths are kept in memory. Reads use pread(2) and are
-/// safe to issue concurrently.
+/// safe to issue concurrently. Live/dead bytes are accounted per
+/// kSegmentBytes-sized log segment (a payload is attributed to the segment
+/// its first byte lands in) so CompactionStats can report how much of the
+/// log — and how many whole segments — a compaction would reclaim.
 class DiskStorage : public BucketStorage {
  public:
+  /// Accounting granularity of the append-only log.
+  static constexpr uint64_t kSegmentBytes = 64 * 1024;
+
   /// Creates (truncates) the backing file at `path`.
   static Result<std::unique_ptr<DiskStorage>> Create(const std::string& path);
   ~DiskStorage() override;
@@ -91,9 +145,22 @@ class DiskStorage : public BucketStorage {
   /// pread calls, so a batch over one bucket costs one disk read.
   Status FetchMany(std::span<const PayloadHandle> handles,
                    std::vector<Bytes>* out) const override;
+  Status Free(PayloadHandle handle) override;
+  CompactionStats GetCompactionStats() const override;
   uint64_t TotalBytes() const override { return total_bytes_; }
-  uint64_t Count() const override { return lengths_.size(); }
+  uint64_t Count() const override { return lengths_.size() - dead_count_; }
   std::string Name() const override { return "disk"; }
+
+  /// Flushes the log to stable storage (compaction syncs the fresh log
+  /// before atomically renaming it over the old one).
+  Status Sync();
+
+  /// Renames the backing file to `new_path` (atomic on POSIX when the
+  /// target exists — the compactor's swap step). The open descriptor
+  /// follows the inode, so reads continue uninterrupted.
+  Status RenameTo(const std::string& new_path);
+
+  const std::string& path() const { return path_; }
 
   /// Closes the backing file; subsequent Store/Fetch calls fail with
   /// FailedPrecondition instead of operating on a dead descriptor. The
@@ -101,10 +168,16 @@ class DiskStorage : public BucketStorage {
   Status Close();
 
  private:
+  struct Segment {
+    uint64_t bytes = 0;
+    uint64_t dead_bytes = 0;
+  };
+
   DiskStorage(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
   /// FailedPrecondition unless the backing file is open.
   Status CheckOpen() const;
+  Status CheckLive(PayloadHandle handle) const;
   /// pread exactly `len` bytes at `offset`; short reads (EOF before `len`
   /// bytes, e.g. a truncated backing file) are Corruption, not silence.
   Status ReadExactly(uint8_t* dst, size_t len, uint64_t offset) const;
@@ -113,10 +186,15 @@ class DiskStorage : public BucketStorage {
   std::string path_;
   uint64_t next_offset_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+  uint64_t dead_count_ = 0;
   // lengths_[i] = byte length of the payload whose handle is i; the offset
-  // is recovered from offsets_[i].
+  // is recovered from offsets_[i]; live_[i] = not yet freed.
   std::vector<uint64_t> offsets_;
   std::vector<uint32_t> lengths_;
+  std::vector<bool> live_;
+  // Per-segment accounting, indexed by offset / kSegmentBytes.
+  std::vector<Segment> segments_;
 };
 
 /// Storage backend selector mirroring the paper's Table 2.

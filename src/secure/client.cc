@@ -113,6 +113,49 @@ Status EncryptionClient::Delete(const metric::VectorObject& object) {
   return Status::OK();
 }
 
+Status EncryptionClient::DeleteBatch(
+    const std::vector<VectorObject>& objects, size_t bulk_size) {
+  if (bulk_size == 0) {
+    return Status::InvalidArgument("bulk size must be > 0");
+  }
+  bulk_size = std::min<size_t>(bulk_size, kMaxBatchQueries);
+  size_t missing = 0;
+  size_t offset = 0;
+  while (offset < objects.size()) {
+    const size_t batch = std::min(bulk_size, objects.size() - offset);
+    std::vector<DeleteItem> items;
+    items.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VectorObject& object = objects[offset + i];
+      std::vector<float> distances =
+          ComputePivotDistances(object, /*apply_transform=*/true);
+      items.push_back(DeleteItem{object.id(),
+                                 mindex::DistancesToPermutation(distances)});
+    }
+    const Bytes request = EncodeDeleteBatchRequest(items);
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, transport_->Call(request));
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted,
+                              DecodeInsertResponse(response));
+    if (deleted > batch) {
+      return Status::Internal("server acknowledged more deletes than sent");
+    }
+    missing += batch - deleted;
+    offset += batch;
+  }
+  if (missing > 0) {
+    return Status::NotFound(std::to_string(missing) + " of " +
+                            std::to_string(objects.size()) +
+                            " objects were not indexed");
+  }
+  return Status::OK();
+}
+
+Result<mindex::CompactionReport> EncryptionClient::Compact(bool force) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                            transport_->Call(EncodeCompactRequest(force)));
+  return DecodeCompactResponse(response);
+}
+
 Result<VectorObject> EncryptionClient::DecryptCandidate(
     const Bytes& payload) {
   Stopwatch watch;

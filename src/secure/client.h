@@ -84,6 +84,19 @@ class EncryptionClient {
   /// object is not indexed.
   Status Delete(const metric::VectorObject& object);
 
+  /// Deletes objects in bulks of `bulk_size` (kDeleteBatch, the mirror of
+  /// InsertBulk): each bulk travels in one request and the server removes
+  /// it under one lock acquisition with one handle-free pass. NotFound if
+  /// any object was not indexed (the indexed ones are still deleted).
+  Status DeleteBatch(const std::vector<metric::VectorObject>& objects,
+                     size_t bulk_size = 1000);
+
+  /// Admin: compacts the server's payload log(s) (kCompact; per-shard in
+  /// a sharded deployment). `force` compacts whenever dead bytes exist;
+  /// otherwise the server's configured compaction_trigger decides.
+  /// Returns the (shard-aggregated) compaction report.
+  Result<mindex::CompactionReport> Compact(bool force = true);
+
   /// Precise range query R(q, r) (Algorithm 2, precise branch). Returns
   /// exactly the objects within `radius`, sorted by distance.
   Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,

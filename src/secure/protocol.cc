@@ -139,6 +139,24 @@ Bytes EncodeDeleteRequest(metric::ObjectId id,
   return writer.TakeBuffer();
 }
 
+Bytes EncodeDeleteBatchRequest(const std::vector<DeleteItem>& items) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kDeleteBatch));
+  writer.WriteVarint(items.size());
+  for (const DeleteItem& item : items) {
+    writer.WriteVarint(item.id);
+    writer.WriteU32Vector(item.permutation);
+  }
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeCompactRequest(bool force) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kCompact));
+  writer.WriteBool(force);
+  return writer.TakeBuffer();
+}
+
 Result<Request> DecodeRequest(const Bytes& data) {
   BinaryReader reader(data);
   SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
@@ -210,6 +228,26 @@ Result<Request> DecodeRequest(const Bytes& data) {
         SIMCLOUD_ASSIGN_OR_RETURN(query.cand_size, reader.ReadVarint());
         request.knn_queries.push_back(std::move(query));
       }
+      return request;
+    }
+    case Op::kDeleteBatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      if (count > kMaxBatchQueries) {
+        return Status::InvalidArgument(
+            "batch of " + std::to_string(count) + " deletes exceeds the " +
+            std::to_string(kMaxBatchQueries) + "-item limit");
+      }
+      request.delete_items.reserve(reader.BoundedCount(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        DeleteItem item;
+        SIMCLOUD_ASSIGN_OR_RETURN(item.id, reader.ReadVarint());
+        SIMCLOUD_ASSIGN_OR_RETURN(item.permutation, reader.ReadU32Vector());
+        request.delete_items.push_back(std::move(item));
+      }
+      return request;
+    }
+    case Op::kCompact: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.compact_force, reader.ReadBool());
       return request;
     }
   }
@@ -316,6 +354,8 @@ Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
   writer.WriteVarint(stats.inner_count);
   writer.WriteVarint(stats.max_depth);
   writer.WriteVarint(stats.storage_bytes);
+  writer.WriteVarint(stats.live_storage_bytes);
+  writer.WriteVarint(stats.dead_storage_bytes);
   return writer.TakeBuffer();
 }
 
@@ -327,7 +367,30 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
   SIMCLOUD_ASSIGN_OR_RETURN(stats.inner_count, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(stats.max_depth, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(stats.storage_bytes, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.live_storage_bytes, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(stats.dead_storage_bytes, reader.ReadVarint());
   return stats;
+}
+
+Bytes EncodeCompactResponse(const mindex::CompactionReport& report) {
+  BinaryWriter writer;
+  writer.WriteBool(report.compacted);
+  writer.WriteVarint(report.bytes_before);
+  writer.WriteVarint(report.bytes_after);
+  writer.WriteVarint(report.payloads_moved);
+  writer.WriteVarint(report.reclaimed_bytes);
+  return writer.TakeBuffer();
+}
+
+Result<mindex::CompactionReport> DecodeCompactResponse(const Bytes& data) {
+  BinaryReader reader(data);
+  mindex::CompactionReport report;
+  SIMCLOUD_ASSIGN_OR_RETURN(report.compacted, reader.ReadBool());
+  SIMCLOUD_ASSIGN_OR_RETURN(report.bytes_before, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(report.bytes_after, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(report.payloads_moved, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(report.reclaimed_bytes, reader.ReadVarint());
+  return report;
 }
 
 }  // namespace secure

@@ -33,6 +33,8 @@ enum class Op : uint8_t {
   kDelete = 5,            ///< remove one object by id + routing permutation
   kRangeSearchBatch = 6,  ///< many range queries, one round trip
   kApproxKnnBatch = 7,    ///< many approximate queries, one round trip
+  kDeleteBatch = 8,       ///< bulk delete, one lock + one free pass
+  kCompact = 9,           ///< admin: compact the payload log(s)
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -41,6 +43,14 @@ struct InsertItem {
   std::vector<float> pivot_distances;  ///< precise strategy (may be empty)
   mindex::Permutation permutation;     ///< approx strategy (may be empty)
   Bytes payload;                       ///< AES ciphertext
+};
+
+/// One item of a batched delete: the id plus the routing permutation the
+/// insert used — exactly what the single kDelete opcode carries, so the
+/// batch leaks nothing more.
+struct DeleteItem {
+  metric::ObjectId id = 0;
+  mindex::Permutation permutation;
 };
 
 /// Serialized requests.
@@ -55,6 +65,10 @@ Bytes EncodeDeleteRequest(metric::ObjectId id,
 Bytes EncodeRangeSearchBatchRequest(
     const std::vector<mindex::RangeQuery>& queries);
 Bytes EncodeApproxKnnBatchRequest(const std::vector<mindex::KnnQuery>& queries);
+Bytes EncodeDeleteBatchRequest(const std::vector<DeleteItem>& items);
+/// `force` compacts whenever any dead bytes exist; otherwise the server's
+/// configured `compaction_trigger` decides.
+Bytes EncodeCompactRequest(bool force);
 
 /// Decoded request (server side).
 struct Request {
@@ -68,6 +82,8 @@ struct Request {
   mindex::Permutation delete_permutation;    // kDelete
   std::vector<mindex::RangeQuery> range_queries;  // kRangeSearchBatch
   std::vector<mindex::KnnQuery> knn_queries;      // kApproxKnnBatch
+  std::vector<DeleteItem> delete_items;           // kDeleteBatch
+  bool compact_force = false;                     // kCompact
 };
 Result<Request> DecodeRequest(const Bytes& data);
 
@@ -107,6 +123,11 @@ Result<uint64_t> DecodeInsertResponse(const Bytes& data);
 /// Index statistics response.
 Bytes EncodeStatsResponse(const mindex::IndexStats& stats);
 Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data);
+
+/// Compaction report response (kCompact). Sharded deployments aggregate
+/// per-shard reports before encoding.
+Bytes EncodeCompactResponse(const mindex::CompactionReport& report);
+Result<mindex::CompactionReport> DecodeCompactResponse(const Bytes& data);
 
 }  // namespace secure
 }  // namespace simcloud

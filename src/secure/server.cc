@@ -93,6 +93,33 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
           index_->Delete(request.delete_id, {}, request.delete_permutation));
       return EncodeInsertResponse(1);
     }
+    case Op::kDeleteBatch: {
+      // One exclusive lock for the whole batch; the index frees every
+      // dead payload handle in one pass and evaluates the compaction
+      // trigger once (mirrors kInsertBatch).
+      std::vector<mindex::Deletion> deletions;
+      deletions.reserve(request.delete_items.size());
+      for (DeleteItem& item : request.delete_items) {
+        deletions.push_back(
+            mindex::Deletion{item.id, {}, std::move(item.permutation)});
+      }
+      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted,
+                                index_->DeleteBatch(deletions));
+      return EncodeInsertResponse(deleted);
+    }
+    case Op::kCompact: {
+      // Compaction rewrites the payload log and remaps handles, so it is
+      // a writer like insert/delete: searches wait, then resume against
+      // the compacted log.
+      std::unique_lock<std::shared_mutex> lock(index_mutex_);
+      mindex::CompactionOptions options;
+      options.force = request.compact_force;
+      // Unforced: MIndex::Compact gates on the configured trigger.
+      SIMCLOUD_ASSIGN_OR_RETURN(mindex::CompactionReport report,
+                                index_->Compact(options));
+      return EncodeCompactResponse(report);
+    }
   }
   return Status::Corruption("unhandled opcode");
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "mindex/permutation.h"
+
 namespace simcloud {
 namespace secure {
 
@@ -234,12 +236,58 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
         total.inner_count += stats.inner_count;
         total.max_depth = std::max(total.max_depth, stats.max_depth);
         total.storage_bytes += stats.storage_bytes;
+        total.live_storage_bytes += stats.live_storage_bytes;
+        total.dead_storage_bytes += stats.dead_storage_bytes;
       }
       return EncodeStatsResponse(total);
     }
     case Op::kDelete:
       return shards_[OwnerOf(request.delete_permutation)]->Handle(
           request_bytes);
+    case Op::kDeleteBatch: {
+      // Validate the WHOLE batch before forwarding anything: a malformed
+      // item must reject the batch with no shard mutated, matching the
+      // all-or-nothing contract of the single-index path (per-item
+      // NotFound still just skips inside the shards).
+      const size_t num_pivots = shards_[0]->index().options().num_pivots;
+      for (const DeleteItem& item : request.delete_items) {
+        if (item.permutation.empty() ||
+            !mindex::IsValidPermutation(item.permutation, num_pivots)) {
+          return Status::InvalidArgument(
+              "delete batch carries an invalid routing permutation");
+        }
+      }
+      // Partition by owning shard (same placement rule as inserts) and
+      // forward sub-batches; each shard takes its writer lock once.
+      std::vector<std::vector<DeleteItem>> per_shard(shards_.size());
+      for (DeleteItem& item : request.delete_items) {
+        per_shard[OwnerOf(item.permutation)].push_back(std::move(item));
+      }
+      uint64_t deleted = 0;
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (per_shard[i].empty()) continue;
+        SIMCLOUD_ASSIGN_OR_RETURN(
+            Bytes response,
+            shards_[i]->Handle(EncodeDeleteBatchRequest(per_shard[i])));
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count,
+                                  DecodeInsertResponse(response));
+        deleted += count;
+      }
+      return EncodeInsertResponse(deleted);
+    }
+    case Op::kCompact: {
+      // Every shard compacts its own log in parallel; the merged report
+      // sums the per-shard byte movements.
+      std::vector<Result<Bytes>> responses = CallAllShards(request_bytes);
+      mindex::CompactionReport total;
+      for (const auto& response : responses) {
+        SIMCLOUD_RETURN_NOT_OK(response.status());
+        SIMCLOUD_ASSIGN_OR_RETURN(mindex::CompactionReport report,
+                                  DecodeCompactResponse(*response));
+        total.Add(report);
+      }
+      return EncodeCompactResponse(total);
+    }
   }
   return Status::Corruption("unhandled opcode");
 }

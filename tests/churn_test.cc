@@ -1,0 +1,291 @@
+// Churn soak test: a randomized interleaving of insert batches, delete
+// batches, range queries, and k-NN batches runs against two identically
+// fed deployments — one that compacts aggressively (automatic trigger
+// plus periodic explicit kCompact, payload cache enabled) and one that
+// never compacts — while an in-memory oracle tracks the live collection.
+// Invariants checked throughout:
+//   * precise range answers equal the oracle's brute-force answer exactly;
+//   * every answer (range and k-NN, ids and distances) from the
+//     compacting deployment is identical to the never-compacted one —
+//     compaction must never change any result;
+//   * tree invariants hold and object counts match the oracle;
+//   * after a final compaction the log holds exactly the live bytes.
+// Runs on memory and disk backends, single-node and sharded servers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "mindex/mindex.h"
+#include "secure/client.h"
+#include "secure/server.h"
+#include "secure/sharded_server.h"
+
+namespace simcloud {
+namespace secure {
+namespace {
+
+using metric::VectorObject;
+
+struct ChurnConfig {
+  mindex::StorageKind storage_kind;
+  size_t num_shards;
+};
+
+std::string ConfigName(const ChurnConfig& config) {
+  std::string name = config.storage_kind == mindex::StorageKind::kMemory
+                         ? "memory"
+                         : "disk";
+  name += "_shards" + std::to_string(config.num_shards);
+  return name;
+}
+
+class ChurnTest : public ::testing::TestWithParam<ChurnConfig> {};
+
+struct Deployment {
+  std::unique_ptr<net::RequestHandler> server;
+  std::unique_ptr<net::LoopbackTransport> transport;
+  std::unique_ptr<EncryptionClient> client;
+  std::vector<std::string> disk_paths;
+
+  /// White-box access to every shard's index.
+  std::vector<const mindex::MIndex*> Indexes() const {
+    std::vector<const mindex::MIndex*> indexes;
+    if (auto* sharded = dynamic_cast<ShardedServer*>(server.get())) {
+      for (size_t i = 0; i < sharded->num_shards(); ++i) {
+        indexes.push_back(&sharded->shard(i).index());
+      }
+    } else {
+      indexes.push_back(
+          &static_cast<EncryptedMIndexServer*>(server.get())->index());
+    }
+    return indexes;
+  }
+};
+
+Deployment MakeDeployment(const ChurnConfig& config, const SecretKey& key,
+                          std::shared_ptr<metric::DistanceFunction> metric,
+                          const std::string& tag, double compaction_trigger,
+                          uint64_t cache_bytes) {
+  mindex::MIndexOptions options;
+  options.num_pivots = key.num_pivots();
+  options.bucket_capacity = 25;
+  options.max_level = 4;
+  options.compaction_trigger = compaction_trigger;
+  options.cache_bytes = cache_bytes;
+  Deployment deployment;
+  if (config.storage_kind == mindex::StorageKind::kDisk) {
+    options.storage_kind = mindex::StorageKind::kDisk;
+    options.disk_path =
+        testing::TempDir() + "/simcloud_churn_" + tag + ".bucket";
+    if (config.num_shards <= 1) {
+      deployment.disk_paths.push_back(options.disk_path);
+    } else {
+      for (size_t i = 0; i < config.num_shards; ++i) {
+        deployment.disk_paths.push_back(options.disk_path + "." +
+                                        std::to_string(i));
+      }
+    }
+  }
+  if (config.num_shards <= 1) {
+    auto server = EncryptedMIndexServer::Create(options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    deployment.server = std::move(*server);
+  } else {
+    auto server = ShardedServer::Create(options, config.num_shards);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    deployment.server = std::move(*server);
+  }
+  deployment.transport =
+      std::make_unique<net::LoopbackTransport>(deployment.server.get());
+  deployment.client = std::make_unique<EncryptionClient>(
+      key, std::move(metric), deployment.transport.get());
+  return deployment;
+}
+
+void RemoveDeploymentFiles(const Deployment& deployment) {
+  for (const std::string& path : deployment.disk_paths) {
+    std::remove(path.c_str());
+    std::remove((path + ".compact").c_str());
+  }
+}
+
+TEST_P(ChurnTest, RandomizedChurnMatchesOracleAndCompactionChangesNothing) {
+  const ChurnConfig config = GetParam();
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = 400;
+  mixture.dimension = 8;
+  mixture.num_clusters = 6;
+  mixture.seed = 211;
+  const std::vector<VectorObject> pool = data::MakeGaussianMixture(mixture);
+  auto metric = std::make_shared<metric::L2Distance>();
+  auto pivots = mindex::PivotSet::SelectRandom(pool, 8, 213);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(*pivots), Bytes(16, 0x37));
+  ASSERT_TRUE(key.ok());
+
+  const std::string tag = ConfigName(config);
+  Deployment compacting =
+      MakeDeployment(config, *key, metric, tag + "_compacting",
+                     /*compaction_trigger=*/0.35, /*cache_bytes=*/1 << 17);
+  Deployment reference =
+      MakeDeployment(config, *key, metric, tag + "_reference",
+                     /*compaction_trigger=*/0.0, /*cache_bytes=*/0);
+
+  // Oracle: which pool objects are currently indexed.
+  std::vector<bool> live(pool.size(), false);
+  size_t live_count = 0;
+  Rng rng(503 + config.num_shards);
+
+  auto insert_batch = [&](size_t want) {
+    std::vector<VectorObject> batch;
+    for (size_t attempts = 0; attempts < 4 * want && batch.size() < want;
+         ++attempts) {
+      const size_t pick = rng.NextBounded(pool.size());
+      if (live[pick]) continue;
+      live[pick] = true;
+      ++live_count;
+      batch.push_back(pool[pick]);
+    }
+    if (batch.empty()) return;
+    ASSERT_TRUE(compacting.client
+                    ->InsertBulk(batch, InsertStrategy::kPrecise, 50)
+                    .ok());
+    ASSERT_TRUE(reference.client
+                    ->InsertBulk(batch, InsertStrategy::kPrecise, 50)
+                    .ok());
+  };
+
+  auto delete_batch = [&](size_t want) {
+    std::vector<VectorObject> batch;
+    for (size_t attempts = 0; attempts < 6 * want && batch.size() < want;
+         ++attempts) {
+      const size_t pick = rng.NextBounded(pool.size());
+      if (!live[pick]) continue;
+      live[pick] = false;
+      --live_count;
+      batch.push_back(pool[pick]);
+    }
+    if (batch.empty()) return;
+    if (batch.size() == 1) {
+      // Exercise the single-delete opcode too.
+      ASSERT_TRUE(compacting.client->Delete(batch[0]).ok());
+      ASSERT_TRUE(reference.client->Delete(batch[0]).ok());
+    } else {
+      ASSERT_TRUE(compacting.client->DeleteBatch(batch).ok());
+      ASSERT_TRUE(reference.client->DeleteBatch(batch).ok());
+    }
+  };
+
+  auto check_queries = [&](int round) {
+    // Precise range queries: compare both deployments to each other AND
+    // to the oracle's brute-force answer (range search is exact).
+    for (int qi = 0; qi < 2; ++qi) {
+      const VectorObject& query = pool[rng.NextBounded(pool.size())];
+      const double radius = 1.0 + 0.25 * rng.NextBounded(8);
+      auto got = compacting.client->RangeSearch(query, radius);
+      auto want = reference.client->RangeSearch(query, radius);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_EQ(got->size(), want->size()) << "round " << round;
+      for (size_t i = 0; i < want->size(); ++i) {
+        ASSERT_EQ((*got)[i].id, (*want)[i].id) << "round " << round;
+        ASSERT_EQ((*got)[i].distance, (*want)[i].distance)
+            << "round " << round;
+      }
+      std::map<uint64_t, double> oracle;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!live[i]) continue;
+        const double d = metric->Distance(query, pool[i]);
+        if (d <= radius) oracle[pool[i].id()] = d;
+      }
+      ASSERT_EQ(got->size(), oracle.size()) << "round " << round;
+      for (const auto& neighbor : *got) {
+        auto it = oracle.find(neighbor.id);
+        ASSERT_NE(it, oracle.end()) << "round " << round;
+        ASSERT_EQ(neighbor.distance, it->second) << "round " << round;
+      }
+    }
+    // Batched approximate k-NN: byte-identical across deployments.
+    std::vector<VectorObject> knn_queries;
+    for (int qi = 0; qi < 4; ++qi) {
+      knn_queries.push_back(pool[rng.NextBounded(pool.size())]);
+    }
+    auto got = compacting.client->ApproxKnnBatch(knn_queries, 5, 40);
+    auto want = reference.client->ApproxKnnBatch(knn_queries, 5, 40);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t q = 0; q < want->size(); ++q) {
+      ASSERT_EQ((*got)[q].size(), (*want)[q].size()) << "round " << round;
+      for (size_t i = 0; i < (*want)[q].size(); ++i) {
+        ASSERT_EQ((*got)[q][i].id, (*want)[q][i].id) << "round " << round;
+        ASSERT_EQ((*got)[q][i].distance, (*want)[q][i].distance)
+            << "round " << round;
+      }
+    }
+  };
+
+  insert_batch(200);
+  for (int round = 0; round < 12; ++round) {
+    insert_batch(5 + rng.NextBounded(25));
+    delete_batch(5 + rng.NextBounded(30));
+    if (round % 3 == 2) delete_batch(1);  // single-delete opcode
+    if (round % 4 == 3) {
+      auto report = compacting.client->Compact(/*force=*/true);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+    check_queries(round);
+  }
+
+  // Final accounting: counts match the oracle on both deployments...
+  auto stats = compacting.client->GetServerStats();
+  auto ref_stats = reference.client->GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(ref_stats.ok());
+  EXPECT_EQ(stats->object_count, live_count);
+  EXPECT_EQ(ref_stats->object_count, live_count);
+
+  // ...tree invariants hold on every shard...
+  for (const Deployment* deployment : {&compacting, &reference}) {
+    for (const mindex::MIndex* index : deployment->Indexes()) {
+      EXPECT_TRUE(index->CheckInvariants().ok());
+    }
+  }
+
+  // ...and one final forced compaction leaves a log of exactly the live
+  // bytes while the reference kept every byte ever appended.
+  auto report = compacting.client->Compact(/*force=*/true);
+  ASSERT_TRUE(report.ok());
+  stats = compacting.client->GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dead_storage_bytes, 0u);
+  EXPECT_EQ(stats->storage_bytes, stats->live_storage_bytes);
+  EXPECT_EQ(stats->live_storage_bytes, ref_stats->live_storage_bytes);
+  EXPECT_GT(ref_stats->dead_storage_bytes, 0u)
+      << "the reference deployment must have accumulated garbage for this "
+         "test to mean anything";
+  check_queries(999);
+
+  RemoveDeploymentFiles(compacting);
+  RemoveDeploymentFiles(reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ChurnTest,
+    ::testing::Values(
+        ChurnConfig{mindex::StorageKind::kMemory, 1},
+        ChurnConfig{mindex::StorageKind::kMemory, 3},
+        ChurnConfig{mindex::StorageKind::kDisk, 1},
+        ChurnConfig{mindex::StorageKind::kDisk, 3}),
+    [](const auto& info) { return ConfigName(info.param); });
+
+}  // namespace
+}  // namespace secure
+}  // namespace simcloud

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <set>
 
@@ -297,6 +299,89 @@ TEST(PersistenceTest, SnapshotCompactsDeletedPayloads) {
   ASSERT_TRUE(compacted.ok());
   EXPECT_EQ((*compacted)->size(), index->size());
   EXPECT_LT((*compacted)->Stats().storage_bytes, bytes_before);
+}
+
+TEST(PersistenceTest, CrashMidCompactionLosesAndDuplicatesNothing) {
+  TestWorld world = MakeWorld(300, 101);
+  MIndexOptions options;
+  options.bucket_capacity = 30;
+  options.max_level = 4;
+  options.storage_kind = StorageKind::kDisk;
+  options.disk_path = ::testing::TempDir() + "/simcloud_crash.bucket";
+  const std::string temp_path = options.disk_path + ".compact";
+  const std::string snapshot_path =
+      ::testing::TempDir() + "/simcloud_crash.midx";
+  auto index = BuildIndex(world, options);
+
+  // Delete a third, snapshot the durable state, remember the live set.
+  std::set<uint64_t> expected_live;
+  for (const auto& object : world.objects) expected_live.insert(object.id());
+  for (size_t i = 0; i < world.objects.size(); i += 3) {
+    const VectorObject& victim = world.objects[i];
+    ASSERT_TRUE(
+        index->Delete(victim.id(), DistancesFor(world, victim), {}).ok());
+    expected_live.erase(victim.id());
+  }
+  ASSERT_TRUE(SaveIndex(*index, snapshot_path).ok());
+  const auto pre_crash = RangeIds(*index, world, world.objects[7], 2.0);
+
+  // Crash mid-compaction: the test hook aborts after 50 payloads, leaving
+  // the fresh log half-written. The old log was never touched, so the
+  // live index keeps answering exactly as before...
+  CompactionOptions copts;
+  copts.force = true;
+  copts.fail_after_payloads = 50;
+  auto crashed = index->Compact(copts);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(RangeIds(*index, world, world.objects[7], 2.0), pre_crash);
+  EXPECT_EQ(index->size(), expected_live.size());
+
+  // ...even if the half-written log is truncated further (simulating an
+  // unflushed page cache at crash time), recovery from the snapshot sees
+  // exactly the pre-compaction live set: nothing lost, nothing doubled.
+  {
+    std::FILE* file = std::fopen(temp_path.c_str(), "rb");
+    ASSERT_NE(file, nullptr) << "crash must leave the temp log behind";
+    std::fclose(file);
+  }
+  ASSERT_EQ(::truncate(temp_path.c_str(), 100), 0);
+  index.reset();  // the crashed process is gone; its descriptors close
+
+  auto recovered = LoadIndex(snapshot_path, options.disk_path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  {
+    // Recovery reclaims the crashed pass's temp log along the way.
+    std::FILE* stale = std::fopen(temp_path.c_str(), "rb");
+    EXPECT_EQ(stale, nullptr) << "stale .compact file must be removed";
+    if (stale != nullptr) std::fclose(stale);
+  }
+  EXPECT_EQ((*recovered)->size(), expected_live.size());
+  EXPECT_TRUE((*recovered)->CheckInvariants().ok());
+  std::multiset<uint64_t> seen;
+  ASSERT_TRUE((*recovered)
+                  ->ForEachEntry([&](const Entry& entry,
+                                     const Bytes& payload) -> Status {
+                    seen.insert(entry.id);
+                    if (payload.empty()) {
+                      return Status::Corruption("payload lost");
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), expected_live.size()) << "no duplicated payloads";
+  for (uint64_t id : expected_live) {
+    EXPECT_EQ(seen.count(id), 1u) << "object " << id;
+  }
+  EXPECT_EQ(RangeIds(**recovered, world, world.objects[7], 2.0), pre_crash);
+
+  // The stale temp file does not break the next compaction.
+  auto report = (*recovered)->Compact();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->compacted) << "fresh load starts with a clean log";
+
+  std::remove(options.disk_path.c_str());
+  std::remove(temp_path.c_str());
+  std::remove(snapshot_path.c_str());
 }
 
 TEST(PersistenceTest, RejectsCorruptedSnapshots) {

@@ -1,10 +1,14 @@
-// Bucket storage tests: memory and disk backends must behave identically.
+// Bucket storage tests: memory and disk backends must behave identically,
+// including the free/dead-byte accounting compaction is built on, and the
+// payload cache must never serve bytes for a freed (possibly recycled)
+// handle.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 
 #include "common/rng.h"
+#include "mindex/payload_cache.h"
 #include "mindex/storage.h"
 
 namespace simcloud {
@@ -71,6 +75,42 @@ TEST_P(StorageTest, OutOfRangeHandleIsNotFound) {
   EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
 }
 
+TEST_P(StorageTest, FreeMarksBytesDeadAndInvalidatesHandle) {
+  auto h1 = storage_->Store(Bytes(100, 0xA1));
+  auto h2 = storage_->Store(Bytes(60, 0xB2));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  auto stats = storage_->GetCompactionStats();
+  EXPECT_EQ(stats.live_bytes, 160u);
+  EXPECT_EQ(stats.dead_bytes, 0u);
+  EXPECT_EQ(stats.GarbageRatio(), 0.0);
+
+  ASSERT_TRUE(storage_->Free(*h1).ok());
+  stats = storage_->GetCompactionStats();
+  EXPECT_EQ(stats.live_bytes, 60u);
+  EXPECT_EQ(stats.dead_bytes, 100u);
+  EXPECT_EQ(stats.live_payloads, 1u);
+  EXPECT_EQ(stats.dead_payloads, 1u);
+  EXPECT_NEAR(stats.GarbageRatio(), 100.0 / 160.0, 1e-9);
+  // The log keeps the dead bytes until compaction; only Count shrinks.
+  EXPECT_EQ(storage_->TotalBytes(), 160u);
+  EXPECT_EQ(storage_->Count(), 1u);
+
+  // A freed handle must not serve stale bytes — single or batched path.
+  EXPECT_EQ(storage_->Fetch(*h1).status().code(), StatusCode::kNotFound);
+  std::vector<Bytes> out;
+  std::vector<PayloadHandle> handles = {*h1};
+  EXPECT_EQ(storage_->FetchMany(handles, &out).code(),
+            StatusCode::kNotFound);
+  auto live = storage_->Fetch(*h2);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, Bytes(60, 0xB2));
+
+  // Double free and unknown handles are errors.
+  EXPECT_FALSE(storage_->Free(*h1).ok());
+  EXPECT_FALSE(storage_->Free(999).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
                          ::testing::Values(StorageKind::kMemory,
                                            StorageKind::kDisk),
@@ -88,6 +128,114 @@ TEST(StorageFactoryTest, DiskRequiresPath) {
 TEST(StorageFactoryTest, DiskRejectsUnwritablePath) {
   EXPECT_FALSE(
       MakeStorage(StorageKind::kDisk, "/nonexistent/dir/file.bin").ok());
+}
+
+TEST(DiskStorageTest, SegmentAccountingTracksDeadSegments) {
+  const std::string path = testing::TempDir() + "/simcloud_segments.bin";
+  auto storage = DiskStorage::Create(path);
+  ASSERT_TRUE(storage.ok());
+  // 40 KiB payloads against 64 KiB segments: payloads 0,1 start in
+  // segment 0 (offsets 0 and 40 KiB), payloads 2,3 in segment 1.
+  const size_t payload_size = 40 * 1024;
+  std::vector<PayloadHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    auto handle = (*storage)->Store(Bytes(payload_size, 0x10 + i));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  auto stats = (*storage)->GetCompactionStats();
+  EXPECT_EQ(stats.segment_count, 2u);
+  EXPECT_EQ(stats.dead_segments, 0u);
+
+  // Freeing both payloads attributed to segment 0 kills that segment.
+  ASSERT_TRUE((*storage)->Free(handles[0]).ok());
+  stats = (*storage)->GetCompactionStats();
+  EXPECT_EQ(stats.dead_segments, 0u);
+  ASSERT_TRUE((*storage)->Free(handles[1]).ok());
+  stats = (*storage)->GetCompactionStats();
+  EXPECT_EQ(stats.dead_segments, 1u);
+  EXPECT_EQ(stats.dead_bytes, 2 * payload_size);
+  storage->reset();
+  std::remove(path.c_str());
+}
+
+// Backend that recycles freed handle slots — the shape a compacted log
+// presents to the cache layer. Without cache eviction on Free, a
+// deleted-then-reinserted object would be served the PREVIOUS occupant's
+// bytes from the cache.
+class RecyclingStorage : public BucketStorage {
+ public:
+  Result<PayloadHandle> Store(const Bytes& payload) override {
+    if (!free_slots_.empty()) {
+      const PayloadHandle handle = free_slots_.back();
+      free_slots_.pop_back();
+      payloads_[handle] = payload;
+      return handle;
+    }
+    payloads_.push_back(payload);
+    return static_cast<PayloadHandle>(payloads_.size() - 1);
+  }
+  Result<Bytes> Fetch(PayloadHandle handle) const override {
+    if (handle >= payloads_.size()) return Status::NotFound("bad handle");
+    return payloads_[handle];
+  }
+  Status Free(PayloadHandle handle) override {
+    if (handle >= payloads_.size()) return Status::NotFound("bad handle");
+    free_slots_.push_back(handle);
+    return Status::OK();
+  }
+  CompactionStats GetCompactionStats() const override { return {}; }
+  uint64_t TotalBytes() const override { return 0; }
+  uint64_t Count() const override { return payloads_.size(); }
+  std::string Name() const override { return "recycling"; }
+
+ private:
+  std::vector<Bytes> payloads_;
+  std::vector<PayloadHandle> free_slots_;
+};
+
+TEST(PayloadCacheTest, FreeEvictsSoRecycledHandleNeverServesStaleBytes) {
+  PayloadCache cache(std::make_unique<RecyclingStorage>(), 1 << 20);
+  auto handle = cache.Store(Bytes(64, 0xAA));
+  ASSERT_TRUE(handle.ok());
+  auto first = cache.Fetch(*handle);  // populates the cache
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(cache.Contains(*handle));
+
+  ASSERT_TRUE(cache.Free(*handle).ok());
+  EXPECT_FALSE(cache.Contains(*handle));
+
+  // The backend recycles the slot for a different payload; the cache must
+  // serve the new bytes, not the stale ciphertext.
+  auto reused = cache.Store(Bytes(64, 0xBB));
+  ASSERT_TRUE(reused.ok());
+  ASSERT_EQ(*reused, *handle) << "test premise: the handle is recycled";
+  auto got = cache.Fetch(*reused);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Bytes(64, 0xBB));
+}
+
+TEST(PayloadCacheTest, FreeEvictsOverRealBackendToo) {
+  PayloadCache cache(std::make_unique<MemoryStorage>(), 1 << 20);
+  auto handle = cache.Store(Bytes(32, 0xCD));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cache.Fetch(*handle).ok());
+  ASSERT_TRUE(cache.Free(*handle).ok());
+  // Without the eviction the cache would answer the freed handle.
+  EXPECT_EQ(cache.Fetch(*handle).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PayloadCacheTest, ClearAndAdmitRebuildTheHotSet) {
+  PayloadCache cache(std::make_unique<MemoryStorage>(), 1 << 20);
+  auto handle = cache.Store(Bytes(16, 0x01));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cache.Fetch(*handle).ok());
+  EXPECT_GT(cache.stats().cached_payloads, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().cached_payloads, 0u);
+  EXPECT_EQ(cache.stats().cached_bytes, 0u);
+  cache.Admit(*handle, Bytes(16, 0x01));
+  EXPECT_TRUE(cache.Contains(*handle));
 }
 
 TEST(StorageTest, NamesIdentifyBackend) {
