@@ -2,11 +2,15 @@
 # Local CI: the tier-1 verify command plus benchmark smoke runs.
 # Mirrors .github/workflows/ci.yml so the same gate runs everywhere.
 #
-# Usage: ci.sh [--asan]
+# Usage: ci.sh [--asan|--tsan]
 #   --asan  build and run the test suite under AddressSanitizer (separate
 #           build tree; the churn/compaction soak tests are where lifetime
 #           bugs in payload-handle remapping would hide). Skips the bench
 #           smoke runs — sanitized timings are meaningless.
+#   --tsan  build under ThreadSanitizer and run the concurrency-facing
+#           suites (epoll engine, pipelined clients, shard channels,
+#           stats accumulators). TSan multiplies runtime ~10x, so the
+#           purely single-threaded suites are skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,6 +22,19 @@ if [ "${1:-}" = "--asan" ]; then
   echo "=== tier-1 tests under ASan ==="
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)" --timeout 300
   echo "CI (asan) OK"
+  exit 0
+fi
+
+if [ "${1:-}" = "--tsan" ]; then
+  echo "=== configure + build (ThreadSanitizer) ==="
+  cmake -B build-tsan -S . -DSIMCLOUD_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+
+  echo "=== concurrency suites under TSan ==="
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+        --timeout 300 \
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test'
+  echo "CI (tsan) OK"
   exit 0
 fi
 
@@ -41,5 +58,8 @@ echo "=== bench smoke: batched query throughput ==="
 
 echo "=== bench smoke: churn + compaction acceptance ==="
 ./build/bench_churn --smoke
+
+echo "=== bench smoke: pipelined transport acceptance ==="
+./build/bench_pipeline --smoke
 
 echo "CI OK"

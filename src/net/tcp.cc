@@ -1,13 +1,17 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/clock.h"
@@ -18,6 +22,17 @@ namespace simcloud {
 namespace net {
 
 namespace {
+
+// epoll user-data tags of the two non-connection fds; connection
+// generations start at 2.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+// Bytes appended to a connection's input buffer per loop iteration; the
+// level-triggered loop re-fires while more input is pending, so one slow
+// reader cannot monopolize the event thread.
+constexpr size_t kReadChunk = 256 * 1024;
+constexpr size_t kMaxReadPerEvent = 4 * 1024 * 1024;
 
 Status WriteAll(int fd, const uint8_t* data, size_t len) {
   size_t done = 0;
@@ -48,38 +63,118 @@ Status ReadAll(int fd, uint8_t* data, size_t len) {
   return Status::OK();
 }
 
+uint32_t LoadLE32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void StoreLE32(uint32_t v, uint8_t* p) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+Status WriteFrameInternal(int fd, uint32_t request_id, const Bytes& payload) {
+  if (payload.size() > kMaxFrameLength) {
+    return Status::InvalidArgument("frame body of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the 31-bit frame limit");
+  }
+  // One contiguous buffer so a frame usually leaves in a single send.
+  const size_t header_len = request_id != 0 ? 8 : 4;
+  Bytes frame(header_len + payload.size());
+  StoreLE32(static_cast<uint32_t>(payload.size()) |
+                (request_id != 0 ? kFrameIdFlag : 0),
+            frame.data());
+  if (request_id != 0) StoreLE32(request_id, frame.data() + 4);
+  std::memcpy(frame.data() + header_len, payload.data(), payload.size());
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status SetNonBlocking(int fd) {
+  // The engine only ever toggles to nonblocking, so O_NONBLOCK via
+  // fcntl-free SOCK_NONBLOCK covers accepted fds; this covers listen.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::NetworkError(std::string("fcntl failed: ") +
+                                std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteFrame(int fd, const Bytes& payload) {
-  uint8_t header[4];
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-  SIMCLOUD_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
-  return WriteAll(fd, payload.data(), payload.size());
+  return WriteFrameInternal(fd, 0, payload);
 }
 
-Result<Bytes> ReadFrame(int fd, size_t max_len) {
+Status WritePipelinedFrame(int fd, uint32_t request_id, const Bytes& payload) {
+  if (request_id == 0) {
+    return Status::InvalidArgument("pipelined frames need a nonzero id");
+  }
+  return WriteFrameInternal(fd, request_id, payload);
+}
+
+Result<DecodedFrame> ReadAnyFrame(int fd, size_t max_len) {
   uint8_t header[4];
   SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header)));
-  uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  const uint32_t raw = LoadLE32(header);
+  DecodedFrame frame;
+  const uint32_t len = raw & ~kFrameIdFlag;
+  if ((raw & kFrameIdFlag) != 0) {
+    uint8_t id_bytes[4];
+    SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, id_bytes, sizeof(id_bytes)));
+    frame.request_id = LoadLE32(id_bytes);
+    if (frame.request_id == 0) {
+      return Status::NetworkError("pipelined frame with request id 0");
+    }
+  }
   if (len > max_len) {
     return Status::NetworkError("frame length " + std::to_string(len) +
                                 " exceeds limit");
   }
-  Bytes payload(len);
-  SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, payload.data(), payload.size()));
-  return payload;
+  frame.payload.resize(len);
+  SIMCLOUD_RETURN_NOT_OK(ReadAll(fd, frame.payload.data(), len));
+  return frame;
 }
+
+Result<Bytes> ReadFrame(int fd, size_t max_len) {
+  SIMCLOUD_ASSIGN_OR_RETURN(DecodedFrame frame, ReadAnyFrame(fd, max_len));
+  if (frame.request_id != 0) {
+    return Status::NetworkError("unexpected pipelined frame");
+  }
+  return std::move(frame.payload);
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
 
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::NetworkError(std::string("socket failed: ") +
-                                std::strerror(errno));
+  if (started_) {
+    return Status::FailedPrecondition("TcpServer cannot be restarted");
   }
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+  options_.max_frame_bytes =
+      std::min<size_t>(options_.max_frame_bytes, kMaxFrameLength);
+
+  // On any setup failure every fd opened so far is closed: a failed
+  // Start leaves no bound port or leaked descriptor behind.
+  auto fail = [this](const std::string& what) {
+    Status status =
+        Status::NetworkError(what + " failed: " + std::strerror(errno));
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+    return status;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -89,104 +184,454 @@ Status TcpServer::Start(uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    return Status::NetworkError(std::string("bind failed: ") +
-                                std::strerror(errno));
+    return fail("bind");
   }
   socklen_t addr_len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                     &addr_len) < 0) {
-    return Status::NetworkError(std::string("getsockname failed: ") +
-                                std::strerror(errno));
+    return fail("getsockname");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 4) < 0) {
-    return Status::NetworkError(std::string("listen failed: ") +
-                                std::strerror(errno));
+  if (::listen(listen_fd_, 1024) < 0) return fail("listen");
+  if (!SetNonBlocking(listen_fd_).ok()) return fail("fcntl");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return fail("epoll_ctl(listen)");
   }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return fail("epoll_ctl(wake)");
+  }
+
+  started_ = true;
   running_.store(true);
-  thread_ = std::thread(&TcpServer::ServeLoop, this);
+  workers_.reserve(options_.worker_threads);
+  for (size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back(&TcpServer::WorkerLoop, this);
+  }
+  loop_thread_ = std::thread(&TcpServer::EventLoop, this);
   return Status::OK();
 }
 
 void TcpServer::Stop() {
-  if (!running_.exchange(false)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Wake connection threads blocked in recv; they unregister themselves.
+  if (!started_) return;
+  if (running_.exchange(false)) WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    workers_stop_ = true;
   }
-  if (thread_.joinable()) thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    threads.swap(conn_threads_);
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  workers_.clear();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
   }
 }
 
-void TcpServer::ServeLoop() {
+void TcpServer::WakeLoop() {
+  // Coalesced: one eventfd write per burst. If the flag is already set
+  // the loop has a wake-up it has not consumed yet — it will clear the
+  // flag BEFORE draining the completion queue, so anything pushed
+  // before this exchange is picked up by that drain.
+  if (wake_pending_.exchange(true)) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpServer::EventLoop() {
+  std::vector<epoll_event> events(128);
   while (running_.load()) {
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (client_fd < 0) {
-      if (running_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SIMCLOUD_LOG(kWarn) << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && running_.load(); ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptNewConnections();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        wake_pending_.store(false);  // before the drain — see WakeLoop
+        DrainCompletions();
+        continue;
+      }
+      // A completion earlier in this batch may have closed the
+      // connection; the generation lookup makes stale events harmless.
+      auto it = connections_.find(tag);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !FlushOutput(conn)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0 &&
+          !ReadFromConnection(conn)) {
+        CloseConnection(conn);
+        continue;
+      }
+      UpdateConnection(conn);
+    }
+  }
+  // Teardown: drop every connection; workers may still be finishing
+  // handler calls — their completions land in done_queue_ and are never
+  // delivered, which is fine, nothing references the dead connections.
+  // The wake and epoll fds stay open until Stop() has joined the
+  // workers: a worker's WakeLoop() after a close here could hit a
+  // recycled fd number.
+  std::vector<Connection*> open;
+  open.reserve(connections_.size());
+  for (auto& [gen, conn] : connections_) open.push_back(conn.get());
+  for (Connection* conn : open) CloseConnection(conn);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpServer::AcceptNewConnections() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK && running_.load()) {
         SIMCLOUD_LOG(kWarn) << "accept failed: " << std::strerror(errno);
+        // The pending connection was not consumed (EMFILE & co.), so the
+        // level-triggered listen fd would re-fire immediately; back off
+        // briefly instead of spinning the loop at 100% CPU.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
       }
       return;
     }
     const int one = 1;
-    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!running_.load()) {
-      ::close(client_fd);
-      return;
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->gen = next_gen_++;
+    conn->interest = EPOLLIN | EPOLLRDHUP;
+    epoll_event ev{};
+    ev.events = conn->interest;
+    ev.data.u64 = conn->gen;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      SIMCLOUD_LOG(kWarn) << "epoll add failed: " << std::strerror(errno);
+      ::close(fd);
+      continue;
     }
-    live_fds_.push_back(client_fd);
-    conn_threads_.emplace_back([this, client_fd] {
-      ServeConnection(client_fd);
-      UnregisterConnection(client_fd);
-      ::close(client_fd);
-    });
+    connections_.emplace(conn->gen, std::move(conn));
+    active_connections_.fetch_add(1);
   }
 }
 
-void TcpServer::UnregisterConnection(int client_fd) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), client_fd),
-                  live_fds_.end());
+bool TcpServer::ReadFromConnection(Connection* conn) {
+  // One loop-owned scratch buffer: receiving there and appending only
+  // the bytes actually read avoids zero-initializing a fresh vector
+  // tail on every recv (a pure memset tax for small frames).
+  static thread_local std::vector<uint8_t> scratch(kReadChunk);
+  size_t read_this_event = 0;
+  while (read_this_event < kMaxReadPerEvent) {
+    const ssize_t n = ::recv(conn->fd, scratch.data(), scratch.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    if (n == 0) {
+      conn->read_eof = true;
+      return true;
+    }
+    conn->in.insert(conn->in.end(), scratch.data(), scratch.data() + n);
+    read_this_event += static_cast<size_t>(n);
+    if (static_cast<size_t>(n) < scratch.size()) return true;
+  }
+  return true;  // level-triggered epoll re-fires for the rest
 }
 
-void TcpServer::ServeConnection(int client_fd) {
-  while (running_.load()) {
-    Result<Bytes> request = ReadFrame(client_fd);
-    if (!request.ok()) return;  // client disconnected or shutdown
+bool TcpServer::ParseFrames(Connection* conn) {
+  for (;;) {
+    // Legacy (id 0) requests keep the old serve-loop contract: nothing
+    // else from this connection runs concurrently, and their responses
+    // go out in request order.
+    if (conn->legacy_in_flight) break;
+    const size_t avail = conn->in.size() - conn->in_off;
+    if (avail < 4) break;
+    const uint8_t* p = conn->in.data() + conn->in_off;
+    const uint32_t raw = LoadLE32(p);
+    const bool pipelined = (raw & kFrameIdFlag) != 0;
+    const uint32_t len = raw & ~kFrameIdFlag;
+    const size_t header_len = pipelined ? 8 : 4;
+    if (len > options_.max_frame_bytes) return false;  // protocol violation
+    uint32_t id = 0;
+    if (pipelined) {
+      if (avail < 8) break;
+      id = LoadLE32(p + 4);
+      if (id == 0) return false;  // flagged frame must carry a real id
+    }
+    if (avail < header_len + len) break;  // frame still arriving
+    if (pipelined && conn->in_flight >= options_.max_in_flight) break;
+    if (!pipelined && conn->in_flight > 0) break;
+    if (conn->out_bytes >= options_.max_output_queue_bytes) break;
+
+    WorkItem item;
+    item.gen = conn->gen;
+    item.id = id;
+    item.legacy = !pipelined;
+    item.body.assign(p + header_len, p + header_len + len);
+    conn->in_off += header_len + len;
+    conn->in_flight++;
+    if (!pipelined) conn->legacy_in_flight = true;
+    frames_dispatched_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_queue_.push_back(std::move(item));
+    }
+    work_cv_.notify_one();
+  }
+  // Compact the consumed prefix (amortized: only once it is large or the
+  // buffer is fully drained).
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > (1u << 20)) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
+    conn->in_off = 0;
+  }
+  return true;
+}
+
+bool TcpServer::FlushOutput(Connection* conn) {
+  while (!conn->out.empty()) {
+    // Gather queued frames so a burst of pipelined responses leaves in
+    // one syscall (sendmsg rather than writev for MSG_NOSIGNAL).
+    constexpr int kMaxIov = 16;
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    size_t offset = conn->out_off;
+    for (auto it = conn->out.begin();
+         it != conn->out.end() && iov_count < kMaxIov; ++it) {
+      iov[iov_count].iov_base = const_cast<uint8_t*>(it->data() + offset);
+      iov[iov_count].iov_len = it->size() - offset;
+      offset = 0;
+      ++iov_count;
+    }
+    msghdr message{};
+    message.msg_iov = iov;
+    message.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(conn->fd, &message, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    conn->out_bytes -= static_cast<size_t>(n);
+    size_t written = static_cast<size_t>(n);
+    while (written > 0) {
+      const size_t front_left = conn->out.front().size() - conn->out_off;
+      if (written >= front_left) {
+        written -= front_left;
+        conn->out.pop_front();
+        conn->out_off = 0;
+      } else {
+        conn->out_off += written;
+        written = 0;
+      }
+    }
+  }
+  return true;
+}
+
+bool TcpServer::UpdateConnection(Connection* conn) {
+  // Parse and flush to a fixed point: flushing can free output-queue
+  // budget that ParseFrames was blocked on, and the socket — already
+  // read empty — would never deliver another event to retry, stranding
+  // complete frames in the input buffer. Terminates because within this
+  // loop out_bytes only shrinks (completions arrive via the loop
+  // thread, not here) and the buffered frames are finite.
+  for (;;) {
+    const uint64_t dispatched_before =
+        frames_dispatched_.load(std::memory_order_relaxed);
+    if (!ParseFrames(conn)) {
+      CloseConnection(conn);
+      return false;
+    }
+    const bool was_over_bound =
+        conn->out_bytes >= options_.max_output_queue_bytes;
+    if (!FlushOutput(conn)) {
+      CloseConnection(conn);
+      return false;
+    }
+    const bool parsed = frames_dispatched_.load(std::memory_order_relaxed) !=
+                        dispatched_before;
+    const bool freed_budget =
+        was_over_bound &&
+        conn->out_bytes < options_.max_output_queue_bytes;
+    if (!parsed && !freed_budget) break;
+  }
+  const bool drained = conn->out.empty() && conn->in_flight == 0;
+  if (conn->read_eof && drained) {
+    // Peer finished sending and every accepted request is answered; any
+    // torn trailing bytes are simply dropped with the connection.
+    CloseConnection(conn);
+    return false;
+  }
+  // After EOF the socket would report EPOLLRDHUP forever; progress now
+  // comes from worker completions, so stop listening for read events.
+  uint32_t want =
+      conn->read_eof ? 0u : static_cast<uint32_t>(EPOLLRDHUP);
+  const bool backpressured =
+      conn->in_flight >= options_.max_in_flight ||
+      conn->out_bytes >= options_.max_output_queue_bytes;
+  if (!conn->read_eof && !backpressured && !conn->legacy_in_flight) {
+    want |= EPOLLIN;
+  }
+  if (!conn->out.empty()) want |= EPOLLOUT;
+  if (want != conn->interest) {
+    if ((conn->interest & EPOLLIN) != 0 && (want & EPOLLIN) == 0 &&
+        backpressured) {
+      reads_paused_.fetch_add(1);
+    }
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = conn->gen;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) < 0) {
+      CloseConnection(conn);
+      return false;
+    }
+    conn->interest = want;
+  }
+  return true;
+}
+
+void TcpServer::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  active_connections_.fetch_sub(1);
+  connections_.erase(conn->gen);  // frees conn
+}
+
+void TcpServer::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done.swap(done_queue_);
+  }
+  // Queue every completed response first, then flush each touched
+  // connection once: a burst of pipelined completions leaves in one
+  // send instead of one per response.
+  std::vector<uint64_t> touched;
+  for (Completion& completion : done) {
+    auto it = connections_.find(completion.gen);
+    if (it == connections_.end()) continue;  // connection closed meanwhile
+    Connection* conn = it->second.get();
+    conn->in_flight--;
+    if (completion.legacy) conn->legacy_in_flight = false;
+    conn->out_bytes += completion.frame.size();
+    uint64_t peak = peak_output_queue_bytes_.load();
+    while (conn->out_bytes > peak &&
+           !peak_output_queue_bytes_.compare_exchange_weak(peak,
+                                                           conn->out_bytes)) {
+    }
+    conn->out.push_back(std::move(completion.frame));
+    touched.push_back(completion.gen);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (uint64_t gen : touched) {
+    auto it = connections_.find(gen);
+    if (it != connections_.end()) UpdateConnection(it->second.get());
+  }
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock,
+                    [this] { return workers_stop_ || !work_queue_.empty(); });
+      if (workers_stop_) return;  // queued work is dropped on Stop
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
 
     Stopwatch watch;
-    Result<Bytes> response = handler_->Handle(*request);
+    Result<Bytes> response = handler_->Handle(item.body);
     const int64_t server_nanos = watch.ElapsedNanos();
 
-    BinaryWriter writer;
-    writer.WriteU64(static_cast<uint64_t>(server_nanos));
-    writer.WriteBool(response.ok());
+    BinaryWriter body;
+    if (response.ok()) body.Reserve(response->size() + 16);
+    body.WriteU64(static_cast<uint64_t>(server_nanos));
+    body.WriteBool(response.ok());
     if (response.ok()) {
-      writer.WriteRaw(response->data(), response->size());
+      body.WriteRaw(response->data(), response->size());
     } else {
-      writer.WriteString(response.status().ToString());
+      body.WriteString(response.status().ToString());
     }
-    if (!WriteFrame(client_fd, writer.buffer()).ok()) return;
+    Bytes encoded = body.TakeBuffer();
+    if (encoded.size() > kMaxFrameLength) {
+      BinaryWriter error;
+      error.WriteU64(static_cast<uint64_t>(server_nanos));
+      error.WriteBool(false);
+      error.WriteString("response exceeds the 31-bit frame limit");
+      encoded = error.TakeBuffer();
+    }
+
+    Completion completion;
+    completion.gen = item.gen;
+    completion.legacy = item.legacy;
+    const size_t header_len = item.legacy ? 4 : 8;
+    completion.frame.resize(header_len + encoded.size());
+    StoreLE32(static_cast<uint32_t>(encoded.size()) |
+                  (item.legacy ? 0 : kFrameIdFlag),
+              completion.frame.data());
+    if (!item.legacy) StoreLE32(item.id, completion.frame.data() + 4);
+    std::memcpy(completion.frame.data() + header_len, encoded.data(),
+                encoded.size());
+
+    frames_completed_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_queue_.push_back(std::move(completion));
+    }
+    WakeLoop();
   }
 }
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
     const std::string& host, uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::NetworkError(std::string("socket failed: ") +
                                 std::strerror(errno));
@@ -212,28 +657,133 @@ TcpTransport::~TcpTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<Bytes> TcpTransport::Call(const Bytes& request) {
+void TcpTransport::ResetCosts() {
+  std::lock_guard<std::mutex> lock(costs_mutex_);
+  costs_.Clear();
+}
+
+Status TcpTransport::SubmitFrame(const Bytes& request, uint32_t id) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    SIMCLOUD_RETURN_NOT_OK(broken_);
+    outstanding_.insert(id);
+  }
+  Status written;
+  {
+    // Whole-frame writes are serialized so concurrent submitters can
+    // never interleave bytes inside each other's frames.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    written = WriteFrameInternal(fd_, id, request);
+  }
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    outstanding_.erase(id);
+    if (broken_.ok()) broken_ = written;
+    state_cv_.notify_all();
+    return written;
+  }
+  std::lock_guard<std::mutex> lock(costs_mutex_);
   costs_.calls++;
   costs_.bytes_sent += request.size();
+  return Status::OK();
+}
 
-  Stopwatch watch;
-  SIMCLOUD_RETURN_NOT_OK(WriteFrame(fd_, request));
-  SIMCLOUD_ASSIGN_OR_RETURN(Bytes framed, ReadFrame(fd_));
-  const int64_t wall_nanos = watch.ElapsedNanos();
-
-  BinaryReader reader(framed);
+Status TcpTransport::ReadOneResponse() {
+  SIMCLOUD_ASSIGN_OR_RETURN(DecodedFrame frame, ReadAnyFrame(fd_));
+  BinaryReader reader(frame.payload);
   SIMCLOUD_ASSIGN_OR_RETURN(uint64_t server_nanos, reader.ReadU64());
   SIMCLOUD_ASSIGN_OR_RETURN(bool ok, reader.ReadBool());
-  costs_.bytes_received += framed.size();
-  costs_.server_nanos += static_cast<int64_t>(server_nanos);
-  costs_.communication_nanos +=
-      std::max<int64_t>(0, wall_nanos - static_cast<int64_t>(server_nanos));
 
-  if (!ok) {
+  ReadyResponse ready;
+  ready.server_nanos = static_cast<int64_t>(server_nanos);
+  if (ok) {
+    ready.payload =
+        Bytes(frame.payload.begin() + reader.position(), frame.payload.end());
+  } else {
     SIMCLOUD_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
-    return Status::NetworkError("remote error: " + message);
+    ready.payload = Status::NetworkError("remote error: " + message);
   }
-  return Bytes(framed.begin() + reader.position(), framed.end());
+  {
+    std::lock_guard<std::mutex> lock(costs_mutex_);
+    costs_.bytes_received += frame.payload.size();
+    costs_.server_nanos += ready.server_nanos;
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (outstanding_.erase(frame.request_id) == 0) {
+    return Status::NetworkError("response for unknown request id " +
+                                std::to_string(frame.request_id));
+  }
+  ready_.emplace(frame.request_id, std::move(ready));
+  return Status::OK();
+}
+
+Result<TcpTransport::ReadyResponse> TcpTransport::AwaitResponse(uint32_t id) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  for (;;) {
+    auto it = ready_.find(id);
+    if (it != ready_.end()) {
+      ReadyResponse response = std::move(it->second);
+      ready_.erase(it);
+      return response;
+    }
+    if (!broken_.ok()) return broken_;
+    if (outstanding_.count(id) == 0) {
+      return Status::InvalidArgument("unknown or already-collected ticket " +
+                                     std::to_string(id));
+    }
+    if (reader_active_) {
+      // Another collector is reading the socket; it will publish our
+      // response (or the stream failure) and notify.
+      state_cv_.wait(lock);
+      continue;
+    }
+    reader_active_ = true;
+    lock.unlock();
+    Status read = ReadOneResponse();
+    lock.lock();
+    reader_active_ = false;
+    if (!read.ok() && broken_.ok()) broken_ = read;
+    state_cv_.notify_all();
+  }
+}
+
+Result<Bytes> TcpTransport::Call(const Bytes& request) {
+  // Legacy framing (request id 0): byte-identical on the wire to the
+  // pre-pipelining protocol. One synchronous Call at a time; pipelined
+  // Submit/Collect traffic may interleave freely around it.
+  std::lock_guard<std::mutex> call_lock(call_mutex_);
+  Stopwatch watch;
+  SIMCLOUD_RETURN_NOT_OK(SubmitFrame(request, 0));
+  SIMCLOUD_ASSIGN_OR_RETURN(ReadyResponse response, AwaitResponse(0));
+  const int64_t wall_nanos = watch.ElapsedNanos();
+  {
+    std::lock_guard<std::mutex> lock(costs_mutex_);
+    costs_.communication_nanos +=
+        std::max<int64_t>(0, wall_nanos - response.server_nanos);
+  }
+  return std::move(response.payload);
+}
+
+Result<uint64_t> TcpTransport::Submit(const Bytes& request) {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    id = next_id_;
+    next_id_ = next_id_ == 0xFFFFFFFFu ? 1 : next_id_ + 1;
+  }
+  SIMCLOUD_RETURN_NOT_OK(SubmitFrame(request, id));
+  return static_cast<uint64_t>(id);
+}
+
+Result<Bytes> TcpTransport::Collect(uint64_t ticket) {
+  if (ticket == 0 || ticket > 0xFFFFFFFFu) {
+    return Status::InvalidArgument("invalid ticket " + std::to_string(ticket));
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(ReadyResponse response,
+                            AwaitResponse(static_cast<uint32_t>(ticket)));
+  // Pipelined round trips overlap, so no wall-time split is attributed;
+  // bytes and server time were accounted when the frame was read.
+  return std::move(response.payload);
 }
 
 }  // namespace net

@@ -2,19 +2,40 @@
 // deployment of the encryption client and M-Index server as two processes
 // communicating over the loopback interface.
 //
-// Wire format per message: u32 little-endian frame length, then the frame.
-// Responses additionally carry the server's processing time (u64 nanos)
-// before the payload so the client can split wall time into server vs.
-// communication components, as the paper's tables require.
+// The server is an epoll-based event engine: one event-loop thread owns
+// every connection (nonblocking sockets, incremental frame reassembly,
+// bounded per-connection output queues with read backpressure) and a
+// small fixed worker pool executes RequestHandler calls off the loop.
+// Thousands of mostly-idle connections therefore cost O(worker pool)
+// threads, not O(connections), and one connection can pipeline many
+// in-flight requests. See src/net/README.md for the full framing and
+// threading contract.
+//
+// Wire format per frame (little-endian):
+//   u32 header  — bit 31 set: pipelined frame; bits 0..30: body length
+//   u32 id      — request id (present only when bit 31 is set; never 0)
+//   body        — request / response bytes
+// A header with bit 31 clear is a LEGACY frame (request id 0): exactly
+// the pre-pipelining wire format, so old single-request clients work
+// unchanged. Responses echo the request's id (legacy requests get legacy
+// responses, in request order). Response bodies additionally carry the
+// server's processing time (u64 nanos) and an ok flag before the payload
+// so the client can split wall time into server vs. communication
+// components, as the paper's tables require.
 
 #ifndef SIMCLOUD_NET_TCP_H_
 #define SIMCLOUD_NET_TCP_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -24,18 +45,54 @@
 namespace simcloud {
 namespace net {
 
-/// Multi-client TCP server running the accept loop on a background thread
-/// and each connection on its own thread. The handler must be safe for
-/// concurrent calls (or the caller must serialize externally).
+/// Frame-header bit marking a pipelined frame (request id follows).
+inline constexpr uint32_t kFrameIdFlag = 0x80000000u;
+/// Largest body length the 31-bit frame header can express.
+inline constexpr uint32_t kMaxFrameLength = 0x7FFFFFFFu;
+
+/// Tuning knobs of the event engine. The defaults serve every test and
+/// bench in-tree; they exist so robustness tests can shrink the limits.
+struct TcpServerOptions {
+  /// Handler threads. The event loop never calls the handler itself.
+  size_t worker_threads = 4;
+  /// Frames whose declared body length exceeds this close the connection
+  /// (the buffer only ever grows by bytes actually received, so a hostile
+  /// declared length cannot force an allocation).
+  size_t max_frame_bytes = 1ull << 30;
+  /// Soft bound on queued unsent response bytes per connection. At or
+  /// above the bound the engine stops reading (and so stops dispatching)
+  /// that connection until the peer drains its responses; other
+  /// connections are unaffected. In-flight handlers may still append
+  /// their responses, so peak queued bytes can transiently exceed this
+  /// by the in-flight responses.
+  size_t max_output_queue_bytes = 8u << 20;
+  /// Pipelined requests of one connection being handled concurrently;
+  /// further frames wait in the input buffer. Legacy (id 0) requests are
+  /// never concurrent with anything on their connection, preserving the
+  /// old serve-loop semantics.
+  size_t max_in_flight = 64;
+};
+
+/// Multi-client TCP server: an epoll event loop plus a worker pool.
+///
+/// The handler is called concurrently from the worker pool and must be
+/// safe for concurrent calls (EncryptedMIndexServer and ShardedServer
+/// are). Pipelined requests from one connection may be handled — and
+/// answered — out of order; clients must not pipeline requests that
+/// depend on each other's effects.
 class TcpServer {
  public:
-  explicit TcpServer(RequestHandler* handler) : handler_(handler) {}
+  explicit TcpServer(RequestHandler* handler,
+                     TcpServerOptions options = TcpServerOptions())
+      : handler_(handler), options_(options) {}
   ~TcpServer();
 
   /// Binds to 127.0.0.1:`port` (0 = pick a free port) and starts serving.
   Status Start(uint16_t port = 0);
-  /// Shuts down the listener and all live connections, then joins every
-  /// server thread. Safe to call while clients are still connected.
+  /// Shuts down the listener and all live connections, then joins the
+  /// event loop and every worker. Safe to call while clients are still
+  /// connected; must not be called from a handler. A stopped server
+  /// cannot be restarted.
   void Stop();
 
   /// Bound port (valid after Start succeeds).
@@ -43,26 +100,107 @@ class TcpServer {
   /// Connections accepted since Start (live + finished).
   uint64_t connections_accepted() const { return connections_accepted_.load(); }
 
+  /// Engine introspection (tests and benches).
+  size_t worker_threads() const { return options_.worker_threads; }
+  size_t active_connections() const { return active_connections_.load(); }
+  uint64_t frames_dispatched() const { return frames_dispatched_.load(); }
+  uint64_t frames_completed() const { return frames_completed_.load(); }
+  /// Times a connection's read interest was dropped for backpressure
+  /// (output queue at its bound or pipeline at max_in_flight).
+  uint64_t reads_paused() const { return reads_paused_.load(); }
+  /// Highest queued-output-bytes watermark any connection reached.
+  uint64_t peak_output_queue_bytes() const {
+    return peak_output_queue_bytes_.load();
+  }
+
  private:
-  void ServeLoop();
-  void ServeConnection(int client_fd);
-  void UnregisterConnection(int client_fd);
+  struct Connection {
+    int fd = -1;
+    uint64_t gen = 0;          ///< identity for completion routing
+    Bytes in;                  ///< received, not yet parsed bytes
+    size_t in_off = 0;         ///< parse offset into `in`
+    std::deque<Bytes> out;     ///< encoded response frames pending write
+    size_t out_off = 0;        ///< progress within out.front()
+    size_t out_bytes = 0;      ///< total unsent bytes across `out`
+    uint32_t in_flight = 0;    ///< requests dispatched, response not queued
+    bool legacy_in_flight = false;  ///< an id-0 request is being handled
+    bool read_eof = false;     ///< peer half-closed its write side
+    uint32_t interest = 0;     ///< current epoll event mask
+  };
+
+  struct WorkItem {
+    uint64_t gen = 0;
+    uint32_t id = 0;
+    bool legacy = false;
+    Bytes body;
+  };
+
+  struct Completion {
+    uint64_t gen = 0;
+    bool legacy = false;
+    Bytes frame;  ///< fully framed response, ready to write
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+  void WakeLoop();
+  void AcceptNewConnections();
+  void DrainCompletions();
+  /// Reads available bytes; false = fatal socket state, close now.
+  bool ReadFromConnection(Connection* conn);
+  /// Parses and dispatches complete frames; false = protocol violation.
+  bool ParseFrames(Connection* conn);
+  /// Writes queued frames until EAGAIN; false = fatal write error.
+  bool FlushOutput(Connection* conn);
+  /// Re-parses, flushes, retires or re-arms the connection.
+  /// Returns false when the connection was closed.
+  bool UpdateConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
 
   RequestHandler* handler_;
+  TcpServerOptions options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::thread thread_;
+  bool started_ = false;
+  std::thread loop_thread_;
 
-  std::mutex mutex_;                        // guards the two fields below
-  std::vector<int> live_fds_;               // accepted fds still being served
-  std::vector<std::thread> conn_threads_;   // one per accepted connection
+  // Event-loop-thread state (no lock: only the loop touches it).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_gen_ = 2;  // 0 and 1 tag the listen and wake fds
+
+  // Loop -> workers.
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_queue_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Workers -> loop.
+  std::mutex done_mutex_;
+  std::vector<Completion> done_queue_;
+  std::atomic<bool> wake_pending_{false};  ///< coalesces eventfd writes
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> frames_completed_{0};
+  std::atomic<uint64_t> reads_paused_{0};
+  std::atomic<uint64_t> peak_output_queue_bytes_{0};
 };
 
-/// TCP client transport. Measured wall time minus the server-reported
-/// processing time is attributed to communication.
-class TcpTransport : public Transport {
+/// TCP client transport. Call() speaks the legacy (request id 0) framing
+/// — byte-identical to the pre-pipelining protocol — while Submit() /
+/// Collect() pipeline many flagged frames over the same connection.
+/// Submit/Collect are safe for concurrent use from multiple threads
+/// (ShardedServer fans out over shared persistent connections); Call()
+/// additionally serializes against itself. Measured wall time minus the
+/// server-reported processing time is attributed to communication for
+/// synchronous Call()s; pipelined requests overlap, so only their bytes
+/// and server time are accounted.
+class TcpTransport : public PipelinedTransport {
  public:
   /// Connects to `host`:`port`.
   static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host,
@@ -71,20 +209,73 @@ class TcpTransport : public Transport {
 
   Result<Bytes> Call(const Bytes& request) override;
 
+  /// Writes one pipelined request frame and returns its ticket without
+  /// waiting for the response. The socket write itself is blocking: a
+  /// caller that submits an unbounded volume without ever collecting
+  /// can fill the kernel buffers while the server's per-connection
+  /// in-flight cap has paused its reads, and then blocks here forever.
+  /// Keep the un-collected window bounded (every in-tree user pipelines
+  /// at most a few dozen requests) or collect from another thread.
+  Result<uint64_t> Submit(const Bytes& request) override;
+  /// Blocks until the response for `ticket` arrives (responses for other
+  /// tickets are buffered for their collectors). Each ticket can be
+  /// collected exactly once.
+  Result<Bytes> Collect(uint64_t ticket) override;
+
+  /// Costs are updated under an internal lock; read them only while no
+  /// Call/Submit/Collect is concurrently in flight.
   const TransportCosts& costs() const override { return costs_; }
-  void ResetCosts() override { costs_.Clear(); }
+  void ResetCosts() override;
 
  private:
+  struct ReadyResponse {
+    Result<Bytes> payload = Status::Internal("unparsed");
+    int64_t server_nanos = 0;
+  };
+
   explicit TcpTransport(int fd) : fd_(fd) {}
 
+  /// Frames (legacy when id == 0) and writes one request.
+  Status SubmitFrame(const Bytes& request, uint32_t id);
+  /// Waits until the response for `id` is ready, reading frames off the
+  /// socket whenever no other thread is already reading.
+  Result<ReadyResponse> AwaitResponse(uint32_t id);
+  /// Reads and parses exactly one response frame (any id). Runs outside
+  /// the state lock; only one thread reads at a time.
+  Status ReadOneResponse();
+
   int fd_;
+
+  std::mutex write_mutex_;  ///< serializes frame writes + ticket issue
+  uint32_t next_id_ = 1;
+
+  std::mutex state_mutex_;  ///< pending/ready bookkeeping + reader election
+  std::condition_variable state_cv_;
+  bool reader_active_ = false;
+  Status broken_ = Status::OK();  ///< sticky stream failure
+  std::unordered_set<uint32_t> outstanding_;
+  std::unordered_map<uint32_t, ReadyResponse> ready_;
+
+  std::mutex costs_mutex_;
+  std::mutex call_mutex_;  ///< one synchronous Call at a time
   TransportCosts costs_;
 };
 
-/// Writes one length-prefixed frame to `fd`.
+/// Writes one legacy (request id 0) length-prefixed frame to `fd`.
 Status WriteFrame(int fd, const Bytes& payload);
-/// Reads one length-prefixed frame from `fd` (up to `max_len` bytes).
+/// Writes one pipelined frame (`request_id` must be nonzero).
+Status WritePipelinedFrame(int fd, uint32_t request_id, const Bytes& payload);
+/// Reads one legacy frame from `fd` (up to `max_len` bytes); a pipelined
+/// frame in the stream is a NetworkError.
 Result<Bytes> ReadFrame(int fd, size_t max_len = 1ull << 31);
+
+/// One frame of either framing, as read off a socket.
+struct DecodedFrame {
+  uint32_t request_id = 0;  ///< 0 for legacy frames
+  Bytes payload;
+};
+/// Reads one frame (legacy or pipelined) from `fd`.
+Result<DecodedFrame> ReadAnyFrame(int fd, size_t max_len = 1ull << 31);
 
 }  // namespace net
 }  // namespace simcloud

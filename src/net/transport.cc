@@ -21,5 +21,22 @@ Result<Bytes> LoopbackTransport::Call(const Bytes& request) {
   return response;
 }
 
+Result<uint64_t> LoopbackTransport::Submit(const Bytes& request) {
+  const uint64_t ticket = next_ticket_++;
+  pending_.emplace(ticket, Call(request));
+  return ticket;
+}
+
+Result<Bytes> LoopbackTransport::Collect(uint64_t ticket) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument("unknown or already-collected ticket " +
+                                   std::to_string(ticket));
+  }
+  Result<Bytes> response = std::move(it->second);
+  pending_.erase(it);
+  return response;
+}
+
 }  // namespace net
 }  // namespace simcloud

@@ -18,6 +18,7 @@
 #define SIMCLOUD_NET_TRANSPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "common/bytes.h"
@@ -62,6 +63,19 @@ class Transport {
   virtual void ResetCosts() = 0;
 };
 
+/// Transport with request pipelining: many requests can be submitted
+/// before any response is collected, so round trips overlap on one
+/// persistent connection. Submit returns a ticket; Collect blocks until
+/// that ticket's response arrives. Call() remains the synchronous path.
+/// Requests pipelined together may be *executed* in any order by the
+/// server — callers must not pipeline requests that depend on each
+/// other's effects.
+class PipelinedTransport : public Transport {
+ public:
+  virtual Result<uint64_t> Submit(const Bytes& request) = 0;
+  virtual Result<Bytes> Collect(uint64_t ticket) = 0;
+};
+
 /// Network link model for deterministic communication-time accounting.
 /// Defaults approximate the paper's setup (loopback interface on one
 /// machine): per-message latency plus volume / bandwidth.
@@ -77,14 +91,21 @@ struct LinkModel {
 };
 
 /// In-process transport: invokes the handler directly, counting bytes
-/// exactly and charging communication time from the LinkModel.
-class LoopbackTransport : public Transport {
+/// exactly and charging communication time from the LinkModel. The
+/// pipelined API is supported with degenerate overlap (each Submit runs
+/// the handler immediately and buffers the response for its Collect),
+/// keeping loopback and TCP deployments drop-in interchangeable. Not
+/// safe for concurrent use, like the rest of this class.
+class LoopbackTransport : public PipelinedTransport {
  public:
   explicit LoopbackTransport(RequestHandler* handler,
                              LinkModel link = LinkModel())
       : handler_(handler), link_(link) {}
 
   Result<Bytes> Call(const Bytes& request) override;
+
+  Result<uint64_t> Submit(const Bytes& request) override;
+  Result<Bytes> Collect(uint64_t ticket) override;
 
   const TransportCosts& costs() const override { return costs_; }
   void ResetCosts() override { costs_.Clear(); }
@@ -93,6 +114,8 @@ class LoopbackTransport : public Transport {
   RequestHandler* handler_;
   LinkModel link_;
   TransportCosts costs_;
+  uint64_t next_ticket_ = 1;
+  std::map<uint64_t, Result<Bytes>> pending_;
 };
 
 }  // namespace net

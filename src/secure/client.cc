@@ -325,22 +325,16 @@ Result<std::vector<NeighborList>> EncryptionClient::RefineBatch(
   return results;
 }
 
-Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
+Result<Bytes> EncryptionClient::BuildRangeSearchBatchRequest(
     const std::vector<VectorObject>& queries, double radius) {
   if (radius < 0) {
     return Status::InvalidArgument("radius must be >= 0");
   }
-  if (queries.empty()) return std::vector<NeighborList>{};
   if (queries.size() > kMaxBatchQueries) {
     return Status::InvalidArgument(
         "batch exceeds the " + std::to_string(kMaxBatchQueries) +
         "-query protocol limit; split it into smaller batches");
   }
-  Stopwatch op_watch;
-  const int64_t tracked_before = costs_.distance_nanos +
-                                 costs_.decryption_nanos +
-                                 costs_.encryption_nanos;
-
   const double sent_radius =
       key_.has_transform() ? key_.transform().Apply(radius) : radius;
   std::vector<mindex::RangeQuery> batch;
@@ -352,12 +346,12 @@ Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
     item.radius = sent_radius;
     batch.push_back(std::move(item));
   }
+  return EncodeRangeSearchBatchRequest(batch);
+}
 
-  const Bytes request = EncodeRangeSearchBatchRequest(batch);
-  const int64_t server_before = transport_->costs().server_nanos;
-  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
-  const int64_t server_delta =
-      transport_->costs().server_nanos - server_before;
+Result<std::vector<NeighborList>> EncryptionClient::FinishRangeSearchBatch(
+    const Bytes& response_bytes, const std::vector<VectorObject>& queries,
+    double radius) {
   SIMCLOUD_ASSIGN_OR_RETURN(BatchCandidateResponse response,
                             DecodeBatchCandidateResponse(response_bytes));
   if (response.query_count() != queries.size()) {
@@ -366,7 +360,6 @@ Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
                             std::to_string(queries.size()) +
                             " batched queries");
   }
-
   SIMCLOUD_ASSIGN_OR_RETURN(std::vector<NeighborList> refined_lists,
                             RefineBatch(response, queries));
   std::vector<NeighborList> answers;
@@ -378,6 +371,28 @@ Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
     }
     answers.push_back(std::move(answer));
   }
+  return answers;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
+    const std::vector<VectorObject>& queries, double radius) {
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  // Built (and thereby argument-validated) before the empty shortcut so
+  // invalid arguments fail even for an empty batch.
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes request,
+                            BuildRangeSearchBatchRequest(queries, radius));
+  if (queries.empty()) return std::vector<NeighborList>{};
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      std::vector<NeighborList> answers,
+      FinishRangeSearchBatch(response_bytes, queries, radius));
 
   const int64_t tracked_delta = costs_.distance_nanos +
                                 costs_.decryption_nanos +
@@ -387,23 +402,17 @@ Result<std::vector<NeighborList>> EncryptionClient::RangeSearchBatch(
   return answers;
 }
 
-Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
+Result<Bytes> EncryptionClient::BuildApproxKnnBatchRequest(
     const std::vector<VectorObject>& queries, size_t k, size_t cand_size) {
   if (k == 0) return Status::InvalidArgument("k must be > 0");
   if (cand_size < k) {
     return Status::InvalidArgument("candidate set size must be >= k");
   }
-  if (queries.empty()) return std::vector<NeighborList>{};
   if (queries.size() > kMaxBatchQueries) {
     return Status::InvalidArgument(
         "batch exceeds the " + std::to_string(kMaxBatchQueries) +
         "-query protocol limit; split it into smaller batches");
   }
-  Stopwatch op_watch;
-  const int64_t tracked_before = costs_.distance_nanos +
-                                 costs_.decryption_nanos +
-                                 costs_.encryption_nanos;
-
   std::vector<mindex::KnnQuery> batch;
   batch.reserve(queries.size());
   for (const VectorObject& query : queries) {
@@ -415,12 +424,12 @@ Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
     item.cand_size = cand_size;
     batch.push_back(std::move(item));
   }
+  return EncodeApproxKnnBatchRequest(batch);
+}
 
-  const Bytes request = EncodeApproxKnnBatchRequest(batch);
-  const int64_t server_before = transport_->costs().server_nanos;
-  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
-  const int64_t server_delta =
-      transport_->costs().server_nanos - server_before;
+Result<std::vector<NeighborList>> EncryptionClient::FinishApproxKnnBatch(
+    const Bytes& response_bytes, const std::vector<VectorObject>& queries,
+    size_t k) {
   SIMCLOUD_ASSIGN_OR_RETURN(BatchCandidateResponse response,
                             DecodeBatchCandidateResponse(response_bytes));
   if (response.query_count() != queries.size()) {
@@ -429,12 +438,30 @@ Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
                             std::to_string(queries.size()) +
                             " batched queries");
   }
-
   SIMCLOUD_ASSIGN_OR_RETURN(std::vector<NeighborList> answers,
                             RefineBatch(response, queries));
   for (NeighborList& refined : answers) {
     if (refined.size() > k) refined.resize(k);
   }
+  return answers;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
+    const std::vector<VectorObject>& queries, size_t k, size_t cand_size) {
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      Bytes request, BuildApproxKnnBatchRequest(queries, k, cand_size));
+  if (queries.empty()) return std::vector<NeighborList>{};
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, transport_->Call(request));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(std::vector<NeighborList> answers,
+                            FinishApproxKnnBatch(response_bytes, queries, k));
 
   const int64_t tracked_delta = costs_.distance_nanos +
                                 costs_.decryption_nanos +
@@ -442,6 +469,141 @@ Result<std::vector<NeighborList>> EncryptionClient::ApproxKnnBatch(
   costs_.overhead_nanos += std::max<int64_t>(
       0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
   return answers;
+}
+
+Result<net::PipelinedTransport*> EncryptionClient::PipelinedOrFail() const {
+  auto* pipelined = dynamic_cast<net::PipelinedTransport*>(transport_);
+  if (pipelined == nullptr) {
+    return Status::FailedPrecondition(
+        "transport does not support pipelining (need TcpTransport or "
+        "LoopbackTransport)");
+  }
+  return pipelined;
+}
+
+Result<PendingQueryBatch> EncryptionClient::SubmitRangeSearchBatch(
+    std::vector<VectorObject> queries, double radius) {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes request,
+                            BuildRangeSearchBatchRequest(queries, radius));
+  PendingQueryBatch pending;
+  SIMCLOUD_ASSIGN_OR_RETURN(pending.ticket, pipelined->Submit(request));
+  pending.live = true;
+  pending.queries = std::move(queries);
+  pending.radius = radius;
+  return pending;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::CollectRangeSearchBatch(
+    PendingQueryBatch* pending) {
+  if (pending == nullptr || !pending->live) {
+    return Status::InvalidArgument(
+        "batch was never submitted or is already collected");
+  }
+  pending->live = false;
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes,
+                            pipelined->Collect(pending->ticket));
+  return FinishRangeSearchBatch(response_bytes, pending->queries,
+                                pending->radius);
+}
+
+Result<PendingQueryBatch> EncryptionClient::SubmitApproxKnnBatch(
+    std::vector<VectorObject> queries, size_t k, size_t cand_size) {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      Bytes request, BuildApproxKnnBatchRequest(queries, k, cand_size));
+  PendingQueryBatch pending;
+  SIMCLOUD_ASSIGN_OR_RETURN(pending.ticket, pipelined->Submit(request));
+  pending.live = true;
+  pending.queries = std::move(queries);
+  pending.k = k;
+  return pending;
+}
+
+Result<std::vector<NeighborList>> EncryptionClient::CollectApproxKnnBatch(
+    PendingQueryBatch* pending) {
+  if (pending == nullptr || !pending->live) {
+    return Status::InvalidArgument(
+        "batch was never submitted or is already collected");
+  }
+  pending->live = false;
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes,
+                            pipelined->Collect(pending->ticket));
+  return FinishApproxKnnBatch(response_bytes, pending->queries, pending->k);
+}
+
+Result<PendingDeleteBatch> EncryptionClient::SubmitDeleteBatch(
+    const std::vector<VectorObject>& objects) {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  if (objects.size() > kMaxBatchQueries) {
+    return Status::InvalidArgument(
+        "batch exceeds the " + std::to_string(kMaxBatchQueries) +
+        "-item protocol limit; split it into smaller batches");
+  }
+  std::vector<DeleteItem> items;
+  items.reserve(objects.size());
+  for (const VectorObject& object : objects) {
+    std::vector<float> distances =
+        ComputePivotDistances(object, /*apply_transform=*/true);
+    items.push_back(
+        DeleteItem{object.id(), mindex::DistancesToPermutation(distances)});
+  }
+  PendingDeleteBatch pending;
+  SIMCLOUD_ASSIGN_OR_RETURN(pending.ticket,
+                            pipelined->Submit(EncodeDeleteBatchRequest(items)));
+  pending.live = true;
+  pending.count = objects.size();
+  return pending;
+}
+
+Status EncryptionClient::CollectDeleteBatch(PendingDeleteBatch* pending) {
+  if (pending == nullptr || !pending->live) {
+    return Status::InvalidArgument(
+        "batch was never submitted or is already collected");
+  }
+  pending->live = false;
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                            pipelined->Collect(pending->ticket));
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted, DecodeInsertResponse(response));
+  if (deleted > pending->count) {
+    return Status::Internal("server acknowledged more deletes than sent");
+  }
+  if (deleted < pending->count) {
+    return Status::NotFound(std::to_string(pending->count - deleted) +
+                            " of " + std::to_string(pending->count) +
+                            " objects were not indexed");
+  }
+  return Status::OK();
+}
+
+Status EncryptionClient::Ping() {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                            transport_->Call(EncodePingRequest()));
+  (void)response;  // empty by contract
+  return Status::OK();
+}
+
+Result<uint64_t> EncryptionClient::SubmitPing() {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  return pipelined->Submit(EncodePingRequest());
+}
+
+Status EncryptionClient::CollectPing(uint64_t ticket) {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response, pipelined->Collect(ticket));
+  (void)response;
+  return Status::OK();
 }
 
 Result<NeighborList> EncryptionClient::ApproxKnnEarlyStop(

@@ -58,6 +58,24 @@ struct ClientCosts {
   void Clear() { *this = ClientCosts{}; }
 };
 
+/// A pipelined query batch in flight: created by a Submit* call, resolved
+/// by the matching Collect* call (exactly once). The struct snapshots the
+/// plaintext queries so refinement can run when the response arrives.
+struct PendingQueryBatch {
+  uint64_t ticket = 0;
+  bool live = false;  ///< true between Submit and Collect
+  std::vector<metric::VectorObject> queries;
+  double radius = 0;     ///< range batches
+  size_t k = 0;          ///< k-NN batches
+};
+
+/// A pipelined delete batch in flight.
+struct PendingDeleteBatch {
+  uint64_t ticket = 0;
+  bool live = false;
+  size_t count = 0;  ///< objects the batch asked to delete
+};
+
 /// Authorized client of an Encrypted M-Index server.
 class EncryptionClient {
  public:
@@ -121,6 +139,47 @@ class EncryptionClient {
       const std::vector<metric::VectorObject>& queries, size_t k,
       size_t cand_size);
 
+  // -------------------------------------------------------------------
+  // Pipelined submit/collect API. Requires a net::PipelinedTransport
+  // (TcpTransport or LoopbackTransport): several batches can be in
+  // flight on ONE connection at once, overlapping client-side
+  // refinement, the wire, and the server — ShardedServer uses the same
+  // mechanism to overlap its per-shard fan-out. Each Submit must be
+  // resolved by exactly one matching Collect; batches pipelined
+  // together may execute in any order on the server, so do not pipeline
+  // requests that depend on each other's effects. The client object is
+  // not thread-safe: submit and collect from one thread (use one client
+  // per thread for concurrency). Collect* returns exactly what the
+  // synchronous call over the same index state would.
+  // -------------------------------------------------------------------
+
+  /// Pipelined RangeSearchBatch (`queries.size()` <= kMaxBatchQueries).
+  /// `queries` is taken by value and moved into the pending batch: pass
+  /// an rvalue for a zero-copy submit.
+  Result<PendingQueryBatch> SubmitRangeSearchBatch(
+      std::vector<metric::VectorObject> queries, double radius);
+  Result<std::vector<metric::NeighborList>> CollectRangeSearchBatch(
+      PendingQueryBatch* pending);
+
+  /// Pipelined ApproxKnnBatch (`queries.size()` <= kMaxBatchQueries).
+  Result<PendingQueryBatch> SubmitApproxKnnBatch(
+      std::vector<metric::VectorObject> queries, size_t k,
+      size_t cand_size);
+  Result<std::vector<metric::NeighborList>> CollectApproxKnnBatch(
+      PendingQueryBatch* pending);
+
+  /// Pipelined delete of ONE bulk (`objects.size()` <= kMaxBatchQueries).
+  Result<PendingDeleteBatch> SubmitDeleteBatch(
+      const std::vector<metric::VectorObject>& objects);
+  /// NotFound if some objects were not indexed (the rest are deleted),
+  /// like DeleteBatch.
+  Status CollectDeleteBatch(PendingDeleteBatch* pending);
+
+  /// Round trip with no server-side work: health check / pure-RTT probe.
+  Status Ping();
+  Result<uint64_t> SubmitPing();
+  Status CollectPing(uint64_t ticket);
+
   /// Approximate k-NN restricted to the single most promising Voronoi
   /// cell (the paper's Table 9 / Section 5.4 setup): the server returns
   /// that one whole cell as the candidate set.
@@ -158,6 +217,27 @@ class EncryptionClient {
   /// the distribution-hiding transform when enabled.
   std::vector<float> ComputePivotDistances(const metric::VectorObject& object,
                                            bool apply_transform);
+
+  /// The transport as a pipelined transport, or FailedPrecondition.
+  Result<net::PipelinedTransport*> PipelinedOrFail() const;
+
+  /// Encodes a kRangeSearchBatch request (pivot distances under cost
+  /// accounting; radius already transformed by the caller's contract).
+  Result<Bytes> BuildRangeSearchBatchRequest(
+      const std::vector<metric::VectorObject>& queries, double radius);
+  /// Decodes + refines a kRangeSearchBatch response against `queries`.
+  Result<std::vector<metric::NeighborList>> FinishRangeSearchBatch(
+      const Bytes& response_bytes,
+      const std::vector<metric::VectorObject>& queries, double radius);
+
+  /// Encodes a kApproxKnnBatch request.
+  Result<Bytes> BuildApproxKnnBatchRequest(
+      const std::vector<metric::VectorObject>& queries, size_t k,
+      size_t cand_size);
+  /// Decodes + refines a kApproxKnnBatch response against `queries`.
+  Result<std::vector<metric::NeighborList>> FinishApproxKnnBatch(
+      const Bytes& response_bytes,
+      const std::vector<metric::VectorObject>& queries, size_t k);
 
   /// Decrypts one candidate payload under decryption-cost accounting.
   Result<metric::VectorObject> DecryptCandidate(const Bytes& payload);

@@ -157,6 +157,12 @@ Bytes EncodeCompactRequest(bool force) {
   return writer.TakeBuffer();
 }
 
+Bytes EncodePingRequest() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kPing));
+  return writer.TakeBuffer();
+}
+
 Result<Request> DecodeRequest(const Bytes& data) {
   BinaryReader reader(data);
   SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
@@ -250,6 +256,8 @@ Result<Request> DecodeRequest(const Bytes& data) {
       SIMCLOUD_ASSIGN_OR_RETURN(request.compact_force, reader.ReadBool());
       return request;
     }
+    case Op::kPing:
+      return request;
   }
   return Status::Corruption("unknown opcode " + std::to_string(op_byte));
 }

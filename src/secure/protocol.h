@@ -35,6 +35,7 @@ enum class Op : uint8_t {
   kApproxKnnBatch = 7,    ///< many approximate queries, one round trip
   kDeleteBatch = 8,       ///< bulk delete, one lock + one free pass
   kCompact = 9,           ///< admin: compact the payload log(s)
+  kPing = 10,             ///< no-op health check / pure-RTT probe
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -69,6 +70,9 @@ Bytes EncodeDeleteBatchRequest(const std::vector<DeleteItem>& items);
 /// `force` compacts whenever any dead bytes exist; otherwise the server's
 /// configured `compaction_trigger` decides.
 Bytes EncodeCompactRequest(bool force);
+/// Touches no index state; the empty response measures pure transport
+/// cost (and, pipelined, transport overlap) in benches and tests.
+Bytes EncodePingRequest();
 
 /// Decoded request (server side).
 struct Request {

@@ -120,6 +120,9 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
                                 index_->Compact(options));
       return EncodeCompactResponse(report);
     }
+    case Op::kPing:
+      // No lock, no state: answers even while writers hold the index.
+      return Bytes{};
   }
   return Status::Corruption("unhandled opcode");
 }

@@ -1,12 +1,122 @@
 #include "secure/sharded_server.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "mindex/permutation.h"
+#include "net/tcp.h"
 
 namespace simcloud {
 namespace secure {
+
+Result<Bytes> ShardChannel::Call(const Bytes& request) {
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket, Submit(request));
+  return Collect(ticket);
+}
+
+namespace {
+
+/// In-process shard channel: a small pool of persistent worker threads
+/// executes the shard's Handle() calls, so a fan-out keeps every shard
+/// busy without spawning threads per request, and concurrent facade
+/// calls still overlap on one shard (EncryptedMIndexServer's
+/// readers-writer lock lets its searches run in parallel; writes
+/// serialize on that lock regardless of submission order).
+class LocalShardChannel : public ShardChannel {
+ public:
+  explicit LocalShardChannel(net::RequestHandler* handler,
+                             size_t num_workers = 2)
+      : handler_(handler) {
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back(&LocalShardChannel::WorkerLoop, this);
+    }
+  }
+
+  ~LocalShardChannel() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  Result<uint64_t> Submit(const Bytes& request) override {
+    uint64_t ticket;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ticket = next_ticket_++;
+      queue_.emplace_back(ticket, request);
+    }
+    cv_.notify_all();
+    return ticket;
+  }
+
+  Result<Bytes> Collect(uint64_t ticket) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return ready_.count(ticket) != 0; });
+    Result<Bytes> response = std::move(ready_.at(ticket));
+    ready_.erase(ticket);
+    return response;
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      uint64_t ticket;
+      Bytes request;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        ticket = queue_.front().first;
+        request = std::move(queue_.front().second);
+        queue_.pop_front();
+      }
+      Result<Bytes> response = handler_->Handle(request);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ready_.emplace(ticket, std::move(response));
+      }
+      cv_.notify_all();
+    }
+  }
+
+  net::RequestHandler* handler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<uint64_t, Bytes>> queue_;
+  std::map<uint64_t, Result<Bytes>> ready_;
+  uint64_t next_ticket_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Remote shard channel: one persistent pipelined TCP connection. The
+/// transport's Submit/Collect are thread-safe, so concurrent fan-outs
+/// share the connection.
+class TransportShardChannel : public ShardChannel {
+ public:
+  explicit TransportShardChannel(std::unique_ptr<net::TcpTransport> transport)
+      : transport_(std::move(transport)) {}
+
+  Result<uint64_t> Submit(const Bytes& request) override {
+    return transport_->Submit(request);
+  }
+  Result<Bytes> Collect(uint64_t ticket) override {
+    return transport_->Collect(ticket);
+  }
+
+ private:
+  std::unique_ptr<net::TcpTransport> transport_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
     const mindex::MIndexOptions& options, size_t num_shards) {
@@ -24,11 +134,38 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
                               EncryptedMIndexServer::Create(shard_options));
     shards.push_back(std::move(shard));
   }
-  return std::unique_ptr<ShardedServer>(new ShardedServer(std::move(shards)));
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  channels.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    channels.push_back(std::make_unique<LocalShardChannel>(shards[i].get()));
+  }
+  return std::unique_ptr<ShardedServer>(new ShardedServer(
+      std::move(shards), std::move(channels), options.num_pivots));
+}
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
+    const std::vector<ShardEndpoint>& endpoints, size_t num_pivots) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("need at least one shard endpoint");
+  }
+  if (num_pivots == 0) {
+    return Status::InvalidArgument("num_pivots must match the shards'");
+  }
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  channels.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        std::unique_ptr<net::TcpTransport> transport,
+        net::TcpTransport::Connect(endpoint.host, endpoint.port));
+    channels.push_back(
+        std::make_unique<TransportShardChannel>(std::move(transport)));
+  }
+  return std::unique_ptr<ShardedServer>(
+      new ShardedServer({}, std::move(channels), num_pivots));
 }
 
 size_t ShardedServer::OwnerOf(const mindex::Permutation& permutation) const {
-  return permutation.empty() ? 0 : permutation[0] % shards_.size();
+  return permutation.empty() ? 0 : permutation[0] % channels_.size();
 }
 
 namespace {
@@ -48,24 +185,76 @@ uint32_t FirstPivotOf(const InsertItem& item) {
 }  // namespace
 
 uint64_t ShardedServer::TotalObjects() const {
+  if (is_local()) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->index().size();
+    return total;
+  }
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->index().size();
+  for (const Result<Bytes>& response :
+       CallAllShards(EncodeGetStatsRequest())) {
+    if (!response.ok()) return 0;
+    auto stats = DecodeStatsResponse(*response);
+    if (!stats.ok()) return 0;
+    total += stats->object_count;
+  }
   return total;
 }
 
 std::vector<Result<Bytes>> ShardedServer::CallAllShards(
-    const Bytes& request) {
-  std::vector<Result<Bytes>> responses(shards_.size(),
-                                       Status::Internal("not run"));
-  std::vector<std::thread> threads;
-  threads.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    threads.emplace_back([this, i, &request, &responses] {
-      responses[i] = shards_[i]->Handle(request);
-    });
+    const Bytes& request) const {
+  // Submit to every shard before collecting from any: the shards (local
+  // worker threads or remote servers) all run concurrently while this
+  // thread blocks on the earliest un-collected response.
+  std::vector<Result<uint64_t>> tickets;
+  tickets.reserve(channels_.size());
+  for (const auto& channel : channels_) {
+    tickets.push_back(channel->Submit(request));
   }
-  for (auto& thread : threads) thread.join();
+  std::vector<Result<Bytes>> responses;
+  responses.reserve(channels_.size());
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    if (tickets[i].ok()) {
+      responses.push_back(channels_[i]->Collect(*tickets[i]));
+    } else {
+      responses.push_back(tickets[i].status());
+    }
+  }
   return responses;
+}
+
+Result<uint64_t> ShardedServer::ScatterCounted(
+    const std::vector<Bytes>& per_shard) const {
+  std::vector<std::pair<size_t, uint64_t>> tickets;  // shard -> ticket
+  Status submit_failure = Status::OK();
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    if (per_shard[i].empty()) continue;
+    Result<uint64_t> ticket = channels_[i]->Submit(per_shard[i]);
+    if (!ticket.ok()) {
+      // Keep collecting what was already submitted so no response is
+      // left orphaned on a shared channel, then report the failure.
+      if (submit_failure.ok()) submit_failure = ticket.status();
+      continue;
+    }
+    tickets.emplace_back(i, *ticket);
+  }
+  uint64_t count = 0;
+  Status failure = submit_failure;
+  for (const auto& [shard, ticket] : tickets) {
+    Result<Bytes> response = channels_[shard]->Collect(ticket);
+    if (!response.ok()) {
+      if (failure.ok()) failure = response.status();
+      continue;
+    }
+    Result<uint64_t> acknowledged = DecodeInsertResponse(*response);
+    if (!acknowledged.ok()) {
+      if (failure.ok()) failure = acknowledged.status();
+      continue;
+    }
+    count += *acknowledged;
+  }
+  SIMCLOUD_RETURN_NOT_OK(failure);
+  return count;
 }
 
 namespace {
@@ -184,22 +373,20 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
   SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
   switch (request.op) {
     case Op::kInsertBatch: {
-      // Partition the batch by owning shard, forward sub-batches.
-      std::vector<std::vector<InsertItem>> per_shard(shards_.size());
+      // Partition the batch by owning shard, then scatter the sub-batches
+      // so every shard ingests its share concurrently.
+      std::vector<std::vector<InsertItem>> per_shard(channels_.size());
       for (auto& item : request.insert_items) {
-        per_shard[FirstPivotOf(item) % shards_.size()].push_back(
+        per_shard[FirstPivotOf(item) % channels_.size()].push_back(
             std::move(item));
       }
-      uint64_t inserted = 0;
-      for (size_t i = 0; i < shards_.size(); ++i) {
+      std::vector<Bytes> sub_requests(channels_.size());
+      for (size_t i = 0; i < channels_.size(); ++i) {
         if (per_shard[i].empty()) continue;
-        SIMCLOUD_ASSIGN_OR_RETURN(
-            Bytes response,
-            shards_[i]->Handle(EncodeInsertBatchRequest(per_shard[i])));
-        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count,
-                                  DecodeInsertResponse(response));
-        inserted += count;
+        sub_requests[i] = EncodeInsertBatchRequest(per_shard[i]);
       }
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t inserted,
+                                ScatterCounted(sub_requests));
       return EncodeInsertResponse(inserted);
     }
     case Op::kRangeSearch:
@@ -213,7 +400,7 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       return FanOut(request_bytes,
                     request.query.whole_cells ? 0 : request.cand_size);
     case Op::kRangeSearchBatch: {
-      // One round trip carries every query to every shard.
+      // One fan-out carries every query to every shard.
       std::vector<size_t> limits(request.range_queries.size(), 0);
       return FanOutBatch(request_bytes, limits);
     }
@@ -228,9 +415,13 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       return FanOutBatch(request_bytes, limits);
     }
     case Op::kGetStats: {
+      std::vector<Result<Bytes>> responses =
+          CallAllShards(EncodeGetStatsRequest());
       mindex::IndexStats total;
-      for (const auto& shard : shards_) {
-        const mindex::IndexStats stats = shard->index().Stats();
+      for (const auto& response : responses) {
+        SIMCLOUD_RETURN_NOT_OK(response.status());
+        SIMCLOUD_ASSIGN_OR_RETURN(mindex::IndexStats stats,
+                                  DecodeStatsResponse(*response));
         total.object_count += stats.object_count;
         total.leaf_count += stats.leaf_count;
         total.inner_count += stats.inner_count;
@@ -242,41 +433,37 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       return EncodeStatsResponse(total);
     }
     case Op::kDelete:
-      return shards_[OwnerOf(request.delete_permutation)]->Handle(
+      return channels_[OwnerOf(request.delete_permutation)]->Call(
           request_bytes);
     case Op::kDeleteBatch: {
       // Validate the WHOLE batch before forwarding anything: a malformed
       // item must reject the batch with no shard mutated, matching the
       // all-or-nothing contract of the single-index path (per-item
       // NotFound still just skips inside the shards).
-      const size_t num_pivots = shards_[0]->index().options().num_pivots;
       for (const DeleteItem& item : request.delete_items) {
         if (item.permutation.empty() ||
-            !mindex::IsValidPermutation(item.permutation, num_pivots)) {
+            !mindex::IsValidPermutation(item.permutation, num_pivots_)) {
           return Status::InvalidArgument(
               "delete batch carries an invalid routing permutation");
         }
       }
       // Partition by owning shard (same placement rule as inserts) and
-      // forward sub-batches; each shard takes its writer lock once.
-      std::vector<std::vector<DeleteItem>> per_shard(shards_.size());
+      // scatter the sub-batches; each shard takes its writer lock once.
+      std::vector<std::vector<DeleteItem>> per_shard(channels_.size());
       for (DeleteItem& item : request.delete_items) {
         per_shard[OwnerOf(item.permutation)].push_back(std::move(item));
       }
-      uint64_t deleted = 0;
-      for (size_t i = 0; i < shards_.size(); ++i) {
+      std::vector<Bytes> sub_requests(channels_.size());
+      for (size_t i = 0; i < channels_.size(); ++i) {
         if (per_shard[i].empty()) continue;
-        SIMCLOUD_ASSIGN_OR_RETURN(
-            Bytes response,
-            shards_[i]->Handle(EncodeDeleteBatchRequest(per_shard[i])));
-        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count,
-                                  DecodeInsertResponse(response));
-        deleted += count;
+        sub_requests[i] = EncodeDeleteBatchRequest(per_shard[i]);
       }
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted,
+                                ScatterCounted(sub_requests));
       return EncodeInsertResponse(deleted);
     }
     case Op::kCompact: {
-      // Every shard compacts its own log in parallel; the merged report
+      // Every shard compacts its own log concurrently; the merged report
       // sums the per-shard byte movements.
       std::vector<Result<Bytes>> responses = CallAllShards(request_bytes);
       mindex::CompactionReport total;
@@ -288,6 +475,10 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       }
       return EncodeCompactResponse(total);
     }
+    case Op::kPing:
+      // Answered by the facade itself: the probe measures the facade's
+      // transport, not the shard fleet.
+      return Bytes{};
   }
   return Status::Corruption("unhandled opcode");
 }

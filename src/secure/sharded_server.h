@@ -27,6 +27,7 @@
 #define SIMCLOUD_SECURE_SHARDED_SERVER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mindex/mindex.h"
@@ -37,50 +38,95 @@
 namespace simcloud {
 namespace secure {
 
-/// A fleet of EncryptedMIndexServer shards behind one request handler.
+/// One shard's request channel. Submit() hands a request to the shard
+/// without waiting; Collect() blocks for that ticket's response — so a
+/// fan-out submits to every shard first and all shards work in parallel,
+/// with no per-request thread spawning. Implementations are persistent
+/// (a small worker pool for an in-process shard; a pipelined TCP
+/// connection for a remote one) and safe for concurrent Submit/Collect.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+  virtual Result<uint64_t> Submit(const Bytes& request) = 0;
+  virtual Result<Bytes> Collect(uint64_t ticket) = 0;
+  /// Synchronous convenience: Submit + Collect.
+  Result<Bytes> Call(const Bytes& request);
+};
+
+/// Address of a remote shard server (an EncryptedMIndexServer behind a
+/// net::TcpServer).
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// A fleet of Encrypted M-Index shards behind one request handler —
+/// in-process (Create) or remote over persistent pipelined TCP
+/// connections (Connect). Handle() is safe for concurrent calls in both
+/// modes, so a TcpServer worker pool can drive the facade directly.
 class ShardedServer : public net::RequestHandler {
  public:
-  /// Creates `num_shards` (>= 1) identically-configured shards. The
-  /// per-shard options are `options` with the disk path suffixed by the
-  /// shard number (when disk storage is configured).
+  /// Creates `num_shards` (>= 1) identically-configured in-process
+  /// shards. The per-shard options are `options` with the disk path
+  /// suffixed by the shard number (when disk storage is configured).
   static Result<std::unique_ptr<ShardedServer>> Create(
       const mindex::MIndexOptions& options, size_t num_shards);
 
+  /// Connects to already-running shard servers, one persistent pipelined
+  /// connection per endpoint; fan-outs overlap across those connections
+  /// instead of paying serial round trips. `num_pivots` must match the
+  /// shards' index configuration (it validates delete routing).
+  static Result<std::unique_ptr<ShardedServer>> Connect(
+      const std::vector<ShardEndpoint>& endpoints, size_t num_pivots);
+
   Result<Bytes> Handle(const Bytes& request) override;
 
-  size_t num_shards() const { return shards_.size(); }
-  /// Direct access for white-box tests.
+  size_t num_shards() const { return channels_.size(); }
+  /// True when the shards live in this process (Create); Connect
+  /// deployments have no white-box access.
+  bool is_local() const { return !shards_.empty(); }
+  /// Direct access for white-box tests. Local deployments only.
   const EncryptedMIndexServer& shard(size_t i) const { return *shards_[i]; }
 
-  /// Total object count across shards.
+  /// Total object count across shards (a kGetStats fan-out when remote;
+  /// 0 if a remote shard is unreachable).
   uint64_t TotalObjects() const;
 
  private:
-  explicit ShardedServer(
-      std::vector<std::unique_ptr<EncryptedMIndexServer>> shards)
-      : shards_(std::move(shards)) {}
+  ShardedServer(std::vector<std::unique_ptr<EncryptedMIndexServer>> shards,
+                std::vector<std::unique_ptr<ShardChannel>> channels,
+                size_t num_pivots)
+      : shards_(std::move(shards)), channels_(std::move(channels)),
+        num_pivots_(num_pivots) {}
 
   /// Shard owning a routing permutation: permutation[0] mod num_shards.
   /// Objects of one top-level Voronoi cell always land together.
   size_t OwnerOf(const mindex::Permutation& permutation) const;
 
-  /// Runs `op(shard)` on every shard concurrently and concatenates the
+  /// Runs the request on every shard (overlapped) and concatenates the
   /// candidate responses (merged stats), trimming to `limit` by score
   /// when limit > 0.
   Result<Bytes> FanOut(const Bytes& request, size_t limit);
 
-  /// Batch variant: ONE fan-out round trip carries the whole batch; each
-  /// shard evaluates every query, then the per-query candidate lists are
+  /// Batch variant: ONE fan-out carries the whole batch; each shard
+  /// evaluates every query, then the per-query candidate lists are
   /// merged by score across shards and trimmed to `limits[q]` (0 = no
   /// trim), exactly like `limits.size()` FanOut calls would.
   Result<Bytes> FanOutBatch(const Bytes& request,
                             const std::vector<size_t>& limits);
 
-  /// Dispatches the batch request concurrently to all shards and returns
-  /// the raw per-shard responses (shared by FanOut / FanOutBatch).
-  std::vector<Result<Bytes>> CallAllShards(const Bytes& request);
+  /// Submits the request to every shard, then collects: all shards work
+  /// concurrently while this thread waits (shared by FanOut / FanOutBatch
+  /// / stats / compaction).
+  std::vector<Result<Bytes>> CallAllShards(const Bytes& request) const;
 
-  std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;
+  /// Submits per-shard sub-requests (empty entries are skipped), collects
+  /// the acknowledged counts, and returns their sum (inserts / deletes).
+  Result<uint64_t> ScatterCounted(const std::vector<Bytes>& per_shard) const;
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;  // local only
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  size_t num_pivots_ = 0;
 };
 
 }  // namespace secure

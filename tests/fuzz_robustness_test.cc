@@ -2,14 +2,30 @@
 // surface. A malicious client can send arbitrary bytes to the server,
 // and a malicious server can return arbitrary bytes to the client —
 // decoders must fail with a Status, never crash, hang, or over-allocate.
+// The TcpFrameFuzz battery drives the same hostility through a LIVE
+// epoll server over raw sockets: torn frames, oversized declared
+// lengths, garbage request ids, and mid-pipeline disconnects must at
+// worst cost the offending connection — never the server, another
+// connection, or the event loop.
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/clock.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "mindex/persistence.h"
+#include "net/tcp.h"
+#include "secure/client.h"
 #include "secure/protocol.h"
 #include "secure/secret_key.h"
+#include "secure/server.h"
+#include "tests/net_test_util.h"
 
 namespace simcloud {
 namespace {
@@ -105,6 +121,182 @@ TEST_P(FuzzSeedTest, BinaryReaderBoundsAreRespected) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Live-server frame fuzzing.
+// ---------------------------------------------------------------------------
+
+/// A real encrypted M-Index server behind a real TcpServer, plus one
+/// well-behaved probe that must keep getting correct answers no matter
+/// what the hostile connections do.
+class TcpFrameFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mindex::MIndexOptions options;
+    options.num_pivots = 4;
+    options.max_level = 3;
+    auto handler = secure::EncryptedMIndexServer::Create(options);
+    ASSERT_TRUE(handler.ok());
+    handler_ = std::move(*handler);
+    net::TcpServerOptions server_options;
+    server_options.max_frame_bytes = 1u << 20;
+    server_ = std::make_unique<net::TcpServer>(handler_.get(),
+                                               server_options);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  int RawConnect() { return net::RawConnect(server_->port()); }
+
+  /// The server is still fully alive: a fresh well-behaved connection
+  /// round-trips a real request.
+  void ExpectServerAlive() {
+    auto transport =
+        net::TcpTransport::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(transport.ok());
+    auto response = (*transport)->Call(secure::EncodeGetStatsRequest());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    auto stats = secure::DecodeStatsResponse(*response);
+    ASSERT_TRUE(stats.ok());
+  }
+
+  /// True when the server closed its side of `fd` within ~5 seconds.
+  static bool WaitForClose(int fd) {
+    Stopwatch watch;
+    uint8_t sink[256];
+    while (watch.ElapsedSeconds() < 5.0) {
+      const ssize_t n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+      if (n == 0) return true;                       // clean close
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+      if (n < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+
+  std::unique_ptr<secure::EncryptedMIndexServer> handler_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+TEST_F(TcpFrameFuzz, TornFramesAndAbruptDisconnects) {
+  Rng rng(11);
+  const Bytes request = secure::EncodeGetStatsRequest();
+  for (int iter = 0; iter < 40; ++iter) {
+    const int fd = RawConnect();
+    // A valid pipelined frame, truncated at a random byte boundary.
+    BinaryWriter frame;
+    frame.WriteU32(static_cast<uint32_t>(request.size()) |
+                   net::kFrameIdFlag);
+    frame.WriteU32(7);
+    frame.WriteRaw(request.data(), request.size());
+    const Bytes& bytes = frame.buffer();
+    const size_t cut = rng.NextBounded(bytes.size());
+    if (cut > 0) {
+      ASSERT_EQ(::send(fd, bytes.data(), cut, MSG_NOSIGNAL),
+                static_cast<ssize_t>(cut));
+    }
+    ::close(fd);  // torn mid-frame
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, OversizedDeclaredLengthClosesOnlyThatConnection) {
+  for (const uint32_t declared :
+       {uint32_t{1u << 20} + 1, uint32_t{64u << 20}, net::kMaxFrameLength}) {
+    const int hostile = RawConnect();
+    // Another connection opened BEFORE the attack must sail through it.
+    auto good = net::TcpTransport::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(good.ok());
+
+    BinaryWriter header;
+    header.WriteU32(declared | net::kFrameIdFlag);
+    header.WriteU32(9);
+    ASSERT_EQ(::send(hostile, header.buffer().data(), 8, MSG_NOSIGNAL), 8);
+    EXPECT_TRUE(WaitForClose(hostile))
+        << "server kept a connection that declared a " << declared
+        << "-byte frame";
+    ::close(hostile);
+
+    auto response = (*good)->Call(secure::EncodeGetStatsRequest());
+    EXPECT_TRUE(response.ok());
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, GarbageRequestIdsAndBodies) {
+  // Id 0 with the pipelined flag is a protocol violation: close.
+  {
+    const int fd = RawConnect();
+    BinaryWriter frame;
+    frame.WriteU32(4u | net::kFrameIdFlag);
+    frame.WriteU32(0);
+    frame.WriteU32(0xDEADBEEF);
+    ASSERT_EQ(::send(fd, frame.buffer().data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+  // Arbitrary ids with garbage bodies are APPLICATION-level traffic:
+  // every frame gets a well-formed response echoing ITS id (usually a
+  // decode error; a lucky byte pattern may parse as a real no-arg
+  // request), and the connection survives all of them.
+  Rng rng(12);
+  const int fd = RawConnect();
+  int decode_errors = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    Bytes garbage(1 + rng.NextBounded(64));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextBounded(256));
+    const uint32_t id = 1 + static_cast<uint32_t>(rng.NextBounded(1u << 30));
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, id, garbage).ok());
+    auto frame = net::ReadAnyFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->request_id, id);
+    BinaryReader reader(frame->payload);
+    ASSERT_TRUE(reader.ReadU64().ok());  // server nanos
+    auto ok = reader.ReadBool();
+    ASSERT_TRUE(ok.ok());
+    if (!*ok) ++decode_errors;
+  }
+  EXPECT_GT(decode_errors, 25) << "random bodies should mostly fail decode";
+  ::close(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, MidPipelineDisconnectsDoNotWedgeTheLoop) {
+  const Bytes request = secure::EncodeGetStatsRequest();
+  for (int iter = 0; iter < 30; ++iter) {
+    const int fd = RawConnect();
+    for (uint32_t id = 1; id <= 8; ++id) {
+      ASSERT_TRUE(net::WritePipelinedFrame(fd, id, request).ok());
+    }
+    ::close(fd);  // responses in flight hit a dead connection
+  }
+  ExpectServerAlive();
+  // Every handled request was either answered or dropped with its
+  // connection; the engine's accounting must not leak "stuck" work.
+  Stopwatch watch;
+  while (server_->frames_completed() < server_->frames_dispatched() &&
+         watch.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->frames_completed(), server_->frames_dispatched());
+}
+
+TEST_F(TcpFrameFuzz, RandomByteStreams) {
+  Rng rng(13);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int fd = RawConnect();
+    Bytes noise(1 + rng.NextBounded(300));
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.NextBounded(256));
+    // Random first bytes often declare absurd lengths — either the
+    // server closes the connection or answers with decode errors; it
+    // must never crash or stall.
+    (void)::send(fd, noise.data(), noise.size(), MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
 
 }  // namespace
 }  // namespace simcloud

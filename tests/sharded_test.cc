@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "data/synthetic.h"
 #include "metric/ground_truth.h"
+#include "net/tcp.h"
 #include "secure/client.h"
 #include "secure/server.h"
 #include "secure/sharded_server.h"
@@ -199,6 +200,100 @@ TEST(ShardedServerTest, PreciseKnnWorksThroughTheFacade) {
   for (size_t i = 0; i < exact.size(); ++i) {
     EXPECT_EQ((*answer)[i].id, exact[i].id);
   }
+}
+
+TEST(ShardedServerTest, RemoteShardsOverPersistentConnections) {
+  // Three shard servers as separate TcpServer processes-in-miniature;
+  // the facade connects to them over persistent pipelined connections
+  // and must behave exactly like a local sharded deployment.
+  const size_t kShards = 3;
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 10;
+  index_options.bucket_capacity = 40;
+  index_options.max_level = 4;
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> shard_handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> shard_servers;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t i = 0; i < kShards; ++i) {
+    auto handler = EncryptedMIndexServer::Create(index_options);
+    ASSERT_TRUE(handler.ok());
+    shard_handlers.push_back(std::move(*handler));
+    shard_servers.push_back(
+        std::make_unique<net::TcpServer>(shard_handlers.back().get()));
+    ASSERT_TRUE(shard_servers.back()->Start(0).ok());
+    endpoints.push_back(ShardEndpoint{"127.0.0.1",
+                                      shard_servers.back()->port()});
+  }
+
+  auto facade = ShardedServer::Connect(endpoints, index_options.num_pivots);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_FALSE((*facade)->is_local());
+  EXPECT_EQ((*facade)->num_shards(), kShards);
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = 500;
+  mixture.dimension = 8;
+  mixture.num_clusters = 5;
+  mixture.seed = 601;
+  metric::Dataset dataset("remote", data::MakeGaussianMixture(mixture),
+                          std::make_shared<metric::L2Distance>());
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 10, 602);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x52));
+  ASSERT_TRUE(key.ok());
+
+  net::LoopbackTransport transport(facade->get());
+  EncryptionClient client(*key, dataset.distance(), &transport);
+  ASSERT_TRUE(
+      client.InsertBulk(dataset.objects(), InsertStrategy::kPrecise, 100)
+          .ok());
+
+  // Data actually landed on the remote shards.
+  EXPECT_EQ((*facade)->TotalObjects(), dataset.size());
+  size_t populated = 0;
+  for (const auto& handler : shard_handlers) {
+    if (handler->index().size() > 0) ++populated;
+  }
+  EXPECT_GE(populated, 2u);
+
+  // Exact range answers through the remote fan-out.
+  Rng rng(603);
+  for (int q = 0; q < 8; ++q) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const double radius = rng.NextUniform(1.0, 3.0);
+    const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+    auto answer = client.RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+
+  // Batched queries, stats, batched deletes, and compaction all travel
+  // through the same persistent connections.
+  std::vector<VectorObject> batch(dataset.objects().begin(),
+                                  dataset.objects().begin() + 6);
+  auto batch_answers = client.RangeSearchBatch(batch, 2.0);
+  ASSERT_TRUE(batch_answers.ok());
+  ASSERT_EQ(batch_answers->size(), batch.size());
+
+  auto stats = client.GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->object_count, dataset.size());
+
+  std::vector<VectorObject> doomed(dataset.objects().begin(),
+                                   dataset.objects().begin() + 50);
+  ASSERT_TRUE(client.DeleteBatch(doomed, 50).ok());
+  EXPECT_EQ((*facade)->TotalObjects(), dataset.size() - doomed.size());
+
+  auto report = client.Compact(/*force=*/true);
+  ASSERT_TRUE(report.ok());
+
+  facade->reset();  // disconnects before the shard servers stop
+  for (auto& server : shard_servers) server->Stop();
 }
 
 }  // namespace
