@@ -31,11 +31,21 @@ if [ "${1:-}" = "--tsan" ]; then
   cmake --build build-tsan -j "$(nproc)"
 
   echo "=== concurrency suites under TSan ==="
+  # churn_test joined the list with the background compactor: its
+  # ConcurrentChurnTest races mutator/query/admin threads against the
+  # compaction thread, which is exactly TSan territory.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test'
   echo "CI (tsan) OK"
   exit 0
+fi
+
+echo "=== docs: markdown link check ==="
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_doc_links.py
+else
+  echo "python3 not available; skipped"
 fi
 
 echo "=== configure + build ==="
@@ -56,7 +66,7 @@ fi
 echo "=== bench smoke: batched query throughput ==="
 ./build/bench_batch_throughput --smoke
 
-echo "=== bench smoke: churn + compaction acceptance ==="
+echo "=== bench smoke: churn + compaction acceptance (incl. pause gate) ==="
 ./build/bench_churn --smoke
 
 echo "=== bench smoke: pipelined transport acceptance ==="

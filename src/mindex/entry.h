@@ -127,6 +127,10 @@ struct SearchStats {
   }
 };
 
+/// What a compaction pass rewrites: the whole log into a fresh file, or
+/// only the deadest segments in place (see compactor.h).
+enum class CompactionMode : uint8_t { kFull = 0, kPartial = 1 };
+
 /// What one compaction pass did (also the kCompact wire response; see
 /// compactor.h for the engine itself).
 struct CompactionReport {
@@ -135,14 +139,28 @@ struct CompactionReport {
   uint64_t bytes_after = 0;    ///< log bytes after (== live bytes if run)
   uint64_t payloads_moved = 0; ///< live payloads rewritten
   uint64_t reclaimed_bytes = 0;
+  /// Total nanoseconds the pass held the index's writer lock (begin +
+  /// swap+remap slices) — the only time mutators waited on it. The
+  /// shared-lock rewrite never blocks searches.
+  uint64_t pause_nanos = 0;
+  /// Partial passes: whole log segments released in place.
+  uint64_t segments_released = 0;
+  /// What kind of pass ran (full rewrite vs. segment-targeted partial).
+  CompactionMode mode = CompactionMode::kFull;
 
   /// Shard aggregation (ShardedServer fans kCompact out per shard).
+  /// Byte/segment counters sum; the pause reports the WORST shard — the
+  /// shards compact concurrently, so stalls overlap rather than add.
   void Add(const CompactionReport& other) {
     compacted = compacted || other.compacted;
     bytes_before += other.bytes_before;
     bytes_after += other.bytes_after;
     payloads_moved += other.payloads_moved;
     reclaimed_bytes += other.reclaimed_bytes;
+    pause_nanos = pause_nanos > other.pause_nanos ? pause_nanos
+                                                  : other.pause_nanos;
+    segments_released += other.segments_released;
+    if (other.mode == CompactionMode::kPartial) mode = other.mode;
   }
 };
 
@@ -158,6 +176,14 @@ struct IndexStats {
   /// compaction would reclaim.
   uint64_t live_storage_bytes = 0;
   uint64_t dead_storage_bytes = 0;
+  /// Compaction telemetry (kGetStats): completed passes, whether a
+  /// background pass is running right now and how far its rewrite has
+  /// progressed, and the writer-lock pause cost of the passes so far.
+  uint64_t compaction_passes = 0;
+  uint64_t compaction_active = 0;  ///< 0/1 (shards: how many are mid-pass)
+  uint64_t compaction_progress_payloads = 0;  ///< copied so far, this pass
+  uint64_t compaction_last_pause_nanos = 0;
+  uint64_t compaction_max_pause_nanos = 0;
 };
 
 }  // namespace mindex

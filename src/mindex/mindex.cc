@@ -1,7 +1,10 @@
 #include "mindex/mindex.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "mindex/payload_cache.h"
 
@@ -29,6 +32,11 @@ Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
   if (options.compaction_trigger < 0.0 || options.compaction_trigger > 1.0) {
     return Status::InvalidArgument(
         "compaction_trigger must be in [0, 1] (0 disables)");
+  }
+  if (options.segment_dead_threshold <= 0.0 ||
+      options.segment_dead_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "segment_dead_threshold must be in (0, 1]");
   }
   SIMCLOUD_ASSIGN_OR_RETURN(
       std::unique_ptr<BucketStorage> storage,
@@ -75,6 +83,10 @@ Status MIndex::Insert(metric::ObjectId id,
       RoutingPermutation(pivot_distances, std::move(permutation)));
 
   SIMCLOUD_ASSIGN_OR_RETURN(PayloadHandle handle, storage_->Store(payload));
+  // Mid-pass relocation journal: a background pass must catch this
+  // payload up into the log it is rewriting (we hold the writer lock, as
+  // does anyone toggling active_pass_).
+  if (active_pass_ != nullptr) active_pass_->OnStore(handle);
 
   Entry entry;
   entry.id = id;
@@ -91,6 +103,8 @@ Status MIndex::Insert(metric::ObjectId id,
     if (!freed.ok()) {
       SIMCLOUD_LOG(kWarn) << "cannot free payload of rejected insert: "
                           << freed.ToString();
+    } else if (active_pass_ != nullptr) {
+      active_pass_->OnFree(handle);
     }
   }
   return inserted;
@@ -104,6 +118,7 @@ Status MIndex::Delete(metric::ObjectId id,
       RoutingPermutation(pivot_distances, std::move(permutation)));
   SIMCLOUD_ASSIGN_OR_RETURN(Entry removed, tree_.Remove(id, permutation));
   SIMCLOUD_RETURN_NOT_OK(storage_->Free(removed.payload_handle));
+  if (active_pass_ != nullptr) active_pass_->OnFree(removed.payload_handle);
   MaybeCompact();
   return Status::OK();
 }
@@ -133,6 +148,7 @@ Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
   auto free_collected = [&]() -> Status {
     for (PayloadHandle handle : freed) {
       SIMCLOUD_RETURN_NOT_OK(storage_->Free(handle));
+      if (active_pass_ != nullptr) active_pass_->OnFree(handle);
     }
     return Status::OK();
   };
@@ -154,31 +170,168 @@ Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
 }
 
 void MIndex::MaybeCompact() {
-  if (options_.compaction_trigger <= 0.0) return;
-  CompactionOptions options;
-  options.force = false;  // Compact gates on compaction_trigger
+  if (options_.compaction_trigger <= 0.0 || deferred_compaction_) return;
+  if (active_pass_ != nullptr) return;  // a pass is already running
+  // We may be running under the caller's writer lock, so only TRY the
+  // pass mutex: if another thread is mid-CompactBackground (it takes the
+  // serial mutex first, then the index lock), waiting here would invert
+  // the lock order and deadlock. That pass reclaims the garbage anyway.
+  std::unique_lock<std::mutex> serialize(compaction_serial_,
+                                         std::try_to_lock);
+  if (!serialize.owns_lock()) return;
   // Best-effort: the deletes that got us here already succeeded, and a
   // failed pass leaves the old log fully intact — report the failure
   // without masking the mutation's own result (an explicit kCompact
   // surfaces the same error to the operator).
-  Result<CompactionReport> report = Compact(options);
+  Result<CompactionReport> report = RunCompactionPass(
+      DefaultCompactorOptions(/*force=*/false), /*index_mutex=*/nullptr);
   if (!report.ok()) {
     SIMCLOUD_LOG(kWarn) << "automatic compaction failed: "
                         << report.status().ToString();
   }
 }
 
-Result<CompactionReport> MIndex::Compact(CompactionOptions options) {
+CompactorOptions MIndex::DefaultCompactorOptions(bool force) const {
+  CompactorOptions options;
+  options.force = force;
+  options.mode = options_.compaction_mode;
+  options.garbage_threshold = options_.compaction_trigger;
+  options.segment_dead_threshold = options_.segment_dead_threshold;
+  options.max_pass_bytes = options_.compaction_max_pass_bytes;
+  return options;
+}
+
+Result<CompactionReport> MIndex::Compact(CompactorOptions options) {
+  return CompactBackground(std::move(options), /*index_mutex=*/nullptr);
+}
+
+namespace {
+
+/// Scoped lock over an optional shared_mutex: no-ops when the caller
+/// drives the pass without one (direct MIndex users hold exclusivity for
+/// the whole call).
+class MaybeLock {
+ public:
+  MaybeLock(std::shared_mutex* mutex, CompactionPass::StepLock kind)
+      : mutex_(mutex), exclusive_(kind == CompactionPass::StepLock::kExclusive) {
+    if (mutex_ == nullptr) return;
+    if (exclusive_) {
+      mutex_->lock();
+    } else {
+      mutex_->lock_shared();
+    }
+  }
+  ~MaybeLock() {
+    if (mutex_ == nullptr) return;
+    if (exclusive_) {
+      mutex_->unlock();
+    } else {
+      mutex_->unlock_shared();
+    }
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_;
+  bool exclusive_;
+};
+
+}  // namespace
+
+Result<CompactionReport> MIndex::CompactBackground(
+    CompactorOptions options, std::shared_mutex* index_mutex) {
+  // One pass at a time: kCompact requests and the server's background
+  // trigger queue up here instead of interleaving half-passes.
+  std::lock_guard<std::mutex> serialize(compaction_serial_);
+  return RunCompactionPass(std::move(options), index_mutex);
+}
+
+Result<CompactionReport> MIndex::RunCompactionPass(
+    CompactorOptions options, std::shared_mutex* index_mutex) {
   if (!options.force && options.garbage_threshold <= 0.0) {
     // An unforced pass with no explicit threshold is gated by the
     // configured trigger (which may itself be 0 = disabled).
     options.garbage_threshold = options_.compaction_trigger;
   }
-  Result<CompactionReport> report = CompactIndexStorage(
-      &tree_, &storage_, options_.disk_path, options_.cache_bytes, options);
-  // The compactor may have replaced the storage stack; re-point the query
-  // engine (cheap — it holds raw pointers only).
-  engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay);
+  CompactionPass pass(&storage_, options_.disk_path, options_.cache_bytes,
+                      options);
+  uint64_t pause_nanos = 0;
+
+  // BEGIN: decide + arm the journal, one short exclusive slice.
+  {
+    MaybeLock lock(index_mutex, CompactionPass::StepLock::kExclusive);
+    Stopwatch held;
+    Result<bool> begun = pass.Begin();
+    pause_nanos += held.ElapsedNanos();
+    if (!begun.ok()) return begun.status();
+    if (!*begun) {
+      CompactionReport report = pass.report();
+      report.pause_nanos = pause_nanos;
+      return report;
+    }
+    active_pass_ = &pass;
+    compaction_active_.store(true, std::memory_order_relaxed);
+    compaction_progress_.store(0, std::memory_order_relaxed);
+  }
+
+  // REWRITE: bounded steps; searches share the lock, mutators interleave
+  // between steps (partial-mode append slices count toward the pause).
+  Status status = Status::OK();
+  for (;;) {
+    bool more;
+    const CompactionPass::StepLock kind = pass.NextStepLock();
+    {
+      MaybeLock lock(index_mutex, kind);
+      Stopwatch held;
+      Result<bool> stepped = pass.RewriteStep();
+      if (kind == CompactionPass::StepLock::kExclusive) {
+        pause_nanos += held.ElapsedNanos();
+      }
+      if (!stepped.ok()) {
+        status = stepped.status();
+        break;
+      }
+      more = *stepped;
+      compaction_progress_.store(pass.report().payloads_moved,
+                                 std::memory_order_relaxed);
+    }
+    if (options.between_steps) options.between_steps();
+    if (!more) break;
+    // Fairness on small machines: hand the core to a waiting handler
+    // thread between steps rather than burning a whole scheduler quantum
+    // on the rewrite while a query waits.
+    if (index_mutex != nullptr) std::this_thread::yield();
+  }
+  // Fsync and rename the fresh log off every lock: the journal-commit
+  // price of making the rewrite durable is paid here, concurrent with
+  // traffic, leaving the writer-locked finish with pointer work only.
+  if (status.ok()) status = pass.PrepareSwap();
+
+  // FINISH (or abandon): the only other exclusive slice.
+  {
+    MaybeLock lock(index_mutex, CompactionPass::StepLock::kExclusive);
+    Stopwatch held;
+    if (status.ok()) status = pass.Finish(&tree_);
+    if (!status.ok()) pass.Abandon();
+    active_pass_ = nullptr;
+    // The pass may have replaced the storage stack; re-point the query
+    // engine (cheap — it holds raw pointers only).
+    engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay);
+    pause_nanos += held.ElapsedNanos();
+    compaction_active_.store(false, std::memory_order_relaxed);
+    compaction_progress_.store(0, std::memory_order_relaxed);
+  }
+  compaction_last_pause_nanos_.store(pause_nanos, std::memory_order_relaxed);
+  uint64_t prev_max = compaction_max_pause_nanos_.load(std::memory_order_relaxed);
+  while (prev_max < pause_nanos &&
+         !compaction_max_pause_nanos_.compare_exchange_weak(
+             prev_max, pause_nanos, std::memory_order_relaxed)) {
+  }
+  SIMCLOUD_RETURN_NOT_OK(status);
+  compaction_passes_.fetch_add(1, std::memory_order_relaxed);
+  CompactionReport report = pass.report();
+  report.pause_nanos = pause_nanos;
   return report;
 }
 
@@ -223,6 +376,16 @@ IndexStats MIndex::Stats() const {
       storage_->GetCompactionStats();
   stats.live_storage_bytes = compaction.live_bytes;
   stats.dead_storage_bytes = compaction.dead_bytes;
+  stats.compaction_passes =
+      compaction_passes_.load(std::memory_order_relaxed);
+  stats.compaction_active =
+      compaction_active_.load(std::memory_order_relaxed) ? 1 : 0;
+  stats.compaction_progress_payloads =
+      compaction_progress_.load(std::memory_order_relaxed);
+  stats.compaction_last_pause_nanos =
+      compaction_last_pause_nanos_.load(std::memory_order_relaxed);
+  stats.compaction_max_pause_nanos =
+      compaction_max_pause_nanos_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -18,8 +18,11 @@
 #ifndef SIMCLOUD_MINDEX_MINDEX_H_
 #define SIMCLOUD_MINDEX_MINDEX_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -59,7 +62,20 @@ struct MIndexOptions {
   /// a delete triggers an automatic compaction pass. 0 disables automatic
   /// compaction — the log then grows until an explicit Compact() (the
   /// kCompact admin opcode) or a Save/Load round trip. See compactor.h.
+  /// Direct MIndex users compact synchronously inside the triggering
+  /// delete; EncryptedMIndexServer moves the trigger to its background
+  /// compaction thread so the delete returns immediately.
   double compaction_trigger = 0.0;
+  /// Default pass shape for triggered/unforced compaction: full rewrite,
+  /// or partial (relocate only the deadest segments; disk storage only,
+  /// memory falls back to full). See compactor.h.
+  CompactionMode compaction_mode = CompactionMode::kFull;
+  /// Partial passes: a sealed 64 KiB log segment becomes a relocation
+  /// target once this fraction of its bytes is dead. In (0, 1].
+  double segment_dead_threshold = 0.5;
+  /// Partial passes: cap on live bytes relocated per pass (0 = every
+  /// eligible segment).
+  uint64_t compaction_max_pass_bytes = 0;
 };
 
 /// The M-Index proper.
@@ -94,13 +110,48 @@ class MIndex {
   /// When `options.force` is false the pass runs only past the configured
   /// threshold (`options.garbage_threshold`, defaulting to
   /// `MIndexOptions::compaction_trigger`). Callers must serialize Compact
-  /// with other mutations, exactly as for Insert/Delete.
-  Result<CompactionReport> Compact(CompactionOptions options = {.force =
-                                                                    true});
+  /// with other mutations, exactly as for Insert/Delete — this overload
+  /// takes no locks itself (it is CompactBackground with a null mutex).
+  Result<CompactionReport> Compact(CompactorOptions options = {.force =
+                                                                   true});
+
+  /// Runs one compaction pass CONCURRENTLY with searches: the rewrite
+  /// phase repeatedly takes `index_mutex` shared (so queries interleave
+  /// freely and mutators get in between steps, their effects tracked by
+  /// the pass's relocation journal), and only the bounded begin and
+  /// swap+remap slices take it exclusively — the writer pause the report
+  /// and IndexStats expose in nanoseconds. Concurrent calls serialize on
+  /// an internal mutex. With `index_mutex == nullptr` no locks are taken
+  /// and the caller must hold exclusivity for the whole call.
+  ///
+  /// The caller must NOT hold `index_mutex` in any mode when calling.
+  Result<CompactionReport> CompactBackground(CompactorOptions options,
+                                             std::shared_mutex* index_mutex);
+
+  /// Compactor policy derived from MIndexOptions (mode, per-segment
+  /// threshold, pass budget) — what triggered and kCompact passes use.
+  CompactorOptions DefaultCompactorOptions(bool force) const;
+
+  /// When deferred, crossing `compaction_trigger` no longer compacts
+  /// inline inside the triggering delete — whoever owns the index (the
+  /// server's background compaction thread) watches the ratio and drives
+  /// CompactBackground itself. The configured trigger stays in options()
+  /// (and therefore in persistence snapshots); only the inline behaviour
+  /// is suppressed.
+  void SetDeferredCompaction(bool deferred) { deferred_compaction_ = deferred; }
 
   /// Live/dead accounting of the payload log.
   BucketStorage::CompactionStats StorageStats() const {
     return storage_->GetCompactionStats();
+  }
+
+  /// Dead / total log bytes, O(1) — what per-mutation trigger checks
+  /// read (StorageStats walks DiskStorage's whole segment table).
+  double GarbageRatio() const {
+    const uint64_t total = storage_->TotalBytes();
+    return total == 0 ? 0.0
+                      : static_cast<double>(storage_->DeadBytes()) /
+                            static_cast<double>(total);
   }
 
   /// The payload storage stack (white-box tests: cache warmth etc.). The
@@ -174,6 +225,29 @@ class MIndex {
   std::unique_ptr<BucketStorage> storage_;
   CellTree tree_;
   QueryEngine engine_;
+
+  /// Runs one armed pass; `compaction_serial_` must be held (see
+  /// CompactBackground / the try-lock path in MaybeCompact).
+  Result<CompactionReport> RunCompactionPass(CompactorOptions options,
+                                             std::shared_mutex* index_mutex);
+
+  /// Serializes whole compaction passes (kCompact racing the background
+  /// trigger). MaybeCompact — which runs under the caller's writer lock —
+  /// only ever try-locks it, so the lock order serial -> index lock has
+  /// no inverse and cannot deadlock.
+  std::mutex compaction_serial_;
+  /// See SetDeferredCompaction.
+  bool deferred_compaction_ = false;
+  /// The in-flight pass, set/cleared and consulted only under the index
+  /// writer lock: Insert/Delete feed its relocation journal through this.
+  CompactionPass* active_pass_ = nullptr;
+  /// Telemetry mirrored into IndexStats. Atomic because the rewrite
+  /// updates progress under the SHARED lock, concurrently with Stats().
+  std::atomic<uint64_t> compaction_passes_{0};
+  std::atomic<bool> compaction_active_{false};
+  std::atomic<uint64_t> compaction_progress_{0};
+  std::atomic<uint64_t> compaction_last_pause_nanos_{0};
+  std::atomic<uint64_t> compaction_max_pause_nanos_{0};
 };
 
 }  // namespace mindex

@@ -65,6 +65,25 @@ class PayloadCache : public BucketStorage {
   CompactionStats GetCompactionStats() const override {
     return base_->GetCompactionStats();
   }
+  bool IsLive(PayloadHandle handle) const override {
+    return base_->IsLive(handle);
+  }
+  std::vector<SegmentView> Segments() const override {
+    return base_->Segments();
+  }
+  Status ForEachLiveHandle(
+      const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn)
+      const override {
+    return base_->ForEachLiveHandle(fn);
+  }
+  bool SupportsSegmentRelease() const override {
+    return base_->SupportsSegmentRelease();
+  }
+  Result<uint64_t> ReleaseDeadSegments(
+      const std::vector<uint64_t>& segments) override {
+    return base_->ReleaseDeadSegments(segments);
+  }
+  uint64_t DeadBytes() const override { return base_->DeadBytes(); }
   uint64_t TotalBytes() const override { return base_->TotalBytes(); }
   uint64_t Count() const override { return base_->Count(); }
   std::string Name() const override { return base_->Name() + "+cache"; }

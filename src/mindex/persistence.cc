@@ -11,9 +11,11 @@ namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4D494458;  // "MIDX"
 // Version 2 appends cache_bytes to the options block; version 3 appends
-// compaction_trigger. Older snapshots remain loadable (missing fields
-// keep their defaults: no cache, no automatic compaction).
-constexpr uint32_t kSnapshotVersion = 3;
+// compaction_trigger; version 4 appends the compaction policy (mode,
+// per-segment dead threshold, per-pass byte budget). Older snapshots
+// remain loadable (missing fields keep their defaults: no cache, no
+// automatic compaction, full-pass mode).
+constexpr uint32_t kSnapshotVersion = 4;
 
 void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteVarint(options.num_pivots);
@@ -25,6 +27,10 @@ void SerializeOptions(const MIndexOptions& options, BinaryWriter* writer) {
   writer->WriteDouble(options.promise_decay);
   writer->WriteVarint(options.cache_bytes);
   writer->WriteDouble(options.compaction_trigger);
+  writer->WriteU8(options.compaction_mode == CompactionMode::kPartial ? 1
+                                                                      : 0);
+  writer->WriteDouble(options.segment_dead_threshold);
+  writer->WriteVarint(options.compaction_max_pass_bytes);
 }
 
 Result<MIndexOptions> DeserializeOptions(BinaryReader* reader,
@@ -43,6 +49,15 @@ Result<MIndexOptions> DeserializeOptions(BinaryReader* reader,
   if (version >= 3) {
     SIMCLOUD_ASSIGN_OR_RETURN(options.compaction_trigger,
                               reader->ReadDouble());
+  }
+  if (version >= 4) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint8_t mode, reader->ReadU8());
+    options.compaction_mode =
+        mode == 1 ? CompactionMode::kPartial : CompactionMode::kFull;
+    SIMCLOUD_ASSIGN_OR_RETURN(options.segment_dead_threshold,
+                              reader->ReadDouble());
+    SIMCLOUD_ASSIGN_OR_RETURN(options.compaction_max_pass_bytes,
+                              reader->ReadVarint());
   }
   options.num_pivots = num_pivots;
   options.bucket_capacity = bucket_capacity;

@@ -2,6 +2,9 @@
 
 #include <fcntl.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <linux/falloc.h>  // FALLOC_FL_PUNCH_HOLE for segment release
+#endif
 
 #include <algorithm>
 #include <cerrno>
@@ -21,6 +24,31 @@ Status BucketStorage::FetchMany(std::span<const PayloadHandle> handles,
     out->push_back(std::move(payload));
   }
   return Status::OK();
+}
+
+std::vector<BucketStorage::SegmentView> BucketStorage::Segments() const {
+  const CompactionStats stats = GetCompactionStats();
+  if (stats.TotalBytes() == 0) return {};
+  SegmentView view;
+  view.segment = 0;
+  view.bytes = stats.TotalBytes();
+  view.dead_bytes = stats.dead_bytes;
+  view.sealed = false;  // the whole log can still grow
+  return {view};
+}
+
+Status BucketStorage::ForEachLiveHandle(
+    const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn) const {
+  (void)fn;
+  return Status::NotSupported(Name() +
+                               " storage does not enumerate live handles");
+}
+
+Result<uint64_t> BucketStorage::ReleaseDeadSegments(
+    const std::vector<uint64_t>& segments) {
+  (void)segments;
+  return Status::NotSupported(Name() +
+                               " storage cannot release segments in place");
 }
 
 Result<PayloadHandle> MemoryStorage::Store(const Bytes& payload) {
@@ -76,6 +104,16 @@ BucketStorage::CompactionStats MemoryStorage::GetCompactionStats() const {
   stats.dead_segments =
       (!payloads_.empty() && dead_count_ == payloads_.size()) ? 1 : 0;
   return stats;
+}
+
+Status MemoryStorage::ForEachLiveHandle(
+    const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn) const {
+  for (PayloadHandle handle = 0; handle < payloads_.size(); ++handle) {
+    if (!live_[handle]) continue;
+    fn(handle, /*segment=*/0,
+       static_cast<uint32_t>(payloads_[handle].size()));
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<DiskStorage>> DiskStorage::Create(
@@ -181,7 +219,11 @@ Result<PayloadHandle> DiskStorage::Store(const Bytes& payload) {
   live_.push_back(true);
   const size_t segment = next_offset_ / kSegmentBytes;
   if (segment >= segments_.size()) segments_.resize(segment + 1);
-  segments_[segment].bytes += payload.size();
+  Segment& seg = segments_[segment];
+  if (seg.payload_count == 0) seg.first_offset = next_offset_;
+  seg.bytes += payload.size();
+  seg.payload_count++;
+  seg.end_offset = next_offset_ + payload.size();
   next_offset_ += payload.size();
   total_bytes_ += payload.size();
   return handle;
@@ -193,7 +235,9 @@ Status DiskStorage::Free(PayloadHandle handle) {
   live_[handle] = false;
   dead_bytes_ += lengths_[handle];
   dead_count_++;
-  segments_[offsets_[handle] / kSegmentBytes].dead_bytes += lengths_[handle];
+  Segment& seg = segments_[offsets_[handle] / kSegmentBytes];
+  seg.dead_bytes += lengths_[handle];
+  seg.dead_count++;
   return Status::OK();
 }
 
@@ -201,7 +245,7 @@ BucketStorage::CompactionStats DiskStorage::GetCompactionStats() const {
   CompactionStats stats;
   stats.live_bytes = total_bytes_ - dead_bytes_;
   stats.dead_bytes = dead_bytes_;
-  stats.live_payloads = lengths_.size() - dead_count_;
+  stats.live_payloads = lengths_.size() - dead_count_ - released_payloads_;
   stats.dead_payloads = dead_count_;
   for (const Segment& segment : segments_) {
     if (segment.bytes == 0) continue;
@@ -209,6 +253,83 @@ BucketStorage::CompactionStats DiskStorage::GetCompactionStats() const {
     if (segment.dead_bytes == segment.bytes) stats.dead_segments++;
   }
   return stats;
+}
+
+std::vector<BucketStorage::SegmentView> DiskStorage::Segments() const {
+  std::vector<SegmentView> views;
+  views.reserve(segments_.size());
+  const uint64_t append_segment = next_offset_ / kSegmentBytes;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& segment = segments_[i];
+    if (segment.released || segment.bytes == 0) continue;
+    SegmentView view;
+    view.segment = i;
+    view.bytes = segment.bytes;
+    view.dead_bytes = segment.dead_bytes;
+    view.sealed = i != append_segment;
+    views.push_back(view);
+  }
+  return views;
+}
+
+Status DiskStorage::ForEachLiveHandle(
+    const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn) const {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
+  for (PayloadHandle handle = 0; handle < offsets_.size(); ++handle) {
+    if (!live_[handle]) continue;
+    fn(handle, offsets_[handle] / kSegmentBytes, lengths_[handle]);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> DiskStorage::ReleaseDeadSegments(
+    const std::vector<uint64_t>& segments) {
+  SIMCLOUD_RETURN_NOT_OK(CheckOpen());
+  const uint64_t append_segment = next_offset_ / kSegmentBytes;
+  for (uint64_t index : segments) {
+    if (index >= segments_.size() || segments_[index].released ||
+        segments_[index].bytes == 0) {
+      return Status::FailedPrecondition(
+          "segment " + std::to_string(index) + " of " + path_ +
+          " holds no releasable data");
+    }
+    if (index == append_segment) {
+      return Status::FailedPrecondition(
+          "segment " + std::to_string(index) + " of " + path_ +
+          " is still receiving appends");
+    }
+    if (segments_[index].dead_bytes != segments_[index].bytes) {
+      return Status::FailedPrecondition(
+          "segment " + std::to_string(index) + " of " + path_ +
+          " still holds live payloads");
+    }
+  }
+  uint64_t released = 0;
+  for (uint64_t index : segments) {
+    Segment& segment = segments_[index];
+#ifdef FALLOC_FL_PUNCH_HOLE
+    // Best-effort: deallocate the segment's blocks without changing the
+    // file size. Filesystems without hole support keep the blocks until
+    // the next full rewrite; the accounting drops them either way — the
+    // bytes are unreachable (every handle in the range is dead and
+    // handles are never reused).
+    (void)::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                      static_cast<off_t>(segment.first_offset),
+                      static_cast<off_t>(segment.end_offset -
+                                         segment.first_offset));
+#endif
+    released += segment.bytes;
+    total_bytes_ -= segment.bytes;
+    dead_bytes_ -= segment.bytes;
+    dead_count_ -= segment.dead_count;
+    released_payloads_ += segment.payload_count;
+    segment.bytes = 0;
+    segment.dead_bytes = 0;
+    segment.dead_count = 0;
+    segment.payload_count = 0;
+    segment.released = true;
+  }
+  return released;
 }
 
 Result<Bytes> DiskStorage::Fetch(PayloadHandle handle) const {

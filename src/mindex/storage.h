@@ -25,6 +25,7 @@
 #define SIMCLOUD_MINDEX_STORAGE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,6 +67,23 @@ class BucketStorage {
     }
   };
 
+  /// One log segment as the compactor sees it (the segment iteration
+  /// API). `sealed` means no future Store can land in this segment —
+  /// only sealed segments are eligible for partial compaction, because an
+  /// unsealed segment can still grow live payloads under the compactor.
+  struct SegmentView {
+    uint64_t segment = 0;     ///< index in units of the backend's segment size
+    uint64_t bytes = 0;       ///< payload bytes attributed to the segment
+    uint64_t dead_bytes = 0;  ///< freed payload bytes among them
+    bool sealed = false;
+
+    double DeadRatio() const {
+      return bytes == 0 ? 0.0
+                        : static_cast<double>(dead_bytes) /
+                              static_cast<double>(bytes);
+    }
+  };
+
   virtual ~BucketStorage() = default;
 
   /// Persists `payload` and returns a handle for later retrieval.
@@ -85,8 +103,48 @@ class BucketStorage {
   /// Freeing an unknown or already-freed handle is an error.
   virtual Status Free(PayloadHandle handle) = 0;
 
-  /// Current live/dead accounting of the log.
+  /// Current live/dead accounting of the log. DiskStorage walks its
+  /// segment table for the segment counters — per-mutation hot paths
+  /// that only need the garbage ratio should use DeadBytes()/TotalBytes.
   virtual CompactionStats GetCompactionStats() const = 0;
+
+  /// Dead payload bytes awaiting compaction — O(1) in the real backends
+  /// (the trigger check runs after every delete batch).
+  virtual uint64_t DeadBytes() const {
+    return GetCompactionStats().dead_bytes;
+  }
+
+  /// True while `handle` refers to a live (stored, never freed) payload.
+  /// Safe to call concurrently with fetches. The default probes Fetch and
+  /// is correct but copies the payload; real backends override it.
+  virtual bool IsLive(PayloadHandle handle) const {
+    return Fetch(handle).ok();
+  }
+
+  /// Per-segment accounting for the compactor, non-empty segments only.
+  /// The default reports one unsealed pseudo-segment derived from
+  /// GetCompactionStats (a backend without segment-granular accounting
+  /// can only ever be compacted as a whole).
+  virtual std::vector<SegmentView> Segments() const;
+
+  /// Visits every live handle with its segment and payload byte length,
+  /// in handle order (== append order for the built-in backends). This is
+  /// how the compactor enumerates the payloads a pass must move, without
+  /// walking the index tree. Unimplemented by default.
+  virtual Status ForEachLiveHandle(
+      const std::function<void(PayloadHandle, uint64_t segment,
+                               uint32_t bytes)>& fn) const;
+
+  /// True if ReleaseDeadSegments can reclaim whole dead segments in place
+  /// (partial compaction). Backends without it are compacted full-pass.
+  virtual bool SupportsSegmentRelease() const { return false; }
+
+  /// Drops fully-dead segments from the log and its accounting, returning
+  /// the bytes reclaimed. Every listed segment must be sealed and 100%
+  /// dead (FailedPrecondition otherwise, with nothing released).
+  /// Unimplemented by default.
+  virtual Result<uint64_t> ReleaseDeadSegments(
+      const std::vector<uint64_t>& segments);
 
   /// Total payload bytes in the backing log, live plus dead (dead bytes
   /// persist until compaction rewrites the log).
@@ -110,6 +168,13 @@ class MemoryStorage : public BucketStorage {
                    std::vector<Bytes>* out) const override;
   Status Free(PayloadHandle handle) override;
   CompactionStats GetCompactionStats() const override;
+  bool IsLive(PayloadHandle handle) const override {
+    return handle < live_.size() && live_[handle];
+  }
+  Status ForEachLiveHandle(
+      const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn)
+      const override;
+  uint64_t DeadBytes() const override { return dead_bytes_; }
   uint64_t TotalBytes() const override { return total_bytes_; }
   uint64_t Count() const override { return payloads_.size() - dead_count_; }
   std::string Name() const override { return "memory"; }
@@ -147,8 +212,29 @@ class DiskStorage : public BucketStorage {
                    std::vector<Bytes>* out) const override;
   Status Free(PayloadHandle handle) override;
   CompactionStats GetCompactionStats() const override;
+  bool IsLive(PayloadHandle handle) const override {
+    return handle < live_.size() && live_[handle];
+  }
+  /// Non-empty, unreleased segments; every segment except the one the
+  /// next Store would append into is sealed.
+  std::vector<SegmentView> Segments() const override;
+  Status ForEachLiveHandle(
+      const std::function<void(PayloadHandle, uint64_t, uint32_t)>& fn)
+      const override;
+  bool SupportsSegmentRelease() const override { return true; }
+  /// Punches the segments' byte ranges out of the backing file
+  /// (best-effort FALLOC_FL_PUNCH_HOLE; on filesystems without hole
+  /// support the blocks stay allocated until the next full rewrite) and
+  /// drops them from the live/dead accounting. Payloads attributed to a
+  /// segment occupy one contiguous file range (the log is append-only),
+  /// so the punched range never touches a neighbouring segment's bytes.
+  Result<uint64_t> ReleaseDeadSegments(
+      const std::vector<uint64_t>& segments) override;
+  uint64_t DeadBytes() const override { return dead_bytes_; }
   uint64_t TotalBytes() const override { return total_bytes_; }
-  uint64_t Count() const override { return lengths_.size() - dead_count_; }
+  uint64_t Count() const override {
+    return lengths_.size() - dead_count_ - released_payloads_;
+  }
   std::string Name() const override { return "disk"; }
 
   /// Flushes the log to stable storage (compaction syncs the fresh log
@@ -171,6 +257,13 @@ class DiskStorage : public BucketStorage {
   struct Segment {
     uint64_t bytes = 0;
     uint64_t dead_bytes = 0;
+    uint64_t payload_count = 0;
+    uint64_t dead_count = 0;
+    /// File range covered by the payloads attributed to this segment
+    /// (contiguous: the log is append-only). Punched on release.
+    uint64_t first_offset = 0;
+    uint64_t end_offset = 0;
+    bool released = false;
   };
 
   DiskStorage(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
@@ -188,6 +281,8 @@ class DiskStorage : public BucketStorage {
   uint64_t total_bytes_ = 0;
   uint64_t dead_bytes_ = 0;
   uint64_t dead_count_ = 0;
+  /// Handles whose segment was released: dead and no longer accounted.
+  uint64_t released_payloads_ = 0;
   // lengths_[i] = byte length of the payload whose handle is i; the offset
   // is recovered from offsets_[i]; live_[i] = not yet freed.
   std::vector<uint64_t> offsets_;

@@ -364,6 +364,13 @@ Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
   writer.WriteVarint(stats.storage_bytes);
   writer.WriteVarint(stats.live_storage_bytes);
   writer.WriteVarint(stats.dead_storage_bytes);
+  // Compaction telemetry block, appended with this protocol revision;
+  // the decoder treats it as optional so pre-revision responses decode.
+  writer.WriteVarint(stats.compaction_passes);
+  writer.WriteVarint(stats.compaction_active);
+  writer.WriteVarint(stats.compaction_progress_payloads);
+  writer.WriteVarint(stats.compaction_last_pause_nanos);
+  writer.WriteVarint(stats.compaction_max_pause_nanos);
   return writer.TakeBuffer();
 }
 
@@ -377,6 +384,16 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
   SIMCLOUD_ASSIGN_OR_RETURN(stats.storage_bytes, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(stats.live_storage_bytes, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(stats.dead_storage_bytes, reader.ReadVarint());
+  if (!reader.AtEnd()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_passes, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_active, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_progress_payloads,
+                              reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_last_pause_nanos,
+                              reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_max_pause_nanos,
+                              reader.ReadVarint());
+  }
   return stats;
 }
 
@@ -387,6 +404,12 @@ Bytes EncodeCompactResponse(const mindex::CompactionReport& report) {
   writer.WriteVarint(report.bytes_after);
   writer.WriteVarint(report.payloads_moved);
   writer.WriteVarint(report.reclaimed_bytes);
+  // Appended with this protocol revision (optional on decode): the
+  // writer-lock pause the pass cost, segments released in place, and
+  // which pass mode ran.
+  writer.WriteVarint(report.pause_nanos);
+  writer.WriteVarint(report.segments_released);
+  writer.WriteU8(static_cast<uint8_t>(report.mode));
   return writer.TakeBuffer();
 }
 
@@ -398,6 +421,13 @@ Result<mindex::CompactionReport> DecodeCompactResponse(const Bytes& data) {
   SIMCLOUD_ASSIGN_OR_RETURN(report.bytes_after, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(report.payloads_moved, reader.ReadVarint());
   SIMCLOUD_ASSIGN_OR_RETURN(report.reclaimed_bytes, reader.ReadVarint());
+  if (!reader.AtEnd()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(report.pause_nanos, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(report.segments_released, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(uint8_t mode, reader.ReadU8());
+    report.mode = mode == 1 ? mindex::CompactionMode::kPartial
+                            : mindex::CompactionMode::kFull;
+  }
   return report;
 }
 

@@ -2,15 +2,84 @@
 
 #include <mutex>
 
+#include "common/log.h"
+
 namespace simcloud {
 namespace secure {
 
 Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
     const mindex::MIndexOptions& options) {
+  // The index is created with the options untouched (validation included,
+  // and snapshots keep the configured trigger), but inline triggering is
+  // deferred: a delete batch returns as soon as the handles are freed,
+  // and the background thread (below) runs the pass under the server's
+  // readers-writer lock instead.
   SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<mindex::MIndex> index,
                             mindex::MIndex::Create(options));
-  return std::unique_ptr<EncryptedMIndexServer>(
-      new EncryptedMIndexServer(std::move(index)));
+  index->SetDeferredCompaction(true);
+  return std::unique_ptr<EncryptedMIndexServer>(new EncryptedMIndexServer(
+      std::move(index), options.compaction_trigger));
+}
+
+EncryptedMIndexServer::EncryptedMIndexServer(
+    std::unique_ptr<mindex::MIndex> index, double compaction_trigger)
+    : index_(std::move(index)), compaction_trigger_(compaction_trigger) {
+  if (compaction_trigger_ > 0.0) {
+    compaction_thread_ = std::thread([this] { CompactionLoop(); });
+  }
+}
+
+EncryptedMIndexServer::~EncryptedMIndexServer() {
+  if (compaction_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(compaction_mutex_);
+      compaction_stop_ = true;
+    }
+    compaction_cv_.notify_all();
+    compaction_thread_.join();
+  }
+}
+
+void EncryptedMIndexServer::MaybeKickCompaction() {
+  if (compaction_trigger_ <= 0.0) return;
+  double ratio;
+  {
+    // The accounting is mutated under the writer lock; read it shared.
+    // O(1) — this runs after every delete batch.
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    ratio = index_->GarbageRatio();
+  }
+  if (ratio < compaction_trigger_) return;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mutex_);
+    compaction_kick_ = true;
+  }
+  compaction_cv_.notify_one();
+}
+
+void EncryptedMIndexServer::CompactionLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compaction_mutex_);
+      compaction_cv_.wait(
+          lock, [this] { return compaction_kick_ || compaction_stop_; });
+      if (compaction_stop_) return;
+      compaction_kick_ = false;
+    }
+    // Unforced: the pass re-checks the ratio against the trigger itself,
+    // so a kick that raced an explicit kCompact just no-ops. Deletes that
+    // land while the pass runs set the kick flag again, and the loop
+    // re-evaluates — the ratio stays bounded without ever holding the
+    // writer lock for more than the begin/swap slices.
+    mindex::CompactorOptions options =
+        index_->DefaultCompactorOptions(/*force=*/false);
+    options.garbage_threshold = compaction_trigger_;
+    auto report = index_->CompactBackground(options, &index_mutex_);
+    if (!report.ok()) {
+      SIMCLOUD_LOG(kWarn) << "background compaction failed: "
+                          << report.status().ToString();
+    }
+  }
 }
 
 void EncryptedMIndexServer::AccumulateStats(
@@ -88,9 +157,12 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
       return EncodeStatsResponse(index_->Stats());
     }
     case Op::kDelete: {
-      std::unique_lock<std::shared_mutex> lock(index_mutex_);
-      SIMCLOUD_RETURN_NOT_OK(
-          index_->Delete(request.delete_id, {}, request.delete_permutation));
+      {
+        std::unique_lock<std::shared_mutex> lock(index_mutex_);
+        SIMCLOUD_RETURN_NOT_OK(index_->Delete(request.delete_id, {},
+                                              request.delete_permutation));
+      }
+      MaybeKickCompaction();
       return EncodeInsertResponse(1);
     }
     case Op::kDeleteBatch: {
@@ -103,21 +175,27 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
         deletions.push_back(
             mindex::Deletion{item.id, {}, std::move(item.permutation)});
       }
-      std::unique_lock<std::shared_mutex> lock(index_mutex_);
-      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t deleted,
-                                index_->DeleteBatch(deletions));
+      uint64_t deleted;
+      {
+        std::unique_lock<std::shared_mutex> lock(index_mutex_);
+        SIMCLOUD_ASSIGN_OR_RETURN(deleted, index_->DeleteBatch(deletions));
+      }
+      MaybeKickCompaction();
       return EncodeInsertResponse(deleted);
     }
     case Op::kCompact: {
-      // Compaction rewrites the payload log and remaps handles, so it is
-      // a writer like insert/delete: searches wait, then resume against
-      // the compacted log.
-      std::unique_lock<std::shared_mutex> lock(index_mutex_);
-      mindex::CompactionOptions options;
-      options.force = request.compact_force;
-      // Unforced: MIndex::Compact gates on the configured trigger.
-      SIMCLOUD_ASSIGN_OR_RETURN(mindex::CompactionReport report,
-                                index_->Compact(options));
+      // The pass manages the index lock itself: the rewrite shares it
+      // with searches and only the begin and swap+remap slices take it
+      // exclusively, so this worker thread blocks on the pass while the
+      // rest of the pool keeps serving. Serialized with the background
+      // trigger inside CompactBackground.
+      mindex::CompactorOptions options =
+          index_->DefaultCompactorOptions(request.compact_force);
+      // Unforced: gate on the server's configured trigger.
+      options.garbage_threshold = compaction_trigger_;
+      SIMCLOUD_ASSIGN_OR_RETURN(
+          mindex::CompactionReport report,
+          index_->CompactBackground(options, &index_mutex_));
       return EncodeCompactResponse(report);
     }
     case Op::kPing:

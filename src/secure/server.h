@@ -6,8 +6,10 @@
 #ifndef SIMCLOUD_SECURE_SERVER_H_
 #define SIMCLOUD_SECURE_SERVER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <shared_mutex>
+#include <thread>
 
 #include "mindex/mindex.h"
 #include "net/transport.h"
@@ -22,11 +24,25 @@ namespace secure {
 /// delete) take an exclusive lock, searches and stats take a shared lock,
 /// so a multi-client TcpServer can drive one instance from many
 /// connection threads (paper: "parallel, potentially distributed").
+///
+/// Compaction is a BACKGROUND service here: the index defers its inline
+/// trigger to the server, and once the garbage ratio passes the
+/// configured `compaction_trigger` a dedicated thread runs an incremental
+/// pass (MIndex::CompactBackground) that shares the index lock with
+/// searches and takes it exclusively only for the microsecond begin and
+/// swap+remap slices — deletes never pay for a rewrite, and queries keep
+/// flowing while the log is compacted underneath them. The kCompact
+/// opcode drives the same machinery inline on its worker thread
+/// (serialized with the background pass), so its response still carries
+/// the finished report.
 class EncryptedMIndexServer : public net::RequestHandler {
  public:
   /// Creates the server with an empty index configured by `options`.
   static Result<std::unique_ptr<EncryptedMIndexServer>> Create(
       const mindex::MIndexOptions& options);
+
+  /// Joins the background compaction thread (in-flight pass finishes).
+  ~EncryptedMIndexServer() override;
 
   Result<Bytes> Handle(const Bytes& request) override;
 
@@ -40,12 +56,17 @@ class EncryptedMIndexServer : public net::RequestHandler {
   }
 
  private:
-  explicit EncryptedMIndexServer(std::unique_ptr<mindex::MIndex> index)
-      : index_(std::move(index)) {}
+  EncryptedMIndexServer(std::unique_ptr<mindex::MIndex> index,
+                        double compaction_trigger);
 
   void AccumulateStats(const mindex::SearchStats& stats);
   /// One lock acquisition for a whole batch of per-query stats.
   void AccumulateStatsBatch(const std::vector<mindex::SearchStats>& stats);
+
+  /// Wakes the background thread if the garbage ratio passed the trigger
+  /// (called after mutations, without the index lock held).
+  void MaybeKickCompaction();
+  void CompactionLoop();
 
   std::unique_ptr<mindex::MIndex> index_;
   /// Readers-writer lock over the index: searches run concurrently,
@@ -53,6 +74,15 @@ class EncryptedMIndexServer : public net::RequestHandler {
   mutable std::shared_mutex index_mutex_;
   mutable std::mutex stats_mutex_;  // guards total_stats_ only
   mindex::SearchStats total_stats_;
+
+  /// The configured trigger; the index defers inline triggering
+  /// (SetDeferredCompaction) so the pass runs here, not under a delete.
+  const double compaction_trigger_;
+  std::thread compaction_thread_;
+  std::mutex compaction_mutex_;  // guards the two flags below
+  std::condition_variable compaction_cv_;
+  bool compaction_kick_ = false;
+  bool compaction_stop_ = false;
 };
 
 }  // namespace secure

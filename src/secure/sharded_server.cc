@@ -429,6 +429,19 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
         total.storage_bytes += stats.storage_bytes;
         total.live_storage_bytes += stats.live_storage_bytes;
         total.dead_storage_bytes += stats.dead_storage_bytes;
+        // Compaction telemetry: counts sum (active reports how many
+        // shards are mid-pass); pauses report the worst shard, since the
+        // shards compact concurrently.
+        total.compaction_passes += stats.compaction_passes;
+        total.compaction_active += stats.compaction_active;
+        total.compaction_progress_payloads +=
+            stats.compaction_progress_payloads;
+        total.compaction_last_pause_nanos =
+            std::max(total.compaction_last_pause_nanos,
+                     stats.compaction_last_pause_nanos);
+        total.compaction_max_pause_nanos =
+            std::max(total.compaction_max_pause_nanos,
+                     stats.compaction_max_pause_nanos);
       }
       return EncodeStatsResponse(total);
     }

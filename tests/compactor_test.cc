@@ -318,6 +318,120 @@ TEST(CompactorCacheTest, CacheSurvivesCompactionWarmAndNeverStale) {
   std::remove(options.disk_path.c_str());
 }
 
+// The mid-pass mutation window: the between_steps hook runs with no lock
+// held, exactly where concurrent writers interleave with a background
+// pass. Everything that lands there must flow through the relocation
+// journal — inserts are caught up into the fresh log, deletes of
+// already-copied payloads free the copy at the swap.
+TEST_P(CompactorTest, MidPassMutationsSurviveTheRelocationJournal) {
+  TestWorld world = MakeWorld(360, 167);
+  MIndexOptions options = Options();
+  const std::vector<VectorObject> initial(world.objects.begin(),
+                                          world.objects.begin() + 300);
+  const std::vector<VectorObject> extra(world.objects.begin() + 300,
+                                        world.objects.end());
+
+  auto make_index = [&](const std::string& suffix) {
+    MIndexOptions opts = options;
+    if (!opts.disk_path.empty()) opts.disk_path += suffix;
+    opts.num_pivots = world.pivots.size();
+    auto index = MIndex::Create(opts);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    for (const auto& object : initial) {
+      BinaryWriter payload;
+      object.Serialize(&payload);
+      EXPECT_TRUE((*index)
+                      ->Insert(object.id(), DistancesFor(world, object), {},
+                               payload.buffer())
+                      .ok());
+    }
+    return std::move(index).value();
+  };
+  auto compacting = make_index("");
+  auto reference = make_index(".ref");
+
+  auto insert_both = [&](const VectorObject& object) {
+    BinaryWriter payload;
+    object.Serialize(&payload);
+    for (MIndex* index : {compacting.get(), reference.get()}) {
+      ASSERT_TRUE(index
+                      ->Insert(object.id(), DistancesFor(world, object), {},
+                               payload.buffer())
+                      .ok());
+    }
+  };
+  auto delete_both = [&](const VectorObject& object) {
+    for (MIndex* index : {compacting.get(), reference.get()}) {
+      ASSERT_TRUE(
+          index->Delete(object.id(), DistancesFor(world, object), {}).ok());
+    }
+  };
+
+  // Pre-pass garbage: delete every third object from both.
+  for (size_t i = 0; i < initial.size(); i += 3) delete_both(initial[i]);
+  ASSERT_GT(compacting->StorageStats().dead_bytes, 0u);
+
+  // Run a forced pass with small steps, mutating BOTH indexes from the
+  // mid-pass window: fresh inserts, deletes of long-copied survivors, and
+  // an insert that is deleted again before the pass ends (its journal
+  // entries must cancel out).
+  CompactorOptions copts;
+  copts.force = true;
+  copts.batch_size = 16;
+  size_t step = 0;
+  copts.between_steps = [&] {
+    ++step;
+    if (step == 2) {
+      for (size_t i = 0; i < 20; ++i) insert_both(extra[i]);
+    }
+    if (step == 4) {
+      // Survivors copied by the very first steps (handle order follows
+      // insert order on a single-segment log).
+      delete_both(initial[1]);
+      delete_both(initial[2]);
+      // Inserted two steps ago, gone before the swap.
+      delete_both(extra[0]);
+      delete_both(extra[1]);
+    }
+    if (step == 6) {
+      for (size_t i = 20; i < extra.size(); ++i) insert_both(extra[i]);
+    }
+  };
+  auto report = compacting->Compact(copts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->compacted);
+  ASSERT_GT(step, 5u) << "the pass must have run in many small steps";
+
+  // Both indexes now hold the same live set; every answer must agree.
+  EXPECT_EQ(compacting->size(), reference->size());
+  EXPECT_TRUE(compacting->CheckInvariants().ok());
+  for (size_t qi : {1u, 40u, 123u, 310u}) {
+    const VectorObject& query = world.objects[qi];
+    EXPECT_EQ(RangeAnswer(*compacting, world, query, 2.0),
+              RangeAnswer(*reference, world, query, 2.0))
+        << "range query " << qi;
+    EXPECT_EQ(KnnAnswer(*compacting, world, query, 50),
+              KnnAnswer(*reference, world, query, 50))
+        << "knn query " << qi;
+  }
+  const auto live_ref = reference->StorageStats();
+  const auto live_got = compacting->StorageStats();
+  EXPECT_EQ(live_got.live_bytes, live_ref.live_bytes);
+  EXPECT_EQ(live_got.live_payloads, live_ref.live_payloads);
+
+  // The only garbage the fresh log may carry is the copies of payloads
+  // deleted mid-pass; a quiescent second pass clears it.
+  auto second = compacting->Compact();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(compacting->StorageStats().dead_bytes, 0u);
+  for (size_t qi : {1u, 310u}) {
+    const VectorObject& query = world.objects[qi];
+    EXPECT_EQ(RangeAnswer(*compacting, world, query, 2.0),
+              RangeAnswer(*reference, world, query, 2.0));
+  }
+  if (!path_.empty()) std::remove((path_ + ".ref").c_str());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, CompactorTest,
                          ::testing::Values(StorageKind::kMemory,
                                            StorageKind::kDisk),
@@ -326,6 +440,157 @@ INSTANTIATE_TEST_SUITE_P(Backends, CompactorTest,
                                       ? "memory"
                                       : "disk";
                          });
+
+// ---------------------------------------------------- partial compaction
+
+class PartialCompactionTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kPayloadBytes = 2048;
+
+  void SetUp() override {
+    world_ = MakeWorld(400, 173);
+    path_ = testing::TempDir() + "/simcloud_partial_test.bucket";
+    compacting_ = Build(path_);
+    reference_ = Build(path_ + ".ref");
+    // Delete two of every three among the first 300 objects from both:
+    // the early (sealed) 64 KiB segments end up ~2/3 dead, the tail
+    // segments stay clean.
+    for (size_t i = 0; i < 300; ++i) {
+      if (i % 3 == 2) continue;
+      for (MIndex* index : {compacting_.get(), reference_.get()}) {
+        const VectorObject& victim = world_.objects[i];
+        ASSERT_TRUE(
+            index->Delete(victim.id(), DistancesFor(world_, victim), {})
+                .ok());
+      }
+    }
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".ref").c_str());
+  }
+
+  std::unique_ptr<MIndex> Build(const std::string& path) {
+    MIndexOptions options;
+    options.num_pivots = world_.pivots.size();
+    options.bucket_capacity = 40;
+    options.max_level = 4;
+    options.storage_kind = StorageKind::kDisk;
+    options.disk_path = path;
+    auto index = MIndex::Create(options);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    for (size_t i = 0; i < world_.objects.size(); ++i) {
+      const VectorObject& object = world_.objects[i];
+      // Padded payloads so the log spans many segments.
+      Bytes payload(kPayloadBytes, static_cast<uint8_t>(i));
+      EXPECT_TRUE((*index)
+                      ->Insert(object.id(), DistancesFor(world_, object), {},
+                               payload)
+                      .ok());
+    }
+    return std::move(index).value();
+  }
+
+  void ExpectAnswersMatchReference() {
+    for (size_t qi : {2u, 47u, 200u, 350u}) {
+      const VectorObject& query = world_.objects[qi];
+      EXPECT_EQ(RangeAnswer(*compacting_, world_, query, 2.0),
+                RangeAnswer(*reference_, world_, query, 2.0))
+          << "range query " << qi;
+      EXPECT_EQ(KnnAnswer(*compacting_, world_, query, 50),
+                KnnAnswer(*reference_, world_, query, 50))
+          << "knn query " << qi;
+    }
+  }
+
+  TestWorld world_;
+  std::string path_;
+  std::unique_ptr<MIndex> compacting_;
+  std::unique_ptr<MIndex> reference_;
+};
+
+TEST_F(PartialCompactionTest, ReleasesDeadestSegmentsWithoutFullRewrite) {
+  const auto before = compacting_->StorageStats();
+  ASSERT_GT(before.dead_bytes, 0u);
+  ASSERT_GT(before.segment_count, 8u) << "log must span many segments";
+
+  CompactorOptions opts;
+  opts.force = true;
+  opts.mode = CompactionMode::kPartial;
+  opts.segment_dead_threshold = 0.5;
+  auto report = compacting_->Compact(opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->compacted);
+  EXPECT_EQ(report->mode, CompactionMode::kPartial);
+  EXPECT_GE(report->segments_released, 5u);
+  // Partial means partial: only the live payloads of the targeted
+  // segments moved, not the whole collection.
+  EXPECT_GT(report->payloads_moved, 0u);
+  EXPECT_LT(report->payloads_moved, compacting_->size());
+  EXPECT_GT(report->reclaimed_bytes, 0u);
+
+  const auto after = compacting_->StorageStats();
+  EXPECT_LT(after.TotalBytes(), before.TotalBytes());
+  EXPECT_LT(after.dead_bytes, before.dead_bytes);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_TRUE(compacting_->CheckInvariants().ok());
+  ExpectAnswersMatchReference();
+
+  // Everything eligible was released; a second pass finds no target.
+  auto again = compacting_->Compact(opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->compacted);
+  ExpectAnswersMatchReference();
+}
+
+TEST_F(PartialCompactionTest, PassByteBudgetBoundsTheWork) {
+  CompactorOptions opts;
+  opts.force = true;
+  opts.mode = CompactionMode::kPartial;
+  opts.segment_dead_threshold = 0.5;
+  opts.max_pass_bytes = 1;  // at least one segment is always taken
+  auto report = compacting_->Compact(opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->compacted);
+  EXPECT_EQ(report->segments_released, 1u);
+  // One 64 KiB segment holds ~32 of these payloads, a third of them live.
+  EXPECT_LE(report->payloads_moved, 16u);
+  EXPECT_TRUE(compacting_->CheckInvariants().ok());
+  ExpectAnswersMatchReference();
+
+  // Later passes keep eating the backlog one segment at a time.
+  auto next = compacting_->Compact(opts);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->compacted);
+  EXPECT_EQ(next->segments_released, 1u);
+  ExpectAnswersMatchReference();
+}
+
+TEST(PartialCompactionFallbackTest, MemoryBackendFallsBackToFullPass) {
+  TestWorld world = MakeWorld(200, 179);
+  MIndexOptions options;
+  options.num_pivots = world.pivots.size();
+  options.bucket_capacity = 30;
+  options.max_level = 4;
+  auto index = BuildIndex(world, options);
+  for (size_t i = 0; i < world.objects.size(); i += 2) {
+    const VectorObject& victim = world.objects[i];
+    ASSERT_TRUE(
+        index->Delete(victim.id(), DistancesFor(world, victim), {}).ok());
+  }
+
+  CompactorOptions opts;
+  opts.force = true;
+  opts.mode = CompactionMode::kPartial;
+  auto report = index->Compact(opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->compacted);
+  // Memory storage cannot release segments in place: the pass must have
+  // run (and reported) the full rewrite, leaving zero garbage.
+  EXPECT_EQ(report->mode, CompactionMode::kFull);
+  EXPECT_EQ(index->StorageStats().dead_bytes, 0u);
+  EXPECT_TRUE(index->CheckInvariants().ok());
+}
 
 }  // namespace
 }  // namespace mindex

@@ -230,6 +230,11 @@ TEST(PersistenceTest, SnapshotRoundTripPreservesContentAndResults) {
   MIndexOptions options;
   options.bucket_capacity = 40;
   options.max_level = 4;
+  // Compaction policy (snapshot version 4) must survive the round trip.
+  options.compaction_trigger = 0.4;
+  options.compaction_mode = CompactionMode::kPartial;
+  options.segment_dead_threshold = 0.6;
+  options.compaction_max_pass_bytes = 1 << 20;
   auto index = BuildIndex(world, options);
 
   auto snapshot = SerializeIndex(*index);
@@ -239,6 +244,11 @@ TEST(PersistenceTest, SnapshotRoundTripPreservesContentAndResults) {
 
   EXPECT_EQ((*loaded)->size(), index->size());
   EXPECT_TRUE((*loaded)->CheckInvariants().ok());
+  EXPECT_EQ((*loaded)->options().compaction_trigger, 0.4);
+  EXPECT_EQ((*loaded)->options().compaction_mode, CompactionMode::kPartial);
+  EXPECT_EQ((*loaded)->options().segment_dead_threshold, 0.6);
+  EXPECT_EQ((*loaded)->options().compaction_max_pass_bytes,
+            uint64_t{1} << 20);
 
   for (size_t qi : {0u, 50u, 111u}) {
     const VectorObject& query = world.objects[qi];
@@ -328,7 +338,7 @@ TEST(PersistenceTest, CrashMidCompactionLosesAndDuplicatesNothing) {
   // Crash mid-compaction: the test hook aborts after 50 payloads, leaving
   // the fresh log half-written. The old log was never touched, so the
   // live index keeps answering exactly as before...
-  CompactionOptions copts;
+  CompactorOptions copts;
   copts.force = true;
   copts.fail_after_payloads = 50;
   auto crashed = index->Compact(copts);

@@ -159,6 +159,78 @@ TEST(DiskStorageTest, SegmentAccountingTracksDeadSegments) {
   std::remove(path.c_str());
 }
 
+TEST(DiskStorageTest, SegmentViewAndReleaseReclaimInPlace) {
+  const std::string path = testing::TempDir() + "/simcloud_seg_release.bin";
+  auto created = DiskStorage::Create(path);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DiskStorage> storage = std::move(created).value();
+
+  // 3000-byte payloads: ~21 per 64 KiB segment, spanning 3+ segments.
+  const size_t payload_size = 3000;
+  const size_t count = 50;
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(
+        storage->Store(Bytes(payload_size, static_cast<uint8_t>(i))).ok());
+  }
+
+  // The segment iteration API: every live handle reports its segment,
+  // and the view marks only the tail segment unsealed.
+  std::vector<PayloadHandle> segment0;
+  uint64_t last_segment = 0;
+  ASSERT_TRUE(storage
+                  ->ForEachLiveHandle([&](PayloadHandle handle,
+                                          uint64_t segment, uint32_t bytes) {
+                    EXPECT_EQ(bytes, payload_size);
+                    if (segment == 0) segment0.push_back(handle);
+                    last_segment = std::max(last_segment, segment);
+                  })
+                  .ok());
+  ASSERT_GE(last_segment, 2u);
+  ASSERT_FALSE(segment0.empty());
+  for (const auto& view : storage->Segments()) {
+    EXPECT_EQ(view.sealed, view.segment != last_segment)
+        << "segment " << view.segment;
+  }
+
+  // Releasing needs the segment fully dead and sealed.
+  EXPECT_EQ(storage->ReleaseDeadSegments({0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  for (PayloadHandle handle : segment0) {
+    ASSERT_TRUE(storage->Free(handle).ok());
+  }
+  EXPECT_EQ(storage->ReleaseDeadSegments({last_segment}).status().code(),
+            StatusCode::kFailedPrecondition)
+      << "the append segment must not be releasable";
+
+  const auto before = storage->GetCompactionStats();
+  auto released = storage->ReleaseDeadSegments({0});
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  EXPECT_EQ(*released, segment0.size() * payload_size);
+
+  // The accounting dropped the whole segment: bytes, dead bytes, counts.
+  const auto after = storage->GetCompactionStats();
+  EXPECT_EQ(after.dead_bytes, 0u);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(storage->TotalBytes(), before.TotalBytes() - *released);
+  EXPECT_EQ(storage->Count(), count - segment0.size());
+  EXPECT_EQ(after.segment_count, before.segment_count - 1);
+
+  // Released handles stay invalid; stores and fetches keep working, and
+  // a released segment cannot be released twice.
+  EXPECT_EQ(storage->Fetch(segment0[0]).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(storage->ReleaseDeadSegments({0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto fresh = storage->Store(Bytes(64, 0xEE));
+  ASSERT_TRUE(fresh.ok());
+  auto fetched = storage->Fetch(*fresh);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, Bytes(64, 0xEE));
+
+  storage.reset();
+  std::remove(path.c_str());
+}
+
 // Backend that recycles freed handle slots — the shape a compacted log
 // presents to the cache layer. Without cache eviction on Free, a
 // deleted-then-reinserted object would be served the PREVIOUS occupant's

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation surface.
+
+Walks every tracked .md file (top-level docs, docs/, module READMEs),
+extracts inline links, and verifies that every RELATIVE link points at a
+file or directory that actually exists. External links (http/https/
+mailto) are not fetched — CI must not depend on the network — and pure
+anchors (#section) are skipped.
+
+Exit status 0 when every link resolves, 1 otherwise (listing the
+offenders), so ci.sh can gate on it.
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links: [text](target). Reference-style links are not
+# used in this repo. Images share the syntax via a leading "!".
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", ".claude"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    failures = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Strip fenced code blocks: ASCII diagrams and example snippets are
+    # not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure anchor into the same document
+            continue
+        base = root if target.startswith("/") else os.path.dirname(path)
+        resolved = os.path.normpath(os.path.join(base, target.lstrip("/")))
+        if not os.path.exists(resolved):
+            failures.append((target, resolved))
+    return failures
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bad = 0
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        for target, resolved in check_file(path, root):
+            print(f"BROKEN LINK in {os.path.relpath(path, root)}: "
+                  f"({target}) -> {os.path.relpath(resolved, root)}")
+            bad += 1
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if bad == 0 else f'{bad} broken links'}")
+    return 0 if bad == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
