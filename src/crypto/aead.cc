@@ -31,7 +31,10 @@ Result<AeadCipher> AeadCipher::Create(const Bytes& master_key) {
   Bytes mac_key = DeriveSubkey(master_key, "simcloud-aead-mac", kTagSize);
   SIMCLOUD_ASSIGN_OR_RETURN(Cipher enc,
                             Cipher::Create(enc_key, CipherMode::kCtr));
-  return AeadCipher(std::move(enc), std::move(mac_key));
+  AeadCipher aead(std::move(enc), mac_key);
+  WipeBytes(&enc_key);
+  WipeBytes(&mac_key);
+  return aead;
 }
 
 Bytes AeadCipher::ComputeTag(const Bytes& iv_and_ciphertext,
@@ -46,7 +49,7 @@ Bytes AeadCipher::ComputeTag(const Bytes& iv_and_ciphertext,
                  associated_data.end());
   message.insert(message.end(), iv_and_ciphertext.begin(),
                  iv_and_ciphertext.end());
-  return HmacSha256(mac_key_, message);
+  return mac_state_.Mac(message);
 }
 
 Result<Bytes> AeadCipher::Seal(const Bytes& plaintext,

@@ -25,6 +25,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/cipher.h"
+#include "crypto/hmac.h"
 
 namespace simcloud {
 namespace crypto {
@@ -42,6 +43,10 @@ class AeadCipher {
   /// Creates an AEAD from a 16/24/32-byte master key. The AES encryption
   /// key (same length as the master key) and the 32-byte MAC key are
   /// derived with domain-separated HMAC-SHA256 invocations.
+  ///
+  /// Key hygiene: the raw MAC key is wiped inside Create — the cipher
+  /// retains only the precomputed HMAC states (in-object arrays, no
+  /// heap-resident key bytes to leak on copy/move/destruction).
   static Result<AeadCipher> Create(const Bytes& master_key);
 
   /// Encrypts and authenticates `plaintext`, binding `associated_data`
@@ -61,16 +66,19 @@ class AeadCipher {
   }
 
  private:
-  AeadCipher(Cipher enc, Bytes mac_key)
+  AeadCipher(Cipher enc, const Bytes& mac_key)
       : enc_(std::make_shared<Cipher>(std::move(enc))),
-        mac_key_(std::move(mac_key)) {}
+        mac_state_(mac_key) {}
 
   /// Computes the tag over (len(ad) || ad || iv_and_ciphertext).
   Bytes ComputeTag(const Bytes& iv_and_ciphertext,
                    const Bytes& associated_data) const;
 
   std::shared_ptr<Cipher> enc_;
-  Bytes mac_key_;
+  /// Precomputed HMAC key schedule: tagging pays only the message
+  /// compressions (the record layer tags every wire record), and no
+  /// raw key bytes stay resident on the heap.
+  HmacSha256State mac_state_;
 };
 
 }  // namespace crypto

@@ -1,0 +1,50 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace simcloud {
+namespace crypto {
+
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm) {
+  // RFC 5869 section 2.2: an absent salt is HashLen zero bytes.
+  if (salt.empty()) {
+    return HmacSha256(Bytes(Sha256::kDigestSize, 0x00), ikm);
+  }
+  return HmacSha256(salt, ikm);
+}
+
+Result<Bytes> HkdfExpand(const Bytes& prk, const Bytes& info,
+                         size_t out_len) {
+  constexpr size_t kHashLen = Sha256::kDigestSize;
+  if (prk.size() < kHashLen) {
+    return Status::InvalidArgument("HKDF-Expand needs a PRK of >= 32 bytes");
+  }
+  if (out_len == 0 || out_len > 255 * kHashLen) {
+    return Status::InvalidArgument("HKDF-Expand output length out of range");
+  }
+
+  Bytes out;
+  out.reserve(out_len);
+  Bytes block;  // T(i-1), empty for T(1)
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes message;
+    message.reserve(block.size() + info.size() + 1);
+    message.insert(message.end(), block.begin(), block.end());
+    message.insert(message.end(), info.begin(), info.end());
+    message.push_back(counter++);
+    block = HmacSha256(prk, message);
+    const size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + take);
+  }
+  return out;
+}
+
+Result<Bytes> HkdfSha256(const Bytes& salt, const Bytes& ikm,
+                         const Bytes& info, size_t out_len) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, out_len);
+}
+
+}  // namespace crypto
+}  // namespace simcloud

@@ -5,11 +5,19 @@
 namespace simcloud {
 namespace crypto {
 
-Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+HmacSha256State::HmacSha256State(const Bytes& key) {
   constexpr size_t kBlock = Sha256::kBlockSize;
-
-  Bytes k = key;
-  if (k.size() > kBlock) k = Sha256::Hash(k);
+  // Reserve up front so padding to a block never reallocates — a
+  // reallocation would free the original copy of the key un-wiped.
+  Bytes k;
+  k.reserve(kBlock);
+  if (key.size() > kBlock) {
+    Bytes digest = Sha256::Hash(key);
+    k.assign(digest.begin(), digest.end());
+    WipeBytes(&digest);
+  } else {
+    k.assign(key.begin(), key.end());
+  }
   k.resize(kBlock, 0x00);
 
   Bytes ipad(kBlock), opad(kBlock);
@@ -17,17 +25,26 @@ Bytes HmacSha256(const Bytes& key, const Bytes& message) {
     ipad[i] = k[i] ^ 0x36;
     opad[i] = k[i] ^ 0x5c;
   }
+  inner_.Update(ipad);
+  outer_.Update(opad);
+  WipeBytes(&k);
+  WipeBytes(&ipad);
+  WipeBytes(&opad);
+}
 
-  Sha256 inner;
-  inner.Update(ipad);
+Bytes HmacSha256State::Mac(const Bytes& message) const {
+  Sha256 inner = inner_;  // resume from the precomputed key state
   inner.Update(message);
-  auto inner_digest = inner.Finish();
+  const auto inner_digest = inner.Finish();
 
-  Sha256 outer;
-  outer.Update(opad);
+  Sha256 outer = outer_;
   outer.Update(inner_digest.data(), inner_digest.size());
-  auto digest = outer.Finish();
+  const auto digest = outer.Finish();
   return Bytes(digest.begin(), digest.end());
+}
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacSha256State(key).Mac(message);
 }
 
 Result<Bytes> Pbkdf2Sha256(const Bytes& password, const Bytes& salt,

@@ -11,12 +11,31 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "crypto/sha256.h"
 
 namespace simcloud {
 namespace crypto {
 
 /// Computes HMAC-SHA256(key, message); 32-byte output.
 Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Precomputed HMAC-SHA256 key schedule: the SHA-256 states after
+/// absorbing the ipad/opad key blocks. One instance per key; Mac() then
+/// pays only the message compressions instead of re-hashing the padded
+/// key on every call — the AEAD record layer tags every wire record, so
+/// this halves the fixed per-record hash cost. Safe for concurrent
+/// Mac() calls (the states are copied per call).
+class HmacSha256State {
+ public:
+  explicit HmacSha256State(const Bytes& key);
+
+  /// HMAC-SHA256(key, message) under the precomputed schedule.
+  Bytes Mac(const Bytes& message) const;
+
+ private:
+  Sha256 inner_;  ///< state after the ipad block
+  Sha256 outer_;  ///< state after the opad block
+};
 
 /// Derives `out_len` bytes from `password` and `salt` using
 /// PBKDF2-HMAC-SHA256 with `iterations` rounds (>= 1).

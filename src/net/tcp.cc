@@ -73,7 +73,7 @@ void StoreLE32(uint32_t v, uint8_t* p) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
-Status WriteFrameInternal(int fd, uint32_t request_id, const Bytes& payload) {
+Result<Bytes> EncodeFrame(uint32_t request_id, const Bytes& payload) {
   if (payload.size() > kMaxFrameLength) {
     return Status::InvalidArgument("frame body of " +
                                    std::to_string(payload.size()) +
@@ -87,7 +87,55 @@ Status WriteFrameInternal(int fd, uint32_t request_id, const Bytes& payload) {
             frame.data());
   if (request_id != 0) StoreLE32(request_id, frame.data() + 4);
   std::memcpy(frame.data() + header_len, payload.data(), payload.size());
+  return frame;
+}
+
+Status WriteFrameInternal(int fd, uint32_t request_id, const Bytes& payload) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes frame, EncodeFrame(request_id, payload));
   return WriteAll(fd, frame.data(), frame.size());
+}
+
+/// Tries to parse one frame (either framing) from buf[*off..]; advances
+/// `*off` and fills `*out` when a complete frame is available. Returns
+/// false when more bytes are needed, an error on protocol violations.
+Result<bool> TryParseFrame(const Bytes& buf, size_t* off, size_t max_len,
+                           DecodedFrame* out) {
+  const size_t avail = buf.size() - *off;
+  if (avail < 4) return false;
+  const uint8_t* p = buf.data() + *off;
+  const uint32_t raw = LoadLE32(p);
+  const bool pipelined = (raw & kFrameIdFlag) != 0;
+  const uint32_t len = raw & ~kFrameIdFlag;
+  const size_t header_len = pipelined ? 8 : 4;
+  if (len > max_len) {
+    return Status::NetworkError("frame length " + std::to_string(len) +
+                                " exceeds limit");
+  }
+  if (avail < header_len) return false;
+  uint32_t id = 0;
+  if (pipelined) {
+    id = LoadLE32(p + 4);
+    if (id == 0) {
+      return Status::NetworkError("pipelined frame with request id 0");
+    }
+  }
+  if (avail < header_len + len) return false;
+  out->request_id = id;
+  out->payload.assign(p + header_len, p + header_len + len);
+  *off += header_len + len;
+  return true;
+}
+
+/// Drops the consumed prefix of a parse buffer (amortized: only when
+/// fully drained or the dead prefix is large).
+void CompactBuffer(Bytes* buf, size_t* off) {
+  if (*off == buf->size()) {
+    buf->clear();
+    *off = 0;
+  } else if (*off > (1u << 20)) {
+    buf->erase(buf->begin(), buf->begin() + static_cast<ptrdiff_t>(*off));
+    *off = 0;
+  }
 }
 
 Status SetNonBlocking(int fd) {
@@ -158,6 +206,17 @@ Status TcpServer::Start(uint16_t port) {
   if (options_.worker_threads == 0) options_.worker_threads = 1;
   options_.max_frame_bytes =
       std::min<size_t>(options_.max_frame_bytes, kMaxFrameLength);
+  if (options_.channel_policy == ChannelPolicy::kSecure) {
+    if (options_.secure_channel.psk.size() < 16) {
+      return Status::InvalidArgument(
+          "secure channel policy needs a PSK of >= 16 bytes");
+    }
+    // A record carries at most one max-size frame from our clients, but
+    // foreign stacks may pack differently; admit any record whose
+    // plaintext could fit a legal frame.
+    options_.secure_channel.max_record_bytes =
+        options_.max_frame_bytes + 8 + SecureChannel::kSealOverhead;
+  }
 
   // On any setup failure every fd opened so far is closed: a failed
   // Start leaves no bound port or leaked descriptor behind.
@@ -336,6 +395,10 @@ void TcpServer::AcceptNewConnections() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->gen = next_gen_++;
+    if (options_.channel_policy == ChannelPolicy::kSecure) {
+      conn->handshake =
+          std::make_unique<ServerHandshake>(options_.secure_channel);
+    }
     conn->interest = EPOLLIN | EPOLLRDHUP;
     epoll_event ev{};
     ev.events = conn->interest;
@@ -355,6 +418,10 @@ bool TcpServer::ReadFromConnection(Connection* conn) {
   // the bytes actually read avoids zero-initializing a fresh vector
   // tail on every recv (a pure memset tax for small frames).
   static thread_local std::vector<uint8_t> scratch(kReadChunk);
+  // Secure connections receive raw handshake/record bytes; DecryptIncoming
+  // moves their plaintext into `in` before the frame parser runs.
+  Bytes& sink =
+      options_.channel_policy == ChannelPolicy::kSecure ? conn->raw : conn->in;
   size_t read_this_event = 0;
   while (read_this_event < kMaxReadPerEvent) {
     const ssize_t n = ::recv(conn->fd, scratch.data(), scratch.size(), 0);
@@ -367,11 +434,48 @@ bool TcpServer::ReadFromConnection(Connection* conn) {
       conn->read_eof = true;
       return true;
     }
-    conn->in.insert(conn->in.end(), scratch.data(), scratch.data() + n);
+    sink.insert(sink.end(), scratch.data(), scratch.data() + n);
     read_this_event += static_cast<size_t>(n);
     if (static_cast<size_t>(n) < scratch.size()) return true;
   }
   return true;  // level-triggered epoll re-fires for the rest
+}
+
+bool TcpServer::DecryptIncoming(Connection* conn) {
+  if (!conn->handshake && !conn->channel) return true;  // plaintext wire
+  if (conn->handshake) {
+    Bytes reply;
+    Result<size_t> advanced = conn->handshake->Consume(
+        conn->raw.data() + conn->raw_off, conn->raw.size() - conn->raw_off,
+        &reply);
+    if (!advanced.ok()) {
+      // Downgrade attempt (plaintext/legacy client), wrong PSK, or a
+      // malformed handshake: hard-close without answering.
+      SIMCLOUD_LOG(kWarn) << "secure handshake rejected: "
+                          << advanced.status().message();
+      return false;
+    }
+    conn->raw_off += *advanced;
+    if (!reply.empty()) {
+      conn->out_bytes += reply.size();
+      conn->out.push_back(std::move(reply));
+    }
+    if (conn->handshake->done()) {
+      conn->channel = conn->handshake->TakeChannel();
+      conn->handshake.reset();
+      handshakes_completed_.fetch_add(1);
+    }
+  }
+  if (conn->channel) {
+    size_t consumed = 0;
+    Status opened = conn->channel->Ingest(
+        conn->raw.data() + conn->raw_off, conn->raw.size() - conn->raw_off,
+        &consumed, &conn->in);
+    conn->raw_off += consumed;
+    if (!opened.ok()) return false;  // tampered/replayed record: close
+  }
+  CompactBuffer(&conn->raw, &conn->raw_off);
+  return true;
 }
 
 bool TcpServer::ParseFrames(Connection* conn) {
@@ -414,16 +518,7 @@ bool TcpServer::ParseFrames(Connection* conn) {
     }
     work_cv_.notify_one();
   }
-  // Compact the consumed prefix (amortized: only once it is large or the
-  // buffer is fully drained).
-  if (conn->in_off == conn->in.size()) {
-    conn->in.clear();
-    conn->in_off = 0;
-  } else if (conn->in_off > (1u << 20)) {
-    conn->in.erase(conn->in.begin(),
-                   conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
-    conn->in_off = 0;
-  }
+  CompactBuffer(&conn->in, &conn->in_off);
   return true;
 }
 
@@ -478,6 +573,10 @@ bool TcpServer::UpdateConnection(Connection* conn) {
   for (;;) {
     const uint64_t dispatched_before =
         frames_dispatched_.load(std::memory_order_relaxed);
+    if (!DecryptIncoming(conn)) {
+      CloseConnection(conn);
+      return false;
+    }
     if (!ParseFrames(conn)) {
       CloseConnection(conn);
       return false;
@@ -547,12 +646,25 @@ void TcpServer::DrainCompletions() {
   // connection once: a burst of pipelined completions leaves in one
   // send instead of one per response.
   std::vector<uint64_t> touched;
+  // Secure connections: a burst of responses for one connection is
+  // concatenated and sealed as ONE record (the record layer carries a
+  // byte stream, not frames), so the per-record AEAD cost — two SHA-256
+  // passes plus AES-CTR — is paid once per burst instead of once per
+  // response. `pending_seal` coalesces per connection within this drain.
+  std::unordered_map<uint64_t, Bytes> pending_seal;
   for (Completion& completion : done) {
     auto it = connections_.find(completion.gen);
     if (it == connections_.end()) continue;  // connection closed meanwhile
     Connection* conn = it->second.get();
     conn->in_flight--;
     if (completion.legacy) conn->legacy_in_flight = false;
+    if (conn->channel) {
+      Bytes& batch = pending_seal[completion.gen];
+      batch.insert(batch.end(), completion.frame.begin(),
+                   completion.frame.end());
+      touched.push_back(completion.gen);
+      continue;
+    }
     conn->out_bytes += completion.frame.size();
     uint64_t peak = peak_output_queue_bytes_.load();
     while (conn->out_bytes > peak &&
@@ -561,6 +673,39 @@ void TcpServer::DrainCompletions() {
     }
     conn->out.push_back(std::move(completion.frame));
     touched.push_back(completion.gen);
+  }
+  for (auto& [gen, batch] : pending_seal) {
+    auto it = connections_.find(gen);
+    if (it == connections_.end()) continue;
+    Connection* conn = it->second.get();
+    // Sealing on the loop thread keeps the record sequence identical to
+    // the queue order (the channel is loop-owned, like `out`). Large
+    // bursts are split into ~1 MiB records — the record layer is a byte
+    // stream, so even mid-frame split points are legal — bounding every
+    // receiver's record buffer.
+    constexpr size_t kSealChunk = 1u << 20;
+    bool sealed_ok = true;
+    for (size_t off = 0; off < batch.size(); off += kSealChunk) {
+      const size_t chunk_len = std::min(kSealChunk, batch.size() - off);
+      Bytes chunk(batch.begin() + static_cast<ptrdiff_t>(off),
+                  batch.begin() + static_cast<ptrdiff_t>(off + chunk_len));
+      Result<Bytes> record = conn->channel->Seal(chunk);
+      if (!record.ok()) {
+        SIMCLOUD_LOG(kWarn) << "sealing a response burst failed: "
+                            << record.status().message();
+        CloseConnection(conn);
+        sealed_ok = false;
+        break;
+      }
+      conn->out_bytes += record->size();
+      conn->out.push_back(std::move(*record));
+    }
+    if (!sealed_ok) continue;
+    uint64_t peak = peak_output_queue_bytes_.load();
+    while (conn->out_bytes > peak &&
+           !peak_output_queue_bytes_.compare_exchange_weak(peak,
+                                                           conn->out_bytes)) {
+    }
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
@@ -630,7 +775,8 @@ void TcpServer::WorkerLoop() {
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, ChannelPolicy policy,
+    const SecureChannelOptions& secure) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::NetworkError(std::string("socket failed: ") +
@@ -650,7 +796,14 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+  if (policy == ChannelPolicy::kSecure) {
+    Result<std::unique_ptr<SecureChannel>> channel =
+        RunClientHandshake(fd, secure);
+    if (!channel.ok()) return channel.status();  // dtor closes fd
+    transport->channel_ = std::move(*channel);
+  }
+  return transport;
 }
 
 TcpTransport::~TcpTransport() {
@@ -671,9 +824,18 @@ Status TcpTransport::SubmitFrame(const Bytes& request, uint32_t id) {
   Status written;
   {
     // Whole-frame writes are serialized so concurrent submitters can
-    // never interleave bytes inside each other's frames.
+    // never interleave bytes inside each other's frames (and, on a
+    // secure channel, so records leave in sealing order).
     std::lock_guard<std::mutex> lock(write_mutex_);
-    written = WriteFrameInternal(fd_, id, request);
+    if (channel_) {
+      written = [&]() -> Status {
+        SIMCLOUD_ASSIGN_OR_RETURN(Bytes frame, EncodeFrame(id, request));
+        SIMCLOUD_ASSIGN_OR_RETURN(Bytes record, channel_->Seal(frame));
+        return WriteAll(fd_, record.data(), record.size());
+      }();
+    } else {
+      written = WriteFrameInternal(fd_, id, request);
+    }
   }
   if (!written.ok()) {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -688,8 +850,43 @@ Status TcpTransport::SubmitFrame(const Bytes& request, uint32_t id) {
   return Status::OK();
 }
 
+Result<DecodedFrame> TcpTransport::ReadSecureFrame() {
+  for (;;) {
+    DecodedFrame frame;
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        bool complete,
+        TryParseFrame(recv_plain_, &recv_plain_off_, 1ull << 31, &frame));
+    if (complete) {
+      CompactBuffer(&recv_plain_, &recv_plain_off_);
+      return frame;
+    }
+    // Need more plaintext: pull raw bytes off the socket and run them
+    // through the record layer.
+    uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(std::string("recv failed: ") +
+                                  std::strerror(errno));
+    }
+    if (n == 0) return Status::NetworkError("peer closed connection");
+    recv_raw_.insert(recv_raw_.end(), chunk, chunk + n);
+    size_t consumed = 0;
+    SIMCLOUD_RETURN_NOT_OK(channel_->Ingest(
+        recv_raw_.data() + recv_raw_off_, recv_raw_.size() - recv_raw_off_,
+        &consumed, &recv_plain_));
+    recv_raw_off_ += consumed;
+    CompactBuffer(&recv_raw_, &recv_raw_off_);
+  }
+}
+
 Status TcpTransport::ReadOneResponse() {
-  SIMCLOUD_ASSIGN_OR_RETURN(DecodedFrame frame, ReadAnyFrame(fd_));
+  DecodedFrame frame;
+  if (channel_) {
+    SIMCLOUD_ASSIGN_OR_RETURN(frame, ReadSecureFrame());
+  } else {
+    SIMCLOUD_ASSIGN_OR_RETURN(frame, ReadAnyFrame(fd_));
+  }
   BinaryReader reader(frame.payload);
   SIMCLOUD_ASSIGN_OR_RETURN(uint64_t server_nanos, reader.ReadU64());
   SIMCLOUD_ASSIGN_OR_RETURN(bool ok, reader.ReadBool());

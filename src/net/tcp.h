@@ -40,6 +40,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "net/secure_channel.h"
 #include "net/transport.h"
 
 namespace simcloud {
@@ -49,6 +50,12 @@ namespace net {
 inline constexpr uint32_t kFrameIdFlag = 0x80000000u;
 /// Largest body length the 31-bit frame header can express.
 inline constexpr uint32_t kMaxFrameLength = 0x7FFFFFFFu;
+
+/// One frame of either framing, as read off a socket.
+struct DecodedFrame {
+  uint32_t request_id = 0;  ///< 0 for legacy frames
+  Bytes payload;
+};
 
 /// Tuning knobs of the event engine. The defaults serve every test and
 /// bench in-tree; they exist so robustness tests can shrink the limits.
@@ -71,6 +78,13 @@ struct TcpServerOptions {
   /// never concurrent with anything on their connection, preserving the
   /// old serve-loop semantics.
   size_t max_in_flight = 64;
+  /// kSecure: every accepted connection must complete the PSK handshake
+  /// (driven on the event loop, never blocking other connections) and
+  /// speak AEAD records; plaintext/legacy clients are hard-closed.
+  /// kPlaintext (default): the original wire format, byte-identical.
+  ChannelPolicy channel_policy = ChannelPolicy::kPlaintext;
+  /// PSK + rekey budgets when channel_policy is kSecure (psk required).
+  SecureChannelOptions secure_channel;
 };
 
 /// Multi-client TCP server: an epoll event loop plus a worker pool.
@@ -112,13 +126,24 @@ class TcpServer {
   uint64_t peak_output_queue_bytes() const {
     return peak_output_queue_bytes_.load();
   }
+  /// Secure handshakes completed since Start (secure policy only).
+  uint64_t handshakes_completed() const {
+    return handshakes_completed_.load();
+  }
 
  private:
   struct Connection {
     int fd = -1;
     uint64_t gen = 0;          ///< identity for completion routing
-    Bytes in;                  ///< received, not yet parsed bytes
+    Bytes in;                  ///< plaintext, not yet parsed bytes
     size_t in_off = 0;         ///< parse offset into `in`
+    // Secure policy only: raw wire bytes before handshake/record
+    // processing, and the channel state. `in` then holds decrypted
+    // plaintext and the frame parser is unchanged.
+    Bytes raw;                 ///< undecrypted received bytes
+    size_t raw_off = 0;        ///< consume offset into `raw`
+    std::unique_ptr<ServerHandshake> handshake;  ///< until complete
+    std::unique_ptr<SecureChannel> channel;      ///< open record channel
     std::deque<Bytes> out;     ///< encoded response frames pending write
     size_t out_off = 0;        ///< progress within out.front()
     size_t out_bytes = 0;      ///< total unsent bytes across `out`
@@ -148,6 +173,10 @@ class TcpServer {
   void DrainCompletions();
   /// Reads available bytes; false = fatal socket state, close now.
   bool ReadFromConnection(Connection* conn);
+  /// Secure policy: advances the handshake and/or decrypts complete
+  /// records from `raw` into `in`; false = protocol violation (downgrade
+  /// attempt, tampered record), close now. No-op for plaintext.
+  bool DecryptIncoming(Connection* conn);
   /// Parses and dispatches complete frames; false = protocol violation.
   bool ParseFrames(Connection* conn);
   /// Writes queued frames until EAGAIN; false = fatal write error.
@@ -189,6 +218,7 @@ class TcpServer {
   std::atomic<uint64_t> frames_completed_{0};
   std::atomic<uint64_t> reads_paused_{0};
   std::atomic<uint64_t> peak_output_queue_bytes_{0};
+  std::atomic<uint64_t> handshakes_completed_{0};
 };
 
 /// TCP client transport. Call() speaks the legacy (request id 0) framing
@@ -202,9 +232,14 @@ class TcpServer {
 /// and server time are accounted.
 class TcpTransport : public PipelinedTransport {
  public:
-  /// Connects to `host`:`port`.
-  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host,
-                                                       uint16_t port);
+  /// Connects to `host`:`port`. With ChannelPolicy::kSecure the PSK
+  /// handshake runs (blocking, bounded by secure.handshake_timeout_ms)
+  /// before Connect returns, and every frame afterwards travels inside
+  /// an AEAD record; the default is the original plaintext wire.
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port,
+      ChannelPolicy policy = ChannelPolicy::kPlaintext,
+      const SecureChannelOptions& secure = SecureChannelOptions());
   ~TcpTransport() override;
 
   Result<Bytes> Call(const Bytes& request) override;
@@ -235,7 +270,8 @@ class TcpTransport : public PipelinedTransport {
 
   explicit TcpTransport(int fd) : fd_(fd) {}
 
-  /// Frames (legacy when id == 0) and writes one request.
+  /// Frames (legacy when id == 0) and writes one request — sealed into
+  /// a record first on a secure channel.
   Status SubmitFrame(const Bytes& request, uint32_t id);
   /// Waits until the response for `id` is ready, reading frames off the
   /// socket whenever no other thread is already reading.
@@ -243,8 +279,17 @@ class TcpTransport : public PipelinedTransport {
   /// Reads and parses exactly one response frame (any id). Runs outside
   /// the state lock; only one thread reads at a time.
   Status ReadOneResponse();
+  /// Secure path of ReadOneResponse: pulls records off the socket and
+  /// decrypts until the plaintext stream yields one complete frame.
+  /// Only the elected reader touches the receive buffers.
+  Result<DecodedFrame> ReadSecureFrame();
 
   int fd_;
+  std::unique_ptr<SecureChannel> channel_;  ///< null = plaintext wire
+  Bytes recv_raw_;         ///< undecrypted bytes (elected reader only)
+  size_t recv_raw_off_ = 0;
+  Bytes recv_plain_;       ///< decrypted, not yet parsed frame bytes
+  size_t recv_plain_off_ = 0;
 
   std::mutex write_mutex_;  ///< serializes frame writes + ticket issue
   uint32_t next_id_ = 1;
@@ -269,11 +314,6 @@ Status WritePipelinedFrame(int fd, uint32_t request_id, const Bytes& payload);
 /// frame in the stream is a NetworkError.
 Result<Bytes> ReadFrame(int fd, size_t max_len = 1ull << 31);
 
-/// One frame of either framing, as read off a socket.
-struct DecodedFrame {
-  uint32_t request_id = 0;  ///< 0 for legacy frames
-  Bytes payload;
-};
 /// Reads one frame (legacy or pipelined) from `fd`.
 Result<DecodedFrame> ReadAnyFrame(int fd, size_t max_len = 1ull << 31);
 

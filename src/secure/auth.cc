@@ -54,13 +54,17 @@ Result<Bytes> AuthenticatingHandler::Handle(const Bytes& request) {
   return inner_->Handle(inner_request);
 }
 
-Result<Bytes> AuthenticatingTransport::Call(const Bytes& request) {
+AuthenticatingTransport::~AuthenticatingTransport() {
+  WipeBytes(&mac_key_);
+}
+
+Result<Bytes> AuthenticatingTransport::Authenticate(const Bytes& request) {
   SIMCLOUD_ASSIGN_OR_RETURN(Bytes nonce,
                             crypto::SecureRandom::Generate(
                                 AuthenticatingHandler::kNonceSize));
   // Mix a local counter into the nonce so even a broken entropy source
   // cannot repeat nonces within one client.
-  uint64_t counter = counter_++;
+  const uint64_t counter = counter_.fetch_add(1);
   for (size_t i = 0; i < sizeof(counter) && i < nonce.size(); ++i) {
     nonce[i] ^= static_cast<uint8_t>(counter >> (8 * i));
   }
@@ -71,7 +75,29 @@ Result<Bytes> AuthenticatingTransport::Call(const Bytes& request) {
   framed.insert(framed.end(), nonce.begin(), nonce.end());
   framed.insert(framed.end(), tag.begin(), tag.end());
   framed.insert(framed.end(), request.begin(), request.end());
+  return framed;
+}
+
+Result<Bytes> AuthenticatingTransport::Call(const Bytes& request) {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes framed, Authenticate(request));
   return inner_->Call(framed);
+}
+
+Result<uint64_t> AuthenticatingTransport::Submit(const Bytes& request) {
+  if (pipelined_inner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "inner transport does not support pipelining");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes framed, Authenticate(request));
+  return pipelined_inner_->Submit(framed);
+}
+
+Result<Bytes> AuthenticatingTransport::Collect(uint64_t ticket) {
+  if (pipelined_inner_ == nullptr) {
+    return Status::FailedPrecondition(
+        "inner transport does not support pipelining");
+  }
+  return pipelined_inner_->Collect(ticket);
 }
 
 }  // namespace secure

@@ -42,8 +42,40 @@ Status SecretKey::EnableDistanceTransform(uint64_t seed, double domain_max) {
   return Status::OK();
 }
 
+SecretKey::~SecretKey() { WipeBytes(&aes_key_); }
+
+SecretKey::SecretKey(SecretKey&& other) noexcept
+    : pivots_(std::move(other.pivots_)),
+      aes_key_(std::move(other.aes_key_)),
+      cipher_(std::move(other.cipher_)),
+      aead_(std::move(other.aead_)),
+      scheme_(other.scheme_),
+      transform_(std::move(other.transform_)) {
+  WipeBytes(&other.aes_key_);
+}
+
+SecretKey& SecretKey::operator=(SecretKey&& other) noexcept {
+  if (this != &other) {
+    WipeBytes(&aes_key_);
+    pivots_ = std::move(other.pivots_);
+    aes_key_ = std::move(other.aes_key_);
+    cipher_ = std::move(other.cipher_);
+    aead_ = std::move(other.aead_);
+    scheme_ = other.scheme_;
+    transform_ = std::move(other.transform_);
+    WipeBytes(&other.aes_key_);
+  }
+  return *this;
+}
+
 Bytes SecretKey::DeriveQueryMacKey() const {
   const char* label = "simcloud-query-auth";
+  return crypto::HmacSha256(aes_key_,
+                            Bytes(label, label + std::strlen(label)));
+}
+
+Bytes SecretKey::DeriveChannelKey() const {
+  const char* label = "simcloud-channel-psk";
   return crypto::HmacSha256(aes_key_,
                             Bytes(label, label + std::strlen(label)));
 }

@@ -50,6 +50,16 @@ class SecretKey {
                                         const Bytes& salt,
                                         uint32_t iterations = 10000);
 
+  /// Key hygiene: the raw AES key is wiped (overwritten with zeros, then
+  /// freed) on destruction, and move operations wipe the moved-from
+  /// key, so key material never lingers in freed heap memory. Copies are
+  /// allowed — every copy wipes its own buffer when it dies.
+  ~SecretKey();
+  SecretKey(const SecretKey&) = default;
+  SecretKey& operator=(const SecretKey&) = default;
+  SecretKey(SecretKey&& other) noexcept;
+  SecretKey& operator=(SecretKey&& other) noexcept;
+
   /// Adds the distribution-hiding transform (privacy level 4); distances
   /// stored on the server will be T-transformed. `domain_max` should be a
   /// generous upper bound on object-pivot distances.
@@ -65,6 +75,17 @@ class SecretKey {
   /// Derives the query-authentication MAC key shared with the server
   /// (domain-separated from the object-encryption key; see secure/auth.h).
   Bytes DeriveQueryMacKey() const;
+
+  /// Derives the transport pre-shared key (32 bytes) the data owner
+  /// provisions to the server for the secure channel; the channel
+  /// derives its per-direction, per-epoch record keys from it via HKDF
+  /// (see net/secure_channel.h and secure/session.h). Domain-separated
+  /// from both the object-encryption and query-MAC keys.
+  Bytes DeriveChannelKey() const;
+
+  /// True while this instance still holds the raw key material (false
+  /// for moved-from instances, whose buffer was wiped).
+  bool has_key_material() const { return !aes_key_.empty(); }
 
   /// AES-encrypts a serialized MS object (Algorithm 1 line 8).
   Result<Bytes> EncryptObject(const metric::VectorObject& object) const;

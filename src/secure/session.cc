@@ -1,0 +1,23 @@
+#include "secure/session.h"
+
+namespace simcloud {
+namespace secure {
+
+net::SecureChannelOptions SecureSessionOptions(const SecretKey& key) {
+  return SecureSessionOptions(key.DeriveChannelKey());
+}
+
+net::SecureChannelOptions SecureSessionOptions(Bytes psk) {
+  net::SecureChannelOptions options;
+  options.psk = std::move(psk);
+  return options;
+}
+
+Result<std::unique_ptr<net::TcpTransport>> ConnectSecure(
+    const std::string& host, uint16_t port, const SecretKey& key) {
+  return net::TcpTransport::Connect(host, port, net::ChannelPolicy::kSecure,
+                                    SecureSessionOptions(key));
+}
+
+}  // namespace secure
+}  // namespace simcloud

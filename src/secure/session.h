@@ -1,0 +1,58 @@
+// Secure sessions between authorized clients and the similarity cloud:
+// the glue between the index secret (secure/secret_key.h) and the
+// transport-security subsystem (net/secure_channel.h).
+//
+// The paper's trust model protects payloads at rest on the
+// honest-but-curious server; the secure channel extends the same
+// key-distribution story to the wire. The data owner derives ONE
+// transport pre-shared key from the index secret
+// (SecretKey::DeriveChannelKey — domain-separated from the
+// object-encryption and query-MAC keys) and provisions it to the server
+// when the service is set up, exactly like the query-auth MAC key.
+// Authorized clients, who hold the full secret key, derive the same PSK
+// locally; the handshake then proves possession in both directions and
+// derives fresh per-connection, per-direction, per-epoch record keys,
+// so neither a passive observer nor an active man-in-the-middle learns
+// permutation prefixes, candidate counts, or ciphertext handles — the
+// inputs of every leakage analysis in secure/attack.{h,cc}.
+//
+// Deployment matrix (see docs/protocol.md, "Transport security"):
+//   * server: TcpServerOptions{.channel_policy = kSecure,
+//             .secure_channel = SecureSessionOptions(psk)}
+//   * client: ConnectSecure(host, port, key), or TcpTransport::Connect
+//             with the same options;
+//   * shards: ShardedServer::Connect(endpoints, pivots, kSecure, opts).
+
+#ifndef SIMCLOUD_SECURE_SESSION_H_
+#define SIMCLOUD_SECURE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "net/secure_channel.h"
+#include "net/tcp.h"
+#include "secure/secret_key.h"
+
+namespace simcloud {
+namespace secure {
+
+/// Channel options whose PSK is derived from the index secret. Both
+/// ends must use the same rekey budgets (the defaults); tests shrink
+/// them through the returned struct.
+net::SecureChannelOptions SecureSessionOptions(const SecretKey& key);
+
+/// Channel options around an externally provisioned PSK (the
+/// server-side shape: the service holds the derived PSK, never the
+/// secret key itself). `psk` must be >= 16 bytes.
+net::SecureChannelOptions SecureSessionOptions(Bytes psk);
+
+/// Connects a TCP transport whose handshake is keyed by `key` — the
+/// one-call client path: EncryptionClient(key, metric, transport.get())
+/// then works unchanged, with every frame inside an AEAD record.
+Result<std::unique_ptr<net::TcpTransport>> ConnectSecure(
+    const std::string& host, uint16_t port, const SecretKey& key);
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_SESSION_H_

@@ -144,7 +144,8 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
 }
 
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
-    const std::vector<ShardEndpoint>& endpoints, size_t num_pivots) {
+    const std::vector<ShardEndpoint>& endpoints, size_t num_pivots,
+    net::ChannelPolicy policy, const net::SecureChannelOptions& secure) {
   if (endpoints.empty()) {
     return Status::InvalidArgument("need at least one shard endpoint");
   }
@@ -156,7 +157,8 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
   for (const ShardEndpoint& endpoint : endpoints) {
     SIMCLOUD_ASSIGN_OR_RETURN(
         std::unique_ptr<net::TcpTransport> transport,
-        net::TcpTransport::Connect(endpoint.host, endpoint.port));
+        net::TcpTransport::Connect(endpoint.host, endpoint.port, policy,
+                                   secure));
     channels.push_back(
         std::make_unique<TransportShardChannel>(std::move(transport)));
   }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "mindex/mindex.h"
+#include "net/secure_channel.h"
 #include "net/transport.h"
 #include "secure/protocol.h"
 #include "secure/server.h"
@@ -75,9 +76,14 @@ class ShardedServer : public net::RequestHandler {
   /// Connects to already-running shard servers, one persistent pipelined
   /// connection per endpoint; fan-outs overlap across those connections
   /// instead of paying serial round trips. `num_pivots` must match the
-  /// shards' index configuration (it validates delete routing).
+  /// shards' index configuration (it validates delete routing). With
+  /// ChannelPolicy::kSecure every shard channel runs the PSK handshake
+  /// and speaks AEAD records (the shard servers must be configured with
+  /// the same PSK).
   static Result<std::unique_ptr<ShardedServer>> Connect(
-      const std::vector<ShardEndpoint>& endpoints, size_t num_pivots);
+      const std::vector<ShardEndpoint>& endpoints, size_t num_pivots,
+      net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext,
+      const net::SecureChannelOptions& secure = net::SecureChannelOptions());
 
   Result<Bytes> Handle(const Bytes& request) override;
 

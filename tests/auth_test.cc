@@ -7,6 +7,7 @@
 
 #include "data/synthetic.h"
 #include "metric/ground_truth.h"
+#include "net/tcp.h"
 #include "secure/auth.h"
 #include "secure/client.h"
 #include "secure/server.h"
@@ -210,6 +211,87 @@ TEST(AuthTest, DerivedMacKeyIsStableAndKeyDependent) {
   EXPECT_NE(key1->DeriveQueryMacKey(), key2->DeriveQueryMacKey());
   // The MAC key must not equal the AES key (domain separation).
   EXPECT_NE(key1->DeriveQueryMacKey(), Bytes(16, 0x01));
+}
+
+TEST(AuthTest, PipelinedRequestsComposeWithRequestIdFrames) {
+  // The lightweight plaintext-deployment alternative to the secure
+  // channel: AuthenticatingHandler in front of the server behind a real
+  // TcpServer, and an AuthenticatingTransport that pipelines many
+  // authenticated requests as bit-31 frames on ONE connection. Each
+  // request carries its own nonce+tag inside the frame body, so
+  // out-of-order responses resolve by ticket without corrupting the
+  // framing.
+  EchoHandler echo;
+  const Bytes mac_key(32, 0x4E);
+  AuthenticatingHandler handler(mac_key, &echo);
+  net::TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto inner = net::TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(inner.ok());
+  AuthenticatingTransport transport(mac_key, inner->get());
+
+  constexpr int kInFlight = 24;
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto ticket = transport.Submit(Bytes(32, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(*ticket);
+  }
+  for (int i = kInFlight - 1; i >= 0; --i) {  // collect in reverse
+    auto response = transport.Collect(tickets[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(*response, Bytes(32, static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(echo.calls(), static_cast<uint64_t>(kInFlight));
+  EXPECT_EQ(handler.rejected_count(), 0u);
+
+  // Synchronous legacy Calls still interleave with pipelined traffic.
+  auto first = transport.Submit(Bytes{1, 2, 3});
+  ASSERT_TRUE(first.ok());
+  auto called = transport.Call(Bytes{9, 9});
+  ASSERT_TRUE(called.ok());
+  EXPECT_EQ(*called, (Bytes{9, 9}));
+  auto collected = transport.Collect(*first);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, (Bytes{1, 2, 3}));
+
+  // An unauthenticated pipelined request is still rejected per-request;
+  // the connection (and the authenticated traffic) lives on.
+  auto bare = (*inner)->Submit(Bytes{7, 7, 7});
+  ASSERT_TRUE(bare.ok());
+  auto rejected = (*inner)->Collect(*bare);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_GE(handler.rejected_count(), 1u);
+  EXPECT_TRUE(transport.Call(Bytes{4}).ok());
+  server.Stop();
+}
+
+TEST(AuthTest, SubmitOnNonPipelinedInnerFailsCleanly) {
+  /// A Transport that is NOT pipelined.
+  class CallOnlyTransport : public net::Transport {
+   public:
+    explicit CallOnlyTransport(net::RequestHandler* handler)
+        : handler_(handler) {}
+    Result<Bytes> Call(const Bytes& request) override {
+      return handler_->Handle(request);
+    }
+    const net::TransportCosts& costs() const override { return costs_; }
+    void ResetCosts() override { costs_.Clear(); }
+
+   private:
+    net::RequestHandler* handler_;
+    net::TransportCosts costs_;
+  };
+
+  EchoHandler echo;
+  const Bytes mac_key(32, 0x4F);
+  AuthenticatingHandler handler(mac_key, &echo);
+  CallOnlyTransport inner(&handler);
+  AuthenticatingTransport transport(mac_key, &inner);
+  auto ticket = transport.Submit(Bytes{1});
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(transport.Call(Bytes{1}).ok());  // Call still works
 }
 
 }  // namespace

@@ -111,6 +111,27 @@ TEST(BytesTest, ConstantTimeEquals) {
   EXPECT_TRUE(ConstantTimeEquals({}, {}));
 }
 
+TEST(BytesTest, WipeBytesZeroesTheBufferBeforeFreeing) {
+  // clear() keeps the allocation, so the retained data() pointer still
+  // addresses the wiped storage: every byte must read back zero — a
+  // plain clear() would leave 0xDE.. in memory for the allocator to
+  // hand out later.
+  Bytes secret = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  const uint8_t* storage = secret.data();
+  const size_t len = secret.size();
+  WipeBytes(&secret);
+  EXPECT_TRUE(secret.empty());
+  ASSERT_EQ(secret.data(), storage);  // clear() retains the buffer
+  for (size_t i = 0; i < len; ++i) {
+    EXPECT_EQ(storage[i], 0) << "byte " << i << " survived the wipe";
+  }
+
+  WipeBytes(nullptr);  // must be a safe no-op
+  Bytes empty;
+  WipeBytes(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
 // ------------------------------------------------------------- Serialize
 
 TEST(SerializeTest, FixedWidthRoundTrip) {

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "mindex/persistence.h"
+#include "net/secure_channel.h"
 #include "net/tcp.h"
 #include "secure/client.h"
 #include "secure/protocol.h"
@@ -126,6 +127,19 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
 // Live-server frame fuzzing.
 // ---------------------------------------------------------------------------
 
+/// True when the server closed its side of `fd` within ~5 seconds.
+bool WaitForSocketClose(int fd) {
+  Stopwatch watch;
+  uint8_t sink[256];
+  while (watch.ElapsedSeconds() < 5.0) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+    if (n == 0) return true;                       // clean close
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+    if (n < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
 /// A real encrypted M-Index server behind a real TcpServer, plus one
 /// well-behaved probe that must keep getting correct answers no matter
 /// what the hostile connections do.
@@ -161,18 +175,7 @@ class TcpFrameFuzz : public ::testing::Test {
     ASSERT_TRUE(stats.ok());
   }
 
-  /// True when the server closed its side of `fd` within ~5 seconds.
-  static bool WaitForClose(int fd) {
-    Stopwatch watch;
-    uint8_t sink[256];
-    while (watch.ElapsedSeconds() < 5.0) {
-      const ssize_t n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
-      if (n == 0) return true;                       // clean close
-      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
-      if (n < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    return false;
-  }
+  static bool WaitForClose(int fd) { return WaitForSocketClose(fd); }
 
   std::unique_ptr<secure::EncryptedMIndexServer> handler_;
   std::unique_ptr<net::TcpServer> server_;
@@ -296,6 +299,211 @@ TEST_F(TcpFrameFuzz, RandomByteStreams) {
     ::close(fd);
   }
   ExpectServerAlive();
+}
+
+// ---------------------------------------------------------------------------
+// Live SECURE-server fuzzing: hostile handshakes and records.
+// ---------------------------------------------------------------------------
+
+/// The TcpFrameFuzz setup with ChannelPolicy::kSecure: every violation
+/// of the handshake or record layer must cost exactly the offending
+/// connection, and well-behaved secure clients must keep working.
+class SecureTcpFrameFuzz : public ::testing::Test {
+ protected:
+  static constexpr uint8_t kPskFill = 0x5C;
+
+  void SetUp() override {
+    mindex::MIndexOptions options;
+    options.num_pivots = 4;
+    options.max_level = 3;
+    auto handler = secure::EncryptedMIndexServer::Create(options);
+    ASSERT_TRUE(handler.ok());
+    handler_ = std::move(*handler);
+    net::TcpServerOptions server_options;
+    server_options.max_frame_bytes = 1u << 20;
+    server_options.channel_policy = net::ChannelPolicy::kSecure;
+    server_options.secure_channel.psk = Bytes(32, kPskFill);
+    server_ = std::make_unique<net::TcpServer>(handler_.get(),
+                                               server_options);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  int RawConnect() { return net::RawConnect(server_->port()); }
+
+  net::SecureChannelOptions ClientOptions() {
+    net::SecureChannelOptions options;
+    options.psk = Bytes(32, kPskFill);
+    return options;
+  }
+
+  /// Completes a real handshake over a raw socket; returns the open
+  /// channel (blocking reads, 5 s timeout).
+  std::unique_ptr<net::SecureChannel> HandshakeOn(int fd) {
+    auto channel = net::RunClientHandshake(fd, ClientOptions());
+    EXPECT_TRUE(channel.ok()) << channel.status().ToString();
+    return channel.ok() ? std::move(*channel) : nullptr;
+  }
+
+  void ExpectServerAlive() {
+    auto transport =
+        net::TcpTransport::Connect("127.0.0.1", server_->port(),
+                                   net::ChannelPolicy::kSecure,
+                                   ClientOptions());
+    ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+    auto response = (*transport)->Call(secure::EncodeGetStatsRequest());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+
+  static bool WaitForClose(int fd) { return WaitForSocketClose(fd); }
+
+  std::unique_ptr<secure::EncryptedMIndexServer> handler_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+TEST_F(SecureTcpFrameFuzz, GarbageAndTornHandshakes) {
+  Rng rng(21);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int fd = RawConnect();
+    if (iter % 3 == 0) {
+      // Pure noise instead of a hello.
+      Bytes noise(1 + rng.NextBounded(200));
+      for (auto& b : noise) b = static_cast<uint8_t>(rng.NextBounded(256));
+      (void)::send(fd, noise.data(), noise.size(), MSG_NOSIGNAL);
+    } else {
+      // A valid hello torn at a random byte, then an abrupt close.
+      auto handshake = net::ClientHandshake::Start(ClientOptions());
+      ASSERT_TRUE(handshake.ok());
+      const Bytes& hello = handshake->hello();
+      const size_t cut = rng.NextBounded(hello.size());
+      if (cut > 0) {
+        (void)::send(fd, hello.data(), cut, MSG_NOSIGNAL);
+      }
+    }
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(SecureTcpFrameFuzz, PlaintextProtocolFramesAreHardClosed) {
+  // Well-formed PLAINTEXT frames of the real protocol: a downgrade
+  // attempt. The server must close without answering.
+  const Bytes request = secure::EncodeGetStatsRequest();
+  {
+    const int fd = RawConnect();
+    ASSERT_TRUE(net::WriteFrame(fd, request).ok());
+    EXPECT_TRUE(WaitForClose(fd)) << "secure server served a legacy frame";
+    ::close(fd);
+  }
+  {
+    const int fd = RawConnect();
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, 7, request).ok());
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(SecureTcpFrameFuzz, GarbageAndOversizedRecordsAfterRealHandshake) {
+  Rng rng(22);
+  // Oversized declared record length.
+  {
+    const int fd = RawConnect();
+    auto channel = HandshakeOn(fd);
+    ASSERT_NE(channel, nullptr);
+    const uint8_t huge[8] = {0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0};
+    ASSERT_EQ(::send(fd, huge, sizeof(huge), MSG_NOSIGNAL), 8);
+    EXPECT_TRUE(WaitForClose(fd))
+        << "server kept a connection declaring a 2 GiB record";
+    ::close(fd);
+  }
+  // Records full of noise: authentication must fail and close.
+  for (int iter = 0; iter < 10; ++iter) {
+    const int fd = RawConnect();
+    auto channel = HandshakeOn(fd);
+    ASSERT_NE(channel, nullptr);
+    const uint32_t len = 48 + rng.NextBounded(128);
+    Bytes bogus(4 + len);
+    for (int i = 0; i < 4; ++i) {
+      bogus[i] = static_cast<uint8_t>(len >> (8 * i));
+    }
+    for (size_t i = 4; i < bogus.size(); ++i) {
+      bogus[i] = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    ASSERT_EQ(::send(fd, bogus.data(), bogus.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bogus.size()));
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(SecureTcpFrameFuzz, TamperedAndReplayedRecordsCloseTheConnection) {
+  const Bytes request = secure::EncodeGetStatsRequest();
+  BinaryWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(request.size()) | net::kFrameIdFlag);
+  frame.WriteU32(5);
+  frame.WriteRaw(request.data(), request.size());
+
+  // Tampered: flip one ciphertext bit of a genuine record.
+  {
+    const int fd = RawConnect();
+    auto channel = HandshakeOn(fd);
+    ASSERT_NE(channel, nullptr);
+    auto record = channel->Seal(frame.buffer());
+    ASSERT_TRUE(record.ok());
+    Bytes tampered = *record;
+    tampered[tampered.size() / 2] ^= 0x04;
+    ASSERT_EQ(::send(fd, tampered.data(), tampered.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(tampered.size()));
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+  // Replayed: the same genuine record twice. The first answers; the
+  // second must kill the connection (sequence moved on).
+  {
+    const int fd = RawConnect();
+    auto channel = HandshakeOn(fd);
+    ASSERT_NE(channel, nullptr);
+    auto record = channel->Seal(frame.buffer());
+    ASSERT_TRUE(record.ok());
+    ASSERT_EQ(::send(fd, record->data(), record->size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(record->size()));
+    ASSERT_EQ(::send(fd, record->data(), record->size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(record->size()));
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(SecureTcpFrameFuzz, MidPipelineDisconnectsDoNotWedgeTheLoop) {
+  const Bytes request = secure::EncodeGetStatsRequest();
+  for (int iter = 0; iter < 15; ++iter) {
+    const int fd = RawConnect();
+    auto channel = HandshakeOn(fd);
+    ASSERT_NE(channel, nullptr);
+    for (uint32_t id = 1; id <= 6; ++id) {
+      BinaryWriter frame;
+      frame.WriteU32(static_cast<uint32_t>(request.size()) |
+                     net::kFrameIdFlag);
+      frame.WriteU32(id);
+      frame.WriteRaw(request.data(), request.size());
+      auto record = channel->Seal(frame.buffer());
+      ASSERT_TRUE(record.ok());
+      ASSERT_EQ(::send(fd, record->data(), record->size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(record->size()));
+    }
+    ::close(fd);  // responses in flight hit a dead connection
+  }
+  ExpectServerAlive();
+  Stopwatch watch;
+  while (server_->frames_completed() < server_->frames_dispatched() &&
+         watch.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->frames_completed(), server_->frames_dispatched());
 }
 
 }  // namespace

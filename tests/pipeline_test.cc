@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -52,6 +53,24 @@ std::string ConfigName(const PipelineConfig& config) {
 }
 
 class PipelineSoakTest : public ::testing::TestWithParam<PipelineConfig> {};
+
+/// CI runs this soak in both channel policies: SIMCLOUD_CHANNEL_POLICY=
+/// secure secures every connection (PSK handshake + AEAD records, with
+/// an aggressive rekey budget so the soak crosses epoch boundaries);
+/// unset/anything else is the plaintext wire.
+net::ChannelPolicy PolicyFromEnv() {
+  const char* env = std::getenv("SIMCLOUD_CHANNEL_POLICY");
+  return env != nullptr && std::string(env) == "secure"
+             ? net::ChannelPolicy::kSecure
+             : net::ChannelPolicy::kPlaintext;
+}
+
+net::SecureChannelOptions SoakChannelOptions() {
+  net::SecureChannelOptions options;
+  options.psk = Bytes(32, 0x77);
+  options.rekey_after_records = 64;  // many rekeys over the soak
+  return options;
+}
 
 constexpr size_t kStableObjects = 400;
 constexpr size_t kChurnObjects = 240;
@@ -137,11 +156,21 @@ TEST_P(PipelineSoakTest, PipelinedBatchesMatchOracleUnderChurn) {
     handler = std::move(*server);
   }
 
-  net::TcpServer server(handler.get());
+  const net::ChannelPolicy policy = PolicyFromEnv();
+  net::TcpServerOptions server_options;
+  server_options.channel_policy = policy;
+  if (policy == net::ChannelPolicy::kSecure) {
+    server_options.secure_channel = SoakChannelOptions();
+  }
+  net::TcpServer server(handler.get(), server_options);
   ASSERT_TRUE(server.Start(0).ok());
+  auto connect = [&server, policy] {
+    return net::TcpTransport::Connect("127.0.0.1", server.port(), policy,
+                                      SoakChannelOptions());
+  };
 
   {
-    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    auto transport = connect();
     ASSERT_TRUE(transport.ok());
     EncryptionClient owner(*key, metric, transport->get());
     ASSERT_TRUE(owner.InsertBulk(all, InsertStrategy::kPrecise, 200).ok());
@@ -176,7 +205,7 @@ TEST_P(PipelineSoakTest, PipelinedBatchesMatchOracleUnderChurn) {
   clients.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
-      auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+      auto transport = connect();
       if (!transport.ok()) return fail("connect failed");
       EncryptionClient client(*key, metric, transport->get());
       Rng rng(910 + c);
@@ -246,7 +275,7 @@ TEST_P(PipelineSoakTest, PipelinedBatchesMatchOracleUnderChurn) {
   // Churn client: batched deletes (pipelined on their own connection)
   // interleaved with explicit compactions while the queriers run.
   std::thread churner([&] {
-    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    auto transport = connect();
     if (!transport.ok()) return fail("churn connect failed");
     EncryptionClient client(*key, metric, transport->get());
     constexpr size_t kSlice = 40;
@@ -277,7 +306,7 @@ TEST_P(PipelineSoakTest, PipelinedBatchesMatchOracleUnderChurn) {
   // The dust settles: object count equals stable + surviving churn, and
   // every shard's tree invariants hold.
   {
-    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    auto transport = connect();
     ASSERT_TRUE(transport.ok());
     EncryptionClient client(*key, metric, transport->get());
     auto stats = client.GetServerStats();

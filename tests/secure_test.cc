@@ -86,6 +86,53 @@ TEST(SecretKeyTest, CreateValidates) {
   EXPECT_TRUE(SecretKey::Create(pivots, Bytes(16)).ok());
 }
 
+TEST(SecretKeyTest, DeriveChannelKeyIsDomainSeparated) {
+  mindex::PivotSet pivots({VectorObject(0, {1.0f})});
+  auto key1 = SecretKey::Create(pivots, Bytes(16, 0x01));
+  auto key2 = SecretKey::Create(pivots, Bytes(16, 0x02));
+  ASSERT_TRUE(key1.ok() && key2.ok());
+  // Deterministic per key (both ends derive the same PSK), 32 bytes,
+  // key-dependent, and distinct from every other derived secret.
+  EXPECT_EQ(key1->DeriveChannelKey(), key1->DeriveChannelKey());
+  EXPECT_EQ(key1->DeriveChannelKey().size(), 32u);
+  EXPECT_NE(key1->DeriveChannelKey(), key2->DeriveChannelKey());
+  EXPECT_NE(key1->DeriveChannelKey(), key1->DeriveQueryMacKey());
+  EXPECT_NE(key1->DeriveChannelKey(), Bytes(16, 0x01));
+}
+
+TEST(SecretKeyTest, MovedFromKeysAreCleared) {
+  // Key hygiene regression: moving a SecretKey must leave the source
+  // without key material (its buffer wiped), so a stale copy on the
+  // stack or in a container cannot leak the AES key.
+  mindex::PivotSet pivots({VectorObject(0, {1.0f})});
+  auto created = SecretKey::Create(pivots, Bytes(16, 0x3C));
+  ASSERT_TRUE(created.ok());
+  SecretKey original = std::move(*created);
+  EXPECT_TRUE(original.has_key_material());
+
+  SecretKey moved_to = std::move(original);
+  EXPECT_FALSE(original.has_key_material());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved_to.has_key_material());
+
+  auto assigned = SecretKey::Create(pivots, Bytes(16, 0x3D));
+  ASSERT_TRUE(assigned.ok());
+  *assigned = std::move(moved_to);
+  EXPECT_FALSE(moved_to.has_key_material());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(assigned->has_key_material());
+
+  // Copies stay independent: copying does not clear the source.
+  SecretKey copy = *assigned;
+  EXPECT_TRUE(copy.has_key_material());
+  EXPECT_TRUE(assigned->has_key_material());
+  // The surviving key still works end to end.
+  VectorObject object(7, {1.5f, 2.5f});
+  auto ciphertext = copy.EncryptObject(object);
+  ASSERT_TRUE(ciphertext.ok());
+  auto back = copy.DecryptObject(*ciphertext);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, object);
+}
+
 TEST(SecretKeyTest, EncryptDecryptObjectRoundTrip) {
   mindex::PivotSet pivots({VectorObject(0, {1.0f})});
   auto key = SecretKey::Create(pivots, Bytes(16, 9));

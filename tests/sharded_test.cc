@@ -296,6 +296,89 @@ TEST(ShardedServerTest, RemoteShardsOverPersistentConnections) {
   for (auto& server : shard_servers) server->Stop();
 }
 
+TEST(ShardedServerTest, RemoteShardsOverSecureChannels) {
+  // The remote deployment with ChannelPolicy::kSecure end to end: every
+  // facade->shard connection runs the PSK handshake and speaks AEAD
+  // records, and the facade behaves exactly like the plaintext one.
+  const size_t kShards = 2;
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 8;
+  index_options.bucket_capacity = 40;
+  index_options.max_level = 4;
+
+  net::SecureChannelOptions channel_options;
+  channel_options.psk = Bytes(32, 0x21);
+  channel_options.rekey_after_records = 16;  // cross epochs mid-test
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> shard_handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> shard_servers;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t i = 0; i < kShards; ++i) {
+    auto handler = EncryptedMIndexServer::Create(index_options);
+    ASSERT_TRUE(handler.ok());
+    shard_handlers.push_back(std::move(*handler));
+    net::TcpServerOptions server_options;
+    server_options.channel_policy = net::ChannelPolicy::kSecure;
+    server_options.secure_channel = channel_options;
+    shard_servers.push_back(std::make_unique<net::TcpServer>(
+        shard_handlers.back().get(), server_options));
+    ASSERT_TRUE(shard_servers.back()->Start(0).ok());
+    endpoints.push_back(ShardEndpoint{"127.0.0.1",
+                                      shard_servers.back()->port()});
+  }
+
+  // A facade with the wrong PSK must fail to connect at all.
+  net::SecureChannelOptions wrong = channel_options;
+  wrong.psk = Bytes(32, 0x22);
+  EXPECT_FALSE(ShardedServer::Connect(endpoints, index_options.num_pivots,
+                                      net::ChannelPolicy::kSecure, wrong)
+                   .ok());
+
+  auto facade = ShardedServer::Connect(endpoints, index_options.num_pivots,
+                                       net::ChannelPolicy::kSecure,
+                                       channel_options);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = 220;
+  mixture.dimension = 6;
+  mixture.num_clusters = 4;
+  mixture.seed = 611;
+  metric::Dataset dataset("secure-remote", data::MakeGaussianMixture(mixture),
+                          std::make_shared<metric::L2Distance>());
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 8, 612);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x53));
+  ASSERT_TRUE(key.ok());
+
+  net::LoopbackTransport transport(facade->get());
+  EncryptionClient client(*key, dataset.distance(), &transport);
+  ASSERT_TRUE(
+      client.InsertBulk(dataset.objects(), InsertStrategy::kPrecise, 60)
+          .ok());
+  EXPECT_EQ((*facade)->TotalObjects(), dataset.size());
+
+  Rng rng(613);
+  for (int q = 0; q < 5; ++q) {
+    const VectorObject& query =
+        dataset.objects()[rng.NextBounded(dataset.size())];
+    const double radius = rng.NextUniform(1.0, 3.0);
+    const auto exact = metric::LinearRangeSearch(dataset, query, radius);
+    auto answer = client.RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+  auto stats = client.GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->object_count, dataset.size());
+
+  facade->reset();
+  for (auto& server : shard_servers) server->Stop();
+}
+
 }  // namespace
 }  // namespace secure
 }  // namespace simcloud

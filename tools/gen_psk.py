@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Generates a transport pre-shared key for the secure channel.
+
+Deployments whose clients hold the index secret key derive the PSK with
+SecretKey::DeriveChannelKey() and never need this tool. Deployments that
+provision the server out of band (or run plaintext payloads with channel
+security only) can generate a fresh 32-byte PSK here and hand the hex
+string to both TcpServerOptions::secure_channel.psk and the clients'
+SecureChannelOptions (simcloud::FromHex decodes it).
+
+Usage: gen_psk.py [num_bytes]   (default 32, minimum 16)
+"""
+
+import os
+import sys
+
+
+def main() -> int:
+    num_bytes = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    if num_bytes < 16:
+        print("a secure-channel PSK must be at least 16 bytes",
+              file=sys.stderr)
+        return 1
+    print(os.urandom(num_bytes).hex())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
