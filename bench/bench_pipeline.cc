@@ -39,6 +39,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "crypto/cpu_features.h"
 #include "data/synthetic.h"
 #include "metric/dataset.h"
 #include "mindex/pivot_selection.h"
@@ -232,8 +233,9 @@ void Run(bool smoke) {
   const size_t ping_ops = smoke ? 2000 : 5000;
   const size_t knn_ops = smoke ? 200 : 500;
 
-  std::printf("bench_pipeline: epoll engine, %zu worker threads\n",
-              server.worker_threads());
+  std::printf("bench_pipeline: io_engine=%s, %zu worker threads, crypto[%s]\n",
+              server.io_engine_name(), server.worker_threads(),
+              crypto::CryptoBackendSummary().c_str());
   std::printf("%-6s %6s %6s %14s %12s %14s %12s\n", "work", "conns", "depth",
               "qps", "p99_us", "", "");
   double single_conn_ping_qps[2] = {0, 0};  // [depth1, depth8]
@@ -379,17 +381,24 @@ void Run(bool smoke) {
   std::printf("secure depth-8 ping: %.0f qps = %.2fx plaintext depth-8\n",
               secure_ping_depth8, secure_ratio);
   secure_server.Stop();
-  if (secure_ratio < 0.5) {
+  // With the AES-NI + SHA-NI kernels the record layer's per-frame crypto
+  // is a rounding error, so the bar rises; the scalar reference keeps
+  // the original 0.5x bound (it still caps the wire at tens of MB/s).
+  const bool crypto_accelerated =
+      crypto::AesAccelerated() && crypto::ShaAccelerated();
+  const double secure_gate = crypto_accelerated ? 0.8 : 0.5;
+  if (secure_ratio < secure_gate) {
     std::fprintf(stderr,
                  "FAIL: secured depth-8 ping is %.2fx the plaintext qps "
-                 "(acceptance gate: >= 0.5x)\n",
-                 secure_ratio);
+                 "(acceptance gate: >= %.1fx with %s crypto)\n",
+                 secure_ratio, secure_gate,
+                 crypto_accelerated ? "accelerated" : "scalar");
     std::exit(1);
   }
 
   std::printf("bench_pipeline OK (pipelining %.2fx >= 1.5x, %zu idle conns "
-              "on a fixed pool, secure channel %.2fx >= 0.5x)\n",
-              speedup, idle_count, secure_ratio);
+              "on a fixed pool, secure channel %.2fx >= %.1fx)\n",
+              speedup, idle_count, secure_ratio, secure_gate);
   server.Stop();
 }
 

@@ -2,15 +2,20 @@
 # Local CI: the tier-1 verify command plus benchmark smoke runs.
 # Mirrors .github/workflows/ci.yml so the same gate runs everywhere.
 #
-# Usage: ci.sh [--asan|--tsan]
+# Usage: ci.sh [--asan|--tsan|--scalar-crypto]
 #   --asan  build and run the test suite under AddressSanitizer (separate
 #           build tree; the churn/compaction soak tests are where lifetime
 #           bugs in payload-handle remapping would hide). Skips the bench
 #           smoke runs — sanitized timings are meaningless.
 #   --tsan  build under ThreadSanitizer and run the concurrency-facing
-#           suites (epoll engine, pipelined clients, shard channels,
-#           stats accumulators). TSan multiplies runtime ~10x, so the
-#           purely single-threaded suites are skipped.
+#           suites (epoll/io_uring engines, pipelined clients, shard
+#           channels, the parallel query-engine fan-out, stats
+#           accumulators). TSan multiplies runtime ~10x, so the purely
+#           single-threaded suites are skipped.
+#   --scalar-crypto  run the full test battery with
+#           SIMCLOUD_FORCE_SCALAR_CRYPTO=1: every AES/SHA byte on the
+#           scalar reference kernels, regardless of what the silicon
+#           offers. Reuses the regular build tree.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,9 +42,14 @@ if [ "${1:-}" = "--tsan" ]; then
   # joined with the secure channel: the epoll-loop handshake state machine
   # and the client transport's seal-under-write-lock / ingest-under-reader
   # split are race-checked here.
+  # query_engine_test joined the list with the parallel batch paths: its
+  # ParallelBatchTest suites run RangeSearchBatch/ApproxKnnBatch with
+  # query_threads > 1, racing the fan-out workers over the shared cell
+  # tree — the byte-identity assertion under TSan is the proof the
+  # parallel schedule reads the tree without data races.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test'
 
   echo "=== pipelined churn soak under TSan, secure channel policy ==="
   # The same soak with every connection running the PSK handshake +
@@ -51,6 +61,21 @@ if [ "${1:-}" = "--tsan" ]; then
         --timeout 300 \
         -R 'pipeline_test'
   echo "CI (tsan) OK"
+  exit 0
+fi
+
+if [ "${1:-}" = "--scalar-crypto" ]; then
+  echo "=== configure + build ==="
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+
+  echo "=== full test battery, scalar crypto kernels forced ==="
+  SIMCLOUD_FORCE_SCALAR_CRYPTO=1 \
+  ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300
+
+  echo "=== bench smoke: crypto kernels (scalar dispatch) ==="
+  SIMCLOUD_FORCE_SCALAR_CRYPTO=1 ./build/bench_crypto --smoke
+  echo "CI (scalar-crypto) OK"
   exit 0
 fi
 
@@ -87,6 +112,9 @@ if [ -x build/bench_micro ]; then
 else
   echo "bench_micro not built (google-benchmark missing); skipped"
 fi
+
+echo "=== bench smoke: crypto kernels (scalar vs accelerated, >= 3x gate) ==="
+./build/bench_crypto --smoke
 
 echo "=== bench smoke: batched query throughput ==="
 ./build/bench_batch_throughput --smoke

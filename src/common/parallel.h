@@ -1,0 +1,77 @@
+// Minimal fork-join loop for the query engine's batch evaluation.
+//
+// ParallelFor runs fn(0) .. fn(n-1) across a small set of workers with
+// dynamic index claiming (an atomic counter, so uneven per-index cost —
+// one query hitting a dense tree region while another prunes instantly —
+// balances itself). The caller's thread participates as one worker and
+// the spawned threads are joined before returning: no work escapes the
+// call, which is what makes it safe to parallelize const query paths
+// under the index's reader lock.
+
+#ifndef SIMCLOUD_COMMON_PARALLEL_H_
+#define SIMCLOUD_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcloud {
+
+/// Runs `fn(i)` for every i in [0, n) using up to `threads` workers
+/// (including the calling thread). `threads <= 1` or `n <= 1` degrades to
+/// the plain serial loop — same calls, same order, zero threading cost.
+///
+/// `fn` must be safe to call concurrently for distinct indices. On
+/// failure the error with the smallest index is returned; indices not
+/// yet claimed when a failure is observed may be skipped (like the
+/// serial loop, which stops at the first error).
+template <typename Fn>
+Status ParallelFor(int threads, size_t n, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      SIMCLOUD_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+
+  const size_t workers =
+      std::min(static_cast<size_t>(threads), n);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<Status> errors(n, Status::OK());
+
+  auto work = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      Status status = fn(i);
+      if (!status.ok()) {
+        errors[i] = std::move(status);
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
+  work();
+  for (std::thread& thread : pool) thread.join();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (Status& error : errors) {
+      if (!error.ok()) return std::move(error);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_COMMON_PARALLEL_H_

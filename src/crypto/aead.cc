@@ -39,17 +39,18 @@ Result<AeadCipher> AeadCipher::Create(const Bytes& master_key) {
 
 Bytes AeadCipher::ComputeTag(const Bytes& iv_and_ciphertext,
                              const Bytes& associated_data) const {
-  Bytes message;
-  message.reserve(8 + associated_data.size() + iv_and_ciphertext.size());
+  // Stream the framed message straight into the MAC — no concat buffer;
+  // this runs once per wire record in the secure channel.
+  HmacSha256State::Stream mac = mac_state_.NewStream();
+  uint8_t ad_len_prefix[8];
   const uint64_t ad_len = associated_data.size();
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    message.push_back(static_cast<uint8_t>(ad_len >> shift));
+  for (int i = 0; i < 8; ++i) {
+    ad_len_prefix[i] = static_cast<uint8_t>(ad_len >> (56 - 8 * i));
   }
-  message.insert(message.end(), associated_data.begin(),
-                 associated_data.end());
-  message.insert(message.end(), iv_and_ciphertext.begin(),
-                 iv_and_ciphertext.end());
-  return mac_state_.Mac(message);
+  mac.Update(ad_len_prefix, sizeof(ad_len_prefix));
+  mac.Update(associated_data);
+  mac.Update(iv_and_ciphertext);
+  return mac.Finish();
 }
 
 Result<Bytes> AeadCipher::Seal(const Bytes& plaintext,

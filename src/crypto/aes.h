@@ -40,12 +40,19 @@ class Aes {
   /// Number of rounds (10/12/14 for AES-128/192/256).
   int rounds() const { return rounds_; }
 
+  /// Encryption key schedule serialized big-endian per word — the exact
+  /// 16-byte-per-round-key layout AES-NI kernels _mm_loadu_si128 from.
+  /// Valid for 16 * (rounds() + 1) bytes.
+  const uint8_t* round_key_bytes() const { return round_key_bytes_; }
+
  private:
   Aes() = default;
   void ExpandKey(const uint8_t* key, size_t key_len);
 
   // Round keys as 4-byte words; max 60 words for AES-256 (15 round keys).
   uint32_t round_keys_[60] = {};
+  // The same schedule in byte order, for the AES-NI fast path.
+  uint8_t round_key_bytes_[240] = {};
   int rounds_ = 0;
 };
 

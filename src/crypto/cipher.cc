@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+#include "crypto/kernels.h"
 #include "crypto/secure_random.h"
 
 namespace simcloud {
@@ -10,10 +12,16 @@ namespace crypto {
 namespace {
 constexpr size_t kBlock = Aes::kBlockSize;
 
-void IncrementCounter(uint8_t counter[kBlock]) {
-  // Big-endian increment of the rightmost 8 bytes (NIST SP 800-38A style).
-  for (int i = static_cast<int>(kBlock) - 1; i >= 8; --i) {
-    if (++counter[i] != 0) break;
+// CTR keystream XOR, routed through AES-NI when the dispatcher enabled
+// it. Scalar and hardware kernels are bit-identical (cross-checked in
+// tests/crypto_test.cc), so callers never observe the difference.
+void CtrXor(const Aes& aes, const uint8_t iv[kBlock], const uint8_t* in,
+            uint8_t* out, size_t len) {
+  if (len == 0) return;
+  if (AesAccelerated()) {
+    AesNiCtrXor(aes.round_key_bytes(), aes.rounds(), iv, in, out, len);
+  } else {
+    ScalarAesCtrXor(aes, iv, in, out, len);
   }
 }
 }  // namespace
@@ -112,30 +120,19 @@ Result<Bytes> Cipher::DecryptCbc(const Bytes& ciphertext) const {
 
 Result<Bytes> Cipher::EncryptCtr(const Bytes& plaintext,
                                  const Bytes& iv) const {
-  Bytes out;
-  out.reserve(kBlock + plaintext.size());
-  out.insert(out.end(), iv.begin(), iv.end());
-
-  uint8_t counter[kBlock];
-  std::memcpy(counter, iv.data(), kBlock);
-  uint8_t keystream[kBlock];
-  for (size_t off = 0; off < plaintext.size(); off += kBlock) {
-    aes_.EncryptBlock(counter, keystream);
-    const size_t n = std::min(kBlock, plaintext.size() - off);
-    for (size_t i = 0; i < n; ++i) {
-      out.push_back(plaintext[off + i] ^ keystream[i]);
-    }
-    IncrementCounter(counter);
-  }
+  Bytes out(kBlock + plaintext.size());
+  std::memcpy(out.data(), iv.data(), kBlock);
+  CtrXor(aes_, iv.data(), plaintext.data(), out.data() + kBlock,
+         plaintext.size());
   return out;
 }
 
 Result<Bytes> Cipher::DecryptCtr(const Bytes& ciphertext) const {
   // CTR decryption is encryption of the body under the stored IV.
-  Bytes iv(ciphertext.begin(), ciphertext.begin() + kBlock);
-  Bytes body(ciphertext.begin() + kBlock, ciphertext.end());
-  SIMCLOUD_ASSIGN_OR_RETURN(Bytes round_trip, EncryptCtr(body, iv));
-  return Bytes(round_trip.begin() + kBlock, round_trip.end());
+  Bytes out(ciphertext.size() - kBlock);
+  CtrXor(aes_, ciphertext.data(), ciphertext.data() + kBlock, out.data(),
+         out.size());
+  return out;
 }
 
 }  // namespace crypto

@@ -33,13 +33,15 @@ HmacSha256State::HmacSha256State(const Bytes& key) {
 }
 
 Bytes HmacSha256State::Mac(const Bytes& message) const {
-  Sha256 inner = inner_;  // resume from the precomputed key state
-  inner.Update(message);
-  const auto inner_digest = inner.Finish();
+  Stream stream = NewStream();
+  stream.Update(message);
+  return stream.Finish();
+}
 
-  Sha256 outer = outer_;
-  outer.Update(inner_digest.data(), inner_digest.size());
-  const auto digest = outer.Finish();
+Bytes HmacSha256State::Stream::Finish() {
+  const auto inner_digest = inner_.Finish();
+  outer_.Update(inner_digest.data(), inner_digest.size());
+  const auto digest = outer_.Finish();
   return Bytes(digest.begin(), digest.end());
 }
 

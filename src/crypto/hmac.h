@@ -32,6 +32,28 @@ class HmacSha256State {
   /// HMAC-SHA256(key, message) under the precomputed schedule.
   Bytes Mac(const Bytes& message) const;
 
+  /// Incremental MAC over discontiguous parts under the same schedule:
+  /// Update each piece in order, then Finish. Saves the concat copy the
+  /// one-shot Mac() would force on callers with framed messages (the
+  /// AEAD tags every wire record over length-prefix || ad || iv ||
+  /// ciphertext without gluing them together first).
+  class Stream {
+   public:
+    void Update(const uint8_t* data, size_t len) { inner_.Update(data, len); }
+    void Update(const Bytes& data) { inner_.Update(data); }
+    /// Finalizes HMAC over everything updated so far; single use.
+    Bytes Finish();
+
+   private:
+    friend class HmacSha256State;
+    Stream(const Sha256& inner, const Sha256& outer)
+        : inner_(inner), outer_(outer) {}
+    Sha256 inner_;
+    Sha256 outer_;
+  };
+  /// A fresh stream resumed from the precomputed key state.
+  Stream NewStream() const { return Stream(inner_, outer_); }
+
  private:
   Sha256 inner_;  ///< state after the ipad block
   Sha256 outer_;  ///< state after the opad block

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+#include "crypto/kernels.h"
+
 namespace simcloud {
 namespace crypto {
 
@@ -35,79 +38,106 @@ void Sha256::Reset() {
   total_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
-           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+void ScalarSha256Blocks(uint32_t h_state[8], const uint8_t* data,
+                        size_t blocks) {
+  for (size_t blk = 0; blk < blocks; ++blk, data += Sha256::kBlockSize) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(data[4 * i]) << 24) |
+             (static_cast<uint32_t>(data[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(data[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(data[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
 
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+    uint32_t a = h_state[0], b = h_state[1], c = h_state[2], d = h_state[3];
+    uint32_t e = h_state[4], f = h_state[5], g = h_state[6], h = h_state[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h_state[0] += a;
+    h_state[1] += b;
+    h_state[2] += c;
+    h_state[3] += d;
+    h_state[4] += e;
+    h_state[5] += f;
+    h_state[6] += g;
+    h_state[7] += h;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+}
+
+void Sha256::ProcessBlocks(const uint8_t* data, size_t blocks) {
+  if (ShaAccelerated()) {
+    ShaNiSha256Blocks(h_, data, blocks);
+  } else {
+    ScalarSha256Blocks(h_, data, blocks);
+  }
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   total_len_ += len;
-  while (len > 0) {
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
     const size_t take = std::min(len, kBlockSize - buffer_len_);
     std::memcpy(buffer_ + buffer_len_, data, take);
     buffer_len_ += take;
     data += take;
     len -= take;
     if (buffer_len_ == kBlockSize) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  // Bulk-process whole blocks straight from the input (no copy) so the
+  // hardware kernel sees long runs.
+  const size_t whole = len / kBlockSize;
+  if (whole > 0) {
+    ProcessBlocks(data, whole);
+    data += whole * kBlockSize;
+    len -= whole * kBlockSize;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 
 std::array<uint8_t, Sha256::kDigestSize> Sha256::Finish() {
   const uint64_t bit_len = total_len_ * 8;
-  // Append 0x80 then zeros until 8 bytes remain in the block, then length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  const uint8_t zero = 0x00;
-  while (buffer_len_ != kBlockSize - 8) Update(&zero, 1);
-
-  uint8_t len_bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  // Append 0x80, zero-fill to 8 bytes before a block edge, then the
+  // length — at most two compressions, padded with straight memsets
+  // (the record layer finalizes a digest per wire frame, so the fixed
+  // cost here is hot).
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > kBlockSize - 8) {
+    std::memset(buffer_ + buffer_len_, 0, kBlockSize - buffer_len_);
+    ProcessBlocks(buffer_, 1);
+    buffer_len_ = 0;
   }
-  // Bypass total_len_ accounting for the length field itself.
-  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
-  buffer_len_ += 8;
-  ProcessBlock(buffer_);
+  std::memset(buffer_ + buffer_len_, 0, kBlockSize - 8 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[kBlockSize - 8 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  ProcessBlocks(buffer_, 1);
   buffer_len_ = 0;
 
   std::array<uint8_t, kDigestSize> digest;

@@ -34,7 +34,9 @@ class Sha256 {
   static Bytes Hash(const Bytes& data);
 
  private:
-  void ProcessBlock(const uint8_t block[kBlockSize]);
+  // Absorbs `blocks` consecutive 64-byte blocks, dispatching to the
+  // SHA-NI kernel when available (see crypto/kernels.h).
+  void ProcessBlocks(const uint8_t* data, size_t blocks);
 
   uint32_t h_[8];
   uint8_t buffer_[kBlockSize];

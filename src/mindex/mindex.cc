@@ -1,6 +1,7 @@
 #include "mindex/mindex.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
@@ -38,14 +39,31 @@ Result<std::unique_ptr<MIndex>> MIndex::Create(const MIndexOptions& options) {
     return Status::InvalidArgument(
         "segment_dead_threshold must be in (0, 1]");
   }
+  if (options.query_threads < 0) {
+    return Status::InvalidArgument("query_threads must be >= 0");
+  }
+  MIndexOptions resolved = options;
+  // Runtime override for the batch-evaluation thread count; applies to
+  // fresh indexes and snapshot loads alike (the snapshot deliberately
+  // does not carry query_threads).
+  if (const char* env = std::getenv("SIMCLOUD_QUERY_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 0 && value <= 1024) {
+      resolved.query_threads = static_cast<int>(value);
+    } else {
+      SIMCLOUD_LOG(kWarn) << "ignoring invalid SIMCLOUD_QUERY_THREADS value '"
+                          << env << "'";
+    }
+  }
   SIMCLOUD_ASSIGN_OR_RETURN(
       std::unique_ptr<BucketStorage> storage,
-      MakeStorage(options.storage_kind, options.disk_path));
-  if (options.cache_bytes > 0) {
+      MakeStorage(resolved.storage_kind, resolved.disk_path));
+  if (resolved.cache_bytes > 0) {
     storage = std::make_unique<PayloadCache>(std::move(storage),
-                                             options.cache_bytes);
+                                             resolved.cache_bytes);
   }
-  return std::unique_ptr<MIndex>(new MIndex(options, std::move(storage)));
+  return std::unique_ptr<MIndex>(new MIndex(resolved, std::move(storage)));
 }
 
 Result<Permutation> MIndex::RoutingPermutation(
@@ -317,7 +335,8 @@ Result<CompactionReport> MIndex::RunCompactionPass(
     active_pass_ = nullptr;
     // The pass may have replaced the storage stack; re-point the query
     // engine (cheap — it holds raw pointers only).
-    engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay);
+    engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay,
+                          options_.query_threads);
     pause_nanos += held.ElapsedNanos();
     compaction_active_.store(false, std::memory_order_relaxed);
     compaction_progress_.store(0, std::memory_order_relaxed);

@@ -76,6 +76,14 @@ struct MIndexOptions {
   /// Partial passes: cap on live bytes relocated per pass (0 = every
   /// eligible segment).
   uint64_t compaction_max_pass_bytes = 0;
+  /// Worker threads for batch query evaluation (RangeSearchBatch /
+  /// ApproxKnnBatch fan distinct-signature queries across this many
+  /// threads, caller included). 0 or 1 keeps the serial path; results
+  /// are byte-identical either way. SIMCLOUD_QUERY_THREADS overrides at
+  /// Create time. A runtime tuning knob, deliberately NOT persisted in
+  /// snapshots — a snapshot moved to a different machine should not
+  /// carry the old machine's thread count.
+  int query_threads = 0;
 };
 
 /// The M-Index proper.
@@ -206,7 +214,8 @@ class MIndex {
       : options_(options), storage_(std::move(storage)),
         tree_(options.num_pivots, options.bucket_capacity,
               options.max_level),
-        engine_(&tree_, storage_.get(), options.promise_decay) {}
+        engine_(&tree_, storage_.get(), options.promise_decay,
+                options.query_threads) {}
 
   /// Validates the routing arguments shared by Insert and Delete and
   /// resolves them to the stored-prefix permutation (derived from the

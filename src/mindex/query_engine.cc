@@ -4,6 +4,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/parallel.h"
+
 namespace simcloud {
 namespace mindex {
 
@@ -169,9 +171,36 @@ Result<BatchCandidates> QueryEngine::RangeSearchBatch(
   for (size_t q : uniques) unique_queries.push_back(queries[q]);
 
   std::vector<SearchStats> unique_stats(uniques.size());
-  std::vector<ScoredEntries> scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_->CollectRangeBatch(unique_queries, &scored, &unique_stats));
+  std::vector<ScoredEntries> scored(uniques.size());
+  const size_t chunk_count =
+      query_threads_ > 1
+          ? std::min(static_cast<size_t>(query_threads_), uniques.size())
+          : 1;
+  if (chunk_count <= 1) {
+    SIMCLOUD_RETURN_NOT_OK(
+        tree_->CollectRangeBatch(unique_queries, &scored, &unique_stats));
+  } else {
+    // Each worker runs one shared traversal over its contiguous chunk of
+    // the distinct queries. CollectRangeBatch guarantees per-query output
+    // independent of batch composition, so the concatenation is
+    // byte-identical to the single whole-batch traversal.
+    SIMCLOUD_RETURN_NOT_OK(ParallelFor(
+        static_cast<int>(chunk_count), chunk_count, [&](size_t c) {
+          const size_t begin = c * unique_queries.size() / chunk_count;
+          const size_t end = (c + 1) * unique_queries.size() / chunk_count;
+          const std::vector<RangeQuery> chunk(
+              unique_queries.begin() + begin, unique_queries.begin() + end);
+          std::vector<ScoredEntries> chunk_scored(chunk.size());
+          std::vector<SearchStats> chunk_stats(chunk.size());
+          SIMCLOUD_RETURN_NOT_OK(
+              tree_->CollectRangeBatch(chunk, &chunk_scored, &chunk_stats));
+          for (size_t i = 0; i < chunk.size(); ++i) {
+            scored[begin + i] = std::move(chunk_scored[i]);
+            unique_stats[begin + i] = chunk_stats[i];
+          }
+          return Status::OK();
+        }));
+  }
   std::vector<size_t> limits(scored.size());
   for (size_t u = 0; u < scored.size(); ++u) limits[u] = scored[u].size();
   return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
@@ -190,18 +219,25 @@ Result<BatchCandidates> QueryEngine::ApproxKnnBatch(
   std::vector<SearchStats> unique_stats(uniques.size());
   std::vector<ScoredEntries> scored(uniques.size());
   std::vector<size_t> limits(uniques.size());
+  // Validate up front (serially) so a bad query fails identically
+  // regardless of thread count, then fan the independent per-query tree
+  // walks out — each worker writes only its own slots.
   for (size_t u = 0; u < uniques.size(); ++u) {
-    const KnnQuery& query = queries[uniques[u]];
-    if (query.cand_size == 0) {
+    if (queries[uniques[u]].cand_size == 0) {
       return Status::InvalidArgument("candidate set size must be > 0");
     }
-    SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(
-        query.signature, query.cand_size, promise_decay_, &scored[u],
-        &unique_stats[u]));
-    limits[u] = query.signature.whole_cells
-                    ? scored[u].size()
-                    : static_cast<size_t>(query.cand_size);
   }
+  SIMCLOUD_RETURN_NOT_OK(
+      ParallelFor(query_threads_, uniques.size(), [&](size_t u) {
+        const KnnQuery& query = queries[uniques[u]];
+        SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(
+            query.signature, query.cand_size, promise_decay_, &scored[u],
+            &unique_stats[u]));
+        limits[u] = query.signature.whole_cells
+                        ? scored[u].size()
+                        : static_cast<size_t>(query.cand_size);
+        return Status::OK();
+      }));
   return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
                           stats);
 }

@@ -44,11 +44,19 @@ namespace mindex {
 /// referenced tree and storage must outlive the engine; concurrent const
 /// calls are safe (the tree is read-only and storage fetches are
 /// concurrent by contract).
+///
+/// `query_threads` > 1 fans the batch paths' distinct-query evaluation
+/// across that many workers (caller included): ApproxKnnBatch claims
+/// whole queries, RangeSearchBatch splits the distinct set into per-
+/// worker chunks each evaluated by one shared traversal. The fan-out is
+/// pure schedule — per-query results and stats stay byte-identical to
+/// the serial path, which 0/1 selects.
 class QueryEngine {
  public:
   QueryEngine(const CellTree* tree, const BucketStorage* storage,
-              double promise_decay)
-      : tree_(tree), storage_(storage), promise_decay_(promise_decay) {}
+              double promise_decay, int query_threads = 0)
+      : tree_(tree), storage_(storage), promise_decay_(promise_decay),
+        query_threads_(query_threads) {}
 
   /// Precise range query R(q, r) (Algorithm 3): cell pruning + pivot
   /// filtering, candidates sorted by filtering lower bound.
@@ -97,6 +105,7 @@ class QueryEngine {
   const CellTree* tree_;
   const BucketStorage* storage_;
   double promise_decay_;
+  int query_threads_;
 };
 
 }  // namespace mindex

@@ -27,11 +27,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/io_ring.h"
 #include "common/status.h"
 
 namespace simcloud {
@@ -39,6 +41,33 @@ namespace mindex {
 
 /// Handle to a stored payload.
 using PayloadHandle = uint64_t;
+
+/// One coalesced disk read: `count` payloads that sit contiguously in the
+/// log, covering plan.order[first .. first+count).
+struct DiskReadRun {
+  uint64_t offset = 0;  ///< file offset of the first payload
+  uint64_t length = 0;  ///< total bytes across the coalesced payloads
+  size_t first = 0;     ///< index into DiskReadPlan::order
+  size_t count = 0;
+};
+
+/// The coalesced read schedule DiskStorage::FetchMany executes — shared
+/// between the pread(2) and io_uring executors so both issue identical
+/// reads. `order` lists handle indices sorted by file offset; `runs`
+/// merges payloads that are byte-adjacent in the log (the common case:
+/// one bucket's candidates were appended together). Runs merge across
+/// kSegmentBytes boundaries — segments are an accounting notion, the log
+/// bytes stay contiguous.
+struct DiskReadPlan {
+  std::vector<size_t> order;
+  std::vector<DiskReadRun> runs;
+};
+
+/// Builds the plan for fetching `handles`, where `offsets[h]`/`lengths[h]`
+/// locate payload `h` in the log. Exposed for direct testing.
+DiskReadPlan BuildDiskReadPlan(std::span<const PayloadHandle> handles,
+                               std::span<const uint64_t> offsets,
+                               std::span<const uint32_t> lengths);
 
 /// Abstract payload store. Implementations must support concurrent Fetch /
 /// FetchMany calls; Store/Free calls are serialized by the index.
@@ -274,6 +303,12 @@ class DiskStorage : public BucketStorage {
   /// pread exactly `len` bytes at `offset`; short reads (EOF before `len`
   /// bytes, e.g. a truncated backing file) are Corruption, not silence.
   Status ReadExactly(uint8_t* dst, size_t len, uint64_t offset) const;
+  /// Executes `plan` with one batched io_uring submission. NotSupported
+  /// means "use pread instead" (ring unavailable or busy); any other
+  /// error is a real I/O failure.
+  Status FetchManyUring(const DiskReadPlan& plan,
+                        std::span<const PayloadHandle> handles,
+                        std::vector<Bytes>* out) const;
 
   int fd_;
   std::string path_;
@@ -290,6 +325,14 @@ class DiskStorage : public BucketStorage {
   std::vector<bool> live_;
   // Per-segment accounting, indexed by offset / kSegmentBytes.
   std::vector<Segment> segments_;
+  // io_uring read batching (SIMCLOUD_IO_ENGINE=uring), created lazily by
+  // the first FetchMany. The ring is single-owner; concurrent FetchMany
+  // callers that miss the try_lock just take the pread path instead of
+  // queueing. `ring_failed_` latches a failed probe so unsupported
+  // kernels pay the setup attempt once.
+  mutable std::mutex ring_mutex_;
+  mutable std::unique_ptr<IoRing> ring_;
+  mutable bool ring_failed_ = false;
 };
 
 /// Storage backend selector mirroring the paper's Table 2.

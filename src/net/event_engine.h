@@ -1,0 +1,74 @@
+// Readiness engine behind TcpServer's event loop.
+//
+// The server's loop logic (accept, incremental reads, backpressure,
+// completion flushing) is engine-agnostic: it registers fds with an
+// interest mask and consumes (tag, events) pairs. EventEngine is that
+// seam. Two implementations exist:
+//   - EpollEngine: the original epoll_wait loop, the default.
+//   - UringEngine: io_uring poll-driven readiness. Oneshot POLL_ADD
+//     SQEs are re-armed in batched submissions (one io_uring_enter per
+//     loop iteration instead of one epoll_ctl syscall per interest
+//     change); fds whose interest never changes (listen, wake) use
+//     multishot poll where the kernel supports it.
+// Selection: SIMCLOUD_IO_ENGINE=uring opts into io_uring, with a
+// runtime probe that falls back to epoll — logging the reason — on
+// kernels or sandboxes without io_uring. Unset or "epoll" keeps the
+// default. Event masks use the epoll bit values (EPOLLIN/EPOLLOUT/
+// EPOLLRDHUP/...) in both engines, and delivery semantics are
+// level-triggered either way, so TcpServer behaves identically under
+// both engines.
+
+#ifndef SIMCLOUD_NET_EVENT_ENGINE_H_
+#define SIMCLOUD_NET_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcloud {
+namespace net {
+
+/// Readiness source for one event-loop thread. Not thread-safe: every
+/// method must be called from the loop thread that owns the engine
+/// (TcpServer registers the listen/wake fds before starting the loop,
+/// which is safe — the loop has not started consuming yet).
+class EventEngine {
+ public:
+  struct Event {
+    uint64_t tag = 0;     ///< registration tag (connection generation)
+    uint32_t events = 0;  ///< EPOLL* bits that fired
+  };
+
+  virtual ~EventEngine() = default;
+
+  /// Engine name for banners/logs: "epoll" or "io_uring".
+  virtual const char* name() const = 0;
+
+  /// Registers `fd` with interest `events`. `constant_interest` promises
+  /// Modify will never be called for this fd (lets the io_uring engine
+  /// keep a standing multishot poll armed).
+  virtual Status Add(int fd, uint64_t tag, uint32_t events,
+                     bool constant_interest) = 0;
+  /// Replaces the interest mask of a registered fd.
+  virtual Status Modify(int fd, uint64_t tag, uint32_t events) = 0;
+  /// Deregisters an fd. Call BEFORE closing the fd (the io_uring engine
+  /// must cancel any in-flight poll holding a reference to the file).
+  /// Stale events for `tag` may still surface from the current batch;
+  /// the caller's tag lookup makes them harmless.
+  virtual void Remove(int fd, uint64_t tag) = 0;
+
+  /// Blocks until at least one event is ready; appends them to `out`
+  /// (which is cleared first). An error here is loop-fatal.
+  virtual Status Wait(std::vector<Event>* out) = 0;
+
+  /// Builds the engine selected by SIMCLOUD_IO_ENGINE ("epoll" default,
+  /// "uring" opts into io_uring with probe + epoll fallback).
+  static Result<std::unique_ptr<EventEngine>> Create();
+};
+
+}  // namespace net
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_NET_EVENT_ENGINE_H_

@@ -17,13 +17,14 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/serialize.h"
+#include "crypto/cpu_features.h"
 
 namespace simcloud {
 namespace net {
 
 namespace {
 
-// epoll user-data tags of the two non-connection fds; connection
+// Event-engine tags of the two non-connection fds; connection
 // generations start at 2.
 constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
@@ -223,7 +224,8 @@ Status TcpServer::Start(uint16_t port) {
   auto fail = [this](const std::string& what) {
     Status status =
         Status::NetworkError(what + " failed: " + std::strerror(errno));
-    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    engine_.reset();
+    for (int* fd : {&listen_fd_, &wake_fd_}) {
       if (*fd >= 0) {
         ::close(*fd);
         *fd = -1;
@@ -254,20 +256,25 @@ Status TcpServer::Start(uint16_t port) {
   if (::listen(listen_fd_, 1024) < 0) return fail("listen");
   if (!SetNonBlocking(listen_fd_).ok()) return fail("fcntl");
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) return fail("epoll_create1");
+  Result<std::unique_ptr<EventEngine>> engine = EventEngine::Create();
+  if (!engine.ok()) return fail("event engine setup");
+  engine_ = std::move(*engine);
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wake_fd_ < 0) return fail("eventfd");
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
-    return fail("epoll_ctl(listen)");
+  // The listen and wake fds keep EPOLLIN interest forever, which lets
+  // the io_uring engine hold a standing multishot poll on them.
+  if (!engine_->Add(listen_fd_, kListenTag, EPOLLIN, true).ok()) {
+    return fail("register(listen)");
   }
-  ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    return fail("epoll_ctl(wake)");
+  if (!engine_->Add(wake_fd_, kWakeTag, EPOLLIN, true).ok()) {
+    return fail("register(wake)");
   }
+  SIMCLOUD_LOG(kInfo) << "TcpServer on 127.0.0.1:" << port_
+                      << " io_engine=" << engine_->name() << " crypto["
+                      << crypto::CryptoBackendSummary() << "] policy="
+                      << (options_.channel_policy == ChannelPolicy::kSecure
+                              ? "secure"
+                              : "plaintext");
 
   started_ = true;
   running_.store(true);
@@ -296,10 +303,7 @@ void TcpServer::Stop() {
     ::close(wake_fd_);
     wake_fd_ = -1;
   }
-  if (epoll_fd_ >= 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
+  engine_.reset();
 }
 
 void TcpServer::WakeLoop() {
@@ -313,17 +317,15 @@ void TcpServer::WakeLoop() {
 }
 
 void TcpServer::EventLoop() {
-  std::vector<epoll_event> events(128);
+  std::vector<EventEngine::Event> events;
   while (running_.load()) {
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      SIMCLOUD_LOG(kWarn) << "epoll_wait failed: " << std::strerror(errno);
+    const Status wait_status = engine_->Wait(&events);
+    if (!wait_status.ok()) {
+      SIMCLOUD_LOG(kWarn) << "event wait failed: " << wait_status.message();
       break;
     }
-    for (int i = 0; i < n && running_.load(); ++i) {
-      const uint64_t tag = events[i].data.u64;
+    for (size_t i = 0; i < events.size() && running_.load(); ++i) {
+      const uint64_t tag = events[i].tag;
       if (tag == kListenTag) {
         AcceptNewConnections();
         continue;
@@ -360,7 +362,7 @@ void TcpServer::EventLoop() {
   // Teardown: drop every connection; workers may still be finishing
   // handler calls — their completions land in done_queue_ and are never
   // delivered, which is fine, nothing references the dead connections.
-  // The wake and epoll fds stay open until Stop() has joined the
+  // The wake fd and the engine stay open until Stop() has joined the
   // workers: a worker's WakeLoop() after a close here could hit a
   // recycled fd number.
   std::vector<Connection*> open;
@@ -400,11 +402,10 @@ void TcpServer::AcceptNewConnections() {
           std::make_unique<ServerHandshake>(options_.secure_channel);
     }
     conn->interest = EPOLLIN | EPOLLRDHUP;
-    epoll_event ev{};
-    ev.events = conn->interest;
-    ev.data.u64 = conn->gen;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      SIMCLOUD_LOG(kWarn) << "epoll add failed: " << std::strerror(errno);
+    const Status add_status =
+        engine_->Add(fd, conn->gen, conn->interest, /*constant_interest=*/false);
+    if (!add_status.ok()) {
+      SIMCLOUD_LOG(kWarn) << "engine add failed: " << add_status.message();
       ::close(fd);
       continue;
     }
@@ -617,10 +618,7 @@ bool TcpServer::UpdateConnection(Connection* conn) {
         backpressured) {
       reads_paused_.fetch_add(1);
     }
-    epoll_event ev{};
-    ev.events = want;
-    ev.data.u64 = conn->gen;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) < 0) {
+    if (!engine_->Modify(conn->fd, conn->gen, want).ok()) {
       CloseConnection(conn);
       return false;
     }
@@ -630,7 +628,7 @@ bool TcpServer::UpdateConnection(Connection* conn) {
 }
 
 void TcpServer::CloseConnection(Connection* conn) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  engine_->Remove(conn->fd, conn->gen);  // before close: cancels uring polls
   ::close(conn->fd);
   active_connections_.fetch_sub(1);
   connections_.erase(conn->gen);  // frees conn

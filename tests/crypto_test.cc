@@ -10,7 +10,9 @@
 #include "crypto/aead.h"
 #include "crypto/aes.h"
 #include "crypto/cipher.h"
+#include "crypto/cpu_features.h"
 #include "crypto/hmac.h"
+#include "crypto/kernels.h"
 #include "crypto/secure_random.h"
 #include "crypto/sha256.h"
 
@@ -440,6 +442,100 @@ TEST(AeadTest, RejectsBadMasterKeySizes) {
   EXPECT_FALSE(AeadCipher::Create(Bytes(0, 0)).ok());
   EXPECT_FALSE(AeadCipher::Create(Bytes(33, 0)).ok());
   EXPECT_TRUE(AeadCipher::Create(Bytes(24, 0)).ok());
+}
+
+// ------------------------------------------- hardware kernel cross-checks
+//
+// The AES-NI / SHA-NI kernels must be bit-identical to the vector-tested
+// scalar references. These sweeps compare both on random inputs whenever
+// the silicon offers the instructions (raw capability, ignoring the
+// SIMCLOUD_FORCE_SCALAR_CRYPTO override, so the forced-scalar CI job
+// still exercises them).
+
+Bytes RandomBytes(Rng& rng, size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.NextU64());
+  return out;
+}
+
+TEST(KernelTest, AesNiCtrMatchesScalarOnRandomInputs) {
+  if (!AesNiKernelAvailable()) {
+    GTEST_SKIP() << "AES-NI not available on this CPU";
+  }
+  Rng rng(0xAE51);
+  for (const size_t key_len : {16u, 24u, 32u}) {
+    auto aes = Aes::Create(RandomBytes(rng, key_len));
+    ASSERT_TRUE(aes.ok());
+    for (const size_t len :
+         {0u, 1u, 15u, 16u, 17u, 64u, 127u, 128u, 129u, 255u, 256u, 1000u}) {
+      const Bytes iv = RandomBytes(rng, 16);
+      const Bytes input = RandomBytes(rng, len);
+      Bytes scalar_out(len), hw_out(len);
+      ScalarAesCtrXor(*aes, iv.data(), input.data(), scalar_out.data(), len);
+      AesNiCtrXor(aes->round_key_bytes(), aes->rounds(), iv.data(),
+                  input.data(), hw_out.data(), len);
+      EXPECT_EQ(scalar_out, hw_out) << "key_len=" << key_len << " len=" << len;
+
+      // In-place operation must produce the same bytes.
+      Bytes in_place = input;
+      AesNiCtrXor(aes->round_key_bytes(), aes->rounds(), iv.data(),
+                  in_place.data(), in_place.data(), len);
+      EXPECT_EQ(scalar_out, in_place);
+    }
+  }
+}
+
+TEST(KernelTest, AesNiCtrCounterCarryPropagates) {
+  if (!AesNiKernelAvailable()) {
+    GTEST_SKIP() << "AES-NI not available on this CPU";
+  }
+  Rng rng(0xCA44);
+  auto aes = Aes::Create(RandomBytes(rng, 16));
+  ASSERT_TRUE(aes.ok());
+  // Counter bytes at the carry edge: the increment must ripple across
+  // several 0xFF bytes mid-message, identically in both kernels.
+  Bytes iv = RandomBytes(rng, 16);
+  for (int i = 9; i < 16; ++i) iv[i] = 0xFF;
+  iv[15] = 0xFE;
+  const size_t len = 64 * 16;  // crosses the carry within the 8-block loop
+  const Bytes input = RandomBytes(rng, len);
+  Bytes scalar_out(len), hw_out(len);
+  ScalarAesCtrXor(*aes, iv.data(), input.data(), scalar_out.data(), len);
+  AesNiCtrXor(aes->round_key_bytes(), aes->rounds(), iv.data(), input.data(),
+              hw_out.data(), len);
+  EXPECT_EQ(scalar_out, hw_out);
+}
+
+TEST(KernelTest, ShaNiMatchesScalarOnRandomInputs) {
+  if (!ShaNiKernelAvailable()) {
+    GTEST_SKIP() << "SHA-NI not available on this CPU";
+  }
+  Rng rng(0x54A2);
+  for (const size_t blocks : {1u, 2u, 3u, 7u, 16u, 33u}) {
+    const Bytes data = RandomBytes(rng, blocks * 64);
+    uint32_t scalar_h[8], hw_h[8];
+    for (int i = 0; i < 8; ++i) {
+      scalar_h[i] = static_cast<uint32_t>(rng.NextU64());
+      hw_h[i] = scalar_h[i];
+    }
+    ScalarSha256Blocks(scalar_h, data.data(), blocks);
+    ShaNiSha256Blocks(hw_h, data.data(), blocks);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(scalar_h[i], hw_h[i]) << "blocks=" << blocks << " word=" << i;
+    }
+  }
+}
+
+TEST(CpuFeaturesTest, DispatchIsConsistentWithRawCapability) {
+  const CpuFeatures& features = GetCpuFeatures();
+  // Dispatch can only enable what the silicon supports.
+  EXPECT_LE(features.aes_ni, features.raw_aes_ni);
+  EXPECT_LE(features.sha_ni, features.raw_sha_ni);
+  if (features.forced_scalar) {
+    EXPECT_FALSE(features.aes_ni);
+    EXPECT_FALSE(features.sha_ni);
+  }
+  EXPECT_FALSE(CryptoBackendSummary().empty());
 }
 
 }  // namespace

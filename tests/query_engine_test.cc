@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "data/synthetic.h"
+#include "mindex/mindex.h"
 #include "mindex/payload_cache.h"
+#include "mindex/pivot_set.h"
 #include "mindex/storage.h"
 #include "secure/client.h"
 #include "secure/protocol.h"
@@ -229,6 +233,227 @@ TEST_P(PayloadCacheTest, FetchManyMixesHitsAndMissesCorrectly) {
 INSTANTIATE_TEST_SUITE_P(Backends, PayloadCacheTest,
                          ::testing::Values(StorageKind::kMemory,
                                            StorageKind::kDisk));
+
+// ------------------------------------------- parallel == serial (batch)
+
+// The parallel batch paths are pure schedule changes: with
+// query_threads > 1 the distinct-query evaluation fans across workers,
+// but every byte of the result — payload dictionary, per-query refs,
+// stats — must match the serial engine exactly.
+class ParallelBatchTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  void SetUp() override {
+    // The env override would make both indexes use the same thread
+    // count, turning the comparison into a tautology.
+    ::unsetenv("SIMCLOUD_QUERY_THREADS");
+    serial_path_ = testing::TempDir() + "/simcloud_parallel_serial.bin";
+    parallel_path_ = testing::TempDir() + "/simcloud_parallel_parallel.bin";
+  }
+  void TearDown() override {
+    std::remove(serial_path_.c_str());
+    std::remove(parallel_path_.c_str());
+  }
+
+  std::unique_ptr<MIndex> BuildIndex(
+      const std::vector<metric::VectorObject>& objects,
+      const PivotSet& pivots, const metric::DistanceFunction& metric,
+      int query_threads, const std::string& path) {
+    MIndexOptions options;
+    options.num_pivots = pivots.size();
+    options.bucket_capacity = 24;
+    options.max_level = 4;
+    options.storage_kind = GetParam();
+    options.disk_path = path;
+    options.query_threads = query_threads;
+    auto index = MIndex::Create(options);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    for (const auto& object : objects) {
+      std::vector<float> distances = pivots.ComputeDistances(object, metric);
+      BinaryWriter payload;
+      object.Serialize(&payload);
+      Status st = (*index)->Insert(object.id(), std::move(distances), {},
+                                   payload.buffer());
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    return std::move(index).value();
+  }
+
+  static void ExpectIdentical(const BatchCandidates& serial,
+                              const BatchCandidates& parallel,
+                              const std::vector<SearchStats>& serial_stats,
+                              const std::vector<SearchStats>& parallel_stats) {
+    EXPECT_EQ(serial.payloads, parallel.payloads);
+    ASSERT_EQ(serial.per_query.size(), parallel.per_query.size());
+    for (size_t q = 0; q < serial.per_query.size(); ++q) {
+      ASSERT_EQ(serial.per_query[q].size(), parallel.per_query[q].size())
+          << "query " << q;
+      for (size_t i = 0; i < serial.per_query[q].size(); ++i) {
+        EXPECT_EQ(serial.per_query[q][i].id, parallel.per_query[q][i].id);
+        EXPECT_EQ(serial.per_query[q][i].score,
+                  parallel.per_query[q][i].score);
+        EXPECT_EQ(serial.per_query[q][i].payload_index,
+                  parallel.per_query[q][i].payload_index);
+      }
+    }
+    ASSERT_EQ(serial_stats.size(), parallel_stats.size());
+    for (size_t q = 0; q < serial_stats.size(); ++q) {
+      EXPECT_EQ(serial_stats[q].cells_visited,
+                parallel_stats[q].cells_visited) << "query " << q;
+      EXPECT_EQ(serial_stats[q].cells_pruned, parallel_stats[q].cells_pruned);
+      EXPECT_EQ(serial_stats[q].entries_scanned,
+                parallel_stats[q].entries_scanned);
+      EXPECT_EQ(serial_stats[q].entries_filtered,
+                parallel_stats[q].entries_filtered);
+      EXPECT_EQ(serial_stats[q].candidates, parallel_stats[q].candidates);
+    }
+  }
+
+  std::string serial_path_;
+  std::string parallel_path_;
+};
+
+TEST_P(ParallelBatchTest, BatchResultsAreByteIdenticalToSerial) {
+  data::MixtureOptions mixture;
+  mixture.num_objects = 300;
+  mixture.dimension = 8;
+  mixture.num_clusters = 8;
+  mixture.seed = 77;
+  const auto objects = data::MakeGaussianMixture(mixture);
+  metric::L2Distance metric;
+  auto pivots = PivotSet::SelectRandom(objects, 12, 78);
+  ASSERT_TRUE(pivots.ok());
+
+  auto serial = BuildIndex(objects, *pivots, metric, 0, serial_path_);
+  auto parallel = BuildIndex(objects, *pivots, metric, 3, parallel_path_);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_EQ(serial->options().query_threads, 0);
+  EXPECT_EQ(parallel->options().query_threads, 3);
+
+  // Range batch: varied radii, duplicated hot queries, one empty-result
+  // radius. 17 queries over 9 distinct signatures.
+  std::vector<RangeQuery> range_batch;
+  for (size_t q = 0; q < 8; ++q) {
+    RangeQuery query;
+    query.pivot_distances =
+        pivots->ComputeDistances(objects[q * 31], metric);
+    query.radius = 0.4 + 0.25 * static_cast<double>(q % 4);
+    range_batch.push_back(std::move(query));
+  }
+  range_batch.push_back(range_batch[2]);  // duplicates, interleaved
+  range_batch.push_back(range_batch[5]);
+  range_batch.push_back(range_batch[2]);
+  RangeQuery empty_query;
+  empty_query.pivot_distances =
+      pivots->ComputeDistances(objects[111], metric);
+  empty_query.radius = 1e-9;
+  range_batch.push_back(empty_query);
+  for (size_t q = 0; q < 5; ++q) range_batch.push_back(range_batch[q]);
+
+  std::vector<SearchStats> serial_stats, parallel_stats;
+  auto serial_range = serial->RangeSearchBatchCandidates(range_batch,
+                                                         &serial_stats);
+  auto parallel_range = parallel->RangeSearchBatchCandidates(
+      range_batch, &parallel_stats);
+  ASSERT_TRUE(serial_range.ok()) << serial_range.status().ToString();
+  ASSERT_TRUE(parallel_range.ok()) << parallel_range.status().ToString();
+  ExpectIdentical(*serial_range, *parallel_range, serial_stats,
+                  parallel_stats);
+
+  // k-NN batch: mixed candidate sizes, whole-cells variant, duplicates.
+  std::vector<KnnQuery> knn_batch;
+  for (size_t q = 0; q < 8; ++q) {
+    QuerySignature signature;
+    signature.pivot_distances =
+        pivots->ComputeDistances(objects[q * 17 + 3], metric);
+    signature.permutation =
+        DistancesToPermutation(signature.pivot_distances);
+    signature.whole_cells = (q % 3 == 0);
+    knn_batch.push_back(
+        KnnQuery{std::move(signature), 10 + 15 * (q % 4)});
+  }
+  knn_batch.push_back(knn_batch[1]);
+  knn_batch.push_back(knn_batch[6]);
+  knn_batch.push_back(knn_batch[1]);
+
+  auto serial_knn = serial->ApproxKnnBatchCandidates(knn_batch,
+                                                     &serial_stats);
+  auto parallel_knn = parallel->ApproxKnnBatchCandidates(knn_batch,
+                                                         &parallel_stats);
+  ASSERT_TRUE(serial_knn.ok()) << serial_knn.status().ToString();
+  ASSERT_TRUE(parallel_knn.ok()) << parallel_knn.status().ToString();
+  ExpectIdentical(*serial_knn, *parallel_knn, serial_stats, parallel_stats);
+
+  // Error behaviour is thread-count independent: a zero cand_size fails
+  // identically on both engines.
+  knn_batch[5].cand_size = 0;
+  EXPECT_EQ(serial->ApproxKnnBatchCandidates(knn_batch, nullptr)
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parallel->ApproxKnnBatchCandidates(knn_batch, nullptr)
+                .status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(ParallelBatchTest, MoreThreadsThanQueriesStillIdentical) {
+  data::MixtureOptions mixture;
+  mixture.num_objects = 120;
+  mixture.dimension = 6;
+  mixture.num_clusters = 4;
+  mixture.seed = 91;
+  const auto objects = data::MakeGaussianMixture(mixture);
+  metric::L2Distance metric;
+  auto pivots = PivotSet::SelectRandom(objects, 8, 92);
+  ASSERT_TRUE(pivots.ok());
+
+  auto serial = BuildIndex(objects, *pivots, metric, 1, serial_path_);
+  auto parallel = BuildIndex(objects, *pivots, metric, 16, parallel_path_);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(parallel, nullptr);
+
+  // Two distinct queries, 16 workers configured: the fan-out must clamp
+  // to the distinct count and still match the serial result.
+  std::vector<RangeQuery> batch;
+  for (size_t q = 0; q < 2; ++q) {
+    RangeQuery query;
+    query.pivot_distances = pivots->ComputeDistances(objects[q], metric);
+    query.radius = 0.9;
+    batch.push_back(std::move(query));
+  }
+  std::vector<SearchStats> serial_stats, parallel_stats;
+  auto serial_range = serial->RangeSearchBatchCandidates(batch,
+                                                         &serial_stats);
+  auto parallel_range = parallel->RangeSearchBatchCandidates(
+      batch, &parallel_stats);
+  ASSERT_TRUE(serial_range.ok());
+  ASSERT_TRUE(parallel_range.ok());
+  ExpectIdentical(*serial_range, *parallel_range, serial_stats,
+                  parallel_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ParallelBatchTest,
+                         ::testing::Values(StorageKind::kMemory,
+                                           StorageKind::kDisk));
+
+TEST(QueryThreadsEnvTest, EnvOverridesOptionAtCreate) {
+  ::setenv("SIMCLOUD_QUERY_THREADS", "5", 1);
+  MIndexOptions options;
+  options.num_pivots = 4;
+  auto index = MIndex::Create(options);
+  ::unsetenv("SIMCLOUD_QUERY_THREADS");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->options().query_threads, 5);
+
+  ::setenv("SIMCLOUD_QUERY_THREADS", "not-a-number", 1);
+  auto fallback = MIndex::Create(options);
+  ::unsetenv("SIMCLOUD_QUERY_THREADS");
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ((*fallback)->options().query_threads, 0);
+
+  options.query_threads = -1;
+  EXPECT_EQ(MIndex::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
 
 }  // namespace
 }  // namespace mindex

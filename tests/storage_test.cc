@@ -120,6 +120,89 @@ INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
                                       : "disk";
                          });
 
+// ------------------------------------------------------- read-plan builder
+
+TEST(DiskReadPlanTest, MergesRunsAcrossSegmentBoundaries) {
+  // Three payloads appended back to back straddling a kSegmentBytes
+  // boundary: segments are accounting units, the log bytes stay
+  // contiguous, so the plan must coalesce them into ONE run.
+  const uint64_t boundary = DiskStorage::kSegmentBytes;
+  std::vector<uint64_t> offsets = {boundary - 100, boundary - 50,
+                                   boundary + 10};
+  std::vector<uint32_t> lengths = {50, 60, 30};
+  std::vector<PayloadHandle> handles = {0, 1, 2};
+  const DiskReadPlan plan = BuildDiskReadPlan(handles, offsets, lengths);
+  ASSERT_EQ(plan.runs.size(), 1u);
+  EXPECT_EQ(plan.runs[0].offset, boundary - 100);
+  EXPECT_EQ(plan.runs[0].length, 140u);
+  EXPECT_EQ(plan.runs[0].first, 0u);
+  EXPECT_EQ(plan.runs[0].count, 3u);
+}
+
+TEST(DiskReadPlanTest, SortsByOffsetAndSplitsAtGaps) {
+  // Handles arrive out of order; payloads 2 and 0 are adjacent
+  // (100..150..200), payload 1 sits past a gap.
+  std::vector<uint64_t> offsets = {150, 400, 100};
+  std::vector<uint32_t> lengths = {50, 25, 50};
+  std::vector<PayloadHandle> handles = {0, 1, 2};
+  const DiskReadPlan plan = BuildDiskReadPlan(handles, offsets, lengths);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  EXPECT_EQ(plan.runs[0].offset, 100u);
+  EXPECT_EQ(plan.runs[0].length, 100u);
+  EXPECT_EQ(plan.runs[0].count, 2u);
+  EXPECT_EQ(plan.runs[1].offset, 400u);
+  EXPECT_EQ(plan.runs[1].length, 25u);
+  EXPECT_EQ(plan.runs[1].count, 1u);
+  // order = handle indices sorted by offset: 2 (100), 0 (150), 1 (400).
+  ASSERT_EQ(plan.order.size(), 3u);
+  EXPECT_EQ(plan.order[0], 2u);
+  EXPECT_EQ(plan.order[1], 0u);
+  EXPECT_EQ(plan.order[2], 1u);
+}
+
+TEST(DiskReadPlanTest, DuplicateHandlesGetTheirOwnRuns) {
+  // The same payload requested twice: equal offsets are not adjacent,
+  // so each request is its own run and both output slots get filled.
+  std::vector<uint64_t> offsets = {100};
+  std::vector<uint32_t> lengths = {40};
+  std::vector<PayloadHandle> handles = {0, 0};
+  const DiskReadPlan plan = BuildDiskReadPlan(handles, offsets, lengths);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  EXPECT_EQ(plan.runs[0].offset, 100u);
+  EXPECT_EQ(plan.runs[1].offset, 100u);
+}
+
+TEST(DiskStorageTest, FetchManyCoalescesAcrossSegmentBoundary) {
+  // End-to-end cousin of MergesRunsAcrossSegmentBoundaries: payloads
+  // sized so consecutive stores straddle segment boundaries, fetched in
+  // one batch and compared byte for byte.
+  const std::string path =
+      testing::TempDir() + "/simcloud_storage_segplan.bin";
+  auto created = DiskStorage::Create(path);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<DiskStorage> disk = std::move(created).value();
+  Rng rng(7);
+  const size_t payload_bytes = 40 * 1024;  // ~1.6 boundaries per pair
+  std::vector<PayloadHandle> handles;
+  std::vector<Bytes> expected;
+  for (int i = 0; i < 8; ++i) {
+    Bytes payload(payload_bytes);
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextBounded(256));
+    auto handle = disk->Store(payload);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(handle.value_or(0));
+    expected.push_back(std::move(payload));
+  }
+  std::vector<Bytes> fetched;
+  ASSERT_TRUE(disk->FetchMany(handles, &fetched).ok());
+  ASSERT_EQ(fetched.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fetched[i], expected[i]) << "payload " << i;
+  }
+  disk.reset();
+  std::remove(path.c_str());
+}
+
 TEST(StorageFactoryTest, DiskRequiresPath) {
   EXPECT_FALSE(MakeStorage(StorageKind::kDisk, "").ok());
   EXPECT_TRUE(MakeStorage(StorageKind::kMemory, "").ok());
