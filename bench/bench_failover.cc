@@ -1,0 +1,229 @@
+// Failover acceptance: a 3-shard x 2-replica cluster under continuous
+// query load loses one replica mid-soak. Three gates (the run aborts
+// when violated):
+//
+//   * ZERO failed queries — every RangeSearchBatch before, during, and
+//     after the kill must succeed; the group channel must reroute reads
+//     to the surviving replica on the first stream error;
+//   * the kill-window p99 latency must stay <= 3x the steady-state p99
+//     — failover is a reroute, not a timeout: dead-replica detection
+//     rides the broken stream, never a probe interval;
+//   * after the victim's server restarts on the same port, the topology
+//     monitor must redial it and report the replica `up` again (with
+//     reconnects >= 1) within the recovery deadline.
+//
+// Usage: bench_failover [--smoke]
+//   --smoke  fewer ops and a shorter soak, for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metric/dataset.h"
+#include "mindex/pivot_selection.h"
+#include "net/tcp.h"
+#include "secure/client.h"
+#include "secure/secret_key.h"
+#include "secure/server.h"
+#include "secure/sharded_server.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(values.size() - 1,
+                                static_cast<size_t>(values.size() * pct));
+  return values[index];
+}
+
+void Run(bool smoke) {
+  constexpr size_t kShards = 3;
+  constexpr size_t kReplicas = 2;
+  const size_t steady_ops = smoke ? 400 : 2000;
+  const size_t window_ops = smoke ? 400 : 2000;
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = smoke ? 1200 : 4000;
+  mixture.dimension = 8;
+  mixture.num_clusters = 6;
+  mixture.seed = 71;
+  auto objects = data::MakeGaussianMixture(mixture);
+  auto metric = std::make_shared<metric::L2Distance>();
+  auto pivots = mindex::PivotSet::SelectRandom(objects, 16, 72);
+  if (!pivots.ok()) std::exit(1);
+  auto key = secure::SecretKey::Create(std::move(pivots).value(),
+                                       Bytes(16, 0x61));
+  if (!key.ok()) std::exit(1);
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 16;
+  options.bucket_capacity = 50;
+  options.max_level = 4;
+
+  // kShards x kReplicas independent shard servers.
+  std::vector<std::unique_ptr<secure::EncryptedMIndexServer>> handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+  std::vector<std::vector<secure::ShardEndpoint>> replica_sets(kShards);
+  net::TcpServerOptions server_options;
+  server_options.worker_threads = 2;
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t r = 0; r < kReplicas; ++r) {
+      auto handler = secure::EncryptedMIndexServer::Create(options);
+      if (!handler.ok()) std::exit(1);
+      handlers.push_back(std::move(*handler));
+      servers.push_back(std::make_unique<net::TcpServer>(
+          handlers.back().get(), server_options));
+      if (!servers.back()->Start(0).ok()) std::exit(1);
+      replica_sets[s].push_back(
+          secure::ShardEndpoint{"127.0.0.1", servers.back()->port()});
+    }
+  }
+
+  secure::TopologyOptions topology;
+  topology.probe_interval_ms = 25;
+  topology.probe_timeout_ms = 500;
+  topology.backoff_initial_ms = 25;
+  topology.backoff_max_ms = 200;
+  auto facade = secure::ShardedServer::Connect(
+      replica_sets, options.num_pivots, net::ChannelPolicy::kPlaintext,
+      net::SecureChannelOptions(), topology);
+  if (!facade.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 facade.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  net::LoopbackTransport transport(facade->get());
+  secure::EncryptionClient client(*key, metric, &transport);
+  if (!client.InsertBulk(objects, secure::InsertStrategy::kPrecise, 200)
+           .ok()) {
+    std::exit(1);
+  }
+
+  Rng rng(73);
+  constexpr double kRadius = 2.0;
+  size_t failed_queries = 0;
+  size_t neighbors_seen = 0;
+  auto run_batches = [&](size_t count) {
+    std::vector<double> micros;
+    micros.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<metric::VectorObject> batch;
+      for (int q = 0; q < 4; ++q) {
+        batch.push_back(objects[rng.NextBounded(objects.size())]);
+      }
+      Stopwatch watch;
+      auto answers = client.RangeSearchBatch(batch, kRadius);
+      micros.push_back(watch.ElapsedNanos() / 1e3);
+      if (!answers.ok()) {
+        failed_queries++;
+      } else {
+        for (const auto& list : *answers) neighbors_seen += list.size();
+      }
+    }
+    return micros;
+  };
+
+  // Steady state, then kill one replica of shard 1 and keep querying
+  // straight through the loss. The kill runs concurrently with the
+  // window so in-flight queries feel the break, not a quiesced gap.
+  std::vector<double> steady = run_batches(steady_ops);
+  const double steady_p99 = Percentile(steady, 0.99);
+
+  const size_t victim_shard = 1;
+  const size_t victim_index = victim_shard * kReplicas;
+  const uint16_t victim_port = servers[victim_index]->port();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    servers[victim_index]->Stop();
+  });
+  std::vector<double> window = run_batches(window_ops);
+  killer.join();
+  const double window_p99 = Percentile(window, 0.99);
+
+  // Restart the victim on its old port over its old handler and wait
+  // for the monitor to bring the replica back.
+  servers[victim_index] = std::make_unique<net::TcpServer>(
+      handlers[victim_index].get(), server_options);
+  if (!servers[victim_index]->Start(victim_port).ok()) {
+    std::fprintf(stderr, "victim restart failed\n");
+    std::exit(1);
+  }
+  bool recovered = false;
+  uint64_t reconnects = 0;
+  Stopwatch recovery;
+  while (recovery.ElapsedSeconds() < 30) {
+    auto snapshot = (*facade)->TopologySnapshot();
+    const secure::ReplicaStatus& victim = snapshot[victim_shard].replicas[0];
+    if (victim.health == secure::ShardHealth::kUp) {
+      recovered = true;
+      reconnects = victim.reconnects;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double recovery_seconds = recovery.ElapsedSeconds();
+  std::vector<double> after = run_batches(steady_ops / 2);
+
+  std::printf("bench_failover: %zu shards x %zu replicas, %zu objects\n",
+              kShards, kReplicas, objects.size());
+  std::printf("%-12s %8s %12s %12s\n", "phase", "batches", "p50_us", "p99_us");
+  std::printf("%-12s %8zu %12.1f %12.1f\n", "steady", steady.size(),
+              Percentile(steady, 0.50), steady_p99);
+  std::printf("%-12s %8zu %12.1f %12.1f\n", "kill-window", window.size(),
+              Percentile(window, 0.50), window_p99);
+  std::printf("%-12s %8zu %12.1f %12.1f\n", "recovered", after.size(),
+              Percentile(after, 0.50), Percentile(after, 0.99));
+  std::printf("failed queries: %zu; victim back to up in %.2fs "
+              "(%llu reconnects); %zu neighbors returned\n",
+              failed_queries, recovery_seconds,
+              static_cast<unsigned long long>(reconnects), neighbors_seen);
+
+  if (failed_queries != 0) {
+    std::fprintf(stderr, "FAIL: %zu queries failed across the replica kill "
+                         "(acceptance gate: zero)\n",
+                 failed_queries);
+    std::exit(1);
+  }
+  if (window_p99 > 3.0 * steady_p99) {
+    std::fprintf(stderr,
+                 "FAIL: kill-window p99 %.1f us > 3x steady-state p99 %.1f us\n",
+                 window_p99, steady_p99);
+    std::exit(1);
+  }
+  if (!recovered || reconnects < 1) {
+    std::fprintf(stderr, "FAIL: victim replica never returned to up\n");
+    std::exit(1);
+  }
+
+  std::printf("bench_failover OK (0 failed queries, kill-window p99 %.2fx "
+              "steady, recovery %.2fs)\n",
+              steady_p99 > 0 ? window_p99 / steady_p99 : 0, recovery_seconds);
+  facade->reset();
+  for (auto& server : servers) server->Stop();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  simcloud::bench::Run(smoke);
+  return 0;
+}

@@ -47,19 +47,24 @@ if [ "${1:-}" = "--tsan" ]; then
   # query_threads > 1, racing the fan-out workers over the shared cell
   # tree — the byte-identity assertion under TSan is the proof the
   # parallel schedule reads the tree without data races.
+  # failover_test joined with the topology monitor: queriers, a churner,
+  # the monitor thread and a replica kill/restart all race over the
+  # replica channels, which is the exact surface TSan must sign off on.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test'
 
-  echo "=== pipelined churn soak under TSan, secure channel policy ==="
-  # The same soak with every connection running the PSK handshake +
-  # AEAD record layer (frequent rekeys included). Only pipeline_test
-  # reads the env toggle; net_test pins the plaintext wire and
-  # secure_channel_test/fuzz_robustness_test cover secure intrinsically.
+  echo "=== churn + failover soaks under TSan, secure channel policy ==="
+  # The same soaks with every connection running the PSK handshake +
+  # AEAD record layer (frequent rekeys included). failover_test under
+  # `secure` additionally reconnects through the full handshake after
+  # the replica kill. Only these two read the env toggle; net_test pins
+  # the plaintext wire and secure_channel_test/fuzz_robustness_test
+  # cover secure intrinsically.
   SIMCLOUD_CHANNEL_POLICY=secure \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'pipeline_test'
+        -R 'pipeline_test|failover_test'
   echo "CI (tsan) OK"
   exit 0
 fi
@@ -93,17 +98,18 @@ cmake --build build -j "$(nproc)"
 echo "=== tier-1 tests ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300
 
-echo "=== channel-policy sweep: pipelined churn soak in secure mode ==="
-# The pipeline soak runs twice: the tier-1 pass above uses the plaintext
-# wire (byte-identical to the original protocol); this pass flips it to
+echo "=== channel-policy sweep: churn + failover soaks in secure mode ==="
+# These soaks run twice: the tier-1 pass above uses the plaintext wire
+# (byte-identical to the original protocol); this pass flips them to
 # ChannelPolicy::kSecure (PSK handshake + AEAD records on every
-# connection, aggressive rekey budgets). The other transport suites
+# connection, aggressive rekey budgets — failover_test's post-kill
+# reconnects redo the full handshake). The other transport suites
 # need no toggle: net_test pins the plaintext wire byte-stable, while
 # secure_channel_test / SecureTcpFrameFuzz / the secure remote-shard
 # test cover the secure policy intrinsically.
 SIMCLOUD_CHANNEL_POLICY=secure \
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300 \
-      -R 'pipeline_test'
+      -R 'pipeline_test|failover_test'
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then
@@ -124,5 +130,8 @@ echo "=== bench smoke: churn + compaction acceptance (incl. pause gate) ==="
 
 echo "=== bench smoke: pipelined transport acceptance ==="
 ./build/bench_pipeline --smoke
+
+echo "=== bench smoke: replica failover acceptance (zero failed queries, p99 blip <= 3x) ==="
+./build/bench_failover --smoke
 
 echo "CI OK"

@@ -1,0 +1,128 @@
+// Standalone shard server: one encrypted M-Index replica behind a TCP
+// listener, ready to be placed in a `ShardedServer` replica set. Run a
+// few of these (tools/run_replicas.py spawns a whole cluster) and point
+// `ShardedServer::Connect` at them.
+//
+// The process stores only ciphertexts and pivot permutations; the
+// secret key never leaves the clients.
+//
+// Build: cmake --build build --target example_shard_server
+// Usage: example_shard_server [--port N] [--pivots N]
+//                             [--disk-path PATH]
+//                             [--policy plain|secure] [--psk-hex HEX]
+//   --port       listen port (default 0 = OS-assigned; printed on stdout)
+//   --pivots     number of pivots the cluster's key uses (default 16)
+//   --disk-path  back buckets with this file instead of memory
+//   --policy     wire policy; `secure` requires --psk-hex (32-byte hex)
+//   --psk-hex    pre-shared key for the secure channel handshake
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/tcp.h"
+#include "secure/server.h"
+
+using namespace simcloud;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseHex(const std::string& hex, Bytes* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    char* end = nullptr;
+    const std::string byte = hex.substr(i, 2);
+    const long value = std::strtol(byte.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') return false;
+    out->push_back(static_cast<uint8_t>(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  size_t num_pivots = 16;
+  std::string disk_path;
+  std::string policy = "plain";
+  std::string psk_hex;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--port") {
+      port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (flag == "--pivots") {
+      num_pivots = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (flag == "--disk-path") {
+      disk_path = value;
+    } else if (flag == "--policy") {
+      policy = value;
+    } else if (flag == "--psk-hex") {
+      psk_hex = value;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  mindex::MIndexOptions options;
+  options.num_pivots = num_pivots;
+  options.bucket_capacity = 50;
+  options.max_level = 4;
+  if (!disk_path.empty()) {
+    options.storage_kind = mindex::StorageKind::kDisk;
+    options.disk_path = disk_path;
+  }
+  auto handler = secure::EncryptedMIndexServer::Create(options);
+  if (!handler.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 handler.status().ToString().c_str());
+    return 1;
+  }
+
+  net::TcpServerOptions server_options;
+  if (policy == "secure") {
+    Bytes psk;
+    if (!ParseHex(psk_hex, &psk) || psk.size() != 32) {
+      std::fprintf(stderr,
+                   "--policy secure requires --psk-hex with 32 bytes "
+                   "(64 hex chars); tools/gen_psk.py makes one\n");
+      return 2;
+    }
+    server_options.channel_policy = net::ChannelPolicy::kSecure;
+    server_options.secure_channel.psk = psk;
+  } else if (policy != "plain") {
+    std::fprintf(stderr, "--policy must be plain or secure\n");
+    return 2;
+  }
+
+  net::TcpServer server(handler->get(), server_options);
+  if (Status started = server.Start(port); !started.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // run_replicas.py scrapes this line for the OS-assigned port.
+  std::printf("shard_server listening on 127.0.0.1:%u (policy %s, %s)\n",
+              server.port(), policy.c_str(),
+              disk_path.empty() ? "memory buckets"
+                                : ("disk buckets at " + disk_path).c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    struct timespec nap = {0, 50 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);
+  }
+  server.Stop();
+  std::printf("shard_server stopped\n");
+  return 0;
+}

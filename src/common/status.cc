@@ -16,6 +16,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kPermissionDenied: return "PermissionDenied";
     case StatusCode::kNetworkError: return "NetworkError";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kPermissionDenied = 9,  ///< Caller lacks the secret key / authorization.
   kNetworkError = 10,     ///< Transport-level failure (framing, disconnect).
   kInternal = 11,         ///< Invariant violation inside the library.
+  kDeadlineExceeded = 12, ///< Bounded wait expired before completion.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -76,6 +77,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -184,6 +184,14 @@ struct IndexStats {
   uint64_t compaction_progress_payloads = 0;  ///< copied so far, this pass
   uint64_t compaction_last_pause_nanos = 0;
   uint64_t compaction_max_pause_nanos = 0;
+  /// Topology health (kGetStats through a ShardedServer facade): how
+  /// many shards the facade fans out to and their replica-set health —
+  /// a shard counts as its healthiest replica. Local deployments report
+  /// every shard up; a bare EncryptedMIndexServer reports zeros.
+  uint64_t shards_total = 0;
+  uint64_t shards_up = 0;
+  uint64_t shards_degraded = 0;
+  uint64_t shards_down = 0;
 };
 
 }  // namespace mindex

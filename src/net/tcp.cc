@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -775,9 +776,13 @@ void TcpServer::WorkerLoop() {
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
     const std::string& host, uint16_t port, ChannelPolicy policy,
     const SecureChannelOptions& secure) {
+  // Every failure names the endpoint: a multi-endpoint caller (the
+  // sharded facade, the topology monitor) must be able to tell WHICH
+  // peer refused from the Status alone.
+  const std::string peer = host + ":" + std::to_string(port);
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return Status::NetworkError(std::string("socket failed: ") +
+    return Status::NetworkError("socket for " + peer + " failed: " +
                                 std::strerror(errno));
   }
   sockaddr_in addr{};
@@ -789,16 +794,22 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
-    return Status::NetworkError(std::string("connect failed: ") +
+    return Status::NetworkError("connect to " + peer + " failed: " +
                                 std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(fd, peer));
   if (policy == ChannelPolicy::kSecure) {
     Result<std::unique_ptr<SecureChannel>> channel =
         RunClientHandshake(fd, secure);
-    if (!channel.ok()) return channel.status();  // dtor closes fd
+    if (!channel.ok()) {  // dtor closes fd
+      if (channel.status().code() == StatusCode::kNetworkError) {
+        return Status::NetworkError("secure handshake with " + peer +
+                                    " failed: " + channel.status().message());
+      }
+      return channel.status();  // e.g. PermissionDenied: wrong PSK
+    }
     transport->channel_ = std::move(*channel);
   }
   return transport;
@@ -806,6 +817,30 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
 
 TcpTransport::~TcpTransport() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTransport::MarkBroken(const Status& reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (broken_.ok()) broken_ = reason;
+  }
+  // Wake the elected reader too: a collector parked inside recv() would
+  // otherwise survive a write-side failure until its own I/O noticed
+  // (possibly never, on a quiet stream). shutdown() is orderly — queued
+  // bytes still flush, then FIN — and makes every blocked or future
+  // socket op return immediately.
+  ::shutdown(fd_, SHUT_RDWR);
+  state_cv_.notify_all();
+}
+
+void TcpTransport::Abort(const Status& reason) {
+  MarkBroken(reason.ok() ? Status::NetworkError("transport aborted")
+                         : reason);
+}
+
+Status TcpTransport::stream_status() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return broken_;
 }
 
 void TcpTransport::ResetCosts() {
@@ -836,10 +871,14 @@ Status TcpTransport::SubmitFrame(const Bytes& request, uint32_t id) {
     }
   }
   if (!written.ok()) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    outstanding_.erase(id);
-    if (broken_.ok()) broken_ = written;
-    state_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      outstanding_.erase(id);
+    }
+    // A failed write is a dead stream: fail every parked collector now
+    // (including one blocked in recv() as the elected reader) instead of
+    // leaving them to discover it from their own I/O.
+    MarkBroken(written);
     return written;
   }
   std::lock_guard<std::mutex> lock(costs_mutex_);
@@ -848,7 +887,33 @@ Status TcpTransport::SubmitFrame(const Bytes& request, uint32_t id) {
   return Status::OK();
 }
 
-Result<DecodedFrame> TcpTransport::ReadSecureFrame() {
+namespace {
+
+/// Blocks until `fd` is readable or `deadline` passes (null = forever).
+Status WaitReadable(int fd, const std::chrono::steady_clock::time_point* deadline) {
+  if (deadline == nullptr) return Status::OK();
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= *deadline) {
+      return Status::DeadlineExceeded("no response within the deadline");
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          *deadline - now)
+                          .count();
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(left, 1)));
+    if (rc > 0) return Status::OK();  // readable (or error — recv reports it)
+    if (rc < 0 && errno != EINTR) {
+      return Status::NetworkError(std::string("poll failed: ") +
+                                  std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace
+
+Result<DecodedFrame> TcpTransport::ReadSecureFrame(
+    const std::chrono::steady_clock::time_point* deadline) {
   for (;;) {
     DecodedFrame frame;
     SIMCLOUD_ASSIGN_OR_RETURN(
@@ -860,6 +925,7 @@ Result<DecodedFrame> TcpTransport::ReadSecureFrame() {
     }
     // Need more plaintext: pull raw bytes off the socket and run them
     // through the record layer.
+    SIMCLOUD_RETURN_NOT_OK(WaitReadable(fd_, deadline));
     uint8_t chunk[64 * 1024];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
@@ -878,11 +944,16 @@ Result<DecodedFrame> TcpTransport::ReadSecureFrame() {
   }
 }
 
-Status TcpTransport::ReadOneResponse() {
+Status TcpTransport::ReadOneResponse(
+    const std::chrono::steady_clock::time_point* deadline) {
   DecodedFrame frame;
   if (channel_) {
-    SIMCLOUD_ASSIGN_OR_RETURN(frame, ReadSecureFrame());
+    SIMCLOUD_ASSIGN_OR_RETURN(frame, ReadSecureFrame(deadline));
   } else {
+    // The deadline bounds the wait for a frame to START arriving; once
+    // bytes flow, the frame is read to completion (peers send frames
+    // whole, so the tail follows promptly or the stream is dead anyway).
+    SIMCLOUD_RETURN_NOT_OK(WaitReadable(fd_, deadline));
     SIMCLOUD_ASSIGN_OR_RETURN(frame, ReadAnyFrame(fd_));
   }
   BinaryReader reader(frame.payload);
@@ -912,7 +983,8 @@ Status TcpTransport::ReadOneResponse() {
   return Status::OK();
 }
 
-Result<TcpTransport::ReadyResponse> TcpTransport::AwaitResponse(uint32_t id) {
+Result<TcpTransport::ReadyResponse> TcpTransport::AwaitResponse(
+    uint32_t id, const std::chrono::steady_clock::time_point* deadline) {
   std::unique_lock<std::mutex> lock(state_mutex_);
   for (;;) {
     auto it = ready_.find(id);
@@ -926,19 +998,40 @@ Result<TcpTransport::ReadyResponse> TcpTransport::AwaitResponse(uint32_t id) {
       return Status::InvalidArgument("unknown or already-collected ticket " +
                                      std::to_string(id));
     }
+    if (deadline != nullptr && std::chrono::steady_clock::now() >= *deadline) {
+      // The ticket stays outstanding: a late response is still routable
+      // (and collectable), and the stream is not poisoned — the caller
+      // decides whether a timeout is fatal (Abort) or a soft signal.
+      return Status::DeadlineExceeded("no response for ticket " +
+                                      std::to_string(id) +
+                                      " within the deadline");
+    }
     if (reader_active_) {
       // Another collector is reading the socket; it will publish our
       // response (or the stream failure) and notify.
-      state_cv_.wait(lock);
+      if (deadline != nullptr) {
+        state_cv_.wait_until(lock, *deadline);
+      } else {
+        state_cv_.wait(lock);
+      }
       continue;
     }
     reader_active_ = true;
     lock.unlock();
-    Status read = ReadOneResponse();
+    Status read = ReadOneResponse(deadline);
     lock.lock();
     reader_active_ = false;
-    if (!read.ok() && broken_.ok()) broken_ = read;
     state_cv_.notify_all();
+    if (read.code() == StatusCode::kDeadlineExceeded) {
+      return read;  // soft timeout: stream untouched, ticket outstanding
+    }
+    if (!read.ok() && broken_.ok()) {
+      // Poison the stream and force the socket down so every OTHER
+      // parked collector (and any blocked writer) fails promptly too.
+      lock.unlock();
+      MarkBroken(read);
+      lock.lock();
+    }
   }
 }
 
@@ -978,6 +1071,18 @@ Result<Bytes> TcpTransport::Collect(uint64_t ticket) {
                             AwaitResponse(static_cast<uint32_t>(ticket)));
   // Pipelined round trips overlap, so no wall-time split is attributed;
   // bytes and server time were accounted when the frame was read.
+  return std::move(response.payload);
+}
+
+Result<Bytes> TcpTransport::CollectFor(uint64_t ticket, int timeout_ms) {
+  if (ticket == 0 || ticket > 0xFFFFFFFFu) {
+    return Status::InvalidArgument("invalid ticket " + std::to_string(ticket));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      ReadyResponse response,
+      AwaitResponse(static_cast<uint32_t>(ticket), &deadline));
   return std::move(response.payload);
 }
 

@@ -29,6 +29,7 @@
 #define SIMCLOUD_NET_TCP_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -266,6 +267,31 @@ class TcpTransport : public PipelinedTransport {
   /// collected exactly once.
   Result<Bytes> Collect(uint64_t ticket) override;
 
+  /// Collect with a deadline: returns DeadlineExceeded when no response
+  /// for `ticket` arrived within `timeout_ms`. The ticket stays
+  /// outstanding — the response, should it arrive later, is parked for a
+  /// retry — and the stream is NOT marked broken; callers that treat a
+  /// timeout as fatal (topology probes do) follow up with Abort().
+  /// Bounded waits hold even while this thread is the elected reader:
+  /// the socket is polled before every blocking read.
+  Result<Bytes> CollectFor(uint64_t ticket, int timeout_ms);
+
+  /// Marks the stream broken with `reason` and shuts the socket down,
+  /// which promptly fails every parked Submit/Collect — including a
+  /// collector blocked inside recv() as the elected reader — with the
+  /// sticky stream status. Idempotent; safe from any thread. The
+  /// shutdown is orderly (queued bytes flush, then FIN), so a server
+  /// sees a clean EOF rather than a reset.
+  void Abort(const Status& reason);
+
+  /// Sticky stream status: OK while the connection is usable, the first
+  /// fatal failure afterwards. A broken transport never recovers —
+  /// reconnection means building a new transport (secure::topology does).
+  Status stream_status() const;
+
+  /// "host:port" this transport was connected to.
+  const std::string& peer() const { return peer_; }
+
   /// Costs are updated under an internal lock; read them only while no
   /// Call/Submit/Collect is concurrently in flight.
   const TransportCosts& costs() const override { return costs_; }
@@ -277,23 +303,33 @@ class TcpTransport : public PipelinedTransport {
     int64_t server_nanos = 0;
   };
 
-  explicit TcpTransport(int fd) : fd_(fd) {}
+  TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
 
   /// Frames (legacy when id == 0) and writes one request — sealed into
   /// a record first on a secure channel.
   Status SubmitFrame(const Bytes& request, uint32_t id);
   /// Waits until the response for `id` is ready, reading frames off the
-  /// socket whenever no other thread is already reading.
-  Result<ReadyResponse> AwaitResponse(uint32_t id);
+  /// socket whenever no other thread is already reading. A null
+  /// `deadline` waits forever; otherwise DeadlineExceeded past it.
+  Result<ReadyResponse> AwaitResponse(
+      uint32_t id,
+      const std::chrono::steady_clock::time_point* deadline = nullptr);
   /// Reads and parses exactly one response frame (any id). Runs outside
-  /// the state lock; only one thread reads at a time.
-  Status ReadOneResponse();
+  /// the state lock; only one thread reads at a time. With a deadline,
+  /// the socket is polled before blocking and DeadlineExceeded is
+  /// returned — without consuming anything — when it passes first.
+  Status ReadOneResponse(const std::chrono::steady_clock::time_point* deadline);
   /// Secure path of ReadOneResponse: pulls records off the socket and
   /// decrypts until the plaintext stream yields one complete frame.
   /// Only the elected reader touches the receive buffers.
-  Result<DecodedFrame> ReadSecureFrame();
+  Result<DecodedFrame> ReadSecureFrame(
+      const std::chrono::steady_clock::time_point* deadline);
+  /// Records the first fatal stream failure, wakes every parked waiter,
+  /// and shuts the socket down so the elected reader's recv() returns.
+  void MarkBroken(const Status& reason);
 
   int fd_;
+  std::string peer_;  ///< "host:port", for failure attribution
   std::unique_ptr<SecureChannel> channel_;  ///< null = plaintext wire
   Bytes recv_raw_;         ///< undecrypted bytes (elected reader only)
   size_t recv_raw_off_ = 0;
@@ -303,7 +339,7 @@ class TcpTransport : public PipelinedTransport {
   std::mutex write_mutex_;  ///< serializes frame writes + ticket issue
   uint32_t next_id_ = 1;
 
-  std::mutex state_mutex_;  ///< pending/ready bookkeeping + reader election
+  mutable std::mutex state_mutex_;  ///< pending/ready bookkeeping + reader election
   std::condition_variable state_cv_;
   bool reader_active_ = false;
   Status broken_ = Status::OK();  ///< sticky stream failure

@@ -371,6 +371,12 @@ Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
   writer.WriteVarint(stats.compaction_progress_payloads);
   writer.WriteVarint(stats.compaction_last_pause_nanos);
   writer.WriteVarint(stats.compaction_max_pause_nanos);
+  // Topology health block, appended with the failover revision; also
+  // optional on decode.
+  writer.WriteVarint(stats.shards_total);
+  writer.WriteVarint(stats.shards_up);
+  writer.WriteVarint(stats.shards_degraded);
+  writer.WriteVarint(stats.shards_down);
   return writer.TakeBuffer();
 }
 
@@ -393,6 +399,12 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
                               reader.ReadVarint());
     SIMCLOUD_ASSIGN_OR_RETURN(stats.compaction_max_pause_nanos,
                               reader.ReadVarint());
+  }
+  if (!reader.AtEnd()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_total, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_up, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_degraded, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_down, reader.ReadVarint());
   }
   return stats;
 }

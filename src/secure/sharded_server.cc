@@ -13,110 +13,82 @@
 namespace simcloud {
 namespace secure {
 
-Result<Bytes> ShardChannel::Call(const Bytes& request) {
-  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket, Submit(request));
-  return Collect(ticket);
+LocalShardChannel::LocalShardChannel(net::RequestHandler* handler,
+                                     size_t num_workers)
+    : handler_(handler) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(&LocalShardChannel::WorkerLoop, this);
+  }
 }
 
-namespace {
+LocalShardChannel::~LocalShardChannel() {
+  Stop();
+  for (std::thread& worker : workers_) worker.join();
+}
 
-/// In-process shard channel: a small pool of persistent worker threads
-/// executes the shard's Handle() calls, so a fan-out keeps every shard
-/// busy without spawning threads per request, and concurrent facade
-/// calls still overlap on one shard (EncryptedMIndexServer's
-/// readers-writer lock lets its searches run in parallel; writes
-/// serialize on that lock regardless of submission order).
-class LocalShardChannel : public ShardChannel {
- public:
-  explicit LocalShardChannel(net::RequestHandler* handler,
-                             size_t num_workers = 2)
-      : handler_(handler) {
-    workers_.reserve(num_workers);
-    for (size_t i = 0; i < num_workers; ++i) {
-      workers_.emplace_back(&LocalShardChannel::WorkerLoop, this);
+void LocalShardChannel::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+    // Fail queued-but-unstarted tickets NOW: no worker will dequeue them
+    // once the pool drains, and a collector parked on one must not wait
+    // forever. In-flight handler calls complete normally and their
+    // responses stay collectable.
+    while (!queue_.empty()) {
+      ready_.emplace(queue_.front().first,
+                     Status::FailedPrecondition("shard channel stopped"));
+      queue_.pop_front();
     }
   }
+  cv_.notify_all();
+}
 
-  ~LocalShardChannel() override {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
+Result<uint64_t> LocalShardChannel::Submit(const Bytes& request) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // A post-stop ticket would never run: the workers are draining (or
+      // gone) and a racing Collect would block forever.
+      return Status::FailedPrecondition("shard channel stopped");
     }
-    cv_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    ticket = next_ticket_++;
+    queue_.emplace_back(ticket, request);
   }
+  cv_.notify_all();
+  return ticket;
+}
 
-  Result<uint64_t> Submit(const Bytes& request) override {
+Result<Bytes> LocalShardChannel::Collect(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return ready_.count(ticket) != 0; });
+  Result<Bytes> response = std::move(ready_.at(ticket));
+  ready_.erase(ticket);
+  return response;
+}
+
+void LocalShardChannel::WorkerLoop() {
+  for (;;) {
     uint64_t ticket;
+    Bytes request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      ticket = queue_.front().first;
+      request = std::move(queue_.front().second);
+      queue_.pop_front();
+    }
+    Result<Bytes> response = handler_->Handle(request);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ticket = next_ticket_++;
-      queue_.emplace_back(ticket, request);
+      ready_.emplace(ticket, std::move(response));
     }
     cv_.notify_all();
-    return ticket;
   }
-
-  Result<Bytes> Collect(uint64_t ticket) override {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return ready_.count(ticket) != 0; });
-    Result<Bytes> response = std::move(ready_.at(ticket));
-    ready_.erase(ticket);
-    return response;
-  }
-
- private:
-  void WorkerLoop() {
-    for (;;) {
-      uint64_t ticket;
-      Bytes request;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-        if (stop_ && queue_.empty()) return;
-        ticket = queue_.front().first;
-        request = std::move(queue_.front().second);
-        queue_.pop_front();
-      }
-      Result<Bytes> response = handler_->Handle(request);
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ready_.emplace(ticket, std::move(response));
-      }
-      cv_.notify_all();
-    }
-  }
-
-  net::RequestHandler* handler_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::pair<uint64_t, Bytes>> queue_;
-  std::map<uint64_t, Result<Bytes>> ready_;
-  uint64_t next_ticket_ = 1;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
-
-/// Remote shard channel: one persistent pipelined TCP connection. The
-/// transport's Submit/Collect are thread-safe, so concurrent fan-outs
-/// share the connection.
-class TransportShardChannel : public ShardChannel {
- public:
-  explicit TransportShardChannel(std::unique_ptr<net::TcpTransport> transport)
-      : transport_(std::move(transport)) {}
-
-  Result<uint64_t> Submit(const Bytes& request) override {
-    return transport_->Submit(request);
-  }
-  Result<Bytes> Collect(uint64_t ticket) override {
-    return transport_->Collect(ticket);
-  }
-
- private:
-  std::unique_ptr<net::TcpTransport> transport_;
-};
-
-}  // namespace
+}
 
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
     const mindex::MIndexOptions& options, size_t num_shards) {
@@ -143,27 +115,120 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
       std::move(shards), std::move(channels), options.num_pivots));
 }
 
+namespace {
+
+/// Re-raises `status` with `prefix` prepended to the message, keeping
+/// the code for the categories a connect can fail with (Status's
+/// code+message constructor is private to the factories).
+Status AnnotateStatus(const Status& status, const std::string& prefix) {
+  switch (status.code()) {
+    case StatusCode::kNetworkError:
+      return Status::NetworkError(prefix + status.message());
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(prefix + status.message());
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(prefix + status.message());
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(prefix + status.message());
+    default:
+      return Status::NetworkError(prefix + status.ToString());
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
     const std::vector<ShardEndpoint>& endpoints, size_t num_pivots,
     net::ChannelPolicy policy, const net::SecureChannelOptions& secure) {
-  if (endpoints.empty()) {
+  std::vector<std::vector<ShardEndpoint>> replica_sets;
+  replica_sets.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    replica_sets.push_back({endpoint});
+  }
+  return Connect(replica_sets, num_pivots, policy, secure, TopologyOptions());
+}
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
+    const std::vector<std::vector<ShardEndpoint>>& replica_sets,
+    size_t num_pivots, net::ChannelPolicy policy,
+    const net::SecureChannelOptions& secure, const TopologyOptions& topology) {
+  if (replica_sets.empty()) {
     return Status::InvalidArgument("need at least one shard endpoint");
+  }
+  for (const auto& replicas : replica_sets) {
+    if (replicas.empty()) {
+      return Status::InvalidArgument("every shard needs >= 1 replica");
+    }
   }
   if (num_pivots == 0) {
     return Status::InvalidArgument("num_pivots must match the shards'");
   }
-  std::vector<std::unique_ptr<ShardChannel>> channels;
-  channels.reserve(endpoints.size());
-  for (const ShardEndpoint& endpoint : endpoints) {
-    SIMCLOUD_ASSIGN_OR_RETURN(
-        std::unique_ptr<net::TcpTransport> transport,
-        net::TcpTransport::Connect(endpoint.host, endpoint.port, policy,
-                                   secure));
-    channels.push_back(
-        std::make_unique<TransportShardChannel>(std::move(transport)));
+  // Establish every connection before constructing any channel, so a
+  // partial failure can tear the finished ones down deterministically:
+  // each gets an orderly Abort (flush + FIN — a secure peer sees a clean
+  // EOF, not a reset mid-record) before its fd closes.
+  std::vector<std::vector<std::shared_ptr<net::TcpTransport>>> transports(
+      replica_sets.size());
+  for (size_t shard = 0; shard < replica_sets.size(); ++shard) {
+    for (const ShardEndpoint& endpoint : replica_sets[shard]) {
+      auto dialed =
+          net::TcpTransport::Connect(endpoint.host, endpoint.port, policy,
+                                     secure);
+      if (!dialed.ok()) {
+        Status failure = AnnotateStatus(
+            dialed.status(),
+            "shard " + std::to_string(shard) + " replica " +
+                endpoint.ToString() + ": ");
+        for (auto& established : transports) {
+          for (auto& transport : established) {
+            transport->Abort(Status::NetworkError(
+                "sibling endpoint " + endpoint.ToString() +
+                " failed to connect"));
+          }
+        }
+        return failure;
+      }
+      transports[shard].push_back(std::move(dialed).value());
+    }
   }
-  return std::unique_ptr<ShardedServer>(
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  std::vector<ReplicaGroupChannel*> groups;
+  channels.reserve(replica_sets.size());
+  groups.reserve(replica_sets.size());
+  for (size_t shard = 0; shard < replica_sets.size(); ++shard) {
+    std::vector<std::unique_ptr<ReplicaChannel>> replicas;
+    replicas.reserve(replica_sets[shard].size());
+    for (size_t r = 0; r < replica_sets[shard].size(); ++r) {
+      auto replica = std::make_unique<ReplicaChannel>(
+          replica_sets[shard][r], policy, secure, topology);
+      replica->AdoptTransport(std::move(transports[shard][r]));
+      replicas.push_back(std::move(replica));
+    }
+    auto group =
+        std::make_unique<ReplicaGroupChannel>(std::move(replicas), topology);
+    groups.push_back(group.get());
+    channels.push_back(std::move(group));
+  }
+  auto server = std::unique_ptr<ShardedServer>(
       new ShardedServer({}, std::move(channels), num_pivots));
+  server->groups_ = std::move(groups);
+  server->monitor_ =
+      std::make_unique<TopologyMonitor>(server->groups_, topology);
+  return server;
+}
+
+ShardedServer::~ShardedServer() {
+  // The monitor probes through groups_; stop it before channels_ die.
+  if (monitor_) monitor_->Stop();
+}
+
+std::vector<ShardTopologyStatus> ShardedServer::TopologySnapshot() const {
+  std::vector<ShardTopologyStatus> snapshot;
+  snapshot.reserve(groups_.size());
+  for (const ReplicaGroupChannel* group : groups_) {
+    snapshot.push_back(group->Snapshot());
+  }
+  return snapshot;
 }
 
 size_t ShardedServer::OwnerOf(const mindex::Permutation& permutation) const {
@@ -444,6 +509,21 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
         total.compaction_max_pause_nanos =
             std::max(total.compaction_max_pause_nanos,
                      stats.compaction_max_pause_nanos);
+      }
+      // Topology health: a shard counts as its healthiest replica (one
+      // kUp replica keeps it fully serving). In-process shards are
+      // always up.
+      total.shards_total = channels_.size();
+      if (groups_.empty()) {
+        total.shards_up = channels_.size();
+      } else {
+        for (const ReplicaGroupChannel* group : groups_) {
+          switch (group->Snapshot().health()) {
+            case ShardHealth::kUp: ++total.shards_up; break;
+            case ShardHealth::kDegraded: ++total.shards_degraded; break;
+            case ShardHealth::kDown: ++total.shards_down; break;
+          }
+        }
       }
       return EncodeStatsResponse(total);
     }

@@ -16,7 +16,13 @@
 //     superset-of-true-results guarantee as the single-node index;
 //   * approximate k-NN — fanned out with the full budget, merged by
 //     pre-rank score, trimmed to the budget;
-//   * stats            — aggregated.
+//   * stats            — aggregated, including per-shard health.
+//
+// Remote deployments are replica-aware: each shard can be a replica SET
+// (identical data behind several endpoints), a background
+// TopologyMonitor health-probes every connection, and the facade fails
+// reads over / buffers writes for replay when a replica dies — see
+// secure/topology.h for the state machine.
 //
 // Privacy is unchanged: every shard stores exactly what the single
 // untrusted server stored (permutations / transformed distances and
@@ -26,8 +32,14 @@
 #ifndef SIMCLOUD_SECURE_SHARDED_SERVER_H_
 #define SIMCLOUD_SECURE_SHARDED_SERVER_H_
 
+#include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "mindex/mindex.h"
@@ -35,30 +47,45 @@
 #include "net/transport.h"
 #include "secure/protocol.h"
 #include "secure/server.h"
+#include "secure/topology.h"
 
 namespace simcloud {
 namespace secure {
 
-/// One shard's request channel. Submit() hands a request to the shard
-/// without waiting; Collect() blocks for that ticket's response — so a
-/// fan-out submits to every shard first and all shards work in parallel,
-/// with no per-request thread spawning. Implementations are persistent
-/// (a small worker pool for an in-process shard; a pipelined TCP
-/// connection for a remote one) and safe for concurrent Submit/Collect.
-class ShardChannel {
+/// In-process shard channel: a small pool of persistent worker threads
+/// executes the shard's Handle() calls, so a fan-out keeps every shard
+/// busy without spawning threads per request, and concurrent facade
+/// calls still overlap on one shard (EncryptedMIndexServer's
+/// readers-writer lock lets its searches run in parallel; writes
+/// serialize on that lock regardless of submission order).
+class LocalShardChannel : public ShardChannel {
  public:
-  virtual ~ShardChannel() = default;
-  virtual Result<uint64_t> Submit(const Bytes& request) = 0;
-  virtual Result<Bytes> Collect(uint64_t ticket) = 0;
-  /// Synchronous convenience: Submit + Collect.
-  Result<Bytes> Call(const Bytes& request);
-};
+  explicit LocalShardChannel(net::RequestHandler* handler,
+                             size_t num_workers = 2);
+  ~LocalShardChannel() override;
 
-/// Address of a remote shard server (an EncryptedMIndexServer behind a
-/// net::TcpServer).
-struct ShardEndpoint {
-  std::string host;
-  uint16_t port = 0;
+  /// FailedPrecondition after Stop(): a stopped channel must never issue
+  /// a ticket no worker will run (a racing Collect would block forever).
+  Result<uint64_t> Submit(const Bytes& request) override;
+  Result<Bytes> Collect(uint64_t ticket) override;
+
+  /// Stops the channel: in-flight handler calls finish and their tickets
+  /// stay collectable; queued-but-unstarted tickets fail immediately
+  /// with FailedPrecondition; new Submits are rejected. Idempotent (the
+  /// destructor calls it).
+  void Stop();
+
+ private:
+  void WorkerLoop();
+
+  net::RequestHandler* handler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<uint64_t, Bytes>> queue_;
+  std::map<uint64_t, Result<Bytes>> ready_;
+  uint64_t next_ticket_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
 };
 
 /// A fleet of Encrypted M-Index shards behind one request handler —
@@ -79,11 +106,33 @@ class ShardedServer : public net::RequestHandler {
   /// shards' index configuration (it validates delete routing). With
   /// ChannelPolicy::kSecure every shard channel runs the PSK handshake
   /// and speaks AEAD records (the shard servers must be configured with
-  /// the same PSK).
+  /// the same PSK). Equivalent to the replica-set overload with
+  /// single-replica shards: the topology monitor probes and reconnects
+  /// these connections too.
   static Result<std::unique_ptr<ShardedServer>> Connect(
       const std::vector<ShardEndpoint>& endpoints, size_t num_pivots,
       net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext,
       const net::SecureChannelOptions& secure = net::SecureChannelOptions());
+
+  /// Replica-aware Connect: `replica_sets[i]` lists the endpoints of
+  /// shard i's replicas, each holding an identical copy of the shard.
+  /// Reads route to any live replica (rotating; retried on another when
+  /// one fails mid-request); writes fan out to every replica in one
+  /// serialized order; a background TopologyMonitor probes every
+  /// connection over kPing and redials dead replicas with jittered
+  /// backoff, replaying the writes they missed. The facade keeps
+  /// serving through a replica loss as long as one replica per shard
+  /// lives. On a partial connect failure every already-established
+  /// transport is shut down orderly and the Status names the failing
+  /// endpoint as host:port.
+  static Result<std::unique_ptr<ShardedServer>> Connect(
+      const std::vector<std::vector<ShardEndpoint>>& replica_sets,
+      size_t num_pivots,
+      net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext,
+      const net::SecureChannelOptions& secure = net::SecureChannelOptions(),
+      const TopologyOptions& topology = TopologyOptions());
+
+  ~ShardedServer() override;
 
   Result<Bytes> Handle(const Bytes& request) override;
 
@@ -93,6 +142,10 @@ class ShardedServer : public net::RequestHandler {
   bool is_local() const { return !shards_.empty(); }
   /// Direct access for white-box tests. Local deployments only.
   const EncryptedMIndexServer& shard(size_t i) const { return *shards_[i]; }
+
+  /// Per-shard topology snapshots (remote deployments; empty for local
+  /// ones): replica health, reconnect counts, replay depth.
+  std::vector<ShardTopologyStatus> TopologySnapshot() const;
 
   /// Total object count across shards (a kGetStats fan-out when remote;
   /// 0 if a remote shard is unreachable).
@@ -132,7 +185,12 @@ class ShardedServer : public net::RequestHandler {
 
   std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;  // local only
   std::vector<std::unique_ptr<ShardChannel>> channels_;
+  /// Borrowed views of channels_ when they are replica groups (remote).
+  std::vector<ReplicaGroupChannel*> groups_;
   size_t num_pivots_ = 0;
+  /// Probes/reconnects the groups_; declared last so it stops before
+  /// the channels it watches are destroyed.
+  std::unique_ptr<TopologyMonitor> monitor_;
 };
 
 }  // namespace secure

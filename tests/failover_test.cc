@@ -1,0 +1,359 @@
+// Failover soak: a 3-shard x 2-replica cluster must keep answering
+// queries byte-identically to the brute-force oracle while one replica
+// is killed mid-churn, and the topology monitor must bring the replica
+// back to `up` — with its missed writes replayed — once its server
+// restarts.
+//
+// The dataset layout follows pipeline_test.cc: a STABLE region queries
+// verify against and a far-away CHURN region the delete traffic eats.
+// Churn is delete-only on purpose — write replay is at-least-once, and
+// kDeleteBatch skips already-deleted items per id, so a replayed delete
+// is idempotent where a replayed insert of fresh data would not be.
+//
+// CI runs this in both channel policies (SIMCLOUD_CHANNEL_POLICY=secure
+// reconnects through the full PSK handshake) and under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metric/ground_truth.h"
+#include "net/tcp.h"
+#include "secure/client.h"
+#include "secure/server.h"
+#include "secure/sharded_server.h"
+
+namespace simcloud {
+namespace secure {
+namespace {
+
+using metric::VectorObject;
+
+net::ChannelPolicy PolicyFromEnv() {
+  const char* env = std::getenv("SIMCLOUD_CHANNEL_POLICY");
+  return env != nullptr && std::string(env) == "secure"
+             ? net::ChannelPolicy::kSecure
+             : net::ChannelPolicy::kPlaintext;
+}
+
+net::SecureChannelOptions SoakChannelOptions() {
+  net::SecureChannelOptions options;
+  options.psk = Bytes(32, 0x77);
+  options.rekey_after_records = 64;
+  return options;
+}
+
+/// Fast cadences so the whole down -> reconnect -> replay -> up cycle
+/// fits in a test-sized soak.
+TopologyOptions SoakTopologyOptions() {
+  TopologyOptions options;
+  options.probe_interval_ms = 25;
+  options.probe_timeout_ms = 500;
+  options.failures_to_down = 2;
+  options.backoff_initial_ms = 25;
+  options.backoff_max_ms = 200;
+  return options;
+}
+
+constexpr size_t kStableObjects = 300;
+constexpr size_t kChurnObjects = 200;
+constexpr size_t kDim = 8;
+constexpr float kChurnOffset = 500.0f;
+constexpr double kQueryRadius = 2.5;  // << the ~1400 region separation
+
+std::vector<VectorObject> MakeStable(uint64_t seed) {
+  data::MixtureOptions options;
+  options.num_objects = kStableObjects;
+  options.dimension = kDim;
+  options.num_clusters = 5;
+  options.seed = seed;
+  return data::MakeGaussianMixture(options);
+}
+
+std::vector<VectorObject> MakeChurn(uint64_t seed) {
+  data::MixtureOptions options;
+  options.num_objects = kChurnObjects;
+  options.dimension = kDim;
+  options.num_clusters = 3;
+  options.seed = seed;
+  std::vector<VectorObject> objects = data::MakeGaussianMixture(options);
+  std::vector<VectorObject> shifted;
+  shifted.reserve(objects.size());
+  for (const VectorObject& object : objects) {
+    std::vector<float> values = object.values();
+    for (float& v : values) v += kChurnOffset;
+    shifted.emplace_back(object.id() + 1000000, std::move(values));
+  }
+  return shifted;
+}
+
+class FailoverSoakTest
+    : public ::testing::TestWithParam<mindex::StorageKind> {};
+
+TEST_P(FailoverSoakTest, ReplicaKillMidChurnLosesNoQueryAndRecovers) {
+  const mindex::StorageKind storage_kind = GetParam();
+  const std::string tag =
+      storage_kind == mindex::StorageKind::kMemory ? "memory" : "disk";
+  constexpr size_t kShards = 3;
+  constexpr size_t kReplicas = 2;
+
+  const std::vector<VectorObject> stable = MakeStable(921);
+  const std::vector<VectorObject> churn = MakeChurn(922);
+  std::vector<VectorObject> all = stable;
+  all.insert(all.end(), churn.begin(), churn.end());
+  auto metric = std::make_shared<metric::L2Distance>();
+  metric::Dataset stable_set("stable", stable, metric);
+
+  auto pivots = mindex::PivotSet::SelectRandom(all, 8, 923);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x72));
+  ASSERT_TRUE(key.ok());
+
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 8;
+  index_options.bucket_capacity = 25;
+  index_options.max_level = 4;
+  index_options.cache_bytes = 256 * 1024;
+
+  const net::ChannelPolicy policy = PolicyFromEnv();
+  net::TcpServerOptions server_options;
+  server_options.worker_threads = 2;
+  server_options.channel_policy = policy;
+  if (policy == net::ChannelPolicy::kSecure) {
+    server_options.secure_channel = SoakChannelOptions();
+  }
+
+  // kShards x kReplicas shard servers; each replica holds its own full
+  // copy of its shard (the facade's write fan-out keeps them identical).
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+  std::vector<std::string> disk_paths;
+  std::vector<std::vector<ShardEndpoint>> replica_sets(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t r = 0; r < kReplicas; ++r) {
+      mindex::MIndexOptions replica_options = index_options;
+      if (storage_kind == mindex::StorageKind::kDisk) {
+        replica_options.storage_kind = mindex::StorageKind::kDisk;
+        replica_options.disk_path = testing::TempDir() + "/simcloud_failover_" +
+                                    tag + "_s" + std::to_string(s) + "r" +
+                                    std::to_string(r) + ".bucket";
+        disk_paths.push_back(replica_options.disk_path);
+      }
+      auto handler = EncryptedMIndexServer::Create(replica_options);
+      ASSERT_TRUE(handler.ok()) << handler.status().ToString();
+      handlers.push_back(std::move(*handler));
+      servers.push_back(std::make_unique<net::TcpServer>(
+          handlers.back().get(), server_options));
+      ASSERT_TRUE(servers.back()->Start(0).ok());
+      replica_sets[s].push_back(
+          ShardEndpoint{"127.0.0.1", servers.back()->port()});
+    }
+  }
+
+  auto facade =
+      ShardedServer::Connect(replica_sets, index_options.num_pivots, policy,
+                             SoakChannelOptions(), SoakTopologyOptions());
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+  // The facade handler is thread-safe; LoopbackTransport is not, so each
+  // thread below wraps the facade in its own transport.
+  net::LoopbackTransport transport(facade->get());
+  EncryptionClient owner(*key, metric, &transport);
+  ASSERT_TRUE(owner.InsertBulk(all, InsertStrategy::kPrecise, 100).ok());
+
+  // Fixed query pool + brute-force oracle over the stable region.
+  constexpr size_t kQueryPool = 24;
+  Rng query_rng(924);
+  std::vector<VectorObject> queries;
+  std::vector<metric::NeighborList> oracle;
+  for (size_t i = 0; i < kQueryPool; ++i) {
+    queries.push_back(stable[query_rng.NextBounded(stable.size())]);
+    oracle.push_back(
+        metric::LinearRangeSearch(stable_set, queries.back(), kQueryRadius));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> query_rounds{0};
+  auto fail = [&](const std::string& why) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << why;
+  };
+
+  // Queriers: every answer must match the oracle id-for-id, before,
+  // during, and after the replica kill. Zero failed queries allowed.
+  constexpr int kQueriers = 2;
+  std::vector<std::thread> queriers;
+  queriers.reserve(kQueriers);
+  for (int c = 0; c < kQueriers; ++c) {
+    queriers.emplace_back([&, c] {
+      net::LoopbackTransport own_transport(facade->get());
+      EncryptionClient client(*key, metric, &own_transport);
+      Rng rng(930 + c);
+      while (!stop.load()) {
+        std::vector<size_t> picks;
+        std::vector<VectorObject> batch;
+        for (int q = 0; q < 4; ++q) {
+          picks.push_back(rng.NextBounded(kQueryPool));
+          batch.push_back(queries[picks.back()]);
+        }
+        auto answers = client.RangeSearchBatch(batch, kQueryRadius);
+        if (!answers.ok()) {
+          return fail("query failed during soak: " +
+                      answers.status().ToString());
+        }
+        for (size_t q = 0; q < batch.size(); ++q) {
+          const metric::NeighborList& expected = oracle[picks[q]];
+          const metric::NeighborList& got = (*answers)[q];
+          if (got.size() != expected.size()) {
+            return fail("answer size diverged from oracle");
+          }
+          for (size_t n = 0; n < expected.size(); ++n) {
+            if (got[n].id != expected[n].id) {
+              return fail("answer ids diverged from oracle");
+            }
+          }
+        }
+        query_rounds.fetch_add(1);
+      }
+    });
+  }
+
+  // Churner: delete-only traffic through the facade. A slice landing
+  // while the victim is down is buffered and replayed on reconnect.
+  std::thread churner([&] {
+    net::LoopbackTransport own_transport(facade->get());
+    EncryptionClient client(*key, metric, &own_transport);
+    constexpr size_t kSlice = 20;
+    size_t next = 0;
+    while (!stop.load() && next + kSlice <= churn.size()) {
+      std::vector<VectorObject> slice(churn.begin() + next,
+                                      churn.begin() + next + kSlice);
+      next += kSlice;
+      auto pending = client.SubmitDeleteBatch(slice);
+      if (!pending.ok()) return fail("delete submit failed");
+      Status deleted = client.CollectDeleteBatch(&*pending);
+      if (!deleted.ok()) {
+        return fail("delete failed during soak: " + deleted.ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Let traffic flow, then kill shard 1's first replica mid-churn.
+  const size_t victim_shard = 1;
+  const size_t victim_index = victim_shard * kReplicas;  // shard 1, replica 0
+  const uint16_t victim_port = servers[victim_index]->port();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const uint64_t rounds_at_kill = query_rounds.load();
+  servers[victim_index]->Stop();
+
+  // Traffic must keep flowing while the replica is dead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const uint64_t rounds_during_outage = query_rounds.load() - rounds_at_kill;
+
+  // Restart: a fresh TcpServer on the SAME port over the SAME handler —
+  // the replica still has the data it had when it died; replay brings
+  // the writes it missed.
+  servers[victim_index] = std::make_unique<net::TcpServer>(
+      handlers[victim_index].get(), server_options);
+  ASSERT_TRUE(servers[victim_index]->Start(victim_port).ok());
+
+  // The monitor must redial it (full handshake under kSecure), drain the
+  // replay queue, and flip the replica back to up.
+  bool recovered = false;
+  Stopwatch recovery;
+  while (recovery.ElapsedSeconds() < 30) {
+    auto topology = (*facade)->TopologySnapshot();
+    if (topology[victim_shard].replicas[0].health == ShardHealth::kUp) {
+      recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "victim replica never returned to up";
+
+  // A little more traffic against the recovered cluster, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  for (std::thread& thread : queriers) thread.join();
+  churner.join();
+
+  ASSERT_EQ(failures.load(), 0) << "queries failed during the replica loss";
+  EXPECT_GT(rounds_during_outage, 0u)
+      << "soak too short: no query completed while the replica was down";
+
+  // The victim rejoined: reconnect counted, replay drained.
+  {
+    auto topology = (*facade)->TopologySnapshot();
+    const ReplicaStatus& victim = topology[victim_shard].replicas[0];
+    EXPECT_GE(victim.reconnects, 1u);
+    EXPECT_EQ(victim.replay_queued, 0u);
+    for (size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(topology[s].health(), ShardHealth::kUp);
+    }
+  }
+
+  // Replay converged: each shard's replicas hold identical object
+  // counts, including the shard whose replica missed writes while dead.
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(handlers[s * kReplicas]->index().size(),
+              handlers[s * kReplicas + 1]->index().size())
+        << "replicas of shard " << s << " diverged after replay";
+  }
+
+  // Byte-identical final answers vs the oracle, and consistent counts.
+  {
+    EncryptionClient client(*key, metric, &transport);
+    auto final_answers = client.RangeSearchBatch(
+        std::vector<VectorObject>(queries.begin(), queries.begin() + 8),
+        kQueryRadius);
+    ASSERT_TRUE(final_answers.ok());
+    for (size_t q = 0; q < 8; ++q) {
+      ASSERT_EQ((*final_answers)[q].size(), oracle[q].size());
+      for (size_t n = 0; n < oracle[q].size(); ++n) {
+        EXPECT_EQ((*final_answers)[q][n].id, oracle[q][n].id);
+      }
+    }
+    auto stats = client.GetServerStats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->shards_total, kShards);
+    EXPECT_EQ(stats->shards_up, kShards);
+    uint64_t survivors = 0;
+    for (size_t s = 0; s < kShards; ++s) {
+      survivors += handlers[s * kReplicas]->index().size();
+    }
+    EXPECT_EQ(stats->object_count, survivors);
+  }
+
+  facade->reset();  // stops the monitor before the servers go away
+  for (auto& server : servers) server->Stop();
+  for (const std::string& path : disk_paths) {
+    std::remove(path.c_str());
+    std::remove((path + ".compact").c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FailoverSoakTest,
+                         ::testing::Values(mindex::StorageKind::kMemory,
+                                           mindex::StorageKind::kDisk),
+                         [](const ::testing::TestParamInfo<
+                             mindex::StorageKind>& info) {
+                           return info.param == mindex::StorageKind::kMemory
+                                      ? "memory"
+                                      : "disk";
+                         });
+
+}  // namespace
+}  // namespace secure
+}  // namespace simcloud

@@ -458,6 +458,151 @@ TEST(TcpTest, StopWithPipelinedRequestsInFlightJoinsCleanly) {
   }
 }
 
+/// Holds every request long enough that a prompt server kill happens
+/// with all responses still pending.
+class SleepHandler : public RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return request;
+  }
+};
+
+TEST(TcpTest, ServerKillFailsAllParkedCollectsPromptly) {
+  // Regression: when the stream dies (server killed mid-pipeline), EVERY
+  // parked Collect must fail promptly with the sticky stream status —
+  // including collectors that are not the elected reader and would
+  // otherwise sit in the condition variable until their own I/O noticed.
+  SleepHandler handler;
+  TcpServerOptions options;
+  options.worker_threads = 2;
+  TcpServer server(&handler, options);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+
+  constexpr int kCollectors = 8;
+  std::vector<uint64_t> tickets(kCollectors);
+  for (int i = 0; i < kCollectors; ++i) {
+    auto ticket = (*transport)->Submit(Bytes(512, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(ticket.ok());
+    tickets[i] = *ticket;
+  }
+  std::atomic<int> completed{0};
+  std::vector<std::thread> collectors;
+  collectors.reserve(kCollectors);
+  for (int i = 0; i < kCollectors; ++i) {
+    collectors.emplace_back([&, i] {
+      auto response = (*transport)->Collect(tickets[i]);
+      if (!response.ok()) {
+        EXPECT_EQ(response.status().code(), StatusCode::kNetworkError);
+      }
+      completed.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.Stop();
+
+  // All collectors must return well before any per-collector I/O timeout
+  // could: the first reader to see EOF broadcasts the broken status.
+  Stopwatch waited;
+  while (completed.load() < kCollectors && waited.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(completed.load(), kCollectors) << "parked Collects hung";
+  for (std::thread& thread : collectors) thread.join();
+  EXPECT_LT(waited.ElapsedSeconds(), 5.0);
+
+  // The failure is sticky: later pipelined use reports it immediately.
+  EXPECT_FALSE((*transport)->stream_status().ok());
+  auto late = (*transport)->Submit(Bytes{1});
+  if (late.ok()) {
+    EXPECT_FALSE((*transport)->Collect(*late).ok());
+  }
+}
+
+TEST(TcpTest, AbortWakesCollectorParkedInRecv) {
+  // Regression: Abort() from another thread must wake a collector that
+  // is blocked inside recv() as the elected reader (only a socket
+  // shutdown can — the condition variable does not cover recv).
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  // A "server" that accepts and then never answers.
+  std::thread acceptor([listen_fd] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn >= 0) {
+      uint8_t sink[256];
+      while (::recv(conn, sink, sizeof(sink), 0) > 0) {
+      }
+      ::close(conn);
+    }
+  });
+
+  auto transport = TcpTransport::Connect("127.0.0.1", port);
+  ASSERT_TRUE(transport.ok());
+  auto ticket = (*transport)->Submit(Bytes{1, 2, 3});
+  ASSERT_TRUE(ticket.ok());
+
+  std::atomic<bool> collected{false};
+  std::thread collector([&] {
+    auto response = (*transport)->Collect(*ticket);
+    EXPECT_FALSE(response.ok());
+    collected.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_FALSE(collected.load());  // parked in recv, no response coming
+
+  (*transport)->Abort(Status::NetworkError("test abort"));
+  Stopwatch waited;
+  while (!collected.load() && waited.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(collected.load()) << "Abort() left the reader stuck in recv";
+  EXPECT_LT(waited.ElapsedSeconds(), 5.0);
+  EXPECT_FALSE((*transport)->stream_status().ok());
+  collector.join();
+  ::close(listen_fd);
+  acceptor.join();
+}
+
+TEST(TcpTest, CollectForTimesOutWithoutPoisoningTheStream) {
+  // A bounded Collect that expires leaves the ticket outstanding and the
+  // stream healthy: a later unbounded Collect still gets the response.
+  EchoHandler handler(/*burn_cpu=*/true);
+  TcpServer server(&handler);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+
+  auto ticket = (*transport)->Submit(Bytes(64, 7));
+  ASSERT_TRUE(ticket.ok());
+  // A 0ms deadline expires immediately (the response cannot have landed
+  // through a burn-cpu handler yet).
+  auto expired = (*transport)->CollectFor(*ticket, 0);
+  if (!expired.ok()) {
+    EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE((*transport)->stream_status().ok());
+    auto retried = (*transport)->Collect(*ticket);
+    ASSERT_TRUE(retried.ok());
+    EXPECT_EQ(*retried, Bytes(64, 7));
+  }
+  server.Stop();
+}
+
 TEST(TcpTest, ManyIdleConnectionsAreCheap) {
   EchoHandler handler;
   TcpServer server(&handler);

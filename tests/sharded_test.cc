@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/rng.h"
 #include "data/synthetic.h"
@@ -377,6 +379,202 @@ TEST(ShardedServerTest, RemoteShardsOverSecureChannels) {
 
   facade->reset();
   for (auto& server : shard_servers) server->Stop();
+}
+
+/// Echoes after a short sleep, so a Stop() can race in-flight and
+/// queued tickets deterministically.
+class SlowEchoHandler : public net::RequestHandler {
+ public:
+  Result<Bytes> Handle(const Bytes& request) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return request;
+  }
+};
+
+TEST(LocalShardChannelTest, RejectsSubmitAfterStop) {
+  // Regression: a post-stop Submit used to enqueue a ticket no worker
+  // would ever run, hanging the racing Collect forever.
+  SlowEchoHandler handler;
+  LocalShardChannel channel(&handler, /*num_workers=*/1);
+  auto before = channel.Submit(Bytes{1, 2});
+  ASSERT_TRUE(before.ok());
+  channel.Stop();
+  auto after = channel.Submit(Bytes{3, 4});
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  // The pre-stop ticket resolves (handled or failed), never hangs.
+  auto response = channel.Collect(*before);
+  if (!response.ok()) {
+    EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(LocalShardChannelTest, StopFailsQueuedTicketsInsteadOfStranding) {
+  // One worker, many queued tickets: Stop() must resolve every ticket —
+  // the in-flight one completes, queued ones fail — so every collector
+  // returns.
+  SlowEchoHandler handler;
+  LocalShardChannel channel(&handler, /*num_workers=*/1);
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < 8; ++i) {
+    auto ticket = channel.Submit(Bytes(16, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  channel.Stop();
+  int completed = 0;
+  int failed = 0;
+  for (uint64_t ticket : tickets) {
+    auto response = channel.Collect(ticket);
+    if (response.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+      ++failed;
+    }
+  }
+  EXPECT_EQ(completed + failed, 8);
+  EXPECT_GT(failed, 0) << "with a 10ms handler and one worker, most of the "
+                          "queue must still have been pending at Stop()";
+}
+
+TEST(ShardedServerTest, ConnectPartialFailureNamesTheEndpoint) {
+  // One real shard plus one dead endpoint: Connect must fail, name the
+  // dead endpoint as host:port, and tear the established connection
+  // down cleanly (the live server keeps serving afterwards).
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 8;
+  auto handler = EncryptedMIndexServer::Create(index_options);
+  ASSERT_TRUE(handler.ok());
+  net::TcpServer server(handler->get());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Find a port with nothing listening: bind one, note it, close it.
+  uint16_t dead_port;
+  {
+    net::TcpServer probe(handler->get());
+    ASSERT_TRUE(probe.Start(0).ok());
+    dead_port = probe.port();
+    probe.Stop();
+  }
+
+  std::vector<ShardEndpoint> endpoints = {
+      ShardEndpoint{"127.0.0.1", server.port()},
+      ShardEndpoint{"127.0.0.1", dead_port}};
+  auto facade = ShardedServer::Connect(endpoints, index_options.num_pivots);
+  ASSERT_FALSE(facade.ok());
+  const std::string expected =
+      "127.0.0.1:" + std::to_string(dead_port);
+  EXPECT_NE(facade.status().message().find(expected), std::string::npos)
+      << "Status must name the failing endpoint, got: "
+      << facade.status().ToString();
+
+  // The surviving server was shut down orderly and still accepts work.
+  auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(transport.ok());
+  EXPECT_TRUE((*transport)->Call(EncodePingRequest()).ok());
+  server.Stop();
+}
+
+TEST(ShardedServerTest, ReplicaSetsStayIdenticalAndReportTopology) {
+  // 2 shards x 2 replicas: writes fan out to both replicas of a shard,
+  // so the replica handlers must hold byte-identical indexes, reads
+  // keep matching the oracle, and the topology snapshot reports every
+  // replica up.
+  const size_t kShards = 2, kReplicas = 2;
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 8;
+  index_options.bucket_capacity = 40;
+  index_options.max_level = 4;
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+  std::vector<std::vector<ShardEndpoint>> replica_sets(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t r = 0; r < kReplicas; ++r) {
+      auto handler = EncryptedMIndexServer::Create(index_options);
+      ASSERT_TRUE(handler.ok());
+      handlers.push_back(std::move(*handler));
+      servers.push_back(
+          std::make_unique<net::TcpServer>(handlers.back().get()));
+      ASSERT_TRUE(servers.back()->Start(0).ok());
+      replica_sets[s].push_back(
+          ShardEndpoint{"127.0.0.1", servers.back()->port()});
+    }
+  }
+
+  auto facade =
+      ShardedServer::Connect(replica_sets, index_options.num_pivots);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ((*facade)->num_shards(), kShards);
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = 300;
+  mixture.dimension = 6;
+  mixture.num_clusters = 4;
+  mixture.seed = 621;
+  metric::Dataset dataset("replicas", data::MakeGaussianMixture(mixture),
+                          std::make_shared<metric::L2Distance>());
+  auto pivots = mindex::PivotSet::SelectRandom(dataset.objects(), 8, 622);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x54));
+  ASSERT_TRUE(key.ok());
+
+  net::LoopbackTransport transport(facade->get());
+  EncryptionClient client(*key, dataset.distance(), &transport);
+  ASSERT_TRUE(
+      client.InsertBulk(dataset.objects(), InsertStrategy::kPrecise, 60)
+          .ok());
+  EXPECT_EQ((*facade)->TotalObjects(), dataset.size());
+
+  // Delete a slice through the facade, then verify each shard's two
+  // replica handlers hold identical object counts (every write reached
+  // both).
+  std::vector<VectorObject> doomed(dataset.objects().begin(),
+                                   dataset.objects().begin() + 40);
+  ASSERT_TRUE(client.DeleteBatch(doomed, 40).ok());
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(handlers[s * kReplicas]->index().size(),
+              handlers[s * kReplicas + 1]->index().size())
+        << "replicas of shard " << s << " diverged";
+  }
+
+  // Reads still match the oracle with replica routing in the path.
+  Rng rng(623);
+  metric::Dataset live("live",
+                       std::vector<VectorObject>(
+                           dataset.objects().begin() + 40,
+                           dataset.objects().end()),
+                       dataset.distance());
+  for (int q = 0; q < 5; ++q) {
+    const VectorObject& query =
+        live.objects()[rng.NextBounded(live.size())];
+    const double radius = rng.NextUniform(1.0, 3.0);
+    const auto exact = metric::LinearRangeSearch(live, query, radius);
+    auto answer = client.RangeSearch(query, radius);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ASSERT_EQ(answer->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*answer)[i].id, exact[i].id);
+    }
+  }
+
+  // Topology introspection: every replica up, and the aggregated stats
+  // carry the health fields over the wire.
+  auto topology = (*facade)->TopologySnapshot();
+  ASSERT_EQ(topology.size(), kShards);
+  for (const auto& shard : topology) {
+    ASSERT_EQ(shard.replicas.size(), kReplicas);
+    EXPECT_EQ(shard.health(), ShardHealth::kUp);
+  }
+  auto stats = client.GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shards_total, kShards);
+  EXPECT_EQ(stats->shards_up, kShards);
+  EXPECT_EQ(stats->shards_down, 0u);
+
+  facade->reset();
+  for (auto& server : servers) server->Stop();
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Spawn a local shard cluster for ShardedServer failover experiments.
+
+Launches ``shards x replicas`` copies of ``example_shard_server`` on
+OS-assigned ports, scrapes each child's "listening on" line, and prints
+the replica-set layout to paste into ``ShardedServer::Connect``. Runs
+until Ctrl-C, then tears every child down.
+
+Kill an individual replica mid-run (``kill <pid>``) to watch the
+topology monitor degrade it, reroute reads, and — once you restart a
+server on the same port — replay the writes it missed.
+
+Usage:
+  tools/run_replicas.py [--shards 3] [--replicas 2] [--pivots 16]
+                        [--binary build/example_shard_server]
+                        [--policy plain|secure] [--psk-hex HEX]
+"""
+
+import argparse
+import signal
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--pivots", type=int, default=16)
+    parser.add_argument("--binary", default="build/example_shard_server")
+    parser.add_argument("--policy", default="plain",
+                        choices=["plain", "secure"])
+    parser.add_argument("--psk-hex", default="",
+                        help="32-byte hex PSK; required with --policy secure")
+    args = parser.parse_args()
+    # SIGTERM tears the cluster down the same way Ctrl-C does.
+    signal.signal(signal.SIGTERM,
+                  lambda *_: (_ for _ in ()).throw(KeyboardInterrupt))
+    if args.policy == "secure" and len(args.psk_hex) != 64:
+        parser.error("--policy secure needs --psk-hex with 64 hex chars "
+                     "(tools/gen_psk.py makes one)")
+
+    children = []
+    layout = []  # layout[shard] = [(endpoint, pid), ...]
+    try:
+        for shard in range(args.shards):
+            replica_set = []
+            for replica in range(args.replicas):
+                cmd = [args.binary, "--port", "0",
+                       "--pivots", str(args.pivots),
+                       "--policy", args.policy]
+                if args.policy == "secure":
+                    cmd += ["--psk-hex", args.psk_hex]
+                child = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                         text=True)
+                children.append(child)
+                line = child.stdout.readline().strip()
+                marker = "listening on "
+                if marker not in line:
+                    print(f"child failed to start: {line!r}", file=sys.stderr)
+                    return 1
+                endpoint = line.split(marker, 1)[1].split()[0]
+                replica_set.append((endpoint, child.pid))
+            layout.append(replica_set)
+
+        print(f"{args.shards} shards x {args.replicas} replicas "
+              f"({args.policy} wire):")
+        for shard, replica_set in enumerate(layout):
+            slots = ", ".join(f"{ep} (pid {pid})" for ep, pid in replica_set)
+            print(f"  shard {shard}: {slots}")
+        print("replica_sets for ShardedServer::Connect:")
+        for shard, replica_set in enumerate(layout):
+            cells = ", ".join('{"127.0.0.1", %s}' % ep.rsplit(":", 1)[1]
+                              for ep, _ in replica_set)
+            print(f"  {{{cells}}},")
+        print("Ctrl-C stops the cluster; kill a pid to exercise failover.")
+        signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for child in children:
+            if child.poll() is None:
+                child.terminate()
+        for child in children:
+            try:
+                child.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                child.kill()
+    print("cluster stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
