@@ -1,0 +1,287 @@
+// Watch-stream soak: one writer churns an encrypted index while a FAST
+// watcher consumes the live stream and a SLOW watcher deliberately never
+// reads until the churn is over. Three gates (the run aborts when
+// violated):
+//
+//   * ZERO lost events — the fast watcher receives every insert and
+//     every delete exactly once, in publish order;
+//   * the slow watcher is BOUNDED backpressure, not collateral damage —
+//     while it sits parked at the connection's output-queue cap, every
+//     ping on a third connection keeps succeeding, and once it finally
+//     reads it still gets the complete gapless stream (the hub holds
+//     its cursor; the replay ring covers the whole churn);
+//   * push latency stays sane — fast-watcher p99 from the writer's send
+//     to the decrypted event must stay under the latency gate.
+//
+// Usage: bench_watch [--smoke]
+//   --smoke  fewer ops, for CI.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "net/tcp.h"
+#include "secure/client.h"
+#include "secure/secret_key.h"
+#include "secure/server.h"
+
+namespace simcloud {
+namespace bench {
+namespace {
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(values.size() - 1,
+                                static_cast<size_t>(values.size() * pct));
+  return values[index];
+}
+
+void Run(bool smoke) {
+  const size_t num_inserts = smoke ? 2000 : 20000;
+  const size_t num_deletes = num_inserts / 4;
+  const size_t total_events = num_inserts + num_deletes;
+  const double latency_gate_ms = smoke ? 250.0 : 100.0;
+
+  data::MixtureOptions mixture;
+  mixture.num_objects = num_inserts;
+  mixture.dimension = 8;
+  mixture.num_clusters = 6;
+  mixture.seed = 81;
+  auto objects = data::MakeGaussianMixture(mixture);
+  auto metric = std::make_shared<metric::L2Distance>();
+  auto pivots = mindex::PivotSet::SelectRandom(objects, 16, 82);
+  if (!pivots.ok()) std::exit(1);
+  auto key = secure::SecretKey::Create(std::move(pivots).value(),
+                                       Bytes(16, 0x62));
+  if (!key.ok()) std::exit(1);
+
+  mindex::MIndexOptions options;
+  options.num_pivots = 16;
+  options.bucket_capacity = 50;
+  options.max_level = 4;
+  // The ring must cover the whole churn so the parked slow watcher can
+  // catch up without a watch-lost.
+  options.watch_ring_capacity = total_events + 16;
+  auto handler = secure::EncryptedMIndexServer::Create(options);
+  if (!handler.ok()) std::exit(1);
+
+  net::TcpServerOptions server_options;
+  server_options.worker_threads = 2;
+  // Small on purpose: the slow watcher must hit this cap early and park.
+  server_options.max_output_queue_bytes = 64 * 1024;
+  net::TcpServer server(handler->get(), server_options);
+  if (!server.Start(0).ok()) std::exit(1);
+  auto connect = [&] {
+    auto transport = net::TcpTransport::Connect("127.0.0.1", server.port());
+    if (!transport.ok()) std::exit(1);
+    return std::move(*transport);
+  };
+
+  // Send timestamps, indexed by object id (release on store before the
+  // wire write; the watcher acquires after the event arrives).
+  Stopwatch epoch;
+  std::vector<std::atomic<int64_t>> insert_sent(num_inserts);
+  std::vector<std::atomic<int64_t>> delete_sent(num_deletes);
+  for (auto& t : insert_sent) t.store(0);
+  for (auto& t : delete_sent) t.store(0);
+
+  // Slow watcher: registers FIRST, then refuses to read until the whole
+  // churn has landed.
+  auto slow_transport = connect();
+  secure::EncryptionClient slow_client(*key, metric, slow_transport.get());
+  auto slow_stream = slow_client.WatchAll();
+  if (!slow_stream.ok()) std::exit(1);
+
+  // Fast watcher: consumes concurrently with the writer, checks order,
+  // measures push latency.
+  auto fast_transport = connect();
+  secure::EncryptionClient fast_client(*key, metric, fast_transport.get());
+  auto fast_stream = fast_client.WatchAll();
+  if (!fast_stream.ok()) std::exit(1);
+
+  std::atomic<size_t> fast_received{0};
+  std::atomic<size_t> fast_misorders{0};
+  std::vector<double> push_latency_ms(total_events, -1.0);
+  std::thread fast_watcher([&] {
+    // Inserts arrive as ids 0..N-1 in order, then deletes 0..M-1.
+    size_t expect = 0;
+    while (fast_received.load() < total_events) {
+      auto event = (*fast_stream)->Next(10000);
+      if (!event.ok()) {
+        std::fprintf(stderr, "fast watcher died: %s\n",
+                     event.status().ToString().c_str());
+        return;
+      }
+      const int64_t now = epoch.ElapsedNanos();
+      const size_t i = fast_received.fetch_add(1);
+      const bool is_insert = i < num_inserts;
+      const size_t want = is_insert ? expect : expect - num_inserts;
+      if ((is_insert) != (event->kind == secure::WatchEvent::Kind::kInsert) ||
+          event->id != want) {
+        fast_misorders.fetch_add(1);
+      }
+      ++expect;
+      const int64_t sent = is_insert
+                               ? insert_sent[event->id].load()
+                               : delete_sent[event->id].load();
+      if (sent > 0) push_latency_ms[i] = (now - sent) / 1e6;
+    }
+  });
+
+  // Prober: pings on its own connection must keep succeeding while the
+  // slow watcher is parked at the output-queue cap.
+  std::atomic<bool> stop_prober{false};
+  std::atomic<size_t> pings_ok{0}, pings_failed{0};
+  std::thread prober([&] {
+    auto transport = connect();
+    secure::EncryptionClient client(*key, metric, transport.get());
+    while (!stop_prober.load()) {
+      if (client.Ping().ok()) {
+        pings_ok.fetch_add(1);
+      } else {
+        pings_failed.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Writer: inserts in slices, then deletes the first quarter. Paced a
+  // touch below the watcher's decrypt rate — the latency gate measures
+  // the push path, and an unbounded burst would measure nothing but the
+  // consumer's own backlog.
+  auto writer_transport = connect();
+  secure::EncryptionClient writer(*key, metric, writer_transport.get());
+  Stopwatch churn;
+  constexpr size_t kSlice = 100;
+  const auto pace = std::chrono::milliseconds(2);
+  for (size_t next = 0; next < num_inserts; next += kSlice) {
+    const size_t end = std::min(next + kSlice, num_inserts);
+    const int64_t now = epoch.ElapsedNanos();
+    for (size_t i = next; i < end; ++i) insert_sent[i].store(now);
+    std::vector<metric::VectorObject> slice(objects.begin() + next,
+                                            objects.begin() + end);
+    if (!writer.InsertBulk(slice, secure::InsertStrategy::kPrecise, kSlice)
+             .ok()) {
+      std::fprintf(stderr, "insert failed mid-churn\n");
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(pace);
+  }
+  for (size_t next = 0; next < num_deletes; next += kSlice) {
+    const size_t end = std::min(next + kSlice, num_deletes);
+    const int64_t now = epoch.ElapsedNanos();
+    for (size_t i = next; i < end; ++i) delete_sent[i].store(now);
+    std::vector<metric::VectorObject> slice(objects.begin() + next,
+                                            objects.begin() + end);
+    auto pending = writer.SubmitDeleteBatch(slice);
+    if (!pending.ok() || !writer.CollectDeleteBatch(&*pending).ok()) {
+      std::fprintf(stderr, "delete failed mid-churn\n");
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(pace);
+  }
+  const double churn_seconds = churn.ElapsedSeconds();
+
+  fast_watcher.join();
+  stop_prober.store(true);
+  prober.join();
+
+  // The slow watcher finally reads: the full stream, in order, from the
+  // beginning — its park never cost it (or anyone else) an event.
+  size_t slow_received = 0, slow_misorders = 0;
+  {
+    size_t expect = 0;
+    while (slow_received < total_events) {
+      auto event = (*slow_stream)->Next(10000);
+      if (!event.ok()) {
+        std::fprintf(stderr, "slow watcher died after %zu events: %s\n",
+                     slow_received, event.status().ToString().c_str());
+        break;
+      }
+      const bool is_insert = slow_received < num_inserts;
+      const size_t want = is_insert ? expect : expect - num_inserts;
+      if ((is_insert) !=
+              (event->kind == secure::WatchEvent::Kind::kInsert) ||
+          event->id != want) {
+        ++slow_misorders;
+      }
+      ++expect;
+      ++slow_received;
+    }
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(total_events);
+  for (double ms : push_latency_ms) {
+    if (ms >= 0) latencies.push_back(ms);
+  }
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+
+  std::printf("bench_watch: %zu inserts + %zu deletes in %.2fs "
+              "(%.0f events/s through the fast watcher)\n",
+              num_inserts, num_deletes, churn_seconds,
+              total_events / churn_seconds);
+  std::printf("fast watcher: %zu/%zu events, %zu misorders, "
+              "push latency p50 %.2f ms p99 %.2f ms\n",
+              fast_received.load(), total_events, fast_misorders.load(),
+              p50, p99);
+  std::printf("slow watcher: %zu/%zu events after the park, %zu misorders\n",
+              slow_received, total_events, slow_misorders);
+  std::printf("prober: %zu pings ok, %zu failed while the slow watcher "
+              "was parked\n",
+              pings_ok.load(), pings_failed.load());
+
+  bool failed = false;
+  if (fast_received.load() != total_events || fast_misorders.load() != 0) {
+    std::fprintf(stderr, "FAIL: fast watcher lost or reordered events\n");
+    failed = true;
+  }
+  if (slow_received != total_events || slow_misorders != 0) {
+    std::fprintf(stderr, "FAIL: slow watcher lost or reordered events "
+                         "across the backpressure park\n");
+    failed = true;
+  }
+  if (pings_failed.load() != 0 || pings_ok.load() == 0) {
+    std::fprintf(stderr, "FAIL: other connections suffered while the slow "
+                         "watcher was parked\n");
+    failed = true;
+  }
+  if (p99 > latency_gate_ms) {
+    std::fprintf(stderr, "FAIL: fast-watcher push p99 %.2f ms exceeds the "
+                         "%.0f ms gate\n",
+                 p99, latency_gate_ms);
+    failed = true;
+  }
+  if (failed) std::exit(1);
+
+  std::printf("bench_watch OK (0 lost events, slow watcher parked and "
+              "caught up, p99 %.2f ms)\n", p99);
+  (void)(*fast_stream)->Cancel();
+  (void)(*slow_stream)->Cancel();
+  fast_stream->reset();
+  slow_stream->reset();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcloud
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  simcloud::bench::Run(smoke);
+  return 0;
+}

@@ -50,21 +50,25 @@ if [ "${1:-}" = "--tsan" ]; then
   # failover_test joined with the topology monitor: queriers, a churner,
   # the monitor thread and a replica kill/restart all race over the
   # replica channels, which is the exact surface TSan must sign off on.
+  # watch_test joined with the change streams: the WatchHub delivery
+  # thread races writers publishing under the index lock, push sinks on
+  # the epoll loop, and the sharded facade's pump threads.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test|watch_test'
 
-  echo "=== churn + failover soaks under TSan, secure channel policy ==="
+  echo "=== churn + failover + watch soaks under TSan, secure channel policy ==="
   # The same soaks with every connection running the PSK handshake +
   # AEAD record layer (frequent rekeys included). failover_test under
   # `secure` additionally reconnects through the full handshake after
-  # the replica kill. Only these two read the env toggle; net_test pins
+  # the replica kill, and watch_test seals every push frame in AEAD
+  # records. Only these three read the env toggle; net_test pins
   # the plaintext wire and secure_channel_test/fuzz_robustness_test
   # cover secure intrinsically.
   SIMCLOUD_CHANNEL_POLICY=secure \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'pipeline_test|failover_test'
+        -R 'pipeline_test|failover_test|watch_test'
   echo "CI (tsan) OK"
   exit 0
 fi
@@ -98,18 +102,19 @@ cmake --build build -j "$(nproc)"
 echo "=== tier-1 tests ==="
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300
 
-echo "=== channel-policy sweep: churn + failover soaks in secure mode ==="
+echo "=== channel-policy sweep: churn + failover + watch soaks in secure mode ==="
 # These soaks run twice: the tier-1 pass above uses the plaintext wire
 # (byte-identical to the original protocol); this pass flips them to
 # ChannelPolicy::kSecure (PSK handshake + AEAD records on every
 # connection, aggressive rekey budgets — failover_test's post-kill
-# reconnects redo the full handshake). The other transport suites
+# reconnects redo the full handshake, watch_test streams every push
+# frame through sealed records). The other transport suites
 # need no toggle: net_test pins the plaintext wire byte-stable, while
 # secure_channel_test / SecureTcpFrameFuzz / the secure remote-shard
 # test cover the secure policy intrinsically.
 SIMCLOUD_CHANNEL_POLICY=secure \
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300 \
-      -R 'pipeline_test|failover_test'
+      -R 'pipeline_test|failover_test|watch_test'
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then
@@ -133,5 +138,8 @@ echo "=== bench smoke: pipelined transport acceptance ==="
 
 echo "=== bench smoke: replica failover acceptance (zero failed queries, p99 blip <= 3x) ==="
 ./build/bench_failover --smoke
+
+echo "=== bench smoke: watch streams acceptance (zero lost events, bounded slow-watcher backpressure) ==="
+./build/bench_watch --smoke
 
 echo "CI OK"

@@ -10,11 +10,16 @@
 // Usage: example_shard_server [--port N] [--pivots N]
 //                             [--disk-path PATH]
 //                             [--policy plain|secure] [--psk-hex HEX]
+//                             [--status-interval-s N]
 //   --port       listen port (default 0 = OS-assigned; printed on stdout)
 //   --pivots     number of pivots the cluster's key uses (default 16)
 //   --disk-path  back buckets with this file instead of memory
 //   --policy     wire policy; `secure` requires --psk-hex (32-byte hex)
 //   --psk-hex    pre-shared key for the secure channel handshake
+//   --status-interval-s  print a status line this often (0 = off). The
+//                line decodes the same kGetStats block a facade sees, so
+//                it includes the stale-shard count and live watch
+//                subscriptions.
 
 #include <csignal>
 #include <cstdio>
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   std::string disk_path;
   std::string policy = "plain";
   std::string psk_hex;
+  int status_interval_s = 0;
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string value = argv[i + 1];
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
       policy = value;
     } else if (flag == "--psk-hex") {
       psk_hex = value;
+    } else if (flag == "--status-interval-s") {
+      status_interval_s = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;
@@ -118,9 +126,28 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  int ticks = 0;
   while (!g_stop) {
     struct timespec nap = {0, 50 * 1000 * 1000};
     ::nanosleep(&nap, nullptr);
+    if (status_interval_s <= 0 || ++ticks < status_interval_s * 20) continue;
+    ticks = 0;
+    // Go through the stats opcode (not white-box index access) so the
+    // read takes the server's own lock and shows exactly what a facade
+    // decodes — including the stale-shard count a replay-overflowed
+    // replica raises.
+    auto response = (*handler)->Handle(secure::EncodeGetStatsRequest());
+    if (!response.ok()) continue;
+    auto stats = secure::DecodeStatsResponse(*response);
+    if (!stats.ok()) continue;
+    std::printf("status: objects=%llu live_bytes=%llu dead_bytes=%llu "
+                "shards_stale=%llu watches=%zu\n",
+                static_cast<unsigned long long>(stats->object_count),
+                static_cast<unsigned long long>(stats->live_storage_bytes),
+                static_cast<unsigned long long>(stats->dead_storage_bytes),
+                static_cast<unsigned long long>(stats->shards_stale),
+                (*handler)->watch_hub()->active());
+    std::fflush(stdout);
   }
   server.Stop();
   std::printf("shard_server stopped\n");

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/log.h"
 #include "common/rng.h"
 
 namespace simcloud {
@@ -121,10 +122,15 @@ Dataset MakeCophirLike(size_t num_objects, uint64_t seed) {
 size_t DefaultCophirSize() {
   const char* env = std::getenv("SIMCLOUD_COPHIR_N");
   if (env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1000 && parsed <= 1000000) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    // Reject trailing garbage ("5000x", "1e5"), not just out-of-range
+    // values: a typo must not silently fall back as if unset.
+    if (end != env && *end == '\0' && parsed >= 1000 && parsed <= 1000000) {
       return static_cast<size_t>(parsed);
     }
+    SIMCLOUD_LOG(kWarn) << "ignoring invalid SIMCLOUD_COPHIR_N value '" << env
+                        << "' (want an integer in [1000, 1000000])";
   }
   return 200000;
 }

@@ -192,6 +192,11 @@ struct IndexStats {
   uint64_t shards_up = 0;
   uint64_t shards_degraded = 0;
   uint64_t shards_down = 0;
+  /// Shards with at least one stale replica: one that overflowed its
+  /// write-replay queue and needs out-of-band re-seeding. Distinct from
+  /// the health counts above (a stale replica pins its shard's count in
+  /// degraded/down otherwise invisibly).
+  uint64_t shards_stale = 0;
 };
 
 }  // namespace mindex

@@ -103,8 +103,11 @@ Status MIndex::Insert(metric::ObjectId id,
   SIMCLOUD_ASSIGN_OR_RETURN(PayloadHandle handle, storage_->Store(payload));
   // Mid-pass relocation journal: a background pass must catch this
   // payload up into the log it is rewriting (we hold the writer lock, as
-  // does anyone toggling active_pass_).
-  if (active_pass_ != nullptr) active_pass_->OnStore(handle);
+  // does anyone arming the bus's journal).
+  bus_.JournalStore(handle);
+
+  // The event needs the distances after they move into the entry below.
+  std::vector<float> event_distances = pivot_distances;
 
   Entry entry;
   entry.id = id;
@@ -121,11 +124,17 @@ Status MIndex::Insert(metric::ObjectId id,
     if (!freed.ok()) {
       SIMCLOUD_LOG(kWarn) << "cannot free payload of rejected insert: "
                           << freed.ToString();
-    } else if (active_pass_ != nullptr) {
-      active_pass_->OnFree(handle);
+    } else {
+      bus_.JournalFree(handle);
     }
+    return inserted;
   }
-  return inserted;
+  // Publish only after the tree accepted the entry, still under the
+  // caller's writer lock: the bus sequence therefore matches the order
+  // mutations became visible to queries.
+  bus_.Publish(MutationKind::kInsert, id, std::move(event_distances),
+               payload);
+  return Status::OK();
 }
 
 Status MIndex::Delete(metric::ObjectId id,
@@ -136,7 +145,8 @@ Status MIndex::Delete(metric::ObjectId id,
       RoutingPermutation(pivot_distances, std::move(permutation)));
   SIMCLOUD_ASSIGN_OR_RETURN(Entry removed, tree_.Remove(id, permutation));
   SIMCLOUD_RETURN_NOT_OK(storage_->Free(removed.payload_handle));
-  if (active_pass_ != nullptr) active_pass_->OnFree(removed.payload_handle);
+  bus_.JournalFree(removed.payload_handle);
+  bus_.Publish(MutationKind::kDelete, id, {}, {});
   MaybeCompact();
   return Status::OK();
 }
@@ -162,11 +172,16 @@ Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
   // one pass and evaluate the compaction trigger once — a delete-heavy
   // batch costs at most one compaction, not one per item.
   std::vector<PayloadHandle> freed;
+  std::vector<metric::ObjectId> freed_ids;
   freed.reserve(deletions.size());
+  freed_ids.reserve(deletions.size());
   auto free_collected = [&]() -> Status {
-    for (PayloadHandle handle : freed) {
-      SIMCLOUD_RETURN_NOT_OK(storage_->Free(handle));
-      if (active_pass_ != nullptr) active_pass_->OnFree(handle);
+    for (size_t i = 0; i < freed.size(); ++i) {
+      SIMCLOUD_RETURN_NOT_OK(storage_->Free(freed[i]));
+      bus_.JournalFree(freed[i]);
+      // Published per delete, in removal order — watchers see the batch
+      // as its constituent deletes, each with its own sequence.
+      bus_.Publish(MutationKind::kDelete, freed_ids[i], {}, {});
     }
     return Status::OK();
   };
@@ -181,6 +196,7 @@ Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
       return removed.status();
     }
     freed.push_back(removed->payload_handle);
+    freed_ids.push_back(deletions[i].id);
   }
   SIMCLOUD_RETURN_NOT_OK(free_collected());
   MaybeCompact();
@@ -189,7 +205,7 @@ Result<uint64_t> MIndex::DeleteBatch(const std::vector<Deletion>& deletions) {
 
 void MIndex::MaybeCompact() {
   if (options_.compaction_trigger <= 0.0 || deferred_compaction_) return;
-  if (active_pass_ != nullptr) return;  // a pass is already running
+  if (bus_.journal_armed()) return;  // a pass is already running
   // We may be running under the caller's writer lock, so only TRY the
   // pass mutex: if another thread is mid-CompactBackground (it takes the
   // serial mutex first, then the index lock), waiting here would invert
@@ -288,7 +304,7 @@ Result<CompactionReport> MIndex::RunCompactionPass(
       report.pause_nanos = pause_nanos;
       return report;
     }
-    active_pass_ = &pass;
+    bus_.ArmJournal(&pass);
     compaction_active_.store(true, std::memory_order_relaxed);
     compaction_progress_.store(0, std::memory_order_relaxed);
   }
@@ -332,7 +348,7 @@ Result<CompactionReport> MIndex::RunCompactionPass(
     Stopwatch held;
     if (status.ok()) status = pass.Finish(&tree_);
     if (!status.ok()) pass.Abandon();
-    active_pass_ = nullptr;
+    bus_.DisarmJournal();
     // The pass may have replaced the storage stack; re-point the query
     // engine (cheap — it holds raw pointers only).
     engine_ = QueryEngine(&tree_, storage_.get(), options_.promise_decay,

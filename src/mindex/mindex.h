@@ -30,6 +30,7 @@
 #include "mindex/cell_tree.h"
 #include "mindex/compactor.h"
 #include "mindex/entry.h"
+#include "mindex/mutation_bus.h"
 #include "mindex/query_engine.h"
 #include "mindex/storage.h"
 
@@ -84,6 +85,11 @@ struct MIndexOptions {
   /// snapshots — a snapshot moved to a different machine should not
   /// carry the old machine's thread count.
   int query_threads = 0;
+  /// Capacity (in events) of the mutation bus's replay ring — the window
+  /// a disconnected watcher can resume across without a `watch lost`
+  /// error. Like query_threads this is a runtime serving knob, not index
+  /// structure, and is NOT persisted in snapshots.
+  size_t watch_ring_capacity = 4096;
 };
 
 /// The M-Index proper.
@@ -208,6 +214,13 @@ class MIndex {
   /// Verifies internal tree invariants (test support).
   Status CheckInvariants() const { return tree_.CheckInvariants(); }
 
+  /// The mutation event bus: every successful Insert/Delete publishes an
+  /// event here in writer-lock order (see mutation_bus.h). Watch
+  /// subscriptions replay/follow it; the compactor's relocation journal
+  /// rides the same bus internally. Valid for the life of the index.
+  MutationBus* mutation_bus() { return &bus_; }
+  const MutationBus* mutation_bus() const { return &bus_; }
+
  private:
   MIndex(const MIndexOptions& options,
          std::unique_ptr<BucketStorage> storage)
@@ -215,7 +228,8 @@ class MIndex {
         tree_(options.num_pivots, options.bucket_capacity,
               options.max_level),
         engine_(&tree_, storage_.get(), options.promise_decay,
-                options.query_threads) {}
+                options.query_threads),
+        bus_(options.watch_ring_capacity) {}
 
   /// Validates the routing arguments shared by Insert and Delete and
   /// resolves them to the stored-prefix permutation (derived from the
@@ -247,9 +261,11 @@ class MIndex {
   std::mutex compaction_serial_;
   /// See SetDeferredCompaction.
   bool deferred_compaction_ = false;
-  /// The in-flight pass, set/cleared and consulted only under the index
-  /// writer lock: Insert/Delete feed its relocation journal through this.
-  CompactionPass* active_pass_ = nullptr;
+  /// Mutation ordering source of truth: Insert/Delete publish watch
+  /// events AND feed the armed pass's relocation journal through the bus
+  /// (the journal side is guarded by the index writer lock, exactly like
+  /// the bare active_pass_ pointer it replaced).
+  MutationBus bus_;
   /// Telemetry mirrored into IndexStats. Atomic because the rewrite
   /// updates progress under the SHARED lock, concurrently with Stats().
   std::atomic<uint64_t> compaction_passes_{0};

@@ -287,6 +287,92 @@ Status TcpServer::Start(uint16_t port) {
   return Status::OK();
 }
 
+// Push sink handed to handlers (change streams). Thread-safe; valid for
+// the life of the handler-side subscription, which may outlive both the
+// connection and the server's run — hence everything flows through the
+// shared_ptr'd ConnShared, never a bare Connection*. While `open` is
+// observed true under ConnShared::mutex the server object is guaranteed
+// alive: the loop thread flips it in CloseConnection under the same
+// mutex, and every connection is closed before Stop() finishes joining
+// the loop.
+class TcpServer::ConnPushSink : public PushSink {
+ public:
+  ConnPushSink(std::shared_ptr<ConnShared> shared, uint32_t id)
+      : shared_(std::move(shared)), id_(id) {}
+
+  Status TryPush(const Bytes& payload) override {
+    // Framed exactly like a pipelined response (u64 server_nanos — zero,
+    // no handler ran — ok flag, payload) so the client parses pushes and
+    // responses with one decoder, and secure connections seal them like
+    // any response burst.
+    BinaryWriter body;
+    body.Reserve(payload.size() + 16);
+    body.WriteU64(0);
+    body.WriteBool(true);
+    body.WriteRaw(payload.data(), payload.size());
+    Bytes encoded = body.TakeBuffer();
+    if (encoded.size() > kMaxFrameLength) {
+      return Status::InvalidArgument("push exceeds the 31-bit frame limit");
+    }
+    Bytes frame(8 + encoded.size());
+    StoreLE32(static_cast<uint32_t>(encoded.size()) | kFrameIdFlag,
+              frame.data());
+    StoreLE32(id_, frame.data() + 4);
+    std::memcpy(frame.data() + 8, encoded.data(), encoded.size());
+
+    std::lock_guard<std::mutex> open_lock(shared_->mutex);
+    if (!shared_->open) {
+      return Status::NetworkError("push on a closed connection");
+    }
+    TcpServer* server = shared_->server;
+    // Backpressure: pushes count against the connection's bounded output
+    // queue from enqueue time (queued bytes the loop knows about plus
+    // pushes it has not drained yet). A never-reading watcher parks here
+    // at the bound; other connections are untouched.
+    const size_t queued = shared_->queued_out_bytes.load() +
+                          shared_->pending_push_bytes.load();
+    if (queued >= server->options_.max_output_queue_bytes) {
+      return Status::FailedPrecondition(
+          "connection output queue at max_output_queue_bytes");
+    }
+    shared_->pending_push_bytes.fetch_add(frame.size());
+    {
+      std::lock_guard<std::mutex> done_lock(server->done_mutex_);
+      if (server->done_closed_) {
+        shared_->pending_push_bytes.fetch_sub(frame.size());
+        return Status::NetworkError("server stopped");
+      }
+      Completion completion;
+      completion.gen = shared_->gen;
+      completion.push = true;
+      completion.frame = std::move(frame);
+      server->done_queue_.push_back(std::move(completion));
+      // Wake while still holding done_mutex_: Stop() sets done_closed_
+      // under the same mutex before closing the wake fd, so this write
+      // can never hit a closed (or recycled) descriptor.
+      server->WakeLoop();
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<ConnShared> shared_;
+  const uint32_t id_;
+};
+
+class TcpServer::ConnStreamContext : public StreamContext {
+ public:
+  ConnStreamContext(std::shared_ptr<ConnShared> shared, uint32_t id)
+      : shared_(std::move(shared)), id_(id) {}
+  std::shared_ptr<PushSink> MakeSink() override {
+    return std::make_shared<ConnPushSink>(shared_, id_);
+  }
+
+ private:
+  std::shared_ptr<ConnShared> shared_;
+  const uint32_t id_;
+};
+
 void TcpServer::Stop() {
   if (!started_) return;
   if (running_.exchange(false)) WakeLoop();
@@ -300,6 +386,12 @@ void TcpServer::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    // After this flag no push sink touches the wake fd (see ConnPushSink);
+    // only then is closing it safe against fd recycling.
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_closed_ = true;
+  }
   if (wake_fd_ >= 0) {
     ::close(wake_fd_);
     wake_fd_ = -1;
@@ -398,6 +490,9 @@ void TcpServer::AcceptNewConnections() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->gen = next_gen_++;
+    conn->shared = std::make_shared<ConnShared>();
+    conn->shared->server = this;
+    conn->shared->gen = conn->gen;
     if (options_.channel_policy == ChannelPolicy::kSecure) {
       conn->handshake =
           std::make_unique<ServerHandshake>(options_.secure_channel);
@@ -509,6 +604,7 @@ bool TcpServer::ParseFrames(Connection* conn) {
     item.gen = conn->gen;
     item.id = id;
     item.legacy = !pipelined;
+    if (pipelined) item.shared = conn->shared;  // legacy cannot push
     item.body.assign(p + header_len, p + header_len + len);
     conn->in_off += header_len + len;
     conn->in_flight++;
@@ -596,6 +692,7 @@ bool TcpServer::UpdateConnection(Connection* conn) {
         conn->out_bytes < options_.max_output_queue_bytes;
     if (!parsed && !freed_budget) break;
   }
+  conn->shared->queued_out_bytes.store(conn->out_bytes);
   const bool drained = conn->out.empty() && conn->in_flight == 0;
   if (conn->read_eof && drained) {
     // Peer finished sending and every accepted request is answered; any
@@ -629,6 +726,13 @@ bool TcpServer::UpdateConnection(Connection* conn) {
 }
 
 void TcpServer::CloseConnection(Connection* conn) {
+  {
+    // Under the shared mutex: a sink mid-TryPush either completed its
+    // enqueue before this (frame dropped with the connection) or sees
+    // the closed flag. After this block no sink references the server.
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    conn->shared->open = false;
+  }
   engine_->Remove(conn->fd, conn->gen);  // before close: cancels uring polls
   ::close(conn->fd);
   active_connections_.fetch_sub(1);
@@ -655,8 +759,15 @@ void TcpServer::DrainCompletions() {
     auto it = connections_.find(completion.gen);
     if (it == connections_.end()) continue;  // connection closed meanwhile
     Connection* conn = it->second.get();
-    conn->in_flight--;
-    if (completion.legacy) conn->legacy_in_flight = false;
+    if (completion.push) {
+      // A push answers no dispatched request: in_flight is untouched and
+      // the bytes move from the sink's pending count into the output
+      // queue proper (mirrored below via UpdateConnection).
+      conn->shared->pending_push_bytes.fetch_sub(completion.frame.size());
+    } else {
+      conn->in_flight--;
+      if (completion.legacy) conn->legacy_in_flight = false;
+    }
     if (conn->channel) {
       Bytes& batch = pending_seal[completion.gen];
       batch.insert(batch.end(), completion.frame.begin(),
@@ -727,7 +838,14 @@ void TcpServer::WorkerLoop() {
     }
 
     Stopwatch watch;
-    Result<Bytes> response = handler_->Handle(item.body);
+    Result<Bytes> response = [&]() -> Result<Bytes> {
+      // Legacy (id 0) frames cannot carry server-push: the null stream
+      // context makes stream-registering opcodes fail cleanly while the
+      // connection stays usable.
+      if (item.legacy) return handler_->HandleStream(item.body, nullptr);
+      ConnStreamContext stream(item.shared, item.id);
+      return handler_->HandleStream(item.body, &stream);
+    }();
     const int64_t server_nanos = watch.ElapsedNanos();
 
     BinaryWriter body;
@@ -975,6 +1093,15 @@ Status TcpTransport::ReadOneResponse(
     costs_.server_nanos += ready.server_nanos;
   }
   std::lock_guard<std::mutex> lock(state_mutex_);
+  if (streaming_.count(frame.request_id) != 0) {
+    // Stream frame: many frames share this id, so it stays outstanding
+    // and arrivals queue in order for CollectStream.
+    stream_ready_[frame.request_id].push_back(std::move(ready));
+    return Status::OK();
+  }
+  if (closed_streams_.count(frame.request_id) != 0) {
+    return Status::OK();  // late frame for an abandoned stream: drop
+  }
   if (outstanding_.erase(frame.request_id) == 0) {
     return Status::NetworkError("response for unknown request id " +
                                 std::to_string(frame.request_id));
@@ -1072,6 +1199,93 @@ Result<Bytes> TcpTransport::Collect(uint64_t ticket) {
   // Pipelined round trips overlap, so no wall-time split is attributed;
   // bytes and server time were accounted when the frame was read.
   return std::move(response.payload);
+}
+
+Result<uint64_t> TcpTransport::SubmitStream(const Bytes& request) {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    id = next_id_;
+    next_id_ = next_id_ == 0xFFFFFFFFu ? 1 : next_id_ + 1;
+  }
+  {
+    // Registered BEFORE the frame is written (like outstanding_ in
+    // SubmitFrame): a push racing the registration would otherwise be an
+    // unknown id and poison the connection.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    streaming_.insert(id);
+    closed_streams_.erase(id);  // id numbers wrap; forget old tombstones
+  }
+  Status written = SubmitFrame(request, id);
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    streaming_.erase(id);
+    stream_ready_.erase(id);
+    return written;
+  }
+  return static_cast<uint64_t>(id);
+}
+
+Result<Bytes> TcpTransport::CollectStream(uint64_t ticket, int timeout_ms) {
+  if (ticket == 0 || ticket > 0xFFFFFFFFu) {
+    return Status::InvalidArgument("invalid ticket " + std::to_string(ticket));
+  }
+  const uint32_t id = static_cast<uint32_t>(ticket);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Same elected-reader dance as AwaitResponse, but popping a queue —
+  // a stream ticket yields frames until the caller closes it.
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  for (;;) {
+    auto it = stream_ready_.find(id);
+    if (it != stream_ready_.end() && !it->second.empty()) {
+      ReadyResponse response = std::move(it->second.front());
+      it->second.pop_front();
+      return std::move(response.payload);
+    }
+    if (!broken_.ok()) return broken_;
+    if (streaming_.count(id) == 0) {
+      return Status::InvalidArgument("unknown or closed stream ticket " +
+                                     std::to_string(ticket));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Soft, like CollectFor: the stream stays registered and later
+      // frames are still collectable.
+      return Status::DeadlineExceeded("no stream frame for ticket " +
+                                      std::to_string(ticket) +
+                                      " within the deadline");
+    }
+    if (reader_active_) {
+      state_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    reader_active_ = true;
+    lock.unlock();
+    Status read = ReadOneResponse(&deadline);
+    lock.lock();
+    reader_active_ = false;
+    state_cv_.notify_all();
+    if (read.code() == StatusCode::kDeadlineExceeded) {
+      return read;
+    }
+    if (!read.ok() && broken_.ok()) {
+      lock.unlock();
+      MarkBroken(read);
+      lock.lock();
+    }
+  }
+}
+
+void TcpTransport::CloseStream(uint64_t ticket) {
+  if (ticket == 0 || ticket > 0xFFFFFFFFu) return;
+  const uint32_t id = static_cast<uint32_t>(ticket);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (streaming_.erase(id) == 0) return;
+  stream_ready_.erase(id);
+  outstanding_.erase(id);
+  // Tombstone: frames the server had already queued when the watch was
+  // torn down must not read as unknown-id protocol violations.
+  closed_streams_.insert(id);
 }
 
 Result<Bytes> TcpTransport::CollectFor(uint64_t ticket, int timeout_ms) {

@@ -140,9 +140,33 @@ class TcpServer {
   }
 
  private:
+  /// State shared between a loop-owned Connection and the PushSinks
+  /// handed to handlers (change streams): a sink may outlive both its
+  /// connection and the server's run, so everything it touches lives
+  /// here, behind this struct's own mutex/atomics. While `open` is true
+  /// (checked under `mutex`) the connection exists and the server is
+  /// running — CloseConnection flips it under the same mutex on the loop
+  /// thread, and the loop closes every connection before Stop() returns.
+  struct ConnShared {
+    std::mutex mutex;            ///< guards `open` against teardown
+    bool open = true;
+    TcpServer* server = nullptr;
+    uint64_t gen = 0;
+    /// Loop-maintained mirror of Connection::out_bytes, so sinks can
+    /// observe the bounded output queue without touching loop state.
+    std::atomic<size_t> queued_out_bytes{0};
+    /// Push bytes enqueued as completions but not yet drained into the
+    /// output queue (they count against the bound from enqueue time, or
+    /// a burst of pushes could overshoot it arbitrarily).
+    std::atomic<size_t> pending_push_bytes{0};
+  };
+  class ConnPushSink;       // PushSink over ConnShared (tcp.cc)
+  class ConnStreamContext;  // StreamContext minting ConnPushSinks
+
   struct Connection {
     int fd = -1;
     uint64_t gen = 0;          ///< identity for completion routing
+    std::shared_ptr<ConnShared> shared;  ///< see ConnShared
     Bytes in;                  ///< plaintext, not yet parsed bytes
     size_t in_off = 0;         ///< parse offset into `in`
     // Secure policy only: raw wire bytes before handshake/record
@@ -166,11 +190,15 @@ class TcpServer {
     uint32_t id = 0;
     bool legacy = false;
     Bytes body;
+    std::shared_ptr<ConnShared> shared;  ///< for minting push sinks
   };
 
   struct Completion {
     uint64_t gen = 0;
     bool legacy = false;
+    /// Server-push frame (change streams): not a response to any
+    /// dispatched request, so it must not decrement in_flight.
+    bool push = false;
     Bytes frame;  ///< fully framed response, ready to write
   };
 
@@ -220,6 +248,10 @@ class TcpServer {
   // Workers -> loop.
   std::mutex done_mutex_;
   std::vector<Completion> done_queue_;
+  /// Set by Stop() once the loop and workers are joined: push sinks that
+  /// survive the server's run fail cleanly instead of enqueuing into a
+  /// dead queue. Guarded by done_mutex_.
+  bool done_closed_ = false;
   std::atomic<bool> wake_pending_{false};  ///< coalesces eventfd writes
 
   std::atomic<uint64_t> connections_accepted_{0};
@@ -266,6 +298,16 @@ class TcpTransport : public PipelinedTransport {
   /// tickets are buffered for their collectors). Each ticket can be
   /// collected exactly once.
   Result<Bytes> Collect(uint64_t ticket) override;
+
+  /// Streaming (change streams): SubmitStream parks `ticket` so the
+  /// server can push many frames on it; CollectStream pops them in
+  /// arrival order (DeadlineExceeded after `timeout_ms` with nothing
+  /// queued — soft, like CollectFor). CloseStream forgets the id; any
+  /// frame arriving on it afterwards is dropped silently, so cancel a
+  /// stream server-side and drain it BEFORE closing.
+  Result<uint64_t> SubmitStream(const Bytes& request) override;
+  Result<Bytes> CollectStream(uint64_t ticket, int timeout_ms) override;
+  void CloseStream(uint64_t ticket) override;
 
   /// Collect with a deadline: returns DeadlineExceeded when no response
   /// for `ticket` arrived within `timeout_ms`. The ticket stays
@@ -345,6 +387,15 @@ class TcpTransport : public PipelinedTransport {
   Status broken_ = Status::OK();  ///< sticky stream failure
   std::unordered_set<uint32_t> outstanding_;
   std::unordered_map<uint32_t, ReadyResponse> ready_;
+  /// Streaming ids: ReadOneResponse routes their frames into
+  /// stream_ready_ (a queue per id — many frames per ticket) and keeps
+  /// the id outstanding for the frames still to come.
+  std::unordered_set<uint32_t> streaming_;
+  std::unordered_map<uint32_t, std::deque<ReadyResponse>> stream_ready_;
+  /// Closed stream ids: late frames (a server still flushing when the
+  /// client gave up) are dropped instead of poisoning the connection as
+  /// unknown-id protocol violations.
+  std::unordered_set<uint32_t> closed_streams_;
 
   std::mutex costs_mutex_;
   std::mutex call_mutex_;  ///< one synchronous Call at a time

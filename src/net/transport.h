@@ -27,6 +27,35 @@
 namespace simcloud {
 namespace net {
 
+/// Server-push outlet for one request id: lets a handler send additional
+/// frames on the id AFTER its response, from any thread, for as long as
+/// the connection lives. Implementations are thread-safe.
+class PushSink {
+ public:
+  virtual ~PushSink() = default;
+  /// Enqueues one push frame. Best-effort with explicit outcomes:
+  ///  * OK                  — queued (counted against the connection's
+  ///                          bounded output queue like any response);
+  ///  * FailedPrecondition  — the queue is at max_output_queue_bytes; the
+  ///                          producer should hold the event and retry
+  ///                          (backpressure, not an error);
+  ///  * NetworkError        — the connection is gone; drop the producer.
+  virtual Status TryPush(const Bytes& payload) = 0;
+};
+
+/// Per-request streaming context a transport hands to HandleStream. Today
+/// it only mints push sinks; a null context (or a null sink) means the
+/// transport cannot push on this request — a legacy framed connection or
+/// an in-process loopback call — and stream-registering opcodes must fail
+/// cleanly instead.
+class StreamContext {
+ public:
+  virtual ~StreamContext() = default;
+  /// A sink bound to this request's connection + id; may outlive the
+  /// handler call. Null when the transport cannot push.
+  virtual std::shared_ptr<PushSink> MakeSink() = 0;
+};
+
 /// Server-side request handler: consumes a request message, produces a
 /// response message. Implementations are the "similarity cloud" services.
 class RequestHandler {
@@ -34,6 +63,14 @@ class RequestHandler {
   virtual ~RequestHandler() = default;
   /// Handles one request; errors become transport-level failures.
   virtual Result<Bytes> Handle(const Bytes& request) = 0;
+  /// Handles one request that may register a push stream. `stream` is
+  /// null when the transport cannot push (legacy framing, loopback);
+  /// the default ignores it, so non-streaming handlers need no change.
+  virtual Result<Bytes> HandleStream(const Bytes& request,
+                                     StreamContext* stream) {
+    (void)stream;
+    return Handle(request);
+  }
 };
 
 /// Aggregated transport-level costs (the paper's server/communication
@@ -74,6 +111,26 @@ class PipelinedTransport : public Transport {
  public:
   virtual Result<uint64_t> Submit(const Bytes& request) = 0;
   virtual Result<Bytes> Collect(uint64_t ticket) = 0;
+
+  /// Streaming extension (change streams): SubmitStream parks a request
+  /// id the server may push many frames on; CollectStream yields them in
+  /// arrival order, response first... except that a push the server
+  /// enqueued before its response lands first — callers tag frames in the
+  /// payload, not by position. CloseStream forgets the id; any later
+  /// frame on it is dropped, so callers must drain a cancelled stream
+  /// BEFORE closing (see EncodeWatchCancelRequest). The base class does
+  /// not pipeline pushes: transports without server-push keep the
+  /// default NotSupported.
+  virtual Result<uint64_t> SubmitStream(const Bytes& request) {
+    (void)request;
+    return Status::NotSupported("transport cannot stream");
+  }
+  virtual Result<Bytes> CollectStream(uint64_t ticket, int timeout_ms) {
+    (void)ticket;
+    (void)timeout_ms;
+    return Status::NotSupported("transport cannot stream");
+  }
+  virtual void CloseStream(uint64_t ticket) { (void)ticket; }
 };
 
 /// Network link model for deterministic communication-time accounting.

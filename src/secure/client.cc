@@ -699,5 +699,149 @@ Result<mindex::IndexStats> EncryptionClient::GetServerStats() {
   return DecodeStatsResponse(response);
 }
 
+namespace {
+
+/// Registration handshake: how long to wait for the server's kAck.
+constexpr int kWatchAckTimeoutMs = 5000;
+
+}  // namespace
+
+bool EncryptionClient::IsWatchLost(const Status& status) {
+  return status.message().find("watch lost") != std::string::npos;
+}
+
+Result<std::unique_ptr<WatchStream>> EncryptionClient::OpenWatch(
+    const WatchFilter& filter, const std::vector<uint64_t>& resume_token) {
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      uint64_t ticket,
+      pipelined->SubmitStream(EncodeWatchRequest(filter, resume_token)));
+  // The ack answers the registration, but the delivery thread may win
+  // the race and push resumed events onto the id first — stash those for
+  // the stream's Next().
+  std::deque<WatchFrame> early;
+  for (;;) {
+    Result<Bytes> frame_bytes =
+        pipelined->CollectStream(ticket, kWatchAckTimeoutMs);
+    if (!frame_bytes.ok()) {
+      pipelined->CloseStream(ticket);
+      return frame_bytes.status();
+    }
+    Result<WatchFrame> frame = DecodeWatchFrame(*frame_bytes);
+    if (!frame.ok()) {
+      pipelined->CloseStream(ticket);
+      return frame.status();
+    }
+    if (frame->kind == WatchFrame::Kind::kAck) {
+      auto stream = std::unique_ptr<WatchStream>(new WatchStream(
+          this, pipelined, ticket, frame->watch_id, frame->token));
+      stream->early_ = std::move(early);
+      return stream;
+    }
+    early.push_back(std::move(*frame));
+  }
+}
+
+Result<std::unique_ptr<WatchStream>> EncryptionClient::Watch(
+    const VectorObject& query, double radius,
+    const std::vector<uint64_t>& resume_token) {
+  if (radius < 0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  // Like RangeSearch, the wire carries only transformed pivot distances
+  // and the transformed radius — the query object stays client-side.
+  WatchFilter filter;
+  filter.kind = WatchFilter::Kind::kRange;
+  filter.query_distances = ComputePivotDistances(query,
+                                                 /*apply_transform=*/true);
+  filter.radius =
+      key_.has_transform() ? key_.transform().Apply(radius) : radius;
+  return OpenWatch(filter, resume_token);
+}
+
+Result<std::unique_ptr<WatchStream>> EncryptionClient::WatchAll(
+    const std::vector<uint64_t>& resume_token) {
+  return OpenWatch(WatchFilter{}, resume_token);
+}
+
+WatchStream::~WatchStream() { transport_->CloseStream(ticket_); }
+
+Result<WatchEvent> WatchStream::ToEvent(const WatchFrame& frame) {
+  WatchEvent event;
+  event.resume_token = frame.token;
+  switch (frame.kind) {
+    case WatchFrame::Kind::kInsert: {
+      event.kind = WatchEvent::Kind::kInsert;
+      event.id = frame.object_id;
+      SIMCLOUD_ASSIGN_OR_RETURN(metric::VectorObject object,
+                                client_->DecryptCandidate(frame.payload));
+      event.object = std::move(object);
+      return event;
+    }
+    case WatchFrame::Kind::kDelete:
+      event.kind = WatchEvent::Kind::kDelete;
+      event.id = frame.object_id;
+      return event;
+    case WatchFrame::Kind::kLost:
+      event.kind = WatchEvent::Kind::kLost;
+      event.message = frame.message;
+      return event;
+    case WatchFrame::Kind::kAck:
+      break;
+  }
+  return Status::Corruption("unexpected frame kind on a live watch");
+}
+
+Result<WatchEvent> WatchStream::Next(int timeout_ms) {
+  if (finished_) {
+    return Status::FailedPrecondition("watch stream is finished");
+  }
+  for (;;) {
+    WatchFrame frame;
+    if (!early_.empty()) {
+      frame = std::move(early_.front());
+      early_.pop_front();
+    } else {
+      Result<Bytes> frame_bytes =
+          transport_->CollectStream(ticket_, timeout_ms);
+      SIMCLOUD_RETURN_NOT_OK(frame_bytes.status());
+      Result<WatchFrame> decoded = DecodeWatchFrame(*frame_bytes);
+      SIMCLOUD_RETURN_NOT_OK(decoded.status());
+      frame = std::move(*decoded);
+    }
+    if (frame.kind == WatchFrame::Kind::kAck) continue;  // late duplicate
+    Result<WatchEvent> event = ToEvent(frame);
+    if (event.ok()) {
+      token_ = event->resume_token;
+      if (event->kind == WatchEvent::Kind::kLost) finished_ = true;
+    }
+    return event;
+  }
+}
+
+Status WatchStream::Cancel() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  Status outcome = Status::OK();
+  Result<uint64_t> cancel =
+      transport_->Submit(EncodeWatchCancelRequest(watch_id_));
+  if (cancel.ok()) {
+    outcome = transport_->Collect(*cancel).status();
+  } else {
+    outcome = cancel.status();
+  }
+  // Wire FIFO: every push the server enqueued before answering the
+  // cancel has been read by now — drain (and drop) them BEFORE closing
+  // so no late frame poisons the id. resume_token() stays at the last
+  // consumed event; resuming replays the dropped tail (at-least-once).
+  for (;;) {
+    Result<Bytes> drained = transport_->CollectStream(ticket_, 0);
+    if (!drained.ok()) break;
+  }
+  transport_->CloseStream(ticket_);
+  return outcome;
+}
+
 }  // namespace secure
 }  // namespace simcloud

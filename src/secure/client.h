@@ -16,7 +16,9 @@
 #ifndef SIMCLOUD_SECURE_CLIENT_H_
 #define SIMCLOUD_SECURE_CLIENT_H_
 
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "metric/dataset.h"
@@ -74,6 +76,80 @@ struct PendingDeleteBatch {
   uint64_t ticket = 0;
   bool live = false;
   size_t count = 0;  ///< objects the batch asked to delete
+};
+
+/// One decrypted change-stream event (EncryptionClient::Watch).
+struct WatchEvent {
+  enum class Kind {
+    kInsert,  ///< `object` holds the decrypted inserted object
+    kDelete,  ///< `id` names the removed object
+    kLost,    ///< the server's replay ring overflowed: re-run the query
+              ///< and re-register fresh; `message` says why
+  };
+  Kind kind = Kind::kInsert;
+  metric::ObjectId id = 0;
+  metric::VectorObject object;
+  /// Token that resumes the stream right AFTER this event (pass to
+  /// Watch/WatchAll on reconnect).
+  std::vector<uint64_t> resume_token;
+  std::string message;
+};
+
+class EncryptionClient;
+
+/// A live change-stream subscription, created by EncryptionClient::Watch.
+/// Frames arrive as server pushes on a parked pipelined request id;
+/// Next() surfaces them decrypted and in stream order. Call from the
+/// owning client's thread only (the client is not thread-safe).
+///
+/// Lifecycle: Cancel() tells the server to drop the subscription, drains
+/// the frames that were already in flight, and closes the stream; the
+/// destructor just closes the stream (a client that lost its connection
+/// reconnects and re-registers with resume_token()).
+class WatchStream {
+ public:
+  ~WatchStream();
+  WatchStream(const WatchStream&) = delete;
+  WatchStream& operator=(const WatchStream&) = delete;
+
+  /// Blocks up to `timeout_ms` for the next event. DeadlineExceeded when
+  /// nothing arrived (the stream stays live); NetworkError when the
+  /// connection died (re-register with resume_token()). After a kLost
+  /// event (or Cancel) the stream is finished and Next returns
+  /// FailedPrecondition.
+  Result<WatchEvent> Next(int timeout_ms);
+
+  /// Cancels the subscription server-side and drains in-flight frames.
+  /// The stream is finished afterwards; resume_token() stays valid.
+  Status Cancel();
+
+  /// Token resuming right after the last event Next() returned (the
+  /// registration baseline before any event).
+  const std::vector<uint64_t>& resume_token() const { return token_; }
+  uint64_t watch_id() const { return watch_id_; }
+  /// True once the stream is finished (kLost delivered or cancelled).
+  bool finished() const { return finished_; }
+
+ private:
+  friend class EncryptionClient;
+  WatchStream(EncryptionClient* client, net::PipelinedTransport* transport,
+              uint64_t ticket, uint64_t watch_id,
+              std::vector<uint64_t> token)
+      : client_(client), transport_(transport), ticket_(ticket),
+        watch_id_(watch_id), token_(std::move(token)) {}
+
+  /// Converts a decoded frame into a client event (decrypts inserts).
+  Result<WatchEvent> ToEvent(const WatchFrame& frame);
+
+  EncryptionClient* client_;
+  net::PipelinedTransport* transport_;
+  uint64_t ticket_ = 0;
+  uint64_t watch_id_ = 0;
+  std::vector<uint64_t> token_;
+  /// Pushes that arrived before the registration ack (the delivery
+  /// thread can outrun the response) — drained by Next() first.
+  std::deque<WatchFrame> early_;
+  bool finished_ = false;
 };
 
 /// Authorized client of an Encrypted M-Index server.
@@ -208,11 +284,36 @@ class EncryptionClient {
   /// Fetches index statistics from the server.
   Result<mindex::IndexStats> GetServerStats();
 
+  /// Registers a live change stream scoped to the range query R(query,
+  /// radius): the server pushes every insert whose pivot-filtering lower
+  /// bound admits it into the radius (a superset of the true matches,
+  /// like range search candidates — refine client-side if exactness
+  /// matters) and every delete. Requires a pipelined transport with
+  /// server push (TCP). Pass a previous event's resume_token to resume
+  /// after it — OutOfRange-flavoured "watch lost" when the server's
+  /// replay ring no longer covers the token (re-run the query, register
+  /// fresh). The returned stream borrows this client and its transport.
+  Result<std::unique_ptr<WatchStream>> Watch(
+      const metric::VectorObject& query, double radius,
+      const std::vector<uint64_t>& resume_token = {});
+
+  /// Unfiltered change stream: every insert and delete.
+  Result<std::unique_ptr<WatchStream>> WatchAll(
+      const std::vector<uint64_t>& resume_token = {});
+
+  /// True when `status` carries the server's explicit watch-lost signal
+  /// (matched by substring: remote error codes do not survive the wire).
+  static bool IsWatchLost(const Status& status);
+
   const ClientCosts& costs() const { return costs_; }
   void ResetCosts() { costs_.Clear(); }
   const SecretKey& key() const { return key_; }
 
  private:
+  /// WatchStream decrypts pushed payloads through DecryptCandidate so
+  /// watch decryptions land in the same cost accounting as candidates.
+  friend class WatchStream;
+
   /// Computes (and counts) distances from `object` to all pivots, applying
   /// the distribution-hiding transform when enabled.
   std::vector<float> ComputePivotDistances(const metric::VectorObject& object,
@@ -220,6 +321,11 @@ class EncryptionClient {
 
   /// The transport as a pipelined transport, or FailedPrecondition.
   Result<net::PipelinedTransport*> PipelinedOrFail() const;
+
+  /// Shared Watch/WatchAll body: submits the registration, waits for the
+  /// ack (stashing pushes that outran it), builds the stream.
+  Result<std::unique_ptr<WatchStream>> OpenWatch(
+      const WatchFilter& filter, const std::vector<uint64_t>& resume_token);
 
   /// Encodes a kRangeSearchBatch request (pivot distances under cost
   /// accounting; radius already transformed by the caller's contract).

@@ -163,6 +163,89 @@ Bytes EncodePingRequest() {
   return writer.TakeBuffer();
 }
 
+Bytes EncodeWatchRequest(const WatchFilter& filter,
+                         const std::vector<uint64_t>& resume_token) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kWatch));
+  writer.WriteU8(static_cast<uint8_t>(filter.kind));
+  if (filter.kind == WatchFilter::Kind::kRange) {
+    writer.WriteFloatVector(filter.query_distances);
+    writer.WriteDouble(filter.radius);
+  }
+  writer.WriteVarint(resume_token.size());
+  for (uint64_t seq : resume_token) writer.WriteVarint(seq);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeWatchCancelRequest(uint64_t watch_id) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kWatchCancel));
+  writer.WriteVarint(watch_id);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeWatchFrame(const WatchFrame& frame) {
+  BinaryWriter writer;
+  writer.Reserve(frame.payload.size() + frame.message.size() +
+                 16 * frame.token.size() + 32);
+  writer.WriteU8(static_cast<uint8_t>(frame.kind));
+  writer.WriteVarint(frame.token.size());
+  for (uint64_t seq : frame.token) writer.WriteVarint(seq);
+  switch (frame.kind) {
+    case WatchFrame::Kind::kAck:
+      writer.WriteVarint(frame.watch_id);
+      break;
+    case WatchFrame::Kind::kInsert:
+      writer.WriteVarint(frame.object_id);
+      writer.WriteBytes(frame.payload);
+      break;
+    case WatchFrame::Kind::kDelete:
+      writer.WriteVarint(frame.object_id);
+      break;
+    case WatchFrame::Kind::kLost:
+      writer.WriteString(frame.message);
+      break;
+  }
+  return writer.TakeBuffer();
+}
+
+Result<WatchFrame> DecodeWatchFrame(const Bytes& data) {
+  BinaryReader reader(data);
+  WatchFrame frame;
+  SIMCLOUD_ASSIGN_OR_RETURN(uint8_t kind_byte, reader.ReadU8());
+  if (kind_byte > static_cast<uint8_t>(WatchFrame::Kind::kLost)) {
+    return Status::Corruption("unknown watch frame kind " +
+                              std::to_string(kind_byte));
+  }
+  frame.kind = static_cast<WatchFrame::Kind>(kind_byte);
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t token_size, reader.ReadVarint());
+  frame.token.reserve(reader.BoundedCount(token_size));
+  for (uint64_t i = 0; i < token_size; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t seq, reader.ReadVarint());
+    frame.token.push_back(seq);
+  }
+  switch (frame.kind) {
+    case WatchFrame::Kind::kAck: {
+      SIMCLOUD_ASSIGN_OR_RETURN(frame.watch_id, reader.ReadVarint());
+      break;
+    }
+    case WatchFrame::Kind::kInsert: {
+      SIMCLOUD_ASSIGN_OR_RETURN(frame.object_id, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(frame.payload, reader.ReadBytes());
+      break;
+    }
+    case WatchFrame::Kind::kDelete: {
+      SIMCLOUD_ASSIGN_OR_RETURN(frame.object_id, reader.ReadVarint());
+      break;
+    }
+    case WatchFrame::Kind::kLost: {
+      SIMCLOUD_ASSIGN_OR_RETURN(frame.message, reader.ReadString());
+      break;
+    }
+  }
+  return frame;
+}
+
 Result<Request> DecodeRequest(const Bytes& data) {
   BinaryReader reader(data);
   SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
@@ -258,6 +341,37 @@ Result<Request> DecodeRequest(const Bytes& data) {
     }
     case Op::kPing:
       return request;
+    case Op::kWatch: {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint8_t filter_kind, reader.ReadU8());
+      if (filter_kind > static_cast<uint8_t>(WatchFilter::Kind::kRange)) {
+        return Status::InvalidArgument("unknown watch filter kind " +
+                                       std::to_string(filter_kind));
+      }
+      request.watch_filter.kind = static_cast<WatchFilter::Kind>(filter_kind);
+      if (request.watch_filter.kind == WatchFilter::Kind::kRange) {
+        SIMCLOUD_ASSIGN_OR_RETURN(request.watch_filter.query_distances,
+                                  reader.ReadFloatVector());
+        SIMCLOUD_ASSIGN_OR_RETURN(request.watch_filter.radius,
+                                  reader.ReadDouble());
+      }
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t token_size, reader.ReadVarint());
+      if (token_size > kMaxBatchQueries) {
+        return Status::InvalidArgument(
+            "watch resume token of " + std::to_string(token_size) +
+            " shards exceeds the " + std::to_string(kMaxBatchQueries) +
+            "-entry limit");
+      }
+      request.watch_resume_token.reserve(reader.BoundedCount(token_size));
+      for (uint64_t i = 0; i < token_size; ++i) {
+        SIMCLOUD_ASSIGN_OR_RETURN(uint64_t seq, reader.ReadVarint());
+        request.watch_resume_token.push_back(seq);
+      }
+      return request;
+    }
+    case Op::kWatchCancel: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.watch_cancel_id, reader.ReadVarint());
+      return request;
+    }
   }
   return Status::Corruption("unknown opcode " + std::to_string(op_byte));
 }
@@ -377,6 +491,10 @@ Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
   writer.WriteVarint(stats.shards_up);
   writer.WriteVarint(stats.shards_degraded);
   writer.WriteVarint(stats.shards_down);
+  // Appended with the change-stream revision (optional on decode): a
+  // replay-overflowed replica previously hid inside shards_down/degraded
+  // with no distinct wire signal.
+  writer.WriteVarint(stats.shards_stale);
   return writer.TakeBuffer();
 }
 
@@ -405,6 +523,9 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
     SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_up, reader.ReadVarint());
     SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_degraded, reader.ReadVarint());
     SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_down, reader.ReadVarint());
+  }
+  if (!reader.AtEnd()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_stale, reader.ReadVarint());
   }
   return stats;
 }

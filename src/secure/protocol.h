@@ -10,6 +10,7 @@
 #define SIMCLOUD_SECURE_PROTOCOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -36,6 +37,8 @@ enum class Op : uint8_t {
   kDeleteBatch = 8,       ///< bulk delete, one lock + one free pass
   kCompact = 9,           ///< admin: compact the payload log(s)
   kPing = 10,             ///< no-op health check / pure-RTT probe
+  kWatch = 11,            ///< register a standing change-stream subscription
+  kWatchCancel = 12,      ///< tear down a subscription by watch id
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -52,6 +55,46 @@ struct InsertItem {
 struct DeleteItem {
   metric::ObjectId id = 0;
   mindex::Permutation permutation;
+};
+
+/// Standing predicate of a kWatch subscription. kAll streams every
+/// mutation. kRange streams inserts whose pivot-filtering lower bound
+/// (max_i |q_i - o_i| over the insert's pivot distances) is <= radius —
+/// the same conservative bound the range search prunes with, so the
+/// stream never misses a true match; deletes are always delivered (the
+/// server no longer holds the object, so it cannot evaluate the
+/// predicate — the client drops ids it never matched). Like every query,
+/// the filter carries only transformed pivot distances, never plaintext.
+struct WatchFilter {
+  enum class Kind : uint8_t { kAll = 0, kRange = 1 };
+  Kind kind = Kind::kAll;
+  std::vector<float> query_distances;  ///< kRange only
+  double radius = 0;                   ///< kRange only (transformed)
+};
+
+/// One frame of a change stream, flowing server -> client as a push on
+/// the watch's request id. The first byte tags the frame kind so the
+/// registration acknowledgement and pushed events share one decoder —
+/// the hub may legitimately enqueue an event push before the worker's
+/// ack lands on the same id, and the client just stashes early events
+/// until the ack arrives.
+struct WatchFrame {
+  enum class Kind : uint8_t {
+    kAck = 0,     ///< registration accepted; watch_id + baseline token
+    kInsert = 1,  ///< object inserted: object_id + payload + token
+    kDelete = 2,  ///< object deleted: object_id + token
+    kLost = 3,    ///< replay ring overflowed; stream is dead, see message
+  };
+  Kind kind = Kind::kAck;
+  uint64_t watch_id = 0;  ///< kAck: the handle kWatchCancel takes
+  /// Resume token: one per-shard sequence number per shard, in shard
+  /// order (size 1 on a single server, shard count on a facade). The
+  /// token on an event resumes the stream immediately after that event;
+  /// the ack's token is the stream's starting point.
+  std::vector<uint64_t> token;
+  metric::ObjectId object_id = 0;  ///< kInsert / kDelete
+  Bytes payload;                   ///< kInsert: the opaque ciphertext
+  std::string message;             ///< kLost: human-readable reason
 };
 
 /// Serialized requests.
@@ -73,6 +116,22 @@ Bytes EncodeCompactRequest(bool force);
 /// Touches no index state; the empty response measures pure transport
 /// cost (and, pipelined, transport overlap) in benches and tests.
 Bytes EncodePingRequest();
+/// Registers a change-stream subscription. An empty `resume_token` starts
+/// the stream at the shard's current sequence (deliver the future only);
+/// a non-empty token resumes after the given per-shard sequences and is
+/// rejected with OutOfRange ("watch lost") when the replay ring no longer
+/// covers them. Requires the pipelined framing — a legacy connection gets
+/// a clean FailedPrecondition error.
+Bytes EncodeWatchRequest(const WatchFilter& filter,
+                         const std::vector<uint64_t>& resume_token);
+/// Tears down the subscription `watch_id` (from the ack frame). After
+/// the cancel response every frame for that id has already been sent —
+/// responses and pushes share one FIFO per connection.
+Bytes EncodeWatchCancelRequest(uint64_t watch_id);
+
+/// Stream frames (the kWatch response body and every push on its id).
+Bytes EncodeWatchFrame(const WatchFrame& frame);
+Result<WatchFrame> DecodeWatchFrame(const Bytes& data);
 
 /// Decoded request (server side).
 struct Request {
@@ -88,6 +147,9 @@ struct Request {
   std::vector<mindex::KnnQuery> knn_queries;      // kApproxKnnBatch
   std::vector<DeleteItem> delete_items;           // kDeleteBatch
   bool compact_force = false;                     // kCompact
+  WatchFilter watch_filter;                       // kWatch
+  std::vector<uint64_t> watch_resume_token;       // kWatch (empty = fresh)
+  uint64_t watch_cancel_id = 0;                   // kWatchCancel
 };
 Result<Request> DecodeRequest(const Bytes& data);
 

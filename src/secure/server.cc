@@ -24,6 +24,7 @@ Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
 EncryptedMIndexServer::EncryptedMIndexServer(
     std::unique_ptr<mindex::MIndex> index, double compaction_trigger)
     : index_(std::move(index)), compaction_trigger_(compaction_trigger) {
+  watch_hub_ = std::make_unique<WatchHub>(index_->mutation_bus());
   if (compaction_trigger_ > 0.0) {
     compaction_thread_ = std::thread([this] { CompactionLoop(); });
   }
@@ -95,6 +96,45 @@ void EncryptedMIndexServer::AccumulateStatsBatch(
 }
 
 Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
+  return HandleStream(request_bytes, nullptr);
+}
+
+Result<Bytes> EncryptedMIndexServer::HandleWatch(const Request& request,
+                                                net::StreamContext* stream) {
+  // Satellite: a legacy (bit-31-clear) connection or an in-process
+  // loopback call has no push path — refuse cleanly; the connection
+  // stays usable for every other opcode.
+  std::shared_ptr<net::PushSink> sink;
+  if (stream != nullptr) sink = stream->MakeSink();
+  if (sink == nullptr) {
+    return Status::FailedPrecondition(
+        "kWatch needs a pipelined connection (server push is impossible "
+        "on legacy framing or loopback)");
+  }
+  if (request.watch_resume_token.size() > 1) {
+    return Status::InvalidArgument(
+        "resume token covers " +
+        std::to_string(request.watch_resume_token.size()) +
+        " shards; this server is a single shard");
+  }
+  const bool has_resume = !request.watch_resume_token.empty();
+  const uint64_t resume_after =
+      has_resume ? request.watch_resume_token[0] : 0;
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      WatchHub::Registration registration,
+      watch_hub_->Register(request.watch_filter, has_resume, resume_after,
+                           [sink](const WatchFrame& frame) {
+                             return sink->TryPush(EncodeWatchFrame(frame));
+                           }));
+  WatchFrame ack;
+  ack.kind = WatchFrame::Kind::kAck;
+  ack.watch_id = registration.watch_id;
+  ack.token = {registration.start_seq};
+  return EncodeWatchFrame(ack);
+}
+
+Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
+                                                  net::StreamContext* stream) {
   SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
   switch (request.op) {
     case Op::kInsertBatch: {
@@ -201,6 +241,15 @@ Result<Bytes> EncryptedMIndexServer::Handle(const Bytes& request_bytes) {
     case Op::kPing:
       // No lock, no state: answers even while writers hold the index.
       return Bytes{};
+    case Op::kWatch:
+      return HandleWatch(request, stream);
+    case Op::kWatchCancel:
+      // The cancel response is framed AFTER every push the delivery
+      // thread enqueued before Unregister returned (wire FIFO), so a
+      // client that drains until this response sees a complete prefix
+      // of its stream.
+      return EncodeInsertResponse(
+          watch_hub_->Unregister(request.watch_cancel_id) ? 1 : 0);
   }
   return Status::Corruption("unhandled opcode");
 }

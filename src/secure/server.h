@@ -14,6 +14,7 @@
 #include "mindex/mindex.h"
 #include "net/transport.h"
 #include "secure/protocol.h"
+#include "secure/watch.h"
 
 namespace simcloud {
 namespace secure {
@@ -46,8 +47,19 @@ class EncryptedMIndexServer : public net::RequestHandler {
 
   Result<Bytes> Handle(const Bytes& request) override;
 
+  /// Streaming entry point: kWatch registers a change-stream subscription
+  /// pushing frames through `stream` (FailedPrecondition when the
+  /// transport cannot push — legacy framing, loopback); every other
+  /// opcode behaves exactly like Handle().
+  Result<Bytes> HandleStream(const Bytes& request,
+                             net::StreamContext* stream) override;
+
   /// Direct access for white-box tests and stats.
   const mindex::MIndex& index() const { return *index_; }
+
+  /// The change-stream hub (the sharded facade registers adapters here
+  /// in local mode; tests inspect `active()`).
+  WatchHub* watch_hub() { return watch_hub_.get(); }
 
   /// Search statistics accumulated over all handled queries.
   mindex::SearchStats total_search_stats() const {
@@ -68,6 +80,9 @@ class EncryptedMIndexServer : public net::RequestHandler {
   void MaybeKickCompaction();
   void CompactionLoop();
 
+  Result<Bytes> HandleWatch(const Request& request,
+                            net::StreamContext* stream);
+
   std::unique_ptr<mindex::MIndex> index_;
   /// Readers-writer lock over the index: searches run concurrently,
   /// inserts/deletes exclusively.
@@ -83,6 +98,10 @@ class EncryptedMIndexServer : public net::RequestHandler {
   std::condition_variable compaction_cv_;
   bool compaction_kick_ = false;
   bool compaction_stop_ = false;
+
+  /// Declared after index_ so the delivery thread stops before the
+  /// index (and its mutation bus) is torn down.
+  std::unique_ptr<WatchHub> watch_hub_;
 };
 
 }  // namespace secure

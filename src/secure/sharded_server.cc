@@ -1,6 +1,7 @@
 #include "secure/sharded_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -218,6 +219,15 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
 }
 
 ShardedServer::~ShardedServer() {
+  // Watches first: local adapters push into shard hubs that die with
+  // shards_, remote pumps read through groups_ the monitor keeps alive.
+  std::vector<std::shared_ptr<WatchFanout>> live;
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (auto& entry : watches_) live.push_back(entry.second);
+    watches_.clear();
+  }
+  for (const auto& fanout : live) StopWatch(fanout);
   // The monitor probes through groups_; stop it before channels_ die.
   if (monitor_) monitor_->Stop();
 }
@@ -437,6 +447,11 @@ Result<Bytes> ShardedServer::FanOutBatch(const Bytes& request,
 }
 
 Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
+  return HandleStream(request_bytes, nullptr);
+}
+
+Result<Bytes> ShardedServer::HandleStream(const Bytes& request_bytes,
+                                          net::StreamContext* stream) {
   SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
   switch (request.op) {
     case Op::kInsertBatch: {
@@ -518,10 +533,20 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
         total.shards_up = channels_.size();
       } else {
         for (const ReplicaGroupChannel* group : groups_) {
-          switch (group->Snapshot().health()) {
+          const ShardTopologyStatus shard_status = group->Snapshot();
+          switch (shard_status.health()) {
             case ShardHealth::kUp: ++total.shards_up; break;
             case ShardHealth::kDegraded: ++total.shards_degraded; break;
             case ShardHealth::kDown: ++total.shards_down; break;
+          }
+          // A stale replica (replay overflow: permanently out of the
+          // rotation) is otherwise invisible on the wire — the shard
+          // still counts as up through its healthy siblings.
+          for (const ReplicaStatus& replica : shard_status.replicas) {
+            if (replica.stale) {
+              ++total.shards_stale;
+              break;
+            }
           }
         }
       }
@@ -574,8 +599,318 @@ Result<Bytes> ShardedServer::Handle(const Bytes& request_bytes) {
       // Answered by the facade itself: the probe measures the facade's
       // transport, not the shard fleet.
       return Bytes{};
+    case Op::kWatch:
+      return HandleWatch(request, stream);
+    case Op::kWatchCancel:
+      return HandleWatchCancel(request);
   }
   return Status::Corruption("unhandled opcode");
+}
+
+namespace {
+
+/// How long a remote pump blocks per CollectStream before re-checking
+/// its stop flag.
+constexpr int kPumpTickMs = 100;
+/// Client-side backpressure pacing for remote pumps (a frame that the
+/// client's output queue refused is held and retried).
+constexpr int kPumpRetryMs = 10;
+/// Waiting for a replica to come back before re-registering a watch.
+constexpr int kPumpReacquireMs = 100;
+/// Registration handshake timeout per replica attempt.
+constexpr int kWatchAckTimeoutMs = 5000;
+
+/// True when a stream-call Status is a REMOTE REJECTION (the shard
+/// server answered with an error) rather than a broken stream: the
+/// transport wrapped it as "remote error: ...", so the connection
+/// itself is healthy and must not be failed over.
+bool IsRemoteRejection(const Status& status) {
+  return status.message().find("remote error:") != std::string::npos;
+}
+
+/// True when a Status carries the shard's explicit watch-lost signal
+/// (ring overflow / token out of range). Matched by substring because
+/// status codes do not survive the wire.
+bool IsWatchLost(const Status& status) {
+  return status.message().find("watch lost") != std::string::npos;
+}
+
+}  // namespace
+
+Status ShardedServer::PushComposite(
+    const std::shared_ptr<WatchFanout>& fanout, size_t shard,
+    const WatchFrame& frame) {
+  std::lock_guard<std::mutex> lock(fanout->mutex);
+  if (fanout->lost) {
+    // Another shard already reported loss; the stream is over. Return
+    // NetworkError so local hub adapters drop their subscription.
+    return Status::NetworkError("watch already lost");
+  }
+  WatchFrame out = frame;
+  out.watch_id = fanout->watch_id;
+  std::vector<uint64_t> token = fanout->token;
+  if (!frame.token.empty()) token[shard] = frame.token[0];
+  out.token = token;
+  Status pushed = fanout->sink->TryPush(EncodeWatchFrame(out));
+  if (pushed.ok()) {
+    // Commit the composite cursor only for a delivered frame, so a
+    // resume with the client's last token replays exactly the refused
+    // suffix.
+    fanout->token = std::move(token);
+    if (frame.kind == WatchFrame::Kind::kLost) fanout->lost = true;
+  }
+  return pushed;
+}
+
+Result<ShardedServer::ShardWatchLeg> ShardedServer::OpenShardWatch(
+    size_t shard, const WatchFilter& filter, bool has_resume,
+    uint64_t resume_after) {
+  std::vector<uint64_t> token;
+  if (has_resume) token.push_back(resume_after);
+  const Bytes request = EncodeWatchRequest(filter, token);
+  ReplicaGroupChannel* group = groups_[shard];
+  Status last_error = Status::NetworkError("no live replica");
+  // Two routing passes, like reads: kUp replicas first, then kDegraded.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool degraded_ok = pass == 1;
+    for (size_t r = 0; r < group->replica_count(); ++r) {
+      ReplicaChannel* replica = group->replica(r);
+      std::shared_ptr<net::TcpTransport> transport =
+          replica->AcquireForRead(degraded_ok);
+      if (transport == nullptr) continue;
+      if (degraded_ok && replica->health() == ShardHealth::kUp) {
+        continue;  // already tried in pass 0
+      }
+      Result<uint64_t> ticket = transport->SubmitStream(request);
+      if (!ticket.ok()) {
+        replica->MarkFailure(transport, ticket.status());
+        last_error = ticket.status();
+        continue;
+      }
+      Result<Bytes> ack_bytes =
+          transport->CollectStream(*ticket, kWatchAckTimeoutMs);
+      if (!ack_bytes.ok()) {
+        transport->CloseStream(*ticket);
+        if (IsRemoteRejection(ack_bytes.status())) {
+          // The shard answered: a stale resume token (or bad filter) is
+          // the client's problem, not a failover trigger.
+          return ack_bytes.status();
+        }
+        replica->MarkFailure(transport, ack_bytes.status());
+        last_error = ack_bytes.status();
+        continue;
+      }
+      Result<WatchFrame> ack = DecodeWatchFrame(*ack_bytes);
+      if (!ack.ok() || ack->kind != WatchFrame::Kind::kAck ||
+          ack->token.size() != 1) {
+        transport->CloseStream(*ticket);
+        return Status::Corruption("shard " + std::to_string(shard) +
+                                  " answered kWatch without a valid ack");
+      }
+      ShardWatchLeg leg;
+      leg.replica = r;
+      leg.transport = std::move(transport);
+      leg.ticket = *ticket;
+      leg.shard_watch_id = ack->watch_id;
+      leg.start_seq = ack->token[0];
+      return leg;
+    }
+  }
+  return last_error;
+}
+
+void ShardedServer::PumpShardWatch(std::shared_ptr<WatchFanout> fanout,
+                                   size_t shard, WatchFilter filter,
+                                   ShardWatchLeg leg) {
+  // Forwards `frame` with the composite token, absorbing client
+  // backpressure by holding the frame. False when the pump must exit
+  // (client gone, watch lost, or stop requested while parked).
+  auto forward = [&](const WatchFrame& frame) {
+    for (;;) {
+      Status pushed = PushComposite(fanout, shard, frame);
+      if (pushed.ok()) return frame.kind != WatchFrame::Kind::kLost;
+      if (pushed.code() != StatusCode::kFailedPrecondition) return false;
+      if (fanout->stop) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPumpRetryMs));
+    }
+  };
+  auto forward_lost = [&](const std::string& message) {
+    WatchFrame lost;
+    lost.kind = WatchFrame::Kind::kLost;
+    lost.token = {0};  // PushComposite overwrites with the composite
+    lost.message = message;
+    forward(lost);
+  };
+
+  while (!fanout->stop) {
+    Result<Bytes> frame_bytes =
+        leg.transport->CollectStream(leg.ticket, kPumpTickMs);
+    if (!frame_bytes.ok()) {
+      if (frame_bytes.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // soft tick: nothing pushed yet
+      }
+      // The replica died under the stream: report the failure (the
+      // monitor starts redialing) and re-register elsewhere with the
+      // shard's resume token — the client stream continues seamlessly.
+      groups_[shard]->replica(leg.replica)->MarkFailure(
+          leg.transport, frame_bytes.status());
+      leg.transport->CloseStream(leg.ticket);
+      uint64_t resume;
+      {
+        std::lock_guard<std::mutex> lock(fanout->mutex);
+        resume = fanout->token[shard];
+      }
+      bool reopened = false;
+      while (!fanout->stop) {
+        Result<ShardWatchLeg> next =
+            OpenShardWatch(shard, filter, /*has_resume=*/true, resume);
+        if (next.ok()) {
+          leg = std::move(next).value();
+          reopened = true;
+          break;
+        }
+        if (IsWatchLost(next.status())) {
+          // The surviving replica's ring no longer covers our cursor:
+          // the stream is genuinely lost — tell the client to re-run.
+          forward_lost(next.status().message());
+          return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kPumpReacquireMs));
+      }
+      if (!reopened) break;  // stop requested
+      continue;
+    }
+    Result<WatchFrame> frame = DecodeWatchFrame(*frame_bytes);
+    if (!frame.ok()) {
+      forward_lost("watch lost: undecodable frame from shard " +
+                   std::to_string(shard) + ": " + frame.status().message());
+      return;
+    }
+    switch (frame->kind) {
+      case WatchFrame::Kind::kAck:
+        continue;  // late ack duplicate; the registration already took it
+      case WatchFrame::Kind::kInsert:
+      case WatchFrame::Kind::kDelete:
+        if (!forward(*frame)) return;
+        continue;
+      case WatchFrame::Kind::kLost:
+        forward(*frame);
+        return;
+    }
+  }
+  // Orderly stop (cancel / shutdown): best-effort cancel on the shard
+  // so its hub drops the subscription now rather than on disconnect.
+  Result<uint64_t> cancel =
+      leg.transport->Submit(EncodeWatchCancelRequest(leg.shard_watch_id));
+  if (cancel.ok()) leg.transport->Collect(*cancel).status();
+  leg.transport->CloseStream(leg.ticket);
+}
+
+void ShardedServer::StopWatch(const std::shared_ptr<WatchFanout>& fanout) {
+  fanout->stop = true;
+  for (auto& pump : fanout->pumps) {
+    if (pump.joinable()) pump.join();
+  }
+  for (const auto& [shard, hub_id] : fanout->local_regs) {
+    shards_[shard]->watch_hub()->Unregister(hub_id);
+  }
+}
+
+Result<Bytes> ShardedServer::HandleWatch(const Request& request,
+                                         net::StreamContext* stream) {
+  std::shared_ptr<net::PushSink> sink;
+  if (stream != nullptr) sink = stream->MakeSink();
+  if (sink == nullptr) {
+    return Status::FailedPrecondition(
+        "kWatch needs a pipelined connection (server push is impossible "
+        "on legacy framing or loopback)");
+  }
+  const size_t shard_count = channels_.size();
+  if (!request.watch_resume_token.empty() &&
+      request.watch_resume_token.size() != shard_count) {
+    return Status::InvalidArgument(
+        "resume token covers " +
+        std::to_string(request.watch_resume_token.size()) +
+        " shards; this deployment has " + std::to_string(shard_count));
+  }
+  const bool has_resume = !request.watch_resume_token.empty();
+
+  auto fanout = std::make_shared<WatchFanout>();
+  fanout->sink = std::move(sink);
+  fanout->token = has_resume ? request.watch_resume_token
+                             : std::vector<uint64_t>(shard_count, 0);
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    fanout->watch_id = next_watch_id_++;
+  }
+
+  if (is_local()) {
+    for (size_t s = 0; s < shard_count; ++s) {
+      // The adapter runs on shard s's hub delivery thread; it captures
+      // only shared state, so it stays safe after the facade forgets
+      // the watch (the hub drops it on the first NetworkError).
+      auto adapter = [fanout, s](const WatchFrame& frame) {
+        return PushComposite(fanout, s, frame);
+      };
+      Result<WatchHub::Registration> registration =
+          shards_[s]->watch_hub()->Register(request.watch_filter, has_resume,
+                                            fanout->token[s], adapter);
+      if (!registration.ok()) {
+        StopWatch(fanout);
+        return registration.status();
+      }
+      fanout->local_regs.emplace_back(s, registration->watch_id);
+      std::lock_guard<std::mutex> lock(fanout->mutex);
+      fanout->token[s] = registration->start_seq;
+    }
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) {
+      Result<ShardWatchLeg> leg = OpenShardWatch(
+          s, request.watch_filter, has_resume, fanout->token[s]);
+      if (!leg.ok()) {
+        StopWatch(fanout);
+        return leg.status();
+      }
+      {
+        std::lock_guard<std::mutex> lock(fanout->mutex);
+        fanout->token[s] = leg->start_seq;
+      }
+      fanout->pumps.emplace_back([this, fanout, s,
+                                  filter = request.watch_filter,
+                                  moved = std::move(*leg)]() mutable {
+        PumpShardWatch(fanout, s, filter, std::move(moved));
+      });
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    watches_.emplace(fanout->watch_id, fanout);
+  }
+  WatchFrame ack;
+  ack.kind = WatchFrame::Kind::kAck;
+  ack.watch_id = fanout->watch_id;
+  {
+    std::lock_guard<std::mutex> lock(fanout->mutex);
+    ack.token = fanout->token;
+  }
+  return EncodeWatchFrame(ack);
+}
+
+Result<Bytes> ShardedServer::HandleWatchCancel(const Request& request) {
+  std::shared_ptr<WatchFanout> fanout;
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    auto it = watches_.find(request.watch_cancel_id);
+    if (it != watches_.end()) {
+      fanout = it->second;
+      watches_.erase(it);
+    }
+  }
+  if (fanout == nullptr) return EncodeInsertResponse(0);
+  StopWatch(fanout);
+  return EncodeInsertResponse(1);
 }
 
 }  // namespace secure

@@ -32,6 +32,7 @@
 #ifndef SIMCLOUD_SECURE_SHARDED_SERVER_H_
 #define SIMCLOUD_SECURE_SHARDED_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -39,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -136,6 +138,18 @@ class ShardedServer : public net::RequestHandler {
 
   Result<Bytes> Handle(const Bytes& request) override;
 
+  /// Streaming entry point: kWatch fans one client subscription out to
+  /// every shard and merges the per-shard streams into one push stream
+  /// with a COMPOSITE resume token (one sequence per shard, shard
+  /// order). Local shards are tapped through their WatchHubs; remote
+  /// shards get a per-shard pump thread holding a kWatch stream on a
+  /// live replica — when that replica dies the pump re-registers on
+  /// another with the shard's resume token automatically (the PR 7
+  /// failover machinery reports/redials underneath). Every other opcode
+  /// behaves exactly like Handle().
+  Result<Bytes> HandleStream(const Bytes& request,
+                             net::StreamContext* stream) override;
+
   size_t num_shards() const { return channels_.size(); }
   /// True when the shards live in this process (Create); Connect
   /// deployments have no white-box access.
@@ -183,11 +197,64 @@ class ShardedServer : public net::RequestHandler {
   /// the acknowledged counts, and returns their sum (inserts / deletes).
   Result<uint64_t> ScatterCounted(const std::vector<Bytes>& per_shard) const;
 
+  /// One client watch fanned out over every shard: the shared composite
+  /// token state the per-shard producers (local hub adapters or remote
+  /// pump threads) serialize on. Held by shared_ptr so producers stay
+  /// safe after the facade forgets the watch.
+  struct WatchFanout {
+    std::mutex mutex;  ///< guards token, lost
+    uint64_t watch_id = 0;        ///< facade-visible id
+    std::vector<uint64_t> token;  ///< per-shard cursors, shard order
+    std::shared_ptr<net::PushSink> sink;
+    /// A kWatchLost was forwarded: every other producer must stop.
+    bool lost = false;
+    std::atomic<bool> stop{false};
+    /// Local mode: (shard, hub watch id) registrations to unregister.
+    std::vector<std::pair<size_t, uint64_t>> local_regs;
+    /// Remote mode: one pump thread per shard.
+    std::vector<std::thread> pumps;
+  };
+
+  /// One open kWatch stream on a remote shard replica.
+  struct ShardWatchLeg {
+    size_t replica = 0;
+    std::shared_ptr<net::TcpTransport> transport;
+    uint64_t ticket = 0;         ///< the parked stream request id
+    uint64_t shard_watch_id = 0;  ///< id on the shard server (cancel)
+    uint64_t start_seq = 0;      ///< shard cursor acknowledged
+  };
+
+  Result<Bytes> HandleWatch(const Request& request,
+                            net::StreamContext* stream);
+  Result<Bytes> HandleWatchCancel(const Request& request);
+  /// Forwards one shard frame to the client with the composite token
+  /// (commits the token only when the push was accepted).
+  static Status PushComposite(const std::shared_ptr<WatchFanout>& fanout,
+                              size_t shard, const WatchFrame& frame);
+  /// Opens a kWatch stream on some live replica of `shard` (kUp first,
+  /// then kDegraded), marking stream failures over. `has_resume` false
+  /// registers fresh; true resumes after `resume_after`.
+  Result<ShardWatchLeg> OpenShardWatch(size_t shard,
+                                       const WatchFilter& filter,
+                                       bool has_resume,
+                                       uint64_t resume_after);
+  /// Remote pump: collects push frames off `leg`, forwards them, and
+  /// re-registers on another replica (with the shard's resume token)
+  /// when the stream breaks.
+  void PumpShardWatch(std::shared_ptr<WatchFanout> fanout, size_t shard,
+                      WatchFilter filter, ShardWatchLeg leg);
+  /// Stops every live watch (cancel path + destructor).
+  void StopWatch(const std::shared_ptr<WatchFanout>& fanout);
+
   std::vector<std::unique_ptr<EncryptedMIndexServer>> shards_;  // local only
   std::vector<std::unique_ptr<ShardChannel>> channels_;
   /// Borrowed views of channels_ when they are replica groups (remote).
   std::vector<ReplicaGroupChannel*> groups_;
   size_t num_pivots_ = 0;
+  /// Live client watches (composite streams). Guarded by watch_mutex_.
+  mutable std::mutex watch_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<WatchFanout>> watches_;
+  uint64_t next_watch_id_ = 1;
   /// Probes/reconnects the groups_; declared last so it stops before
   /// the channels it watches are destroyed.
   std::unique_ptr<TopologyMonitor> monitor_;

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -342,6 +343,190 @@ TEST_P(FailoverSoakTest, ReplicaKillMidChurnLosesNoQueryAndRecovers) {
     std::remove(path.c_str());
     std::remove((path + ".compact").c_str());
   }
+}
+
+// Watch soak: a client watching through the facade must see every
+// delete exactly once — across a mid-stream client reconnect (resume
+// token) AND a replica kill (the facade's pump re-registers the shard's
+// watch leg on a surviving replica with that shard's resume cursor).
+//
+// Churn is delete-only for the same reason as above, with one more
+// twist: replica event sequence numbers stay aligned only while both
+// replicas publish identical mutation streams, which idempotent deletes
+// guarantee and at-least-once insert replay would not.
+TEST(WatchFailoverSoakTest, ReplicaKillMidStreamLosesNoEvent) {
+  constexpr size_t kShards = 3;
+  constexpr size_t kReplicas = 2;
+
+  const std::vector<VectorObject> stable = MakeStable(941);
+  const std::vector<VectorObject> churn = MakeChurn(942);
+  std::vector<VectorObject> all = stable;
+  all.insert(all.end(), churn.begin(), churn.end());
+  auto metric = std::make_shared<metric::L2Distance>();
+
+  auto pivots = mindex::PivotSet::SelectRandom(all, 8, 943);
+  ASSERT_TRUE(pivots.ok());
+  auto key = SecretKey::Create(std::move(pivots).value(), Bytes(16, 0x73));
+  ASSERT_TRUE(key.ok());
+
+  mindex::MIndexOptions index_options;
+  index_options.num_pivots = 8;
+  index_options.bucket_capacity = 25;
+  index_options.max_level = 4;
+
+  const net::ChannelPolicy policy = PolicyFromEnv();
+  net::TcpServerOptions server_options;
+  server_options.worker_threads = 2;
+  server_options.channel_policy = policy;
+  if (policy == net::ChannelPolicy::kSecure) {
+    server_options.secure_channel = SoakChannelOptions();
+  }
+
+  std::vector<std::unique_ptr<EncryptedMIndexServer>> handlers;
+  std::vector<std::unique_ptr<net::TcpServer>> servers;
+  std::vector<std::vector<ShardEndpoint>> replica_sets(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t r = 0; r < kReplicas; ++r) {
+      auto handler = EncryptedMIndexServer::Create(index_options);
+      ASSERT_TRUE(handler.ok()) << handler.status().ToString();
+      handlers.push_back(std::move(*handler));
+      servers.push_back(std::make_unique<net::TcpServer>(
+          handlers.back().get(), server_options));
+      ASSERT_TRUE(servers.back()->Start(0).ok());
+      replica_sets[s].push_back(
+          ShardEndpoint{"127.0.0.1", servers.back()->port()});
+    }
+  }
+
+  auto facade =
+      ShardedServer::Connect(replica_sets, index_options.num_pivots, policy,
+                             SoakChannelOptions(), SoakTopologyOptions());
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+  // Watch streams need server push, so the facade itself goes behind a
+  // TCP listener; writers keep using the in-process loopback.
+  net::TcpServer facade_server(facade->get(), server_options);
+  ASSERT_TRUE(facade_server.Start(0).ok());
+  auto connect_facade = [&]() {
+    return net::TcpTransport::Connect("127.0.0.1", facade_server.port(),
+                                      policy, SoakChannelOptions());
+  };
+
+  net::LoopbackTransport transport(facade->get());
+  EncryptionClient owner(*key, metric, &transport);
+  ASSERT_TRUE(owner.InsertBulk(all, InsertStrategy::kPrecise, 100).ok());
+
+  // Churner: deletes the whole churn region in slices, slowly enough
+  // that the replica kill lands mid-stream. Started only once the watch
+  // below is REGISTERED — a watch delivers mutations from registration
+  // (or its resume token) onward, not retroactively.
+  std::atomic<bool> start_churn{false};
+  std::atomic<int> churn_failures{0};
+  std::thread churner([&] {
+    while (!start_churn.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    net::LoopbackTransport own_transport(facade->get());
+    EncryptionClient client(*key, metric, &own_transport);
+    constexpr size_t kSlice = 20;
+    for (size_t next = 0; next + kSlice <= churn.size(); next += kSlice) {
+      std::vector<VectorObject> slice(churn.begin() + next,
+                                      churn.begin() + next + kSlice);
+      auto pending = client.SubmitDeleteBatch(slice);
+      if (!pending.ok() || !client.CollectDeleteBatch(&*pending).ok()) {
+        churn_failures.fetch_add(1);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+  // ASSERT returns from the test body; never leave the churner unjoined.
+  struct Joiner {
+    std::thread* thread;
+    std::atomic<bool>* start;
+    ~Joiner() {
+      start->store(true);
+      if (thread->joinable()) thread->join();
+    }
+  } joiner{&churner, &start_churn};
+
+  std::map<metric::ObjectId, size_t> deletes_seen;
+  std::vector<uint64_t> token;
+
+  // Phase 1: watch from a TCP client, consume the first chunk, then
+  // vanish without cancelling (connection loss, resume token kept).
+  constexpr size_t kPhaseOne = 60;
+  {
+    auto watcher_transport = connect_facade();
+    ASSERT_TRUE(watcher_transport.ok()) << watcher_transport.status().ToString();
+    EncryptionClient watcher(*key, metric, watcher_transport->get());
+    auto stream = watcher.WatchAll();
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    ASSERT_EQ((*stream)->resume_token().size(), kShards);
+    start_churn.store(true);
+    for (size_t i = 0; i < kPhaseOne; ++i) {
+      auto event = (*stream)->Next(10000);
+      ASSERT_TRUE(event.ok())
+          << "event " << i << ": " << event.status().ToString();
+      ASSERT_EQ(event->kind, WatchEvent::Kind::kDelete);
+      ++deletes_seen[event->id];
+    }
+    token = (*stream)->resume_token();
+  }
+
+  // Kill shard 1's first replica — the replica every shard-1 watch leg
+  // registered on — while the churner is still deleting.
+  const size_t victim_index = 1 * kReplicas;
+  servers[victim_index]->Stop();
+
+  // Phase 2: reconnect with the composite token. The facade re-opens
+  // shard 1's leg on the surviving replica at that shard's cursor; the
+  // merged stream must deliver exactly the missed deletes.
+  {
+    auto watcher_transport = connect_facade();
+    ASSERT_TRUE(watcher_transport.ok());
+    EncryptionClient watcher(*key, metric, watcher_transport->get());
+    auto stream = watcher.WatchAll(token);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    while (deletes_seen.size() < churn.size()) {
+      auto event = (*stream)->Next(10000);
+      ASSERT_TRUE(event.ok())
+          << "after " << deletes_seen.size()
+          << " distinct deletes: " << event.status().ToString();
+      ASSERT_EQ(event->kind, WatchEvent::Kind::kDelete);
+      ++deletes_seen[event->id];
+    }
+    // Nothing beyond the oracle: the stream runs dry.
+    auto extra = (*stream)->Next(500);
+    EXPECT_FALSE(extra.ok());
+    EXPECT_EQ(extra.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE((*stream)->Cancel().ok());
+  }
+  churner.join();
+  ASSERT_EQ(churn_failures.load(), 0);
+
+  // Every churn delete observed exactly once — no gap, no duplicate,
+  // across both the client reconnect and the replica failover.
+  for (const VectorObject& object : churn) {
+    EXPECT_EQ(deletes_seen[object.id()], 1u)
+        << "delete " << object.id() << " delivered "
+        << deletes_seen[object.id()] << " times";
+  }
+  EXPECT_EQ(deletes_seen.size(), churn.size());
+
+  // The kill degraded shard 1 but nothing went stale (replay buffers
+  // the victim's missed deletes; the ring never overflowed).
+  {
+    auto stats = owner.GetServerStats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->shards_total, kShards);
+    EXPECT_EQ(stats->shards_stale, 0u);
+    EXPECT_EQ(stats->object_count, stable.size());
+  }
+
+  facade_server.Stop();
+  facade->reset();  // stops pumps and monitor before the servers go away
+  for (auto& server : servers) server->Stop();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, FailoverSoakTest,

@@ -66,6 +66,23 @@ TEST_P(FuzzSeedTest, ResponseDecodersNeverCrashOnRandomBytes) {
     (void)secure::DecodeCandidateResponse(garbage);
     (void)secure::DecodeInsertResponse(garbage);
     (void)secure::DecodeStatsResponse(garbage);
+    // A malicious server can also push arbitrary watch frames.
+    (void)secure::DecodeWatchFrame(garbage);
+  }
+}
+
+TEST_P(FuzzSeedTest, BitFlippedWatchRequestsFailCleanly) {
+  Rng rng(GetParam() + 600);
+  secure::WatchFilter filter;
+  filter.kind = secure::WatchFilter::Kind::kRange;
+  filter.query_distances = {1.5f, 2.5f, 3.5f};
+  filter.radius = 4.25;
+  const Bytes watch =
+      secure::EncodeWatchRequest(filter, {7, 123456789, 42});
+  const Bytes cancel = secure::EncodeWatchCancelRequest(991);
+  for (int iter = 0; iter < 500; ++iter) {
+    (void)secure::DecodeRequest(Corrupt(watch, &rng, 1 + iter % 4));
+    (void)secure::DecodeRequest(Corrupt(cancel, &rng, 1 + iter % 4));
   }
 }
 
@@ -299,6 +316,94 @@ TEST_F(TcpFrameFuzz, RandomByteStreams) {
     ::close(fd);
   }
   ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, WatchRegistrationsWithGarbageTokens) {
+  Rng rng(14);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int fd = RawConnect();
+    Bytes request;
+    if (iter % 2 == 0) {
+      // Random resume tokens: future seqs, absurd values, wrong widths.
+      std::vector<uint64_t> token(1 + rng.NextBounded(4));
+      for (auto& t : token) t = rng.NextU64();
+      request = secure::EncodeWatchRequest(secure::WatchFilter{}, token);
+    } else {
+      // Opcode 11 followed by noise: must die in the decoder.
+      request.resize(1 + rng.NextBounded(64));
+      request[0] = static_cast<uint8_t>(secure::Op::kWatch);
+      for (size_t i = 1; i < request.size(); ++i) {
+        request[i] = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+    }
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, 3, request).ok());
+    // Whatever happened — rejected token, decode error, or even an
+    // accidental registration — the answer is a well-formed frame
+    // echoing our id, and the abrupt close below must cost nothing.
+    auto frame = net::ReadAnyFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->request_id, 3u);
+    ::close(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, WatchCancelsForUnknownIdsAnswerCleanly) {
+  Rng rng(15);
+  const int fd = RawConnect();
+  for (int iter = 0; iter < 40; ++iter) {
+    const uint32_t id = 1 + static_cast<uint32_t>(iter);
+    const Bytes request = secure::EncodeWatchCancelRequest(rng.NextU64());
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, id, request).ok());
+    auto frame = net::ReadAnyFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->request_id, id);
+  }
+  ::close(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, WatchersVanishingMidPushDoNotWedgeTheHub) {
+  // Real registrations whose connections die with pushes in flight:
+  // the delivery thread must drop each dead subscription and the server
+  // must keep serving.
+  const Bytes watch_request =
+      secure::EncodeWatchRequest(secure::WatchFilter{}, {});
+  auto writer = net::TcpTransport::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(writer.ok());
+  for (int iter = 0; iter < 10; ++iter) {
+    const int fd = RawConnect();
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, 1, watch_request).ok());
+    auto ack = net::ReadAnyFrame(fd);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+
+    // Mutations on another connection start push traffic at the watcher.
+    std::vector<secure::InsertItem> items(4);
+    for (size_t i = 0; i < items.size(); ++i) {
+      items[i].id = static_cast<metric::ObjectId>(iter * 100 + i);
+      items[i].pivot_distances = {1.0f, 2.0f, 3.0f, 4.0f};
+      items[i].payload = Bytes{0xAB, 0xCD};
+    }
+    auto inserted =
+        (*writer)->Call(secure::EncodeInsertBatchRequest(items));
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    ::close(fd);  // pushes in flight hit a dead connection
+  }
+  ExpectServerAlive();
+  // Reaping is lazy — a dead subscription is dropped at the next
+  // delivery sweep, so publish one more mutation to trigger it, then
+  // every orphan must drain out of the hub.
+  std::vector<secure::InsertItem> nudge(1);
+  nudge[0].id = 99999;
+  nudge[0].pivot_distances = {1.0f, 2.0f, 3.0f, 4.0f};
+  nudge[0].payload = Bytes{0xEE};
+  ASSERT_TRUE((*writer)->Call(secure::EncodeInsertBatchRequest(nudge)).ok());
+  Stopwatch watch;
+  while (handler_->watch_hub()->active() > 0 &&
+         watch.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(handler_->watch_hub()->active(), 0u);
 }
 
 // ---------------------------------------------------------------------------
