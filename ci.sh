@@ -53,9 +53,13 @@ if [ "${1:-}" = "--tsan" ]; then
   # watch_test joined with the change streams: the WatchHub delivery
   # thread races writers publishing under the index lock, push sinks on
   # the epoll loop, and the sharded facade's pump threads.
+  # cursor_test joined with server-side cursors: the cursor table's
+  # busy-checkout protocol races handler threads against the TTL sweep
+  # and the disconnect reaper thread, and composite cursors pull shard
+  # pages through the same channels the fan-out workers use.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test|watch_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test|watch_test|cursor_test'
 
   echo "=== churn + failover + watch soaks under TSan, secure channel policy ==="
   # The same soaks with every connection running the PSK handshake +
@@ -68,7 +72,7 @@ if [ "${1:-}" = "--tsan" ]; then
   SIMCLOUD_CHANNEL_POLICY=secure \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'pipeline_test|failover_test|watch_test'
+        -R 'pipeline_test|failover_test|watch_test|cursor_test'
   echo "CI (tsan) OK"
   exit 0
 fi
@@ -108,13 +112,15 @@ echo "=== channel-policy sweep: churn + failover + watch soaks in secure mode ==
 # ChannelPolicy::kSecure (PSK handshake + AEAD records on every
 # connection, aggressive rekey budgets — failover_test's post-kill
 # reconnects redo the full handshake, watch_test streams every push
-# frame through sealed records). The other transport suites
+# frame through sealed records). cursor_test joins the sweep so paged
+# retrieval proves byte-identity with every page crossing an AEAD
+# record boundary. The other transport suites
 # need no toggle: net_test pins the plaintext wire byte-stable, while
 # secure_channel_test / SecureTcpFrameFuzz / the secure remote-shard
 # test cover the secure policy intrinsically.
 SIMCLOUD_CHANNEL_POLICY=secure \
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300 \
-      -R 'pipeline_test|failover_test|watch_test'
+      -R 'pipeline_test|failover_test|watch_test|cursor_test'
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then
@@ -141,5 +147,8 @@ echo "=== bench smoke: replica failover acceptance (zero failed queries, p99 bli
 
 echo "=== bench smoke: watch streams acceptance (zero lost events, bounded slow-watcher backpressure) ==="
 ./build/bench_watch --smoke
+
+echo "=== bench smoke: cursor acceptance (1M-candidate drain in O(page) RSS, byte-identical to one-shot) ==="
+./build/bench_cursor --smoke
 
 echo "CI OK"

@@ -14,6 +14,15 @@
 
 namespace simcloud {
 
+/// Nanoseconds on the process-wide monotonic clock (steady_clock). The
+/// absolute value is meaningless; differences are wall time unaffected by
+/// clock adjustments — what TTL deadlines (server-side cursors) compare.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Monotonic stopwatch with nanosecond resolution.
 class Stopwatch {
  public:

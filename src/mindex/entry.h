@@ -44,6 +44,21 @@ struct Candidate {
 
 using CandidateList = std::vector<Candidate>;
 
+/// One ranked candidate WITHOUT its payload bytes: what a server-side
+/// cursor snapshots at open. The payload is fetched page by page through
+/// the handle (O(page) memory instead of O(result)); `Entry` pointers are
+/// deliberately NOT kept — they dangle across splits and deletes, while a
+/// handle in the append-only log stays either live or deterministically
+/// dead until a compaction pass remaps the log (cursors detect that via
+/// the index's compaction-pass count).
+struct RankedCandidate {
+  metric::ObjectId id = 0;
+  double score = 0.0;
+  PayloadHandle handle = 0;
+};
+
+using RankedCandidates = std::vector<RankedCandidate>;
+
 /// What the client sends instead of the query object (Algorithm 2):
 /// query-pivot distances (precise strategy) or just the permutation
 /// (approximate strategy). The query object itself never leaves the client.
@@ -197,6 +212,13 @@ struct IndexStats {
   /// the health counts above (a stale replica pins its shard's count in
   /// degraded/down otherwise invisibly).
   uint64_t shards_stale = 0;
+  /// Server-side cursor telemetry (kGetStats): currently open cursors and
+  /// lifetime counters. On a ShardedServer facade the totals cover the
+  /// facade's composite cursors plus every shard's per-shard cursors.
+  uint64_t cursors_open = 0;
+  uint64_t cursors_opened_total = 0;
+  uint64_t cursors_expired_total = 0;  ///< TTL evictions
+  uint64_t cursors_reaped_total = 0;   ///< closed by connection drop
 };
 
 }  // namespace mindex

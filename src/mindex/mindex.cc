@@ -385,6 +385,17 @@ Result<CandidateList> MIndex::RangeSearchCandidates(
   return engine_.RangeSearch(query_distances, radius, stats);
 }
 
+Result<RankedCandidates> MIndex::RangeSearchRankedCandidates(
+    const std::vector<float>& query_distances, double radius,
+    SearchStats* stats) const {
+  return engine_.RangeSearchRanked(query_distances, radius, stats);
+}
+
+Result<CandidateList> MIndex::MaterializeRankedPage(
+    const RankedCandidates& ranked, size_t* next, size_t page_size) const {
+  return engine_.MaterializePage(ranked, next, page_size);
+}
+
 Result<CandidateList> MIndex::ApproxKnnCandidates(const QuerySignature& query,
                                                   size_t cand_size,
                                                   SearchStats* stats) const {

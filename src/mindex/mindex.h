@@ -178,6 +178,27 @@ class MIndex {
       const std::vector<float>& query_distances, double radius,
       SearchStats* stats = nullptr) const;
 
+  /// Pageable range evaluation (server-side cursors): the same collect +
+  /// rank pass as RangeSearchCandidates, but returning payload HANDLES
+  /// instead of payload bytes — the snapshot a cursor pins at open.
+  Result<RankedCandidates> RangeSearchRankedCandidates(
+      const std::vector<float>& query_distances, double radius,
+      SearchStats* stats = nullptr) const;
+
+  /// Materializes the next page of a ranked snapshot (see
+  /// QueryEngine::MaterializePage): up to `page_size` still-live
+  /// candidates starting at `*next`, one FetchMany, `*next` advanced.
+  Result<CandidateList> MaterializeRankedPage(const RankedCandidates& ranked,
+                                              size_t* next,
+                                              size_t page_size) const;
+
+  /// Completed compaction passes so far. A pass remaps payload handles,
+  /// so a cursor records this at open and invalidates itself when it
+  /// changes (a snapshotted handle may now point at relocated bytes).
+  uint64_t compaction_passes() const {
+    return compaction_passes_.load(std::memory_order_relaxed);
+  }
+
   /// Pre-ranked candidate set of size <= cand_size for approximate k-NN
   /// (Algorithm 4).
   Result<CandidateList> ApproxKnnCandidates(const QuerySignature& query,

@@ -92,6 +92,51 @@ Result<CandidateList> QueryEngine::RangeSearch(
   return Materialize(std::move(scored), count, stats);
 }
 
+Result<RankedCandidates> QueryEngine::RangeSearchRanked(
+    const std::vector<float>& query_distances, double radius,
+    SearchStats* stats) const {
+  ScoredEntries scored;
+  SIMCLOUD_RETURN_NOT_OK(
+      tree_->CollectRange(query_distances, radius, &scored, stats));
+  RankAndTrim(&scored, scored.size());
+  RankedCandidates ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [score, entry] : scored) {
+    ranked.push_back(RankedCandidate{entry->id, score, entry->payload_handle});
+  }
+  if (stats != nullptr) stats->candidates = ranked.size();
+  return ranked;
+}
+
+Result<CandidateList> QueryEngine::MaterializePage(
+    const RankedCandidates& ranked, size_t* next, size_t page_size) const {
+  std::vector<PayloadHandle> handles;
+  std::vector<const RankedCandidate*> picked;
+  handles.reserve(std::min(page_size, ranked.size() - *next));
+  picked.reserve(handles.capacity());
+  size_t pos = *next;
+  while (pos < ranked.size() && picked.size() < page_size) {
+    const RankedCandidate& candidate = ranked[pos++];
+    // A candidate deleted since the snapshot: its handle is dead in the
+    // append-only log (never reused until compaction, which the cursor
+    // layer guards with the pass count) — skip it rather than failing the
+    // whole FetchMany.
+    if (!storage_->IsLive(candidate.handle)) continue;
+    handles.push_back(candidate.handle);
+    picked.push_back(&candidate);
+  }
+  std::vector<Bytes> payloads;
+  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &payloads));
+  CandidateList page;
+  page.reserve(picked.size());
+  for (size_t i = 0; i < picked.size(); ++i) {
+    page.push_back(
+        Candidate{picked[i]->id, picked[i]->score, std::move(payloads[i])});
+  }
+  *next = pos;
+  return page;
+}
+
 Result<CandidateList> QueryEngine::ApproxKnn(const QuerySignature& query,
                                              size_t cand_size,
                                              SearchStats* stats) const {

@@ -63,6 +63,28 @@ class QueryEngine {
   Result<CandidateList> RangeSearch(const std::vector<float>& query_distances,
                                     double radius, SearchStats* stats) const;
 
+  /// Pageable range evaluation (server-side cursors): the same collect +
+  /// rank pass as RangeSearch, but instead of materializing payloads it
+  /// returns the ranked (id, score, payload handle) tuples — ~24 bytes per
+  /// candidate, no payload bytes. MaterializePage then fetches one page at
+  /// a time, so a cursor holds O(total) metadata but only O(page) payload
+  /// memory. `stats->candidates` is the full ranked count, exactly what
+  /// the one-shot path reports.
+  Result<RankedCandidates> RangeSearchRanked(
+      const std::vector<float>& query_distances, double radius,
+      SearchStats* stats) const;
+
+  /// Materializes the next page of a ranked snapshot: scans from `*next`,
+  /// skipping candidates whose payload handle has died since the snapshot
+  /// (deleted mid-cursor — the append-only log never reuses a handle, so
+  /// dead is deterministic), gathers up to `page_size` live candidates,
+  /// fetches their payloads in ONE FetchMany, and advances `*next` past
+  /// everything scanned. An empty page therefore means the snapshot is
+  /// exhausted (`*next == ranked.size()`). Pages concatenate to exactly
+  /// what Materialize over the same (live) snapshot returns.
+  Result<CandidateList> MaterializePage(const RankedCandidates& ranked,
+                                        size_t* next, size_t page_size) const;
+
   /// Pre-ranked candidate set of size <= cand_size for approximate k-NN
   /// (Algorithm 4).
   Result<CandidateList> ApproxKnn(const QuerySignature& query,

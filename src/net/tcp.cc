@@ -362,15 +362,23 @@ class TcpServer::ConnPushSink : public PushSink {
 
 class TcpServer::ConnStreamContext : public StreamContext {
  public:
-  ConnStreamContext(std::shared_ptr<ConnShared> shared, uint32_t id)
-      : shared_(std::move(shared)), id_(id) {}
+  ConnStreamContext(std::shared_ptr<ConnShared> shared, uint32_t id,
+                    uint64_t gen, bool legacy)
+      : shared_(std::move(shared)), id_(id), gen_(gen), legacy_(legacy) {}
+  /// Null on a legacy connection: the bit-31-clear framing has no request
+  /// id to push on, so stream-registering opcodes must fail cleanly.
   std::shared_ptr<PushSink> MakeSink() override {
+    if (legacy_ || shared_ == nullptr) return nullptr;
     return std::make_shared<ConnPushSink>(shared_, id_);
   }
+  uint64_t connection_id() const override { return gen_; }
+  bool pipelined() const override { return !legacy_; }
 
  private:
   std::shared_ptr<ConnShared> shared_;
   const uint32_t id_;
+  const uint64_t gen_;
+  const bool legacy_;
 };
 
 void TcpServer::Stop() {
@@ -736,6 +744,9 @@ void TcpServer::CloseConnection(Connection* conn) {
   engine_->Remove(conn->fd, conn->gen);  // before close: cancels uring polls
   ::close(conn->fd);
   active_connections_.fetch_sub(1);
+  // Eager per-connection state reap (open cursors, watches). On the loop
+  // thread, so handlers must keep the hook non-blocking.
+  handler_->OnConnectionClosed(conn->gen);
   connections_.erase(conn->gen);  // frees conn
 }
 
@@ -839,11 +850,11 @@ void TcpServer::WorkerLoop() {
 
     Stopwatch watch;
     Result<Bytes> response = [&]() -> Result<Bytes> {
-      // Legacy (id 0) frames cannot carry server-push: the null stream
-      // context makes stream-registering opcodes fail cleanly while the
-      // connection stays usable.
-      if (item.legacy) return handler_->HandleStream(item.body, nullptr);
-      ConnStreamContext stream(item.shared, item.id);
+      // Legacy frames get a context too (it carries the connection
+      // identity for cursor reaping), but one whose sink is null and
+      // whose pipelined() is false — stream/cursor opcodes fail cleanly
+      // while the connection stays usable.
+      ConnStreamContext stream(item.shared, item.id, item.gen, item.legacy);
       return handler_->HandleStream(item.body, &stream);
     }();
     const int64_t server_nanos = watch.ElapsedNanos();

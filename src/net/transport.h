@@ -54,6 +54,14 @@ class StreamContext {
   /// A sink bound to this request's connection + id; may outlive the
   /// handler call. Null when the transport cannot push.
   virtual std::shared_ptr<PushSink> MakeSink() = 0;
+  /// Stable identity of the underlying connection, for per-connection
+  /// server state (cursors, watches) reaped via OnConnectionClosed. 0 =
+  /// no identity (in-process call); such state is TTL-reaped only.
+  virtual uint64_t connection_id() const { return 0; }
+  /// Whether the request arrived on the pipelined framing. Legacy
+  /// (bit-31-clear) connections cannot interleave many in-flight
+  /// requests, so stateful opcodes (cursors) reject them cleanly.
+  virtual bool pipelined() const { return true; }
 };
 
 /// Server-side request handler: consumes a request message, produces a
@@ -70,6 +78,14 @@ class RequestHandler {
                                      StreamContext* stream) {
     (void)stream;
     return Handle(request);
+  }
+  /// Notifies the handler that connection `connection_id` (the value
+  /// StreamContext::connection_id reported for its requests) is gone —
+  /// the eager-reap hook for per-connection server state (open cursors,
+  /// watch registrations). Called from the transport's event thread;
+  /// implementations must not block. Default: nothing to reap.
+  virtual void OnConnectionClosed(uint64_t connection_id) {
+    (void)connection_id;
   }
 };
 

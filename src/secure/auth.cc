@@ -21,6 +21,11 @@ Bytes ComputeTag(const Bytes& mac_key, const uint8_t* nonce,
 }  // namespace
 
 Result<Bytes> AuthenticatingHandler::Handle(const Bytes& request) {
+  return HandleStream(request, nullptr);
+}
+
+Result<Bytes> AuthenticatingHandler::HandleStream(const Bytes& request,
+                                                  net::StreamContext* stream) {
   constexpr size_t kHeader = kNonceSize + kTagSize;
   auto reject = [this](const char* reason) -> Status {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -51,7 +56,7 @@ Result<Bytes> AuthenticatingHandler::Handle(const Bytes& request) {
       nonce_order_.pop_front();
     }
   }
-  return inner_->Handle(inner_request);
+  return inner_->HandleStream(inner_request, stream);
 }
 
 AuthenticatingTransport::~AuthenticatingTransport() {

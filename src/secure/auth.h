@@ -56,6 +56,15 @@ class AuthenticatingHandler : public net::RequestHandler {
         replay_window_(replay_window) {}
 
   Result<Bytes> Handle(const Bytes& request) override;
+  /// Verifies, then forwards the stream context unchanged — watch and
+  /// cursor opcodes work through the decorator exactly as without it.
+  Result<Bytes> HandleStream(const Bytes& request,
+                             net::StreamContext* stream) override;
+  /// Connection-scoped state (cursors, watches) lives in the inner
+  /// handler; pass the reap notification through.
+  void OnConnectionClosed(uint64_t connection_id) override {
+    inner_->OnConnectionClosed(connection_id);
+  }
 
   /// Requests rejected so far (bad frame, bad tag, or replay).
   uint64_t rejected_count() const {

@@ -843,5 +843,109 @@ Status WatchStream::Cancel() {
   return outcome;
 }
 
+Result<std::unique_ptr<CursorStream>> EncryptionClient::OpenRangeCursor(
+    const VectorObject& query, double radius, uint64_t page_size) {
+  if (radius < 0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  if (page_size == 0) {
+    return Status::InvalidArgument("cursor page size must be > 0");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(net::PipelinedTransport * pipelined,
+                            PipelinedOrFail());
+  Stopwatch op_watch;
+  const int64_t tracked_before = costs_.distance_nanos +
+                                 costs_.decryption_nanos +
+                                 costs_.encryption_nanos;
+
+  // Same privacy envelope as RangeSearch: distances only, transformed
+  // radius, no query object on the wire.
+  std::vector<float> query_distances =
+      ComputePivotDistances(query, /*apply_transform=*/true);
+  const double sent_radius =
+      key_.has_transform() ? key_.transform().Apply(radius) : radius;
+
+  const Bytes request = EncodeRangeSearchCursorRequest(
+      query_distances, sent_radius, page_size, /*start_offset=*/0);
+  const int64_t server_before = transport_->costs().server_nanos;
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket, pipelined->Submit(request));
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes, pipelined->Collect(ticket));
+  const int64_t server_delta =
+      transport_->costs().server_nanos - server_before;
+  SIMCLOUD_ASSIGN_OR_RETURN(CursorPage first, DecodeCursorPage(response_bytes));
+
+  // The first page's decryption + refinement happens in the first
+  // Next(); the open accounts only distances and serialization.
+  auto stream = std::unique_ptr<CursorStream>(new CursorStream(
+      this, pipelined, query, radius, std::move(first)));
+  const int64_t tracked_delta = costs_.distance_nanos +
+                                costs_.decryption_nanos +
+                                costs_.encryption_nanos - tracked_before;
+  costs_.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return stream;
+}
+
+CursorStream::~CursorStream() {
+  // Best effort; a dead connection just leaves the cursor to the
+  // server's TTL / disconnect reaper.
+  Close().ok();
+}
+
+Result<NeighborList> CursorStream::Next() {
+  if (closed_) {
+    return Status::FailedPrecondition("cursor stream is closed");
+  }
+  if (exhausted()) return NeighborList{};
+  Stopwatch op_watch;
+  ClientCosts& costs = client_->costs_;
+  const int64_t tracked_before =
+      costs.distance_nanos + costs.decryption_nanos + costs.encryption_nanos;
+  int64_t server_delta = 0;
+  CursorPage page;
+  if (first_pending_) {
+    page = std::move(first_page_);
+    first_page_ = CursorPage{};
+    first_pending_ = false;
+  } else {
+    const Bytes request = EncodeCursorNextRequest(cursor_id_);
+    const int64_t server_before = transport_->costs().server_nanos;
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket, transport_->Submit(request));
+    SIMCLOUD_ASSIGN_OR_RETURN(Bytes response_bytes,
+                              transport_->Collect(ticket));
+    server_delta = transport_->costs().server_nanos - server_before;
+    SIMCLOUD_ASSIGN_OR_RETURN(page, DecodeCursorPage(response_bytes));
+    cursor_id_ = page.cursor_id;
+  }
+
+  // Algorithm 2 lines 11-16, one page at a time: decrypt, evaluate the
+  // true metric, keep the real matches.
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      NeighborList refined,
+      client_->RefineCandidates(page.candidates, query_));
+  NeighborList answer;
+  for (const Neighbor& n : refined) {
+    if (n.distance <= radius_) answer.push_back(n);
+  }
+
+  const int64_t tracked_delta =
+      costs.distance_nanos + costs.decryption_nanos + costs.encryption_nanos -
+      tracked_before;
+  costs.overhead_nanos += std::max<int64_t>(
+      0, op_watch.ElapsedNanos() - tracked_delta - server_delta);
+  return answer;
+}
+
+Status CursorStream::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (cursor_id_ == 0) return Status::OK();  // server already dropped it
+  const uint64_t id = cursor_id_;
+  cursor_id_ = 0;
+  Result<uint64_t> ticket = transport_->Submit(EncodeCursorCloseRequest(id));
+  if (!ticket.ok()) return ticket.status();
+  return transport_->Collect(*ticket).status();
+}
+
 }  // namespace secure
 }  // namespace simcloud

@@ -152,6 +152,68 @@ class WatchStream {
   bool finished_ = false;
 };
 
+/// A paged range-query retrieval, created by
+/// EncryptionClient::OpenRangeCursor. The server keeps the ranked
+/// candidate snapshot; Next() pulls one page at a time, decrypts it, and
+/// refines it with the true metric — client memory stays O(page) no
+/// matter how many candidates the query admits. Call from the owning
+/// client's thread only (the client is not thread-safe).
+///
+/// The concatenation of all pages' candidates is byte-identical to what
+/// the one-shot RangeSearch would have fetched; each page is refined and
+/// sorted locally, so the per-page NeighborLists are sorted within the
+/// page, not globally.
+///
+/// Lifecycle: Close() releases the server-side cursor (idempotent; a
+/// cursor that finished on its own needs no close — the server already
+/// dropped it). The destructor closes best-effort. An expired or
+/// invalidated cursor surfaces as an explicit error from Next(), never a
+/// silent empty page.
+class CursorStream {
+ public:
+  ~CursorStream();
+  CursorStream(const CursorStream&) = delete;
+  CursorStream& operator=(const CursorStream&) = delete;
+
+  /// Fetches, decrypts, and refines the next page. Check exhausted()
+  /// for the end of the stream — a non-final page may still refine to an
+  /// empty list when none of its candidates pass the true-distance
+  /// filter. Errors pass through from the server: "cursor expired"
+  /// (TTL), "cursor invalidated" (compaction moved payloads), "unknown
+  /// cursor".
+  Result<metric::NeighborList> Next();
+
+  /// Releases the server-side cursor state. Idempotent.
+  Status Close();
+
+  /// True when every page was delivered (Next() returns empty lists).
+  bool exhausted() const { return !first_pending_ && cursor_id_ == 0; }
+  /// Server-side cursor id; 0 once exhausted or closed.
+  uint64_t cursor_id() const { return cursor_id_; }
+  /// Ranked candidate total the server snapshotted at open (the number
+  /// of CANDIDATES to be paged, before true-distance refinement).
+  uint64_t total_candidates() const { return total_; }
+
+ private:
+  friend class EncryptionClient;
+  CursorStream(EncryptionClient* client, net::PipelinedTransport* transport,
+               metric::VectorObject query, double radius, CursorPage first)
+      : client_(client), transport_(transport), query_(std::move(query)),
+        radius_(radius), cursor_id_(first.cursor_id), total_(first.total),
+        first_page_(std::move(first)) {}
+
+  EncryptionClient* client_;
+  net::PipelinedTransport* transport_;
+  metric::VectorObject query_;  ///< plaintext query for refinement
+  double radius_ = 0;           ///< plaintext radius for refinement
+  uint64_t cursor_id_ = 0;
+  uint64_t total_ = 0;
+  /// The open response's page, returned by the first Next().
+  CursorPage first_page_;
+  bool first_pending_ = true;
+  bool closed_ = false;
+};
+
 /// Authorized client of an Encrypted M-Index server.
 class EncryptionClient {
  public:
@@ -195,6 +257,15 @@ class EncryptionClient {
   /// exactly the objects within `radius`, sorted by distance.
   Result<metric::NeighborList> RangeSearch(const metric::VectorObject& query,
                                            double radius);
+
+  /// Paged precise range query: like RangeSearch, but the server keeps
+  /// the ranked candidate snapshot and the client pulls `page_size`
+  /// candidates per Next() — an unbounded result set never materializes
+  /// on either side. Requires a pipelined transport (cursors are
+  /// connection-scoped server state; legacy framing is refused). The
+  /// returned stream borrows this client and its transport.
+  Result<std::unique_ptr<CursorStream>> OpenRangeCursor(
+      const metric::VectorObject& query, double radius, uint64_t page_size);
 
   /// Approximate k-NN (Algorithm 2, approximate branch): asks the server
   /// for `cand_size` pre-ranked candidates, decrypts and refines them.
@@ -313,6 +384,9 @@ class EncryptionClient {
   /// WatchStream decrypts pushed payloads through DecryptCandidate so
   /// watch decryptions land in the same cost accounting as candidates.
   friend class WatchStream;
+  /// CursorStream refines pages through RefineCandidates under the same
+  /// cost accounting as one-shot searches.
+  friend class CursorStream;
 
   /// Computes (and counts) distances from `object` to all pivots, applying
   /// the distribution-hiding transform when enabled.

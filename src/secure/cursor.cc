@@ -1,0 +1,118 @@
+#include "secure/cursor.h"
+
+#include <utility>
+
+#include "common/clock.h"
+
+namespace simcloud {
+namespace secure {
+
+void CursorManager::SweepExpiredLocked(int64_t now_nanos) {
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (!it->second.busy && it->second.deadline_nanos <= now_nanos) {
+      it = cursors_.erase(it);
+      ++expired_total_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<uint64_t> CursorManager::Open(uint64_t conn_id,
+                                     std::shared_ptr<void> state) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SweepExpiredLocked(now);
+  if (cursors_.size() >= config_.max_open_cursors) {
+    return Status::FailedPrecondition("too many open cursors");
+  }
+  const uint64_t id = next_id_++;
+  Slot slot;
+  slot.state = std::move(state);
+  slot.conn_id = conn_id;
+  slot.deadline_nanos =
+      now + static_cast<int64_t>(config_.ttl_ms) * 1'000'000;
+  cursors_.emplace(id, std::move(slot));
+  ++opened_total_;
+  return id;
+}
+
+Result<std::shared_ptr<void>> CursorManager::Acquire(uint64_t id) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cursors_.find(id);
+  if (it == cursors_.end()) return Status::NotFound("unknown cursor");
+  if (it->second.busy) {
+    return Status::FailedPrecondition("cursor in use");
+  }
+  if (it->second.deadline_nanos <= now) {
+    cursors_.erase(it);
+    ++expired_total_;
+    return Status::FailedPrecondition("cursor expired");
+  }
+  it->second.busy = true;
+  return it->second.state;
+}
+
+void CursorManager::Commit(uint64_t id, bool exhausted) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cursors_.find(id);
+  if (it == cursors_.end()) return;
+  if (exhausted) {
+    cursors_.erase(it);
+    return;
+  }
+  it->second.busy = false;
+  it->second.deadline_nanos =
+      now + static_cast<int64_t>(config_.ttl_ms) * 1'000'000;
+}
+
+void CursorManager::Release(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cursors_.find(id);
+  if (it != cursors_.end()) it->second.busy = false;
+}
+
+bool CursorManager::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cursors_.erase(id) > 0;
+}
+
+std::shared_ptr<void> CursorManager::TakeClose(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cursors_.find(id);
+  if (it == cursors_.end()) return nullptr;
+  std::shared_ptr<void> state = std::move(it->second.state);
+  cursors_.erase(it);
+  return state;
+}
+
+std::vector<std::shared_ptr<void>> CursorManager::CloseOwned(
+    uint64_t conn_id) {
+  std::vector<std::shared_ptr<void>> reaped;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.conn_id == conn_id) {
+      reaped.push_back(std::move(it->second.state));
+      it = cursors_.erase(it);
+      ++reaped_total_;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+CursorCounters CursorManager::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CursorCounters counters;
+  counters.open = cursors_.size();
+  counters.opened_total = opened_total_;
+  counters.expired_total = expired_total_;
+  counters.reaped_total = reaped_total_;
+  return counters;
+}
+
+}  // namespace secure
+}  // namespace simcloud

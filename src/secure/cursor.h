@@ -1,0 +1,133 @@
+// Server-side cursor registry: bounded, TTL'd per-server cursor state.
+//
+// A cursor pins whatever snapshot its owner needs to page a result set —
+// an EncryptedMIndexServer stores the ranked (id, score, handle) tuples
+// of one range search; a ShardedServer facade stores a composite of
+// per-shard cursors. The manager is deliberately type-erased (the state
+// is a shared_ptr<void>) so both reuse one lifecycle implementation:
+//
+//  * Open      — admits a cursor if the table has room (max_open_cursors,
+//                FailedPrecondition "too many open cursors" otherwise)
+//                and sweeps already-expired entries first, so expiry is
+//                observable via stats without a background thread.
+//  * Acquire   — checks out the state for one kCursorNext. An expired
+//                cursor is erased and reported as FailedPrecondition
+//                "cursor expired" — never a silent empty page; an unknown
+//                id is NotFound "unknown cursor". While checked out the
+//                cursor is busy: a concurrent Acquire on the same id gets
+//                FailedPrecondition "cursor in use" instead of racing.
+//  * Commit    — returns the checkout, refreshing the TTL deadline, or
+//                erases the cursor when the page exhausted it.
+//  * Release   — returns the checkout without refresh (error paths).
+//  * Close     — idempotent explicit close (kCursorClose): true if state
+//                was actually released.
+//  * CloseOwned — reaps every cursor opened on one connection (the
+//                disconnect hook); returns the states so the owner can
+//                tear down remote legs outside the manager's lock.
+//
+// TTL uses the monotonic clock (common/clock.h), so wall-clock jumps
+// never expire or immortalize a cursor.
+
+#ifndef SIMCLOUD_SECURE_CURSOR_H_
+#define SIMCLOUD_SECURE_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcloud {
+namespace secure {
+
+/// Cursor lifecycle tunables.
+struct CursorConfig {
+  /// Cursors the server keeps open at once; an open past this is rejected
+  /// with FailedPrecondition (the client can fall back to one-shot).
+  uint64_t max_open_cursors = 1024;
+  /// Idle lifetime: a cursor untouched for this long is expired. Every
+  /// successful open/next refreshes the deadline.
+  uint64_t ttl_ms = 60'000;
+  /// Cap on the per-page candidate count; larger open requests are
+  /// clamped, not rejected (paging stays correct at any page size).
+  uint64_t max_page_size = 65'536;
+};
+
+/// Monotonic counters mirrored into IndexStats by kGetStats.
+struct CursorCounters {
+  uint64_t open = 0;           ///< currently open
+  uint64_t opened_total = 0;   ///< lifetime opens admitted
+  uint64_t expired_total = 0;  ///< TTL evictions (lazy or sweep)
+  uint64_t reaped_total = 0;   ///< closed by connection drop
+};
+
+/// Thread-safe cursor table. All methods take an internal mutex; the
+/// type-erased states are only touched outside it (callers own the
+/// checkout between Acquire and Commit/Release).
+class CursorManager {
+ public:
+  explicit CursorManager(CursorConfig config) : config_(config) {}
+
+  const CursorConfig& config() const { return config_; }
+
+  /// Admits a new cursor owned by connection `conn_id` (0 = in-process /
+  /// loopback: no disconnect reaping, TTL only). Sweeps expired entries,
+  /// then enforces max_open_cursors. Ids are monotonic from 1; 0 is the
+  /// wire's "no cursor" sentinel and never allocated.
+  Result<uint64_t> Open(uint64_t conn_id, std::shared_ptr<void> state);
+
+  /// Checks the cursor out for one page. See file comment for the error
+  /// taxonomy.
+  Result<std::shared_ptr<void>> Acquire(uint64_t id);
+
+  /// Returns a checkout: refreshes the TTL, or erases the cursor when
+  /// `exhausted`. No-op if the cursor vanished meanwhile (explicit close
+  /// and disconnect reap don't wait for checkouts).
+  void Commit(uint64_t id, bool exhausted);
+
+  /// Returns a checkout after a failed page without refreshing the TTL.
+  void Release(uint64_t id);
+
+  /// Erases the cursor if present (idempotent). Busy cursors are erased
+  /// too — the in-flight checkout finishes on its own copy of the state
+  /// and its Commit/Release becomes a no-op.
+  bool Close(uint64_t id);
+
+  /// Close() that also returns the state (null when absent) — owners
+  /// that must tear down derived resources (per-shard cursors on remote
+  /// replicas) take it here instead of losing it to the erase.
+  std::shared_ptr<void> TakeClose(uint64_t id);
+
+  /// Erases every cursor owned by `conn_id`, returning their states so
+  /// the caller can release derived resources (e.g. per-shard cursors on
+  /// remote replicas) outside the lock. Counted as reaped, not expired.
+  std::vector<std::shared_ptr<void>> CloseOwned(uint64_t conn_id);
+
+  CursorCounters counters() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<void> state;
+    uint64_t conn_id = 0;
+    int64_t deadline_nanos = 0;  ///< monotonic
+    bool busy = false;           ///< checked out by an in-flight next
+  };
+
+  /// Erases expired slots; `mutex_` must be held.
+  void SweepExpiredLocked(int64_t now_nanos);
+
+  CursorConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Slot> cursors_;
+  uint64_t next_id_ = 1;
+  uint64_t opened_total_ = 0;
+  uint64_t expired_total_ = 0;
+  uint64_t reaped_total_ = 0;
+};
+
+}  // namespace secure
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_SECURE_CURSOR_H_

@@ -246,6 +246,57 @@ Result<WatchFrame> DecodeWatchFrame(const Bytes& data) {
   return frame;
 }
 
+Bytes EncodeRangeSearchCursorRequest(
+    const std::vector<float>& query_distances, double radius,
+    uint64_t page_size, uint64_t start_offset) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kRangeSearchCursor));
+  writer.WriteFloatVector(query_distances);
+  writer.WriteDouble(radius);
+  writer.WriteVarint(page_size);
+  writer.WriteVarint(start_offset);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeCursorNextRequest(uint64_t cursor_id) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kCursorNext));
+  writer.WriteVarint(cursor_id);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeCursorCloseRequest(uint64_t cursor_id) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kCursorClose));
+  writer.WriteVarint(cursor_id);
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeCursorPage(const CursorPage& page) {
+  BinaryWriter writer;
+  size_t payload_bytes = 0;
+  for (const auto& candidate : page.candidates) {
+    payload_bytes += candidate.payload.size() + 24;
+  }
+  writer.Reserve(payload_bytes + 80);
+  writer.WriteVarint(page.cursor_id);
+  writer.WriteVarint(page.total);
+  WriteCandidateBlock(&writer, page.candidates, page.stats);
+  return writer.TakeBuffer();
+}
+
+Result<CursorPage> DecodeCursorPage(const Bytes& data) {
+  BinaryReader reader(data);
+  CursorPage page;
+  SIMCLOUD_ASSIGN_OR_RETURN(page.cursor_id, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(page.total, reader.ReadVarint());
+  SIMCLOUD_ASSIGN_OR_RETURN(CandidateResponse block,
+                            ReadCandidateBlock(&reader));
+  page.stats = block.stats;
+  page.candidates = std::move(block.candidates);
+  return page;
+}
+
 Result<Request> DecodeRequest(const Bytes& data) {
   BinaryReader reader(data);
   SIMCLOUD_ASSIGN_OR_RETURN(uint8_t op_byte, reader.ReadU8());
@@ -372,6 +423,20 @@ Result<Request> DecodeRequest(const Bytes& data) {
       SIMCLOUD_ASSIGN_OR_RETURN(request.watch_cancel_id, reader.ReadVarint());
       return request;
     }
+    case Op::kRangeSearchCursor: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.query_distances,
+                                reader.ReadFloatVector());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.radius, reader.ReadDouble());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.cursor_page_size, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(request.cursor_start_offset,
+                                reader.ReadVarint());
+      return request;
+    }
+    case Op::kCursorNext:
+    case Op::kCursorClose: {
+      SIMCLOUD_ASSIGN_OR_RETURN(request.cursor_id, reader.ReadVarint());
+      return request;
+    }
   }
   return Status::Corruption("unknown opcode " + std::to_string(op_byte));
 }
@@ -495,6 +560,12 @@ Bytes EncodeStatsResponse(const mindex::IndexStats& stats) {
   // replay-overflowed replica previously hid inside shards_down/degraded
   // with no distinct wire signal.
   writer.WriteVarint(stats.shards_stale);
+  // Appended with the server-side cursor revision (optional on decode):
+  // open/lifetime cursor counters.
+  writer.WriteVarint(stats.cursors_open);
+  writer.WriteVarint(stats.cursors_opened_total);
+  writer.WriteVarint(stats.cursors_expired_total);
+  writer.WriteVarint(stats.cursors_reaped_total);
   return writer.TakeBuffer();
 }
 
@@ -526,6 +597,13 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data) {
   }
   if (!reader.AtEnd()) {
     SIMCLOUD_ASSIGN_OR_RETURN(stats.shards_stale, reader.ReadVarint());
+  }
+  if (!reader.AtEnd()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.cursors_open, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.cursors_opened_total, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.cursors_expired_total,
+                              reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(stats.cursors_reaped_total, reader.ReadVarint());
   }
   return stats;
 }

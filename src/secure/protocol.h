@@ -39,6 +39,9 @@ enum class Op : uint8_t {
   kPing = 10,             ///< no-op health check / pure-RTT probe
   kWatch = 11,            ///< register a standing change-stream subscription
   kWatchCancel = 12,      ///< tear down a subscription by watch id
+  kRangeSearchCursor = 13,  ///< open a paged range search: first page + id
+  kCursorNext = 14,         ///< next page of an open cursor
+  kCursorClose = 15,        ///< release a cursor's server-side state
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -133,6 +136,45 @@ Bytes EncodeWatchCancelRequest(uint64_t watch_id);
 Bytes EncodeWatchFrame(const WatchFrame& frame);
 Result<WatchFrame> DecodeWatchFrame(const Bytes& data);
 
+/// Opens a server-side cursor over a precise range search: the server
+/// runs the same collect + rank pass as kRangeSearch, pins the ranked
+/// snapshot, and answers with the first page plus a cursor id. Requires
+/// the pipelined framing (like kWatch); legacy connections get a clean
+/// FailedPrecondition. `start_offset` skips that many ranked candidates
+/// before the first page — 0 for a fresh cursor; a sharded facade uses it
+/// to reopen a shard leg on a surviving replica after failover.
+Bytes EncodeRangeSearchCursorRequest(
+    const std::vector<float>& query_distances, double radius,
+    uint64_t page_size, uint64_t start_offset = 0);
+/// Next page of cursor `cursor_id` (page size fixed at open). Errors:
+/// NotFound "unknown cursor" (garbage/already-closed id),
+/// FailedPrecondition "cursor expired" (TTL passed — never a silent empty
+/// page) or "cursor invalidated" (a compaction pass remapped payload
+/// handles since the open).
+Bytes EncodeCursorNextRequest(uint64_t cursor_id);
+/// Releases cursor state. Idempotent: closing an unknown/expired id
+/// succeeds with 0, a live one with 1 (EncodeInsertResponse ack).
+Bytes EncodeCursorCloseRequest(uint64_t cursor_id);
+
+/// One page of an open cursor (the kRangeSearchCursor and kCursorNext
+/// response body). `cursor_id` echoes the open cursor, or 0 when the
+/// server kept NO state — the page that exhausts the result set (possibly
+/// the first) releases the cursor eagerly, so a well-behaved client never
+/// needs kCursorClose on a drained stream. `total` is the ranked
+/// candidate count at open (what kRangeSearch's stats.candidates would
+/// report). The open page carries the full collection stats; later pages
+/// carry zeros except stats.candidates = page size.
+struct CursorPage {
+  uint64_t cursor_id = 0;  ///< 0: exhausted, no server state remains
+  uint64_t total = 0;      ///< ranked candidates pinned at open
+  mindex::SearchStats stats;
+  mindex::CandidateList candidates;
+
+  bool exhausted() const { return cursor_id == 0; }
+};
+Bytes EncodeCursorPage(const CursorPage& page);
+Result<CursorPage> DecodeCursorPage(const Bytes& data);
+
 /// Decoded request (server side).
 struct Request {
   Op op;
@@ -150,6 +192,10 @@ struct Request {
   WatchFilter watch_filter;                       // kWatch
   std::vector<uint64_t> watch_resume_token;       // kWatch (empty = fresh)
   uint64_t watch_cancel_id = 0;                   // kWatchCancel
+  uint64_t cursor_page_size = 0;     // kRangeSearchCursor (query fields
+                                     // reuse query_distances / radius)
+  uint64_t cursor_start_offset = 0;  // kRangeSearchCursor (failover reopen)
+  uint64_t cursor_id = 0;            // kCursorNext / kCursorClose
 };
 Result<Request> DecodeRequest(const Bytes& data);
 

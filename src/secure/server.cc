@@ -1,5 +1,6 @@
 #include "secure/server.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/log.h"
@@ -8,7 +9,7 @@ namespace simcloud {
 namespace secure {
 
 Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
-    const mindex::MIndexOptions& options) {
+    const mindex::MIndexOptions& options, const CursorConfig& cursor_config) {
   // The index is created with the options untouched (validation included,
   // and snapshots keep the configured trigger), but inline triggering is
   // deferred: a delete batch returns as soon as the handles are freed,
@@ -18,12 +19,14 @@ Result<std::unique_ptr<EncryptedMIndexServer>> EncryptedMIndexServer::Create(
                             mindex::MIndex::Create(options));
   index->SetDeferredCompaction(true);
   return std::unique_ptr<EncryptedMIndexServer>(new EncryptedMIndexServer(
-      std::move(index), options.compaction_trigger));
+      std::move(index), options.compaction_trigger, cursor_config));
 }
 
 EncryptedMIndexServer::EncryptedMIndexServer(
-    std::unique_ptr<mindex::MIndex> index, double compaction_trigger)
-    : index_(std::move(index)), compaction_trigger_(compaction_trigger) {
+    std::unique_ptr<mindex::MIndex> index, double compaction_trigger,
+    const CursorConfig& cursor_config)
+    : index_(std::move(index)), compaction_trigger_(compaction_trigger),
+      cursors_(cursor_config) {
   watch_hub_ = std::make_unique<WatchHub>(index_->mutation_bus());
   if (compaction_trigger_ > 0.0) {
     compaction_thread_ = std::thread([this] { CompactionLoop(); });
@@ -126,11 +129,110 @@ Result<Bytes> EncryptedMIndexServer::HandleWatch(const Request& request,
                            [sink](const WatchFrame& frame) {
                              return sink->TryPush(EncodeWatchFrame(frame));
                            }));
+  // Track the registration against its connection so a dropped client
+  // reaps it eagerly (OnConnectionClosed) instead of waiting for the
+  // delivery sweep to hit a dead sink.
+  const uint64_t conn_id = stream->connection_id();
+  if (conn_id != 0) {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_watches_[conn_id].push_back(registration.watch_id);
+    watch_conns_[registration.watch_id] = conn_id;
+  }
   WatchFrame ack;
   ack.kind = WatchFrame::Kind::kAck;
   ack.watch_id = registration.watch_id;
   ack.token = {registration.start_seq};
   return EncodeWatchFrame(ack);
+}
+
+Result<Bytes> EncryptedMIndexServer::HandleRangeSearchCursor(
+    const Request& request, net::StreamContext* stream) {
+  // Cursors are connection-scoped server state: legacy (bit-31-clear)
+  // framing is the stateless compat path and is refused cleanly (the
+  // connection stays usable). In-process calls (null stream) are allowed
+  // — they have no connection to drop, so the TTL is the only reaper.
+  if (stream != nullptr && !stream->pipelined()) {
+    return Status::FailedPrecondition(
+        "cursor opcodes need a pipelined connection (legacy framing is "
+        "stateless)");
+  }
+  if (request.cursor_page_size == 0) {
+    return Status::InvalidArgument("cursor page size must be > 0");
+  }
+  const uint64_t page_size =
+      std::min(request.cursor_page_size, cursors_.config().max_page_size);
+
+  auto cursor = std::make_shared<RangeCursor>();
+  cursor->page_size = page_size;
+  mindex::SearchStats stats;
+  CursorPage page;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        cursor->ranked,
+        index_->RangeSearchRankedCandidates(request.query_distances,
+                                            request.radius, &stats));
+    // A compaction pass cannot complete (swap+remap is exclusive) while
+    // the shared lock is held, so snapshot + pass count are consistent.
+    cursor->compaction_passes = index_->compaction_passes();
+    cursor->next = std::min(static_cast<size_t>(request.cursor_start_offset),
+                            cursor->ranked.size());
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        page.candidates,
+        index_->MaterializeRankedPage(cursor->ranked, &cursor->next,
+                                      page_size));
+  }
+  AccumulateStats(stats);
+  page.total = cursor->ranked.size();
+  page.stats = stats;  // full collection stats, candidates = total
+  if (cursor->next >= cursor->ranked.size()) {
+    // Exhausted in one page: keep no server state, answer cursor id 0.
+    return EncodeCursorPage(page);
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      page.cursor_id,
+      cursors_.Open(stream != nullptr ? stream->connection_id() : 0,
+                    std::move(cursor)));
+  return EncodeCursorPage(page);
+}
+
+Result<Bytes> EncryptedMIndexServer::HandleCursorNext(
+    const Request& request, net::StreamContext* stream) {
+  if (stream != nullptr && !stream->pipelined()) {
+    return Status::FailedPrecondition(
+        "cursor opcodes need a pipelined connection (legacy framing is "
+        "stateless)");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(std::shared_ptr<void> state,
+                            cursors_.Acquire(request.cursor_id));
+  auto cursor = std::static_pointer_cast<RangeCursor>(state);
+  CursorPage page;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    if (index_->compaction_passes() != cursor->compaction_passes) {
+      // A completed pass remapped payload handles; the snapshot's handles
+      // may now point at relocated bytes. Fail explicitly — never risk
+      // silently wrong payloads — and release the state.
+      lock.unlock();
+      cursors_.Close(request.cursor_id);
+      return Status::FailedPrecondition("cursor invalidated");
+    }
+    Result<mindex::CandidateList> materialized = index_->MaterializeRankedPage(
+        cursor->ranked, &cursor->next, cursor->page_size);
+    if (!materialized.ok()) {
+      lock.unlock();
+      cursors_.Release(request.cursor_id);
+      return materialized.status();
+    }
+    page.candidates = std::move(*materialized);
+  }
+  const bool exhausted = cursor->next >= cursor->ranked.size();
+  cursors_.Commit(request.cursor_id, exhausted);
+  page.cursor_id = exhausted ? 0 : request.cursor_id;
+  page.total = cursor->ranked.size();
+  // Continuation pages carry no collection work; only the page count.
+  page.stats.candidates = page.candidates.size();
+  return EncodeCursorPage(page);
 }
 
 Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
@@ -193,8 +295,17 @@ Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
       return EncodeBatchCandidateResponse(batch, stats);
     }
     case Op::kGetStats: {
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
-      return EncodeStatsResponse(index_->Stats());
+      mindex::IndexStats stats;
+      {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        stats = index_->Stats();
+      }
+      const CursorCounters cursor_counters = cursors_.counters();
+      stats.cursors_open = cursor_counters.open;
+      stats.cursors_opened_total = cursor_counters.opened_total;
+      stats.cursors_expired_total = cursor_counters.expired_total;
+      stats.cursors_reaped_total = cursor_counters.reaped_total;
+      return EncodeStatsResponse(stats);
     }
     case Op::kDelete: {
       {
@@ -243,15 +354,55 @@ Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
       return Bytes{};
     case Op::kWatch:
       return HandleWatch(request, stream);
-    case Op::kWatchCancel:
+    case Op::kWatchCancel: {
       // The cancel response is framed AFTER every push the delivery
       // thread enqueued before Unregister returned (wire FIFO), so a
       // client that drains until this response sees a complete prefix
       // of its stream.
-      return EncodeInsertResponse(
-          watch_hub_->Unregister(request.watch_cancel_id) ? 1 : 0);
+      const bool cancelled = watch_hub_->Unregister(request.watch_cancel_id);
+      if (cancelled) {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        auto it = watch_conns_.find(request.watch_cancel_id);
+        if (it != watch_conns_.end()) {
+          auto& ids = conn_watches_[it->second];
+          ids.erase(std::remove(ids.begin(), ids.end(),
+                                request.watch_cancel_id),
+                    ids.end());
+          if (ids.empty()) conn_watches_.erase(it->second);
+          watch_conns_.erase(it);
+        }
+      }
+      return EncodeInsertResponse(cancelled ? 1 : 0);
+    }
+    case Op::kRangeSearchCursor:
+      return HandleRangeSearchCursor(request, stream);
+    case Op::kCursorNext:
+      return HandleCursorNext(request, stream);
+    case Op::kCursorClose:
+      // Idempotent: closing an unknown / already-expired / already-closed
+      // id answers 0, never an error — the client may race the TTL.
+      return EncodeInsertResponse(cursors_.Close(request.cursor_id) ? 1 : 0);
   }
   return Status::Corruption("unhandled opcode");
+}
+
+void EncryptedMIndexServer::OnConnectionClosed(uint64_t connection_id) {
+  if (connection_id == 0) return;
+  // Cursor states are plain snapshots — dropping them frees everything.
+  cursors_.CloseOwned(connection_id);
+  std::vector<uint64_t> watch_ids;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    auto it = conn_watches_.find(connection_id);
+    if (it != conn_watches_.end()) {
+      watch_ids = std::move(it->second);
+      conn_watches_.erase(it);
+      for (uint64_t id : watch_ids) watch_conns_.erase(id);
+    }
+  }
+  // Unregister is bounded (it only joins the hub's registry sweep), so
+  // it is safe on the transport's event thread.
+  for (uint64_t id : watch_ids) watch_hub_->Unregister(id);
 }
 
 }  // namespace secure

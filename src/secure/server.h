@@ -10,9 +10,12 @@
 #include <memory>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "mindex/mindex.h"
 #include "net/transport.h"
+#include "secure/cursor.h"
 #include "secure/protocol.h"
 #include "secure/watch.h"
 
@@ -39,8 +42,11 @@ namespace secure {
 class EncryptedMIndexServer : public net::RequestHandler {
  public:
   /// Creates the server with an empty index configured by `options`.
+  /// `cursor_config` bounds the server-side cursor table (defaults are
+  /// production-sized; tests shrink the TTL / cursor cap).
   static Result<std::unique_ptr<EncryptedMIndexServer>> Create(
-      const mindex::MIndexOptions& options);
+      const mindex::MIndexOptions& options,
+      const CursorConfig& cursor_config = CursorConfig{});
 
   /// Joins the background compaction thread (in-flight pass finishes).
   ~EncryptedMIndexServer() override;
@@ -54,8 +60,17 @@ class EncryptedMIndexServer : public net::RequestHandler {
   Result<Bytes> HandleStream(const Bytes& request,
                              net::StreamContext* stream) override;
 
+  /// Eager reap of connection-scoped state: open cursors and watch
+  /// registrations of the dropped connection are released immediately
+  /// instead of lingering until TTL / delivery-sweep. Non-blocking
+  /// (called from the transport's event loop).
+  void OnConnectionClosed(uint64_t connection_id) override;
+
   /// Direct access for white-box tests and stats.
   const mindex::MIndex& index() const { return *index_; }
+
+  /// The cursor table (tests assert open counts and reap counters).
+  const CursorManager& cursors() const { return cursors_; }
 
   /// The change-stream hub (the sharded facade registers adapters here
   /// in local mode; tests inspect `active()`).
@@ -69,7 +84,19 @@ class EncryptedMIndexServer : public net::RequestHandler {
 
  private:
   EncryptedMIndexServer(std::unique_ptr<mindex::MIndex> index,
-                        double compaction_trigger);
+                        double compaction_trigger,
+                        const CursorConfig& cursor_config);
+
+  /// Server-side state of one open range cursor: the ranked snapshot
+  /// (ids, scores, payload handles — no payload bytes) plus the paging
+  /// position. `compaction_passes` guards against handle remapping: a
+  /// completed pass since the open invalidates the cursor.
+  struct RangeCursor {
+    mindex::RankedCandidates ranked;
+    size_t next = 0;
+    uint64_t page_size = 0;
+    uint64_t compaction_passes = 0;
+  };
 
   void AccumulateStats(const mindex::SearchStats& stats);
   /// One lock acquisition for a whole batch of per-query stats.
@@ -82,6 +109,11 @@ class EncryptedMIndexServer : public net::RequestHandler {
 
   Result<Bytes> HandleWatch(const Request& request,
                             net::StreamContext* stream);
+
+  Result<Bytes> HandleRangeSearchCursor(const Request& request,
+                                        net::StreamContext* stream);
+  Result<Bytes> HandleCursorNext(const Request& request,
+                                 net::StreamContext* stream);
 
   std::unique_ptr<mindex::MIndex> index_;
   /// Readers-writer lock over the index: searches run concurrently,
@@ -102,6 +134,17 @@ class EncryptedMIndexServer : public net::RequestHandler {
   /// Declared after index_ so the delivery thread stops before the
   /// index (and its mutation bus) is torn down.
   std::unique_ptr<WatchHub> watch_hub_;
+
+  /// Open server-side cursors (states are RangeCursor snapshots).
+  CursorManager cursors_;
+
+  /// Connection <-> watch bookkeeping for the disconnect reap: which
+  /// watch ids each pipelined connection registered. Guarded by
+  /// conn_mutex_; ids registered through a context without identity
+  /// (connection_id 0) are not tracked and rely on explicit cancel.
+  std::mutex conn_mutex_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> conn_watches_;
+  std::unordered_map<uint64_t, uint64_t> watch_conns_;
 };
 
 }  // namespace secure

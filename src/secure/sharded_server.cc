@@ -91,8 +91,18 @@ void LocalShardChannel::WorkerLoop() {
   }
 }
 
+ShardedServer::ShardedServer(
+    std::vector<std::unique_ptr<EncryptedMIndexServer>> shards,
+    std::vector<std::unique_ptr<ShardChannel>> channels, size_t num_pivots,
+    const CursorConfig& cursor_config)
+    : shards_(std::move(shards)), channels_(std::move(channels)),
+      num_pivots_(num_pivots), cursors_(cursor_config) {
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
-    const mindex::MIndexOptions& options, size_t num_shards) {
+    const mindex::MIndexOptions& options, size_t num_shards,
+    const CursorConfig& cursor_config) {
   if (num_shards == 0) {
     return Status::InvalidArgument("need at least one shard");
   }
@@ -103,8 +113,9 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
     if (!shard_options.disk_path.empty()) {
       shard_options.disk_path += "." + std::to_string(i);
     }
-    SIMCLOUD_ASSIGN_OR_RETURN(std::unique_ptr<EncryptedMIndexServer> shard,
-                              EncryptedMIndexServer::Create(shard_options));
+    SIMCLOUD_ASSIGN_OR_RETURN(
+        std::unique_ptr<EncryptedMIndexServer> shard,
+        EncryptedMIndexServer::Create(shard_options, cursor_config));
     shards.push_back(std::move(shard));
   }
   std::vector<std::unique_ptr<ShardChannel>> channels;
@@ -112,8 +123,9 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Create(
   for (size_t i = 0; i < num_shards; ++i) {
     channels.push_back(std::make_unique<LocalShardChannel>(shards[i].get()));
   }
-  return std::unique_ptr<ShardedServer>(new ShardedServer(
-      std::move(shards), std::move(channels), options.num_pivots));
+  return std::unique_ptr<ShardedServer>(
+      new ShardedServer(std::move(shards), std::move(channels),
+                        options.num_pivots, cursor_config));
 }
 
 namespace {
@@ -152,7 +164,8 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
 Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
     const std::vector<std::vector<ShardEndpoint>>& replica_sets,
     size_t num_pivots, net::ChannelPolicy policy,
-    const net::SecureChannelOptions& secure, const TopologyOptions& topology) {
+    const net::SecureChannelOptions& secure, const TopologyOptions& topology,
+    const CursorConfig& cursor_config) {
   if (replica_sets.empty()) {
     return Status::InvalidArgument("need at least one shard endpoint");
   }
@@ -211,7 +224,7 @@ Result<std::unique_ptr<ShardedServer>> ShardedServer::Connect(
     channels.push_back(std::move(group));
   }
   auto server = std::unique_ptr<ShardedServer>(
-      new ShardedServer({}, std::move(channels), num_pivots));
+      new ShardedServer({}, std::move(channels), num_pivots, cursor_config));
   server->groups_ = std::move(groups);
   server->monitor_ =
       std::make_unique<TopologyMonitor>(server->groups_, topology);
@@ -228,6 +241,14 @@ ShardedServer::~ShardedServer() {
     watches_.clear();
   }
   for (const auto& fanout : live) StopWatch(fanout);
+  // Deferred disconnect teardowns still queued must run while shards_ /
+  // channels_ are alive: the reaper drains its queue, then exits.
+  {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    reap_stop_ = true;
+  }
+  reap_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
   // The monitor probes through groups_; stop it before channels_ die.
   if (monitor_) monitor_->Stop();
 }
@@ -524,7 +545,18 @@ Result<Bytes> ShardedServer::HandleStream(const Bytes& request_bytes,
         total.compaction_max_pause_nanos =
             std::max(total.compaction_max_pause_nanos,
                      stats.compaction_max_pause_nanos);
+        // Shard-side cursors (the legs of composite cursors plus any
+        // opened directly on a shard) sum under the facade's own table.
+        total.cursors_open += stats.cursors_open;
+        total.cursors_opened_total += stats.cursors_opened_total;
+        total.cursors_expired_total += stats.cursors_expired_total;
+        total.cursors_reaped_total += stats.cursors_reaped_total;
       }
+      const CursorCounters facade_cursors = cursors_.counters();
+      total.cursors_open += facade_cursors.open;
+      total.cursors_opened_total += facade_cursors.opened_total;
+      total.cursors_expired_total += facade_cursors.expired_total;
+      total.cursors_reaped_total += facade_cursors.reaped_total;
       // Topology health: a shard counts as its healthiest replica (one
       // kUp replica keeps it fully serving). In-process shards are
       // always up.
@@ -603,6 +635,19 @@ Result<Bytes> ShardedServer::HandleStream(const Bytes& request_bytes,
       return HandleWatch(request, stream);
     case Op::kWatchCancel:
       return HandleWatchCancel(request);
+    case Op::kRangeSearchCursor:
+      return HandleRangeSearchCursor(request, stream);
+    case Op::kCursorNext:
+      return HandleCursorNext(request, stream);
+    case Op::kCursorClose: {
+      // Idempotent: take the composite state (if any), tear its shard
+      // legs down inline (worker thread — shard I/O is fine here), ack
+      // whether state was actually released.
+      std::shared_ptr<void> state = cursors_.TakeClose(request.cursor_id);
+      if (state == nullptr) return EncodeInsertResponse(0);
+      CloseCursorLegs(std::static_pointer_cast<CompositeCursor>(state));
+      return EncodeInsertResponse(1);
+    }
   }
   return Status::Corruption("unhandled opcode");
 }
@@ -838,6 +883,10 @@ Result<Bytes> ShardedServer::HandleWatch(const Request& request,
 
   auto fanout = std::make_shared<WatchFanout>();
   fanout->sink = std::move(sink);
+  // A sink implies a live pipelined connection: record its id so the
+  // disconnect reaper can stop this fanout eagerly instead of letting
+  // it linger until the next delivery hits the dead sink.
+  fanout->conn_id = stream->connection_id();
   fanout->token = has_resume ? request.watch_resume_token
                              : std::vector<uint64_t>(shard_count, 0);
   {
@@ -911,6 +960,343 @@ Result<Bytes> ShardedServer::HandleWatchCancel(const Request& request) {
   if (fanout == nullptr) return EncodeInsertResponse(0);
   StopWatch(fanout);
   return EncodeInsertResponse(1);
+}
+
+Status ShardedServer::OpenCursorLeg(CompositeCursor* cursor, size_t shard,
+                                    uint64_t start_offset) {
+  const Bytes request = EncodeRangeSearchCursorRequest(
+      cursor->query_distances, cursor->radius, cursor->page_size,
+      start_offset);
+  CursorLeg& leg = cursor->legs[shard];
+  Result<Bytes> response = Status::NetworkError("no live replica");
+  if (groups_.empty()) {
+    // Local mode: the shard channel is the pin — its workers outlive
+    // every cursor.
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket,
+                              channels_[shard]->Submit(request));
+    response = channels_[shard]->Collect(ticket);
+    SIMCLOUD_RETURN_NOT_OK(response.status());
+  } else {
+    // Pin a live replica exactly like watch legs: kUp first, then
+    // kDegraded. The leg must keep hitting the replica that holds its
+    // shard-side cursor state, so the transport is remembered.
+    ReplicaGroupChannel* group = groups_[shard];
+    Status last_error = Status::NetworkError("no live replica");
+    bool opened = false;
+    for (int pass = 0; pass < 2 && !opened; ++pass) {
+      const bool degraded_ok = pass == 1;
+      for (size_t r = 0; r < group->replica_count(); ++r) {
+        ReplicaChannel* replica = group->replica(r);
+        std::shared_ptr<net::TcpTransport> transport =
+            replica->AcquireForRead(degraded_ok);
+        if (transport == nullptr) continue;
+        if (degraded_ok && replica->health() == ShardHealth::kUp) {
+          continue;  // already tried in pass 0
+        }
+        Result<uint64_t> ticket = transport->Submit(request);
+        if (!ticket.ok()) {
+          replica->MarkFailure(transport, ticket.status());
+          last_error = ticket.status();
+          continue;
+        }
+        Result<Bytes> collected = transport->Collect(*ticket);
+        if (!collected.ok()) {
+          if (IsRemoteRejection(collected.status())) {
+            // The shard answered with an error (too many cursors, bad
+            // page size): the client's problem, not a failover trigger.
+            return collected.status();
+          }
+          replica->MarkFailure(transport, collected.status());
+          last_error = collected.status();
+          continue;
+        }
+        leg.transport = std::move(transport);
+        leg.replica = r;
+        response = std::move(collected);
+        opened = true;
+        break;
+      }
+    }
+    if (!opened) return last_error;
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(CursorPage page, DecodeCursorPage(*response));
+  leg.shard_cursor_id = page.cursor_id;
+  leg.exhausted = page.exhausted();
+  leg.fetched = start_offset + page.candidates.size();
+  for (auto& candidate : page.candidates) {
+    leg.buffer.push_back(std::move(candidate));
+  }
+  // A reopen (start_offset > 0) replays a query whose ranked total and
+  // collection stats were already counted at the original open.
+  if (start_offset == 0) {
+    cursor->total += page.total;
+    cursor->stats.Add(page.stats);
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::RefillCursorLeg(CompositeCursor* cursor, size_t shard) {
+  CursorLeg& leg = cursor->legs[shard];
+  if (leg.exhausted || !leg.buffer.empty()) return Status::OK();
+  const Bytes request = EncodeCursorNextRequest(leg.shard_cursor_id);
+  Result<Bytes> response = Status::NetworkError("no live replica");
+  if (groups_.empty()) {
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t ticket,
+                              channels_[shard]->Submit(request));
+    response = channels_[shard]->Collect(ticket);
+    SIMCLOUD_RETURN_NOT_OK(response.status());
+  } else {
+    Result<uint64_t> ticket = leg.transport->Submit(request);
+    Result<Bytes> collected =
+        ticket.ok() ? leg.transport->Collect(*ticket)
+                    : Result<Bytes>(ticket.status());
+    if (!collected.ok()) {
+      if (IsRemoteRejection(collected.status())) {
+        // The shard rejected the next (expired / invalidated): surface
+        // it — the composite cursor is over, not the replica.
+        return collected.status();
+      }
+      // The pinned replica died mid-cursor and took the shard-side state
+      // with it. Reopen positionally on a survivor: identical data plus
+      // the deterministic ranking make `fetched` a portable resume
+      // point — this is the cursor analogue of a watch resume token.
+      groups_[shard]->replica(leg.replica)->MarkFailure(leg.transport,
+                                                        collected.status());
+      leg.transport = nullptr;
+      leg.shard_cursor_id = 0;
+      return OpenCursorLeg(cursor, shard, leg.fetched);
+    }
+    response = std::move(collected);
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(CursorPage page, DecodeCursorPage(*response));
+  leg.shard_cursor_id = page.cursor_id;
+  leg.exhausted = page.exhausted();
+  leg.fetched += page.candidates.size();
+  for (auto& candidate : page.candidates) {
+    leg.buffer.push_back(std::move(candidate));
+  }
+  return Status::OK();
+}
+
+Result<mindex::CandidateList> ShardedServer::MergeNextPage(
+    CompositeCursor* cursor) {
+  mindex::CandidateList page;
+  while (page.size() < cursor->page_size) {
+    // Pick the lowest-score head across shards (tie: lowest shard
+    // index), refilling a shard only when its buffer is actually empty —
+    // a shard's pages are pulled on demand, never ahead of need. The
+    // strict < over ascending shard order reproduces the one-shot
+    // concat + stable-sort merge byte for byte.
+    size_t best = cursor->legs.size();
+    for (size_t s = 0; s < cursor->legs.size(); ++s) {
+      CursorLeg& leg = cursor->legs[s];
+      if (leg.buffer.empty() && !leg.exhausted) {
+        SIMCLOUD_RETURN_NOT_OK(RefillCursorLeg(cursor, s));
+      }
+      if (leg.buffer.empty()) continue;  // exhausted shard
+      if (best == cursor->legs.size() ||
+          leg.buffer.front().score < cursor->legs[best].buffer.front().score) {
+        best = s;
+      }
+    }
+    if (best == cursor->legs.size()) break;  // every shard drained
+    page.push_back(std::move(cursor->legs[best].buffer.front()));
+    cursor->legs[best].buffer.pop_front();
+  }
+  return page;
+}
+
+void ShardedServer::CloseCursorLegs(
+    const std::shared_ptr<CompositeCursor>& cursor) {
+  for (size_t s = 0; s < cursor->legs.size(); ++s) {
+    CursorLeg& leg = cursor->legs[s];
+    if (leg.shard_cursor_id == 0) continue;
+    const Bytes request = EncodeCursorCloseRequest(leg.shard_cursor_id);
+    if (groups_.empty()) {
+      Result<uint64_t> ticket = channels_[s]->Submit(request);
+      if (ticket.ok()) channels_[s]->Collect(*ticket).status();
+    } else if (leg.transport != nullptr) {
+      // Best effort on the pinned replica; if it died, its cursor died
+      // with the connection (the shard reaps on disconnect) and the TTL
+      // covers any race.
+      Result<uint64_t> ticket = leg.transport->Submit(request);
+      if (ticket.ok()) leg.transport->Collect(*ticket).status();
+    }
+    leg.shard_cursor_id = 0;
+  }
+}
+
+Result<Bytes> ShardedServer::HandleRangeSearchCursor(
+    const Request& request, net::StreamContext* stream) {
+  // Same taxonomy as the single server: legacy framing is the stateless
+  // compat path; in-process calls (null stream) rely on the TTL reaper.
+  if (stream != nullptr && !stream->pipelined()) {
+    return Status::FailedPrecondition(
+        "cursor opcodes need a pipelined connection (legacy framing is "
+        "stateless)");
+  }
+  if (request.cursor_page_size == 0) {
+    return Status::InvalidArgument("cursor page size must be > 0");
+  }
+  const uint64_t page_size =
+      std::min(request.cursor_page_size, cursors_.config().max_page_size);
+
+  auto cursor = std::make_shared<CompositeCursor>();
+  cursor->query_distances = request.query_distances;
+  cursor->radius = request.radius;
+  cursor->page_size = page_size;
+  cursor->legs.resize(channels_.size());
+  for (size_t s = 0; s < channels_.size(); ++s) {
+    Status opened = OpenCursorLeg(cursor.get(), s, 0);
+    if (!opened.ok()) {
+      CloseCursorLegs(cursor);
+      return opened;
+    }
+  }
+  // The facade-level start_offset is a GLOBAL offset into the merged
+  // stream; per-shard offsets cannot express it, so the merge discards
+  // the prefix. Only reopen paths pay this (normal opens pass 0).
+  uint64_t discard = request.cursor_start_offset;
+  while (discard > 0) {
+    const uint64_t chunk = std::min(discard, page_size);
+    uint64_t saved_page_size = cursor->page_size;
+    cursor->page_size = chunk;
+    Result<mindex::CandidateList> skipped = MergeNextPage(cursor.get());
+    cursor->page_size = saved_page_size;
+    if (!skipped.ok()) {
+      CloseCursorLegs(cursor);
+      return skipped.status();
+    }
+    if (skipped->empty()) break;  // offset beyond the result set
+    discard -= skipped->size();
+  }
+
+  CursorPage page;
+  page.total = cursor->total;
+  Result<mindex::CandidateList> merged = MergeNextPage(cursor.get());
+  if (!merged.ok()) {
+    CloseCursorLegs(cursor);
+    return merged.status();
+  }
+  page.candidates = std::move(*merged);
+  // The open page carries the summed fan-out stats, candidates pinned to
+  // the merged total — exactly what MergeShardResults reports one-shot.
+  page.stats = cursor->stats;
+  page.stats.candidates = cursor->total;
+
+  bool drained = true;
+  for (const CursorLeg& leg : cursor->legs) {
+    if (!leg.exhausted || !leg.buffer.empty()) {
+      drained = false;
+      break;
+    }
+  }
+  if (drained) {
+    // Exhausted in one page: no facade state, no shard-side state (an
+    // exhausted shard cursor already self-closed), cursor id 0.
+    return EncodeCursorPage(page);
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(
+      page.cursor_id,
+      cursors_.Open(stream != nullptr ? stream->connection_id() : 0,
+                    std::move(cursor)));
+  return EncodeCursorPage(page);
+}
+
+Result<Bytes> ShardedServer::HandleCursorNext(const Request& request,
+                                              net::StreamContext* stream) {
+  if (stream != nullptr && !stream->pipelined()) {
+    return Status::FailedPrecondition(
+        "cursor opcodes need a pipelined connection (legacy framing is "
+        "stateless)");
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(std::shared_ptr<void> state,
+                            cursors_.Acquire(request.cursor_id));
+  auto cursor = std::static_pointer_cast<CompositeCursor>(state);
+  Result<mindex::CandidateList> merged = MergeNextPage(cursor.get());
+  if (!merged.ok()) {
+    // A failed merge (shard cursor expired / invalidated / no live
+    // replica) ends the composite cursor: release the facade slot and
+    // the surviving legs, surface the shard's error untouched.
+    cursors_.Close(request.cursor_id);
+    CloseCursorLegs(cursor);
+    return merged.status();
+  }
+  CursorPage page;
+  page.candidates = std::move(*merged);
+  page.total = cursor->total;
+  page.stats.candidates = page.candidates.size();
+  bool drained = true;
+  for (const CursorLeg& leg : cursor->legs) {
+    if (!leg.exhausted || !leg.buffer.empty()) {
+      drained = false;
+      break;
+    }
+  }
+  cursors_.Commit(request.cursor_id, drained);
+  page.cursor_id = drained ? 0 : request.cursor_id;
+  return EncodeCursorPage(page);
+}
+
+void ShardedServer::EnqueueReap(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    if (!reap_stop_) {
+      reap_queue_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task != nullptr) {
+    // Shutting down: the destructor already joined (or is joining) the
+    // reaper — run the teardown on this thread instead of dropping it.
+    task();
+    return;
+  }
+  reap_cv_.notify_all();
+}
+
+void ShardedServer::ReaperLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(reap_mutex_);
+      reap_cv_.wait(lock, [&] { return reap_stop_ || !reap_queue_.empty(); });
+      if (reap_queue_.empty()) return;  // stop requested and drained
+      task = std::move(reap_queue_.front());
+      reap_queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ShardedServer::OnConnectionClosed(uint64_t connection_id) {
+  if (connection_id == 0) return;
+  // Unlink everything the dropped connection owned NOW (so stats and
+  // admission see it gone), but defer the teardown I/O — joining pump
+  // threads and closing shard-side cursors must not run on the
+  // transport's event loop.
+  std::vector<std::shared_ptr<void>> cursors = cursors_.CloseOwned(connection_id);
+  std::vector<std::shared_ptr<WatchFanout>> fanouts;
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (auto it = watches_.begin(); it != watches_.end();) {
+      if (it->second->conn_id == connection_id) {
+        fanouts.push_back(it->second);
+        it = watches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (cursors.empty() && fanouts.empty()) return;
+  for (auto& fanout : fanouts) fanout->stop = true;  // pumps exit promptly
+  EnqueueReap([this, cursors = std::move(cursors),
+               fanouts = std::move(fanouts)] {
+    for (const auto& state : cursors) {
+      CloseCursorLegs(std::static_pointer_cast<CompositeCursor>(state));
+    }
+    for (const auto& fanout : fanouts) StopWatch(fanout);
+  });
 }
 
 }  // namespace secure

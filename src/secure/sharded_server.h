@@ -35,6 +35,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,7 @@
 #include "mindex/mindex.h"
 #include "net/secure_channel.h"
 #include "net/transport.h"
+#include "secure/cursor.h"
 #include "secure/protocol.h"
 #include "secure/server.h"
 #include "secure/topology.h"
@@ -100,7 +102,8 @@ class ShardedServer : public net::RequestHandler {
   /// shards. The per-shard options are `options` with the disk path
   /// suffixed by the shard number (when disk storage is configured).
   static Result<std::unique_ptr<ShardedServer>> Create(
-      const mindex::MIndexOptions& options, size_t num_shards);
+      const mindex::MIndexOptions& options, size_t num_shards,
+      const CursorConfig& cursor_config = CursorConfig{});
 
   /// Connects to already-running shard servers, one persistent pipelined
   /// connection per endpoint; fan-outs overlap across those connections
@@ -132,7 +135,8 @@ class ShardedServer : public net::RequestHandler {
       size_t num_pivots,
       net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext,
       const net::SecureChannelOptions& secure = net::SecureChannelOptions(),
-      const TopologyOptions& topology = TopologyOptions());
+      const TopologyOptions& topology = TopologyOptions(),
+      const CursorConfig& cursor_config = CursorConfig{});
 
   ~ShardedServer() override;
 
@@ -149,6 +153,22 @@ class ShardedServer : public net::RequestHandler {
   /// behaves exactly like Handle().
   Result<Bytes> HandleStream(const Bytes& request,
                              net::StreamContext* stream) override;
+
+  /// Eager reap of the dropped connection's composite cursors and watch
+  /// fanouts. The actual teardown (joining pump threads, closing
+  /// per-shard cursors on remote replicas) does I/O, so it is deferred
+  /// to the facade's reaper thread — this call only unlinks the state
+  /// and returns.
+  void OnConnectionClosed(uint64_t connection_id) override;
+
+  /// The composite-cursor table (tests assert counts and reap counters).
+  const CursorManager& cursors() const { return cursors_; }
+
+  /// Live composite watch fanouts (tests assert disconnect reaping).
+  size_t open_watches() const {
+    std::lock_guard<std::mutex> lock(watch_mutex_);
+    return watches_.size();
+  }
 
   size_t num_shards() const { return channels_.size(); }
   /// True when the shards live in this process (Create); Connect
@@ -168,9 +188,7 @@ class ShardedServer : public net::RequestHandler {
  private:
   ShardedServer(std::vector<std::unique_ptr<EncryptedMIndexServer>> shards,
                 std::vector<std::unique_ptr<ShardChannel>> channels,
-                size_t num_pivots)
-      : shards_(std::move(shards)), channels_(std::move(channels)),
-        num_pivots_(num_pivots) {}
+                size_t num_pivots, const CursorConfig& cursor_config);
 
   /// Shard owning a routing permutation: permutation[0] mod num_shards.
   /// Objects of one top-level Voronoi cell always land together.
@@ -204,6 +222,10 @@ class ShardedServer : public net::RequestHandler {
   struct WatchFanout {
     std::mutex mutex;  ///< guards token, lost
     uint64_t watch_id = 0;        ///< facade-visible id
+    /// Connection that registered the watch (0 = untracked): the
+    /// disconnect reaper stops fanouts by this key so an orphaned watch
+    /// no longer lingers until the next delivery sweep hits a dead sink.
+    uint64_t conn_id = 0;
     std::vector<uint64_t> token;  ///< per-shard cursors, shard order
     std::shared_ptr<net::PushSink> sink;
     /// A kWatchLost was forwarded: every other producer must stop.
@@ -224,9 +246,64 @@ class ShardedServer : public net::RequestHandler {
     uint64_t start_seq = 0;      ///< shard cursor acknowledged
   };
 
+  /// One shard's leg of a composite cursor: the shard-side cursor id,
+  /// the pinned replica transport (remote mode; a cursor must keep
+  /// hitting the replica that holds its state), the buffered head of the
+  /// shard's stream, and how many candidates were pulled so far (the
+  /// positional start_offset a failover reopen resumes at).
+  struct CursorLeg {
+    uint64_t shard_cursor_id = 0;  ///< 0 = no state left on the shard
+    std::shared_ptr<net::TcpTransport> transport;  ///< remote mode only
+    size_t replica = 0;
+    uint64_t fetched = 0;  ///< candidates pulled off this shard so far
+    std::deque<mindex::Candidate> buffer;
+    bool exhausted = false;
+  };
+
+  /// Facade-side state of one composite cursor: the query (replayed on
+  /// failover reopens) and one leg per shard. The k-way merge pulls a
+  /// shard's next page only when that shard's buffered head is consumed.
+  struct CompositeCursor {
+    std::vector<float> query_distances;
+    double radius = 0;
+    uint64_t page_size = 0;
+    uint64_t total = 0;  ///< sum of per-shard ranked totals at open
+    /// Summed per-shard collection stats from the leg opens: the open
+    /// page reports them exactly like a one-shot fan-out would.
+    mindex::SearchStats stats;
+    std::vector<CursorLeg> legs;
+  };
+
   Result<Bytes> HandleWatch(const Request& request,
                             net::StreamContext* stream);
   Result<Bytes> HandleWatchCancel(const Request& request);
+
+  Result<Bytes> HandleRangeSearchCursor(const Request& request,
+                                        net::StreamContext* stream);
+  Result<Bytes> HandleCursorNext(const Request& request,
+                                 net::StreamContext* stream);
+  /// Opens (or failover-reopens, start_offset > 0) shard `shard`'s leg.
+  /// Remote mode pins a live replica (kUp first, then kDegraded) exactly
+  /// like watch legs; a remote REJECTION (the shard answered an error)
+  /// propagates, a broken transport marks the replica over and tries the
+  /// next. The decoded first page lands in the leg's buffer.
+  Status OpenCursorLeg(CompositeCursor* cursor, size_t shard,
+                       uint64_t start_offset);
+  /// Pulls the next page of shard `shard` into its leg's buffer,
+  /// reopening on a surviving replica (positional resume at
+  /// `leg.fetched`) when the pinned one died mid-cursor.
+  Status RefillCursorLeg(CompositeCursor* cursor, size_t shard);
+  /// Merges up to `cursor->page_size` candidates: repeatedly pops the
+  /// lowest (score, shard index) head, refilling an empty leg only when
+  /// its head is actually needed. Byte-compatible with the one-shot
+  /// concat + stable-sort merge.
+  Result<mindex::CandidateList> MergeNextPage(CompositeCursor* cursor);
+  /// Best-effort close of every leg's remaining shard-side cursor.
+  void CloseCursorLegs(const std::shared_ptr<CompositeCursor>& cursor);
+  /// Hands a teardown closure to the reaper thread (disconnect path —
+  /// the transport's event loop must not block on shard I/O).
+  void EnqueueReap(std::function<void()> task);
+  void ReaperLoop();
   /// Forwards one shard frame to the client with the composite token
   /// (commits the token only when the push was accepted).
   static Status PushComposite(const std::shared_ptr<WatchFanout>& fanout,
@@ -255,6 +332,15 @@ class ShardedServer : public net::RequestHandler {
   mutable std::mutex watch_mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<WatchFanout>> watches_;
   uint64_t next_watch_id_ = 1;
+  /// Open composite cursors (states are CompositeCursor).
+  CursorManager cursors_;
+  /// Deferred-teardown worker: disconnect reaps enqueue here (joining
+  /// watch pumps and closing remote shard cursors both do I/O).
+  std::thread reaper_;
+  std::mutex reap_mutex_;
+  std::condition_variable reap_cv_;
+  std::deque<std::function<void()>> reap_queue_;
+  bool reap_stop_ = false;
   /// Probes/reconnects the groups_; declared last so it stops before
   /// the channels it watches are destroyed.
   std::unique_ptr<TopologyMonitor> monitor_;

@@ -406,6 +406,207 @@ TEST_F(TcpFrameFuzz, WatchersVanishingMidPushDoNotWedgeTheHub) {
   EXPECT_EQ(handler_->watch_hub()->active(), 0u);
 }
 
+// --------------------------------------------------------------------------
+// Cursor opcodes under hostility: garbage / stale / replayed cursor ids,
+// torn cursor frames, and cursor requests over legacy framing.
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Seeds the fuzz server with `count` synthetic objects so range cursors
+/// actually page (the fixture's index starts empty).
+void SeedCursorObjects(secure::EncryptedMIndexServer* handler, int count) {
+  std::vector<secure::InsertItem> items(count);
+  for (int i = 0; i < count; ++i) {
+    items[i].id = static_cast<metric::ObjectId>(10000 + i);
+    items[i].pivot_distances = {1.0f + i, 2.0f + i, 3.0f + i, 4.0f + i};
+    items[i].payload = Bytes{0x10, static_cast<uint8_t>(i)};
+  }
+  auto inserted = handler->Handle(secure::EncodeInsertBatchRequest(items));
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+}
+
+/// A response body split into its parts: `ok` + payload, or the error.
+struct ParsedBody {
+  bool ok = false;
+  Bytes payload;
+  std::string error;
+};
+
+ParsedBody ParseResponseBody(const Bytes& body) {
+  BinaryReader reader(body);
+  auto nanos = reader.ReadU64();
+  EXPECT_TRUE(nanos.ok());
+  auto ok = reader.ReadBool();
+  EXPECT_TRUE(ok.ok());
+  ParsedBody parsed;
+  parsed.ok = ok.ok() && *ok;
+  if (parsed.ok) {
+    parsed.payload = Bytes(body.begin() + reader.position(), body.end());
+  } else {
+    auto message = reader.ReadString();
+    EXPECT_TRUE(message.ok());
+    if (message.ok()) parsed.error = *message;
+  }
+  return parsed;
+}
+
+/// The fixture's 4-pivot query covering every seeded object.
+Bytes CursorOpenRequest(uint64_t page_size) {
+  return secure::EncodeRangeSearchCursorRequest({1.0f, 2.0f, 3.0f, 4.0f},
+                                                1e9, page_size, 0);
+}
+
+}  // namespace
+
+TEST_F(TcpFrameFuzz, CursorGarbageStaleAndReplayedIdsFailCleanly) {
+  SeedCursorObjects(handler_.get(), 12);
+  const int fd = RawConnect();
+  uint32_t frame = 1;
+  auto round_trip = [&](const Bytes& request) {
+    const uint32_t id = frame++;
+    EXPECT_TRUE(net::WritePipelinedFrame(fd, id, request).ok());
+    auto response = net::ReadAnyFrame(fd);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->request_id, id);
+    return ParseResponseBody(response->payload);
+  };
+
+  // Garbage ids: every kCursorNext answers a clean error naming the
+  // unknown cursor; the connection survives all of them.
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t bogus = 1000000 + rng.NextBounded(1u << 30);
+    ParsedBody next = round_trip(secure::EncodeCursorNextRequest(bogus));
+    EXPECT_FALSE(next.ok);
+    EXPECT_NE(next.error.find("unknown cursor"), std::string::npos)
+        << next.error;
+  }
+
+  // A REPLAYED id: drain a real cursor to exhaustion, then next it
+  // again — the id is dead, the answer is the same clean error.
+  ParsedBody open = round_trip(CursorOpenRequest(/*page_size=*/3));
+  ASSERT_TRUE(open.ok) << open.error;
+  auto page = secure::DecodeCursorPage(open.payload);
+  ASSERT_TRUE(page.ok());
+  const uint64_t drained_id = page->cursor_id;
+  ASSERT_NE(drained_id, 0u);
+  uint64_t cursor_id = drained_id;
+  while (cursor_id != 0) {
+    ParsedBody next =
+        round_trip(secure::EncodeCursorNextRequest(cursor_id));
+    ASSERT_TRUE(next.ok) << next.error;
+    auto next_page = secure::DecodeCursorPage(next.payload);
+    ASSERT_TRUE(next_page.ok());
+    cursor_id = next_page->cursor_id;
+  }
+  ParsedBody replayed =
+      round_trip(secure::EncodeCursorNextRequest(drained_id));
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_NE(replayed.error.find("unknown cursor"), std::string::npos);
+
+  // A STALE id: close a live cursor, then keep using it. Next fails
+  // cleanly; a second close stays an idempotent 0-ack.
+  ParsedBody reopened = round_trip(CursorOpenRequest(/*page_size=*/3));
+  ASSERT_TRUE(reopened.ok) << reopened.error;
+  auto live = secure::DecodeCursorPage(reopened.payload);
+  ASSERT_TRUE(live.ok());
+  ASSERT_NE(live->cursor_id, 0u);
+  ParsedBody closed =
+      round_trip(secure::EncodeCursorCloseRequest(live->cursor_id));
+  ASSERT_TRUE(closed.ok) << closed.error;
+  ParsedBody stale = round_trip(secure::EncodeCursorNextRequest(live->cursor_id));
+  EXPECT_FALSE(stale.ok);
+  EXPECT_NE(stale.error.find("unknown cursor"), std::string::npos);
+  ParsedBody again =
+      round_trip(secure::EncodeCursorCloseRequest(live->cursor_id));
+  EXPECT_TRUE(again.ok) << "double close must be an ack, not an error";
+
+  ::close(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, TornCursorFramesDoNotWedgeOrLeakCursors) {
+  SeedCursorObjects(handler_.get(), 8);
+  const Bytes open_request = CursorOpenRequest(/*page_size=*/2);
+
+  // Cursor frames truncated at every interesting boundary, connection
+  // dropped mid-header or mid-body: each costs only its connection.
+  BinaryWriter framed;
+  framed.WriteU32(static_cast<uint32_t>(open_request.size()) |
+                  net::kFrameIdFlag);
+  framed.WriteU32(7);
+  framed.WriteRaw(open_request.data(), open_request.size());
+  const Bytes full(framed.buffer().begin(), framed.buffer().end());
+  for (size_t cut : {size_t{1}, size_t{4}, size_t{5}, size_t{8},
+                     full.size() - 1}) {
+    const int fd = RawConnect();
+    ASSERT_EQ(::send(fd, full.data(), cut, MSG_NOSIGNAL),
+              static_cast<ssize_t>(cut));
+    ::close(fd);
+  }
+
+  // A real open followed by a torn kCursorNext and an abrupt
+  // disconnect: the server drops the connection AND reaps its cursor.
+  const int fd = RawConnect();
+  ASSERT_TRUE(net::WritePipelinedFrame(fd, 1, open_request).ok());
+  auto response = net::ReadAnyFrame(fd);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ParsedBody open = ParseResponseBody(response->payload);
+  ASSERT_TRUE(open.ok) << open.error;
+  auto page = secure::DecodeCursorPage(open.payload);
+  ASSERT_TRUE(page.ok());
+  ASSERT_NE(page->cursor_id, 0u);
+  EXPECT_EQ(handler_->cursors().counters().open, 1u);
+  BinaryWriter torn;
+  torn.WriteU32(64u | net::kFrameIdFlag);  // declares 64 bytes, sends 4
+  torn.WriteU32(2);
+  ASSERT_EQ(::send(fd, torn.buffer().data(), torn.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(torn.size()));
+  ::close(fd);
+  Stopwatch watch;
+  while (handler_->cursors().counters().open > 0 &&
+         watch.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(handler_->cursors().counters().open, 0u)
+      << "torn connection leaked its cursor";
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, CursorOpcodesOverLegacyFramingFailCleanly) {
+  SeedCursorObjects(handler_.get(), 8);
+  const int fd = RawConnect();
+  auto legacy_round_trip = [&](const Bytes& request) {
+    EXPECT_TRUE(net::WriteFrame(fd, request).ok());
+    auto body = net::ReadFrame(fd);
+    EXPECT_TRUE(body.ok()) << body.status().ToString();
+    return ParseResponseBody(*body);
+  };
+
+  // Stateful cursor opcodes over legacy (bit-31-clear) framing: a clean
+  // refusal naming the requirement — the connection is NOT closed.
+  ParsedBody open = legacy_round_trip(CursorOpenRequest(/*page_size=*/2));
+  EXPECT_FALSE(open.ok);
+  EXPECT_NE(open.error.find("pipelined"), std::string::npos) << open.error;
+  ParsedBody next = legacy_round_trip(secure::EncodeCursorNextRequest(1));
+  EXPECT_FALSE(next.ok);
+  EXPECT_NE(next.error.find("pipelined"), std::string::npos) << next.error;
+  // kCursorClose is stateless and idempotent: it answers a 0-ack even
+  // here (there is nothing to leak by answering).
+  ParsedBody close_ack =
+      legacy_round_trip(secure::EncodeCursorCloseRequest(12345));
+  EXPECT_TRUE(close_ack.ok) << close_ack.error;
+
+  // The SAME connection still serves ordinary legacy traffic.
+  ParsedBody stats = legacy_round_trip(secure::EncodeGetStatsRequest());
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_TRUE(secure::DecodeStatsResponse(stats.payload).ok());
+  EXPECT_EQ(handler_->cursors().counters().open, 0u);
+  ::close(fd);
+  ExpectServerAlive();
+}
+
 // ---------------------------------------------------------------------------
 // Live SECURE-server fuzzing: hostile handshakes and records.
 // ---------------------------------------------------------------------------

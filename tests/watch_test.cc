@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,6 +82,7 @@ struct Cluster {
   std::unique_ptr<SecretKey> key;
   std::unique_ptr<net::RequestHandler> handler;
   EncryptedMIndexServer* single = nullptr;  // white-box (single-node only)
+  ShardedServer* sharded = nullptr;         // white-box (sharded only)
   std::unique_ptr<net::TcpServer> server;
   net::ChannelPolicy policy = net::ChannelPolicy::kPlaintext;
 
@@ -113,6 +116,7 @@ Cluster StartCluster(const std::vector<VectorObject>& pivot_pool,
   } else {
     auto server = ShardedServer::Create(options, num_shards);
     EXPECT_TRUE(server.ok()) << server.status().ToString();
+    cluster.sharded = server->get();
     cluster.handler = std::move(*server);
   }
 
@@ -588,6 +592,73 @@ TEST(WatchTest, ShardedFacadeMergesStreamsWithCompositeTokens) {
 
   EXPECT_TRUE((*resumed)->Cancel().ok());
   resumed->reset();
+  cluster.server->Stop();
+}
+
+// Regression: a composite watch whose client vanished used to linger on
+// the facade until the NEXT delivery tried to push into the dead
+// connection. The disconnect hook must reap it eagerly — with zero
+// intervening mutations.
+TEST(WatchTest, OrphanedShardedWatchIsReapedOnDisconnectNotNextDelivery) {
+  const std::vector<VectorObject> objects = MakeObjects(60, 1410);
+  Cluster cluster = StartCluster(objects, /*num_shards=*/3);
+  ASSERT_NE(cluster.sharded, nullptr);
+
+  auto watcher_transport = cluster.Connect();
+  ASSERT_TRUE(watcher_transport.ok());
+  {
+    EncryptionClient watcher(*cluster.key, cluster.metric,
+                             watcher_transport->get());
+    auto stream = watcher.WatchAll();
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    ASSERT_EQ(cluster.sharded->open_watches(), 1u);
+
+    // The client evaporates: no Cancel, no clean shutdown — the socket
+    // just dies. Abort before the stream destructor so its best-effort
+    // cancel cannot mask the server-side reap.
+    (*watcher_transport)->Abort(Status::NetworkError("client vanished"));
+  }
+
+  // NO churn here. The old code would only notice the orphan when a
+  // delivery sweep hit the dead connection; the fanout must disappear
+  // on the disconnect alone.
+  for (int i = 0; i < 500 && cluster.sharded->open_watches() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(cluster.sharded->open_watches(), 0u)
+      << "orphaned watch fanout lingered past the disconnect";
+
+  // The reaped fanout must not wound delivery: churn afterwards reaches
+  // a fresh watcher intact.
+  auto writer_transport = cluster.Connect();
+  ASSERT_TRUE(writer_transport.ok());
+  EncryptionClient writer(*cluster.key, cluster.metric,
+                          writer_transport->get());
+  auto fresh_transport = cluster.Connect();
+  ASSERT_TRUE(fresh_transport.ok());
+  EncryptionClient fresh(*cluster.key, cluster.metric,
+                         fresh_transport->get());
+  auto fresh_stream = fresh.WatchAll();
+  ASSERT_TRUE(fresh_stream.ok()) << fresh_stream.status().ToString();
+  std::vector<Mutation> oracle;
+  ApplyChurn(&writer, {objects.begin(), objects.begin() + 10}, {}, &oracle);
+  // Shards interleave freely in the merged stream: assert exactly-once
+  // delivery of every mutation, not a global order.
+  std::map<metric::ObjectId, size_t> seen;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    auto event = (*fresh_stream)->Next(kEventTimeoutMs);
+    ASSERT_TRUE(event.ok())
+        << "event " << i << ": " << event.status().ToString();
+    ASSERT_EQ(event->kind, WatchEvent::Kind::kInsert);
+    ++seen[event->id];
+  }
+  for (const Mutation& mutation : oracle) {
+    EXPECT_EQ(seen[mutation.id], 1u)
+        << "insert " << mutation.id << " delivered " << seen[mutation.id]
+        << " times";
+  }
+  EXPECT_TRUE((*fresh_stream)->Cancel().ok());
+  fresh_stream->reset();
   cluster.server->Stop();
 }
 
