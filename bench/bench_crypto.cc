@@ -29,6 +29,7 @@
 #include "crypto/hmac.h"
 #include "crypto/kernels.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace simcloud {
 namespace bench {
@@ -107,9 +108,13 @@ void Run(bool smoke) {
   CrossCheckKernels(*aes);
 
   const auto& features = crypto::GetCpuFeatures();
-  std::printf("bench_crypto: %s (raw: aes-ni=%d sha-ni=%d), buffer %zu KiB\n",
-              crypto::CryptoBackendSummary().c_str(), features.raw_aes_ni,
-              features.raw_sha_ni, buf_len / 1024);
+  std::printf("%s\n",
+              obs::RuntimeBanner(
+                  "bench_crypto",
+                  "raw aes-ni=" + std::to_string(features.raw_aes_ni) +
+                      " sha-ni=" + std::to_string(features.raw_sha_ni) +
+                      ", buffer " + std::to_string(buf_len / 1024) + " KiB")
+                  .c_str());
   std::printf("%-22s %12s %12s %9s\n", "kernel", "scalar MB/s", "accel MB/s",
               "speedup");
 

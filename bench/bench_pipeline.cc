@@ -21,8 +21,14 @@
 //     (mean / p99 over repeated connects) and encrypted knn-batch
 //     throughput.
 //
-// Usage: bench_pipeline [--smoke]
-//   --smoke  fewer connections (1, 16, 128 idle) and ops, for CI.
+// Usage: bench_pipeline [--smoke] [--metrics-overhead]
+//   --smoke             fewer connections (1, 16, 128 idle) and ops, for CI.
+//   --metrics-overhead  skip the throughput matrix; instead gate the
+//                       cost of the obs registry: single-connection
+//                       depth-8 ping p99 with metrics on must stay
+//                       within 5% of the same cell with
+//                       obs::SetMetricsEnabled(false) (best-of-N min
+//                       p99 per mode, alternated to cancel drift).
 
 #include <sys/resource.h>
 
@@ -44,6 +50,7 @@
 #include "metric/dataset.h"
 #include "mindex/pivot_selection.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
 #include "secure/client.h"
 #include "secure/secret_key.h"
 #include "secure/server.h"
@@ -233,9 +240,12 @@ void Run(bool smoke) {
   const size_t ping_ops = smoke ? 2000 : 5000;
   const size_t knn_ops = smoke ? 200 : 500;
 
-  std::printf("bench_pipeline: io_engine=%s, %zu worker threads, crypto[%s]\n",
-              server.io_engine_name(), server.worker_threads(),
-              crypto::CryptoBackendSummary().c_str());
+  std::printf("%s\n",
+              obs::RuntimeBanner(
+                  "bench_pipeline",
+                  std::string("io_engine=") + server.io_engine_name() +
+                      " workers=" + std::to_string(server.worker_threads()))
+                  .c_str());
   std::printf("%-6s %6s %6s %14s %12s %14s %12s\n", "work", "conns", "depth",
               "qps", "p99_us", "", "");
   double single_conn_ping_qps[2] = {0, 0};  // [depth1, depth8]
@@ -402,15 +412,82 @@ void Run(bool smoke) {
   server.Stop();
 }
 
+/// The ci.sh observability gate: instrumented depth-8 single-connection
+/// ping p99 must stay within 5% of the same cell with the registry
+/// switched off in-process. Min-of-N per mode, modes alternated, so a
+/// background hiccup in one round cannot fail the gate; a 1 us epsilon
+/// keeps the 5% from collapsing to noise on sub-20 us pings.
+void RunMetricsOverhead(bool smoke) {
+  RaiseFdLimit();
+  mindex::MIndexOptions options;
+  options.num_pivots = 16;
+  options.bucket_capacity = 50;
+  options.max_level = 4;
+  auto handler = secure::EncryptedMIndexServer::Create(options);
+  if (!handler.ok()) std::exit(1);
+  net::TcpServer server(handler->get());
+  if (!server.Start(0).ok()) std::exit(1);
+
+  const Bytes ping_request = secure::EncodePingRequest();
+  const size_t ops = smoke ? 4000 : 20000;
+  const int kRounds = 6;
+  const bool was_enabled = obs::MetricsEnabled();
+
+  // Warm up connections, worker pool, and allocator before measuring.
+  RunCell(server.port(), 1, 8, ops / 4, ping_request);
+
+  // Alternate which mode runs first each round: the second cell of a
+  // pair tends to run marginally faster (warmer caches, settled clock),
+  // and a fixed order would credit that bias entirely to one mode.
+  double on_p99 = 0, off_p99 = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const bool on_first = (round % 2) == 0;
+    double on = 0, off = 0;
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool measure_on = (leg == 0) == on_first;
+      obs::SetMetricsEnabled(measure_on);
+      const double p99 =
+          RunCell(server.port(), 1, 8, ops, ping_request).p99_us;
+      (measure_on ? on : off) = p99;
+    }
+    on_p99 = round == 0 ? on : std::min(on_p99, on);
+    off_p99 = round == 0 ? off : std::min(off_p99, off);
+  }
+  obs::SetMetricsEnabled(was_enabled);
+
+  const double budget_us = off_p99 * 1.05 + 1.0;
+  std::printf("metrics overhead: depth-8 ping p99 %.1f us instrumented vs "
+              "%.1f us off (budget %.1f us)\n",
+              on_p99, off_p99, budget_us);
+  if (on_p99 > budget_us) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented ping p99 %.1f us exceeds %.1f us "
+                 "(metrics-off p99 %.1f us + 5%% + 1 us)\n",
+                 on_p99, budget_us, off_p99);
+    std::exit(1);
+  }
+  std::printf("bench_pipeline metrics-overhead OK (%.1f us <= %.1f us)\n",
+              on_p99, budget_us);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace simcloud
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool metrics_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--metrics-overhead") == 0) {
+      metrics_overhead = true;
+    }
   }
-  simcloud::bench::Run(smoke);
+  if (metrics_overhead) {
+    simcloud::bench::RunMetricsOverhead(smoke);
+  } else {
+    simcloud::bench::Run(smoke);
+  }
   return 0;
 }

@@ -57,9 +57,14 @@ if [ "${1:-}" = "--tsan" ]; then
   # busy-checkout protocol races handler threads against the TTL sweep
   # and the disconnect reaper thread, and composite cursors pull shard
   # pages through the same channels the fan-out workers use.
+  # obs_test joined with the metrics registry: its concurrency suite
+  # hammers the thread-sharded counter/histogram cells from 8 writers
+  # (exactness is the assertion; TSan proves the relaxed atomics carry
+  # it), and its secure-cluster scrape races kGetMetrics snapshots
+  # against live mutator/query traffic.
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test|watch_test|cursor_test'
+        -R 'net_test|pipeline_test|concurrency_test|sharded_test|fuzz_robustness_test|integration_test|churn_test|secure_channel_test|query_engine_test|failover_test|watch_test|cursor_test|obs_test'
 
   echo "=== churn + failover + watch soaks under TSan, secure channel policy ==="
   # The same soaks with every connection running the PSK handshake +
@@ -72,7 +77,7 @@ if [ "${1:-}" = "--tsan" ]; then
   SIMCLOUD_CHANNEL_POLICY=secure \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
         --timeout 300 \
-        -R 'pipeline_test|failover_test|watch_test|cursor_test'
+        -R 'pipeline_test|failover_test|watch_test|cursor_test|obs_test'
   echo "CI (tsan) OK"
   exit 0
 fi
@@ -120,7 +125,7 @@ echo "=== channel-policy sweep: churn + failover + watch soaks in secure mode ==
 # test cover the secure policy intrinsically.
 SIMCLOUD_CHANNEL_POLICY=secure \
 ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 300 \
-      -R 'pipeline_test|failover_test|watch_test|cursor_test'
+      -R 'pipeline_test|failover_test|watch_test|cursor_test|obs_test'
 
 echo "=== bench smoke: microbenchmarks ==="
 if [ -x build/bench_micro ]; then
@@ -141,6 +146,9 @@ echo "=== bench smoke: churn + compaction acceptance (incl. pause gate) ==="
 
 echo "=== bench smoke: pipelined transport acceptance ==="
 ./build/bench_pipeline --smoke
+
+echo "=== bench smoke: metrics overhead gate (instrumented ping p99 within 5% of metrics-off) ==="
+./build/bench_pipeline --metrics-overhead --smoke
 
 echo "=== bench smoke: replica failover acceptance (zero failed queries, p99 blip <= 3x) ==="
 ./build/bench_failover --smoke

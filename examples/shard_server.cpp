@@ -19,7 +19,10 @@
 //   --status-interval-s  print a status line this often (0 = off). The
 //                line decodes the same kGetStats block a facade sees, so
 //                it includes the stale-shard count and live watch
-//                subscriptions.
+//                subscriptions. A second `rates:` line derives req/s,
+//                MB/s in/out, distance computations/s and the payload
+//                cache hit ratio from metrics-registry deltas (the same
+//                registry kGetMetrics scrapes).
 
 #include <csignal>
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "net/tcp.h"
+#include "obs/metrics.h"
 #include "secure/server.h"
 
 using namespace simcloud;
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   int ticks = 0;
+  obs::MetricsSnapshot last = obs::Registry::Default().Snapshot();
   while (!g_stop) {
     struct timespec nap = {0, 50 * 1000 * 1000};
     ::nanosleep(&nap, nullptr);
@@ -147,6 +152,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->dead_storage_bytes),
                 static_cast<unsigned long long>(stats->shards_stale),
                 (*handler)->watch_hub()->active());
+    // Top-line rates straight from the registry: deltas against the
+    // previous tick's snapshot over the configured interval. Prefix
+    // sums collapse the per-opcode {op=...} label fan-out.
+    obs::MetricsSnapshot now = obs::Registry::Default().Snapshot();
+    auto delta_prefix = [&](const char* prefix) {
+      uint64_t total = 0;
+      for (const auto& [name, value] : now.counters) {
+        if (name.rfind(prefix, 0) != 0) continue;
+        const uint64_t* before = last.counter(name);
+        total += value - (before != nullptr ? *before : 0);
+      }
+      return total;
+    };
+    const double seconds = static_cast<double>(status_interval_s);
+    const uint64_t requests = delta_prefix("simcloud_requests_total");
+    const uint64_t bytes_in = delta_prefix("simcloud_net_bytes_in_total");
+    const uint64_t bytes_out = delta_prefix("simcloud_net_bytes_out_total");
+    const uint64_t dist = delta_prefix("simcloud_distance_computations_total");
+    const uint64_t hits = delta_prefix("simcloud_payload_cache_hits_total");
+    const uint64_t misses =
+        delta_prefix("simcloud_payload_cache_misses_total");
+    const uint64_t lookups = hits + misses;
+    std::printf("rates: %.0f req/s, %.2f/%.2f MB/s in/out, %.0f dist/s, "
+                "cache hit %.0f%%\n",
+                requests / seconds, bytes_in / seconds / 1e6,
+                bytes_out / seconds / 1e6, dist / seconds,
+                lookups == 0 ? 0.0 : 100.0 * hits / lookups);
+    last = std::move(now);
     std::fflush(stdout);
   }
   server.Stop();

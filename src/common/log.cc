@@ -1,14 +1,34 @@
 #include "common/log.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 namespace simcloud {
 
 namespace {
+
+/// Kernel thread id; cheaper and shorter than std::this_thread::get_id()
+/// and matches what strace/perf report. Cached — gettid is a syscall.
+long ThisThreadId() {
+  static thread_local const long tid =
+      static_cast<long>(::syscall(SYS_gettid));
+  return tid;
+}
+
+/// Monotonic seconds since process start (first call), so concurrent
+/// lines sort by time and restarts restart the clock.
+double MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 LogLevel InitialLevel() {
   const char* env = std::getenv("SIMCLOUD_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kWarn;
@@ -16,11 +36,26 @@ LogLevel InitialLevel() {
   if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  // Warn (at the default threshold, so it is visible) rather than
+  // silently downgrading a typo like SIMCLOUD_LOG_LEVEL=debug.
+  char warning[160];
+  const int warning_len = std::snprintf(
+      warning, sizeof(warning),
+      "[simcloud %.6f WARN t%ld] invalid SIMCLOUD_LOG_LEVEL=\"%s\" "
+      "(want ERROR|WARN|INFO|DEBUG); defaulting to WARN\n",
+      MonotonicSeconds(), ThisThreadId(), env);
+  if (warning_len > 0) {
+    ssize_t ignored = ::write(STDERR_FILENO, warning,
+                              static_cast<size_t>(warning_len) <
+                                      sizeof(warning)
+                                  ? static_cast<size_t>(warning_len)
+                                  : sizeof(warning) - 1);
+    (void)ignored;
+  }
   return LogLevel::kWarn;
 }
 
 std::atomic<int> g_level{static_cast<int>(InitialLevel())};
-std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +66,7 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -43,8 +79,25 @@ LogLevel GetLogLevel() {
 
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[simcloud %s] %s\n", LevelName(level), msg.c_str());
+  // One write() per line: POSIX makes the whole buffer a single atomic
+  // append for pipes/regular files within PIPE_BUF-ish sizes, so
+  // concurrent threads never interleave partial lines the way the old
+  // mutex-less fprintf path could across processes sharing stderr.
+  char prefix[96];
+  int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[simcloud %.6f %s t%ld] ",
+                    MonotonicSeconds(), LevelName(level), ThisThreadId());
+  if (prefix_len < 0) prefix_len = 0;
+  if (static_cast<size_t>(prefix_len) >= sizeof(prefix)) {
+    prefix_len = sizeof(prefix) - 1;
+  }
+  std::string line;
+  line.reserve(static_cast<size_t>(prefix_len) + msg.size() + 1);
+  line.append(prefix, static_cast<size_t>(prefix_len));
+  line.append(msg);
+  line.push_back('\n');
+  ssize_t ignored = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)ignored;
 }
 
 }  // namespace simcloud

@@ -1,5 +1,8 @@
 // Minimal leveled logger. Off by default for benchmarks; level settable via
-// code or the SIMCLOUD_LOG_LEVEL environment variable (ERROR|WARN|INFO|DEBUG).
+// code or the SIMCLOUD_LOG_LEVEL environment variable (ERROR|WARN|INFO|DEBUG;
+// anything else warns and defaults to WARN). Each line carries a monotonic
+// timestamp, level tag, and thread id, and is emitted through a single
+// write(2) so concurrent threads never interleave partial lines.
 
 #ifndef SIMCLOUD_COMMON_LOG_H_
 #define SIMCLOUD_COMMON_LOG_H_

@@ -4,8 +4,23 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace simcloud {
 namespace metric {
+
+namespace internal {
+
+void RecordDistanceEvaluation() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_distance_computations_total");
+  counter->Add(1);
+  obs::TraceSpan* span = obs::TraceSpan::Current();
+  if (span != nullptr) span->AddDistanceComputations(1);
+}
+
+}  // namespace internal
 
 double L1Distance::DistanceImpl(const VectorObject& a,
                                 const VectorObject& b) const {

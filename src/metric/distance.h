@@ -27,6 +27,14 @@
 namespace simcloud {
 namespace metric {
 
+namespace internal {
+/// Observability bridge (distance.cc): bumps the process-global
+/// simcloud_distance_computations_total counter and attributes the
+/// evaluation to the current request trace span, if any. Out of line so
+/// this header does not pull in obs/.
+void RecordDistanceEvaluation();
+}  // namespace internal
+
 /// Abstract total distance function d : D x D -> R satisfying the metric
 /// postulates. Implementations must be thread-safe and stateless apart
 /// from the global evaluation counter.
@@ -41,6 +49,7 @@ class DistanceFunction {
   /// Computes d(a, b). Both objects must have the same dimensionality.
   double Distance(const VectorObject& a, const VectorObject& b) const {
     evaluations_.fetch_add(1, std::memory_order_relaxed);
+    internal::RecordDistanceEvaluation();
     return DistanceImpl(a, b);
   }
 

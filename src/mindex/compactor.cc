@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mindex/payload_cache.h"
+#include "obs/metrics.h"
 
 namespace simcloud {
 namespace mindex {
@@ -324,7 +325,15 @@ Status CompactionPass::Finish(CellTree* tree) {
   Status status = report_.mode == CompactionMode::kPartial
                       ? FinishPartial(tree)
                       : FinishFull(tree);
-  if (status.ok()) finished_ = true;
+  if (status.ok()) {
+    finished_ = true;
+    static obs::Counter* const moved = obs::Registry::Default().GetCounter(
+        "simcloud_compaction_payloads_moved_total");
+    static obs::Counter* const released = obs::Registry::Default().GetCounter(
+        "simcloud_compaction_segments_released_total");
+    moved->Add(report_.payloads_moved);
+    released->Add(report_.segments_released);
+  }
   return status;
 }
 

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "mindex/payload_cache.h"
+#include "obs/metrics.h"
 
 namespace simcloud {
 namespace mindex {
@@ -283,6 +284,7 @@ Result<CompactionReport> MIndex::CompactBackground(
 
 Result<CompactionReport> MIndex::RunCompactionPass(
     CompactorOptions options, std::shared_mutex* index_mutex) {
+  Stopwatch pass_watch;
   if (!options.force && options.garbage_threshold <= 0.0) {
     // An unforced pass with no explicit threshold is gated by the
     // configured trigger (which may itself be 0 = disabled).
@@ -367,6 +369,18 @@ Result<CompactionReport> MIndex::RunCompactionPass(
   compaction_passes_.fetch_add(1, std::memory_order_relaxed);
   CompactionReport report = pass.report();
   report.pause_nanos = pause_nanos;
+  {
+    // A skipped pass (nothing to compact) never reaches this point, so
+    // the histograms describe real rewrites only.
+    static obs::Histogram* const pause_histogram =
+        obs::Registry::Default().GetHistogram(
+            "simcloud_compaction_pause_nanos");
+    static obs::Histogram* const pass_histogram =
+        obs::Registry::Default().GetHistogram(
+            "simcloud_compaction_pass_nanos");
+    pause_histogram->Record(pause_nanos);
+    pass_histogram->Record(static_cast<uint64_t>(pass_watch.ElapsedNanos()));
+  }
   return report;
 }
 

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace simcloud {
 namespace mindex {
 
 namespace {
+
+obs::Counter* CacheHitsCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_payload_cache_hits_total");
+  return counter;
+}
+
+obs::Counter* CacheMissesCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_payload_cache_misses_total");
+  return counter;
+}
 
 // Cap the shard count so every shard's budget stays large enough to
 // actually admit entries — a tiny capacity split 16 ways would leave
@@ -35,10 +49,12 @@ bool PayloadCache::Lookup(PayloadHandle handle, Bytes* out) const {
     auto it = shard.index.find(handle);
     if (it == shard.index.end()) {
       shard.misses++;
+      CacheMissesCounter()->Add(1);
       return false;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     shard.hits++;
+    CacheHitsCounter()->Add(1);
     payload = it->second->second;
   }
   *out = *payload;  // byte copy outside the critical section

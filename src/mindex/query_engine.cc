@@ -5,9 +5,56 @@
 #include <unordered_map>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcloud {
 namespace mindex {
+
+namespace {
+
+/// Server-side analogue of the paper's distance-computation cost: every
+/// entry inspected in a visited cell costs one pivot-distance lower-bound
+/// evaluation. Feeds the cumulative counter and the per-request span
+/// (always on the request's worker thread — batch fan-out pool threads
+/// never call this, the fan-out's caller aggregates stats first).
+void RecordPivotEvaluations(uint64_t entries_scanned) {
+  if (entries_scanned == 0) return;
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_pivot_distance_computations_total");
+  counter->Add(entries_scanned);
+  obs::TraceSpan* span = obs::TraceSpan::Current();
+  if (span != nullptr) span->AddDistanceComputations(entries_scanned);
+}
+
+uint64_t SumEntriesScanned(const std::vector<SearchStats>& stats) {
+  uint64_t total = 0;
+  for (const SearchStats& s : stats) total += s.entries_scanned;
+  return total;
+}
+
+obs::Histogram* PayloadFetchHistogram() {
+  static obs::Histogram* const histogram =
+      obs::Registry::Default().GetHistogram("simcloud_payload_fetch_nanos");
+  return histogram;
+}
+
+/// Times one payload-log fetch into the fetch histogram and the current
+/// request span. Zero clock reads while tracing is inactive.
+template <typename Fetch>
+Status TimedPayloadFetch(Fetch&& fetch) {
+  if (!obs::TracingActive()) return fetch();
+  const uint64_t start = obs::MonotonicNanos();
+  Status status = fetch();
+  const uint64_t nanos = obs::MonotonicNanos() - start;
+  PayloadFetchHistogram()->Record(nanos);
+  if (obs::TraceSpan* span = obs::TraceSpan::Current()) {
+    span->AddStageNanos(obs::Stage::kPayloadFetch, nanos);
+  }
+  return status;
+}
+
+}  // namespace
 
 void QueryEngine::RankAndTrim(ScoredEntries* scored, size_t limit) {
   std::stable_sort(
@@ -27,7 +74,8 @@ Result<CandidateList> QueryEngine::Materialize(ScoredEntries scored,
     handles.push_back(entry->payload_handle);
   }
   std::vector<Bytes> payloads;
-  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &payloads));
+  SIMCLOUD_RETURN_NOT_OK(TimedPayloadFetch(
+      [&] { return storage_->FetchMany(handles, &payloads); }));
 
   CandidateList result;
   result.reserve(scored.size());
@@ -69,7 +117,8 @@ Result<BatchCandidates> QueryEngine::MaterializeBatch(
   }
 
   BatchCandidates batch;
-  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &batch.payloads));
+  SIMCLOUD_RETURN_NOT_OK(TimedPayloadFetch(
+      [&] { return storage_->FetchMany(handles, &batch.payloads); }));
 
   batch.per_query.resize(rep.size());
   for (size_t q = 0; q < rep.size(); ++q) {
@@ -86,8 +135,12 @@ Result<CandidateList> QueryEngine::RangeSearch(
     const std::vector<float>& query_distances, double radius,
     SearchStats* stats) const {
   ScoredEntries scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_->CollectRange(query_distances, radius, &scored, stats));
+  {
+    obs::StageTimer timer(obs::Stage::kIndexEval);
+    SIMCLOUD_RETURN_NOT_OK(
+        tree_->CollectRange(query_distances, radius, &scored, stats));
+  }
+  if (stats != nullptr) RecordPivotEvaluations(stats->entries_scanned);
   const size_t count = scored.size();
   return Materialize(std::move(scored), count, stats);
 }
@@ -96,8 +149,12 @@ Result<RankedCandidates> QueryEngine::RangeSearchRanked(
     const std::vector<float>& query_distances, double radius,
     SearchStats* stats) const {
   ScoredEntries scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_->CollectRange(query_distances, radius, &scored, stats));
+  {
+    obs::StageTimer timer(obs::Stage::kIndexEval);
+    SIMCLOUD_RETURN_NOT_OK(
+        tree_->CollectRange(query_distances, radius, &scored, stats));
+  }
+  if (stats != nullptr) RecordPivotEvaluations(stats->entries_scanned);
   RankAndTrim(&scored, scored.size());
   RankedCandidates ranked;
   ranked.reserve(scored.size());
@@ -126,7 +183,8 @@ Result<CandidateList> QueryEngine::MaterializePage(
     picked.push_back(&candidate);
   }
   std::vector<Bytes> payloads;
-  SIMCLOUD_RETURN_NOT_OK(storage_->FetchMany(handles, &payloads));
+  SIMCLOUD_RETURN_NOT_OK(TimedPayloadFetch(
+      [&] { return storage_->FetchMany(handles, &payloads); }));
   CandidateList page;
   page.reserve(picked.size());
   for (size_t i = 0; i < picked.size(); ++i) {
@@ -144,8 +202,13 @@ Result<CandidateList> QueryEngine::ApproxKnn(const QuerySignature& query,
     return Status::InvalidArgument("candidate set size must be > 0");
   }
   ScoredEntries scored;
-  SIMCLOUD_RETURN_NOT_OK(
-      tree_->CollectApprox(query, cand_size, promise_decay_, &scored, stats));
+  {
+    obs::StageTimer timer(obs::Stage::kIndexEval);
+    SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(query, cand_size,
+                                                promise_decay_, &scored,
+                                                stats));
+  }
+  if (stats != nullptr) RecordPivotEvaluations(stats->entries_scanned);
   const size_t limit = query.whole_cells ? scored.size() : cand_size;
   return Materialize(std::move(scored), limit, stats);
 }
@@ -217,19 +280,23 @@ Result<BatchCandidates> QueryEngine::RangeSearchBatch(
 
   std::vector<SearchStats> unique_stats(uniques.size());
   std::vector<ScoredEntries> scored(uniques.size());
-  const size_t chunk_count =
-      query_threads_ > 1
-          ? std::min(static_cast<size_t>(query_threads_), uniques.size())
-          : 1;
-  if (chunk_count <= 1) {
-    SIMCLOUD_RETURN_NOT_OK(
-        tree_->CollectRangeBatch(unique_queries, &scored, &unique_stats));
-  } else {
+  // Index-eval stage covers the whole collect fan-out; the per-request
+  // span lives on this thread, so the attribution happens here after the
+  // pool workers (which see no current span) are done.
+  Status collected = [&]() -> Status {
+    obs::StageTimer index_timer(obs::Stage::kIndexEval);
+    const size_t chunk_count =
+        query_threads_ > 1
+            ? std::min(static_cast<size_t>(query_threads_), uniques.size())
+            : 1;
+    if (chunk_count <= 1) {
+      return tree_->CollectRangeBatch(unique_queries, &scored, &unique_stats);
+    }
     // Each worker runs one shared traversal over its contiguous chunk of
     // the distinct queries. CollectRangeBatch guarantees per-query output
     // independent of batch composition, so the concatenation is
     // byte-identical to the single whole-batch traversal.
-    SIMCLOUD_RETURN_NOT_OK(ParallelFor(
+    return ParallelFor(
         static_cast<int>(chunk_count), chunk_count, [&](size_t c) {
           const size_t begin = c * unique_queries.size() / chunk_count;
           const size_t end = (c + 1) * unique_queries.size() / chunk_count;
@@ -244,8 +311,10 @@ Result<BatchCandidates> QueryEngine::RangeSearchBatch(
             unique_stats[begin + i] = chunk_stats[i];
           }
           return Status::OK();
-        }));
-  }
+        });
+  }();
+  SIMCLOUD_RETURN_NOT_OK(collected);
+  RecordPivotEvaluations(SumEntriesScanned(unique_stats));
   std::vector<size_t> limits(scored.size());
   for (size_t u = 0; u < scored.size(); ++u) limits[u] = scored[u].size();
   return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
@@ -272,17 +341,21 @@ Result<BatchCandidates> QueryEngine::ApproxKnnBatch(
       return Status::InvalidArgument("candidate set size must be > 0");
     }
   }
-  SIMCLOUD_RETURN_NOT_OK(
-      ParallelFor(query_threads_, uniques.size(), [&](size_t u) {
-        const KnnQuery& query = queries[uniques[u]];
-        SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(
-            query.signature, query.cand_size, promise_decay_, &scored[u],
-            &unique_stats[u]));
-        limits[u] = query.signature.whole_cells
-                        ? scored[u].size()
-                        : static_cast<size_t>(query.cand_size);
-        return Status::OK();
-      }));
+  {
+    obs::StageTimer index_timer(obs::Stage::kIndexEval);
+    SIMCLOUD_RETURN_NOT_OK(
+        ParallelFor(query_threads_, uniques.size(), [&](size_t u) {
+          const KnnQuery& query = queries[uniques[u]];
+          SIMCLOUD_RETURN_NOT_OK(tree_->CollectApprox(
+              query.signature, query.cand_size, promise_decay_, &scored[u],
+              &unique_stats[u]));
+          limits[u] = query.signature.whole_cells
+                          ? scored[u].size()
+                          : static_cast<size_t>(query.cand_size);
+          return Status::OK();
+        }));
+  }
+  RecordPivotEvaluations(SumEntriesScanned(unique_stats));
   return MaterializeBatch(std::move(scored), limits, rep, unique_stats,
                           stats);
 }

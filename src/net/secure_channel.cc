@@ -11,6 +11,8 @@
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "crypto/secure_random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcloud {
 namespace net {
@@ -146,6 +148,11 @@ Status SecureChannel::Advance(Direction* dir, size_t plaintext_bytes) {
   SIMCLOUD_ASSIGN_OR_RETURN(crypto::AeadCipher aead,
                             DeriveEpochAead(prk_, dir->label, dir->epoch));
   dir->aead = std::move(aead);
+  {
+    static obs::Counter* const rekeys =
+        obs::Registry::Default().GetCounter("simcloud_secure_rekeys_total");
+    rekeys->Add(1);
+  }
   return Status::OK();
 }
 
@@ -380,6 +387,8 @@ void SetRecvTimeout(int fd, int millis) {
 
 Result<std::unique_ptr<SecureChannel>> RunClientHandshake(
     int fd, const SecureChannelOptions& options) {
+  const uint64_t start_nanos =
+      obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
   SIMCLOUD_ASSIGN_OR_RETURN(ClientHandshake handshake,
                             ClientHandshake::Start(options));
   if (options.handshake_timeout_ms > 0) {
@@ -395,6 +404,12 @@ Result<std::unique_ptr<SecureChannel>> RunClientHandshake(
                             handshake.Finish(server_hello, &channel));
   SIMCLOUD_RETURN_NOT_OK(WriteAllFd(fd, finish.data(), finish.size()));
   if (options.handshake_timeout_ms > 0) SetRecvTimeout(fd, 0);
+  if (start_nanos != 0) {
+    static obs::Histogram* const latency =
+        obs::Registry::Default().GetHistogram(
+            "simcloud_secure_handshake_nanos{side=\"client\"}");
+    latency->Record(obs::MonotonicNanos() - start_nanos);
+  }
   return channel;
 }
 

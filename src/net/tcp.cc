@@ -19,11 +19,40 @@
 #include "common/log.h"
 #include "common/serialize.h"
 #include "crypto/cpu_features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcloud {
 namespace net {
 
 namespace {
+
+// Registry cells the server hot paths record into. Function-local
+// statics: registered once, then a plain pointer deref.
+obs::Gauge* ConnectionsGauge() {
+  static obs::Gauge* const gauge =
+      obs::Registry::Default().GetGauge("simcloud_net_connections");
+  return gauge;
+}
+
+obs::Counter* ReadPausesCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_net_read_pauses_total");
+  return counter;
+}
+
+obs::Gauge* PeakOutputQueueGauge() {
+  static obs::Gauge* const gauge = obs::Registry::Default().GetGauge(
+      "simcloud_net_output_queue_peak_bytes");
+  return gauge;
+}
+
+obs::Histogram* ServerHandshakeHistogram() {
+  static obs::Histogram* const histogram =
+      obs::Registry::Default().GetHistogram(
+          "simcloud_secure_handshake_nanos{side=\"server\"}");
+  return histogram;
+}
 
 // Event-engine tags of the two non-connection fds; connection
 // generations start at 2.
@@ -270,12 +299,12 @@ Status TcpServer::Start(uint16_t port) {
   if (!engine_->Add(wake_fd_, kWakeTag, EPOLLIN, true).ok()) {
     return fail("register(wake)");
   }
-  SIMCLOUD_LOG(kInfo) << "TcpServer on 127.0.0.1:" << port_
-                      << " io_engine=" << engine_->name() << " crypto["
-                      << crypto::CryptoBackendSummary() << "] policy="
-                      << (options_.channel_policy == ChannelPolicy::kSecure
-                              ? "secure"
-                              : "plaintext");
+  SIMCLOUD_LOG(kInfo) << obs::RuntimeBanner(
+      "TcpServer",
+      "127.0.0.1:" + std::to_string(port_) + " io_engine=" + engine_->name() +
+          " policy=" +
+          (options_.channel_policy == ChannelPolicy::kSecure ? "secure"
+                                                             : "plaintext"));
 
   started_ = true;
   running_.store(true);
@@ -363,8 +392,12 @@ class TcpServer::ConnPushSink : public PushSink {
 class TcpServer::ConnStreamContext : public StreamContext {
  public:
   ConnStreamContext(std::shared_ptr<ConnShared> shared, uint32_t id,
-                    uint64_t gen, bool legacy)
-      : shared_(std::move(shared)), id_(id), gen_(gen), legacy_(legacy) {}
+                    uint64_t gen, bool legacy, obs::TraceSpan* span)
+      : shared_(std::move(shared)),
+        id_(id),
+        gen_(gen),
+        legacy_(legacy),
+        span_(span) {}
   /// Null on a legacy connection: the bit-31-clear framing has no request
   /// id to push on, so stream-registering opcodes must fail cleanly.
   std::shared_ptr<PushSink> MakeSink() override {
@@ -373,12 +406,14 @@ class TcpServer::ConnStreamContext : public StreamContext {
   }
   uint64_t connection_id() const override { return gen_; }
   bool pipelined() const override { return !legacy_; }
+  obs::TraceSpan* trace() const override { return span_; }
 
  private:
   std::shared_ptr<ConnShared> shared_;
   const uint32_t id_;
   const uint64_t gen_;
   const bool legacy_;
+  obs::TraceSpan* const span_;
 };
 
 void TcpServer::Stop() {
@@ -504,6 +539,7 @@ void TcpServer::AcceptNewConnections() {
     if (options_.channel_policy == ChannelPolicy::kSecure) {
       conn->handshake =
           std::make_unique<ServerHandshake>(options_.secure_channel);
+      if (obs::MetricsEnabled()) conn->accept_nanos = obs::MonotonicNanos();
     }
     conn->interest = EPOLLIN | EPOLLRDHUP;
     const Status add_status =
@@ -515,6 +551,7 @@ void TcpServer::AcceptNewConnections() {
     }
     connections_.emplace(conn->gen, std::move(conn));
     active_connections_.fetch_add(1);
+    ConnectionsGauge()->Add(1);
   }
 }
 
@@ -569,6 +606,10 @@ bool TcpServer::DecryptIncoming(Connection* conn) {
       conn->channel = conn->handshake->TakeChannel();
       conn->handshake.reset();
       handshakes_completed_.fetch_add(1);
+      if (conn->accept_nanos != 0) {
+        ServerHandshakeHistogram()->Record(obs::MonotonicNanos() -
+                                           conn->accept_nanos);
+      }
     }
   }
   if (conn->channel) {
@@ -614,6 +655,7 @@ bool TcpServer::ParseFrames(Connection* conn) {
     item.legacy = !pipelined;
     if (pipelined) item.shared = conn->shared;  // legacy cannot push
     item.body.assign(p + header_len, p + header_len + len);
+    if (obs::TracingActive()) item.enqueue_nanos = obs::MonotonicNanos();
     conn->in_off += header_len + len;
     conn->in_flight++;
     if (!pipelined) conn->legacy_in_flight = true;
@@ -723,6 +765,7 @@ bool TcpServer::UpdateConnection(Connection* conn) {
     if ((conn->interest & EPOLLIN) != 0 && (want & EPOLLIN) == 0 &&
         backpressured) {
       reads_paused_.fetch_add(1);
+      ReadPausesCounter()->Add(1);
     }
     if (!engine_->Modify(conn->fd, conn->gen, want).ok()) {
       CloseConnection(conn);
@@ -744,6 +787,7 @@ void TcpServer::CloseConnection(Connection* conn) {
   engine_->Remove(conn->fd, conn->gen);  // before close: cancels uring polls
   ::close(conn->fd);
   active_connections_.fetch_sub(1);
+  ConnectionsGauge()->Add(-1);
   // Eager per-connection state reap (open cursors, watches). On the loop
   // thread, so handlers must keep the hook non-blocking.
   handler_->OnConnectionClosed(conn->gen);
@@ -792,6 +836,8 @@ void TcpServer::DrainCompletions() {
            !peak_output_queue_bytes_.compare_exchange_weak(peak,
                                                            conn->out_bytes)) {
     }
+    PeakOutputQueueGauge()->Set(
+        static_cast<int64_t>(peak_output_queue_bytes_.load()));
     conn->out.push_back(std::move(completion.frame));
     touched.push_back(completion.gen);
   }
@@ -827,6 +873,8 @@ void TcpServer::DrainCompletions() {
            !peak_output_queue_bytes_.compare_exchange_weak(peak,
                                                            conn->out_bytes)) {
     }
+    PeakOutputQueueGauge()->Set(
+        static_cast<int64_t>(peak_output_queue_bytes_.load()));
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
@@ -848,17 +896,31 @@ void TcpServer::WorkerLoop() {
       work_queue_.pop_front();
     }
 
+    // Tracing is free when off: enqueue_nanos is only stamped while
+    // TracingActive(), and without it no span work (or clock read beyond
+    // the pre-existing Stopwatch) happens on this path.
+    const bool traced = item.enqueue_nanos != 0 && obs::TracingActive();
+    obs::TraceSpan span;
+    if (traced) {
+      span.AddStageNanos(obs::Stage::kQueueWait,
+                         obs::MonotonicNanos() - item.enqueue_nanos);
+      if (!item.body.empty()) span.set_opcode(item.body[0]);
+    }
+
     Stopwatch watch;
     Result<Bytes> response = [&]() -> Result<Bytes> {
       // Legacy frames get a context too (it carries the connection
       // identity for cursor reaping), but one whose sink is null and
       // whose pipelined() is false — stream/cursor opcodes fail cleanly
       // while the connection stays usable.
-      ConnStreamContext stream(item.shared, item.id, item.gen, item.legacy);
+      ConnStreamContext stream(item.shared, item.id, item.gen, item.legacy,
+                               traced ? &span : nullptr);
+      obs::TraceSpan::Scope scope(traced ? &span : nullptr);
       return handler_->HandleStream(item.body, &stream);
     }();
     const int64_t server_nanos = watch.ElapsedNanos();
 
+    const uint64_t seal_start = traced ? obs::MonotonicNanos() : 0;
     BinaryWriter body;
     if (response.ok()) body.Reserve(response->size() + 16);
     body.WriteU64(static_cast<uint64_t>(server_nanos));
@@ -888,6 +950,17 @@ void TcpServer::WorkerLoop() {
     if (!item.legacy) StoreLE32(item.id, completion.frame.data() + 4);
     std::memcpy(completion.frame.data() + header_len, encoded.data(),
                 encoded.size());
+
+    if (traced) {
+      // Worker-side framing cost; the secure policy's per-burst Seal on
+      // the loop thread is not attributable per-request and is excluded
+      // (a documented approximation of the seal/send stage).
+      span.AddStageNanos(obs::Stage::kSealSend,
+                         obs::MonotonicNanos() - seal_start);
+      obs::FinishRequestSpan(span, static_cast<uint64_t>(server_nanos),
+                             header_len + item.body.size(),
+                             completion.frame.size());
+    }
 
     frames_completed_.fetch_add(1);
     {

@@ -183,6 +183,7 @@ class TcpServer {
     bool legacy_in_flight = false;  ///< an id-0 request is being handled
     bool read_eof = false;     ///< peer half-closed its write side
     uint32_t interest = 0;     ///< current epoll event mask
+    uint64_t accept_nanos = 0;  ///< monotonic accept time (handshake latency)
   };
 
   struct WorkItem {
@@ -191,6 +192,7 @@ class TcpServer {
     bool legacy = false;
     Bytes body;
     std::shared_ptr<ConnShared> shared;  ///< for minting push sinks
+    uint64_t enqueue_nanos = 0;  ///< parse time; 0 when tracing is off
   };
 
   struct Completion {

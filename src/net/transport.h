@@ -25,6 +25,9 @@
 #include "common/status.h"
 
 namespace simcloud {
+namespace obs {
+class TraceSpan;
+}  // namespace obs
 namespace net {
 
 /// Server-push outlet for one request id: lets a handler send additional
@@ -62,6 +65,10 @@ class StreamContext {
   /// (bit-31-clear) connections cannot interleave many in-flight
   /// requests, so stateful opcodes (cursors) reject them cleanly.
   virtual bool pipelined() const { return true; }
+  /// The request's trace span (stage timings, distance accounting), or
+  /// null when the transport does not trace (loopback, tracing off).
+  /// Handlers annotate it (shard, batch size); the transport finishes it.
+  virtual obs::TraceSpan* trace() const { return nullptr; }
 };
 
 /// Server-side request handler: consumes a request message, produces a

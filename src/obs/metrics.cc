@@ -1,0 +1,445 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/serialize.h"
+#include "crypto/cpu_features.h"
+
+namespace simcloud {
+namespace obs {
+
+namespace {
+
+bool InitialEnabled() {
+  const char* env = std::getenv("SIMCLOUD_METRICS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+}  // namespace
+
+bool MetricsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t ThisThreadShard() {
+  // A thread keeps one slot for its lifetime; the hash spreads pool
+  // threads (often created back-to-back) across the shards.
+  static thread_local const size_t slot =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      kMetricShards;
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Bucket grid
+// ---------------------------------------------------------------------------
+
+size_t BucketIndex(uint64_t value) {
+  if (value < 4) return static_cast<size_t>(value);  // 0,1,2,3 exact
+  const int exponent = 63 - std::countl_zero(value);  // floor(log2), >= 2
+  const uint64_t sub = (value >> (exponent - 2)) & 3;  // 2 mantissa bits
+  return 4 + static_cast<size_t>(exponent - 2) * 4 + static_cast<size_t>(sub);
+}
+
+uint64_t BucketLowerBound(size_t index) {
+  if (index < 4) return index;
+  const int exponent = 2 + static_cast<int>((index - 4) / 4);
+  const uint64_t sub = (index - 4) % 4;
+  return (uint64_t{1} << exponent) + sub * (uint64_t{1} << (exponent - 2));
+}
+
+uint64_t BucketUpperBound(size_t index) {
+  if (index + 1 >= kHistogramBucketCount) return UINT64_MAX;
+  return BucketLowerBound(index + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::ResetForTest() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::ResetForTest() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    if (static_cast<double>(cumulative + bucket_count) < target) {
+      cumulative += bucket_count;
+      continue;
+    }
+    const double lower = static_cast<double>(BucketLowerBound(index));
+    const double upper = static_cast<double>(BucketUpperBound(index));
+    const double fraction =
+        bucket_count == 0
+            ? 0.0
+            : (target - static_cast<double>(cumulative)) /
+                  static_cast<double>(bucket_count);
+    return lower + std::clamp(fraction, 0.0, 1.0) * (upper - lower);
+  }
+  return buckets.empty()
+             ? 0.0
+             : static_cast<double>(BucketUpperBound(buckets.back().first));
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+namespace {
+
+template <typename Pair>
+const Pair* FindByName(const std::vector<Pair>& sorted,
+                       const std::string& name) {
+  auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), name,
+      [](const Pair& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  return it != sorted.end() && it->first == name ? &*it : nullptr;
+}
+
+}  // namespace
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  auto merge_values = [](auto* mine, const auto& theirs) {
+    for (const auto& entry : theirs) {
+      auto it = std::lower_bound(
+          mine->begin(), mine->end(), entry.first,
+          [](const auto& a, const std::string& key) { return a.first < key; });
+      if (it != mine->end() && it->first == entry.first) {
+        it->second += entry.second;
+      } else {
+        mine->insert(it, entry);
+      }
+    }
+  };
+  merge_values(&counters, other.counters);
+  merge_values(&gauges, other.gauges);
+  for (const HistogramSnapshot& theirs : other.histograms) {
+    auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), theirs.name,
+        [](const HistogramSnapshot& h, const std::string& key) {
+          return h.name < key;
+        });
+    if (it != histograms.end() && it->name == theirs.name) {
+      it->Merge(theirs);
+    } else {
+      histograms.insert(it, theirs);
+    }
+  }
+}
+
+const uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  const auto* entry = FindByName(counters, name);
+  return entry == nullptr ? nullptr : &entry->second;
+}
+
+const int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  const auto* entry = FindByName(gauges, name);
+  return entry == nullptr ? nullptr : &entry->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const HistogramSnapshot& h, const std::string& key) {
+        return h.name < key;
+      });
+  return it != histograms.end() && it->name == name ? &*it : nullptr;
+}
+
+namespace {
+
+/// Splits "base{labels}" into base and the inner label list (may be
+/// empty). Malformed names pass through as all-base.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void AppendTypeLineOnce(std::string* out, std::string* last_base,
+                        const std::string& base, const char* type) {
+  if (base == *last_base) return;
+  *last_base = base;
+  out->append("# TYPE ").append(base).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  std::string last_base;
+  std::string base, labels;
+  for (const auto& [name, value] : counters) {
+    SplitLabels(name, &base, &labels);
+    AppendTypeLineOnce(&out, &last_base, base, "counter");
+    out.append(name).append(" ").append(std::to_string(value)).append("\n");
+  }
+  last_base.clear();
+  for (const auto& [name, value] : gauges) {
+    SplitLabels(name, &base, &labels);
+    AppendTypeLineOnce(&out, &last_base, base, "gauge");
+    out.append(name).append(" ").append(std::to_string(value)).append("\n");
+  }
+  last_base.clear();
+  for (const HistogramSnapshot& histogram : histograms) {
+    SplitLabels(histogram.name, &base, &labels);
+    AppendTypeLineOnce(&out, &last_base, base, "histogram");
+    uint64_t cumulative = 0;
+    for (const auto& [index, bucket_count] : histogram.buckets) {
+      cumulative += bucket_count;
+      out.append(base).append("_bucket{");
+      if (!labels.empty()) out.append(labels).append(",");
+      out.append("le=\"")
+          .append(std::to_string(BucketUpperBound(index)))
+          .append("\"} ")
+          .append(std::to_string(cumulative))
+          .append("\n");
+    }
+    out.append(base).append("_bucket{");
+    if (!labels.empty()) out.append(labels).append(",");
+    out.append("le=\"+Inf\"} ")
+        .append(std::to_string(histogram.count))
+        .append("\n");
+    const std::string label_block =
+        labels.empty() ? std::string() : "{" + labels + "}";
+    out.append(base).append("_sum").append(label_block).append(" ")
+        .append(std::to_string(histogram.sum)).append("\n");
+    out.append(base).append("_count").append(label_block).append(" ")
+        .append(std::to_string(histogram.count)).append("\n");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wire block
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+Bytes EncodeMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  BinaryWriter writer;
+  writer.WriteVarint(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.WriteString(name);
+    writer.WriteVarint(value);
+  }
+  writer.WriteVarint(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.WriteString(name);
+    writer.WriteVarint(ZigZag(value));
+  }
+  writer.WriteVarint(snapshot.histograms.size());
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    writer.WriteString(histogram.name);
+    writer.WriteVarint(histogram.sum);
+    writer.WriteVarint(histogram.buckets.size());
+    for (const auto& [index, count] : histogram.buckets) {
+      writer.WriteVarint(index);
+      writer.WriteVarint(count);
+    }
+  }
+  // Append-only: new revisions add blocks here; old decoders stop after
+  // the blocks they know and ignore the rest.
+  return writer.TakeBuffer();
+}
+
+Result<MetricsSnapshot> DecodeMetricsSnapshot(const Bytes& data) {
+  BinaryReader reader(data);
+  MetricsSnapshot snapshot;
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t counter_count, reader.ReadVarint());
+  snapshot.counters.reserve(reader.BoundedCount(counter_count));
+  for (uint64_t i = 0; i < counter_count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t value, reader.ReadVarint());
+    snapshot.counters.emplace_back(std::move(name), value);
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t gauge_count, reader.ReadVarint());
+  snapshot.gauges.reserve(reader.BoundedCount(gauge_count));
+  for (uint64_t i = 0; i < gauge_count; ++i) {
+    SIMCLOUD_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t value, reader.ReadVarint());
+    snapshot.gauges.emplace_back(std::move(name), UnZigZag(value));
+  }
+  SIMCLOUD_ASSIGN_OR_RETURN(uint64_t histogram_count, reader.ReadVarint());
+  snapshot.histograms.reserve(reader.BoundedCount(histogram_count));
+  for (uint64_t i = 0; i < histogram_count; ++i) {
+    HistogramSnapshot histogram;
+    SIMCLOUD_ASSIGN_OR_RETURN(histogram.name, reader.ReadString());
+    SIMCLOUD_ASSIGN_OR_RETURN(histogram.sum, reader.ReadVarint());
+    SIMCLOUD_ASSIGN_OR_RETURN(uint64_t bucket_count, reader.ReadVarint());
+    histogram.buckets.reserve(reader.BoundedCount(bucket_count));
+    uint32_t last_index = 0;
+    for (uint64_t b = 0; b < bucket_count; ++b) {
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t index, reader.ReadVarint());
+      SIMCLOUD_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+      if (index >= kHistogramBucketCount ||
+          (b > 0 && index <= last_index)) {
+        return Status::Corruption("metrics histogram bucket index invalid");
+      }
+      last_index = static_cast<uint32_t>(index);
+      histogram.count += count;
+      histogram.buckets.emplace_back(static_cast<uint32_t>(index), count);
+    }
+    snapshot.histograms.push_back(std::move(histogram));
+  }
+  // Trailing bytes belong to blocks appended by newer revisions.
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Default() {
+  static Registry* const instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name);
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    std::array<uint64_t, kHistogramBucketCount> totals{};
+    for (const Histogram::Shard& shard : histogram->shards_) {
+      hs.sum += shard.sum.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistogramBucketCount; ++b) {
+        totals[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    for (size_t b = 0; b < kHistogramBucketCount; ++b) {
+      if (totals[b] == 0) continue;
+      hs.count += totals[b];
+      hs.buckets.emplace_back(static_cast<uint32_t>(b), totals[b]);
+    }
+    snapshot.histograms.push_back(std::move(hs));
+  }
+  // std::map iteration is name-ordered, so the vectors are born sorted.
+  return snapshot;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+std::string RuntimeBanner(const std::string& component,
+                          const std::string& detail) {
+  std::string banner = component + ": ";
+  if (!detail.empty()) banner += detail + ", ";
+  banner += "crypto[" + crypto::CryptoBackendSummary() + "], metrics=";
+  banner += MetricsEnabled() ? "on" : "off";
+  return banner;
+}
+
+}  // namespace obs
+}  // namespace simcloud

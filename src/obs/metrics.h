@@ -1,0 +1,247 @@
+// Process-global metrics registry: named counters, gauges, and
+// log-bucketed latency histograms, built for hot paths.
+//
+// Design points:
+//  * Thread-sharded atomics. A Counter/Histogram spreads its cells over
+//    kMetricShards cache-line-padded shards keyed by a hash of the
+//    calling thread id, so the hot path is one relaxed fetch_add with no
+//    cross-core cache-line ping-pong. Reads (Snapshot) sum the shards.
+//  * Log-bucketed histograms. Bucket boundaries follow a power-of-two
+//    grid with 4 sub-buckets per octave (<= 25% relative width), so one
+//    histogram covers nanoseconds to hours in 252 buckets and quantile
+//    readout (p50/p90/p99/p999) interpolates inside a bucket.
+//  * Registration is name-keyed and idempotent; instrumented sites cache
+//    the returned pointer in a function-local static, so steady state
+//    never touches the registry lock.
+//  * `SIMCLOUD_METRICS=off` (or 0/false) disables every record call at
+//    one relaxed load + branch, which the ci.sh overhead gate measures.
+//  * A snapshot serializes to an append-only wire block (the kGetMetrics
+//    envelope — new blocks are appended, old decoders ignore trailing
+//    bytes) and to Prometheus text exposition. Snapshots merge with
+//    correct histogram semantics (bucket-wise sum), which is how a
+//    ShardedServer aggregates shard registries.
+//
+// Label convention: a metric name is `base` or `base{key="value",...}`.
+// The Prometheus writer splits on the first '{'; the wire block and the
+// registry treat the whole string as the key.
+
+#ifndef SIMCLOUD_OBS_METRICS_H_
+#define SIMCLOUD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace simcloud {
+namespace obs {
+
+/// True unless SIMCLOUD_METRICS=off|0|false (or SetMetricsEnabled(false)).
+bool MetricsEnabled();
+/// Runtime override of the env switch; bench_pipeline's overhead gate
+/// flips it to measure the instrumented-vs-off delta in one process.
+void SetMetricsEnabled(bool enabled);
+
+/// Number of per-thread shards in every counter/histogram.
+inline constexpr size_t kMetricShards = 16;
+
+/// Stable shard slot of the calling thread.
+size_t ThisThreadShard();
+
+// ---------------------------------------------------------------------------
+// Histogram bucket grid
+// ---------------------------------------------------------------------------
+
+/// Buckets: [0], [1], [2], [3], then 4 sub-buckets per power of two up
+/// to 2^64. Index 0 holds exactly value 0.
+inline constexpr size_t kHistogramBucketCount = 4 + 62 * 4;
+
+/// Bucket index of `value` (total order, exhaustive over uint64).
+size_t BucketIndex(uint64_t value);
+/// Inclusive lower bound of bucket `index`.
+uint64_t BucketLowerBound(size_t index);
+/// Exclusive upper bound of bucket `index` (saturates at UINT64_MAX).
+uint64_t BucketUpperBound(size_t index);
+
+// ---------------------------------------------------------------------------
+// Live metric cells
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter. Hot path: one relaxed add on a per-thread shard.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  void ResetForTest();
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  const std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Instantaneous signed value (queue depths, live connections). Low-rate
+/// by design, so one atomic cell is enough.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram. Hot path: two relaxed adds (bucket + sum) on
+/// a per-thread shard.
+class Histogram {
+ public:
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    if (!MetricsEnabled()) return;
+    Shard& shard = shards_[ThisThreadShard()];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  void ResetForTest();
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBucketCount> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  const std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram; sparse (only buckets with
+/// observations), indices ascending.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;  ///< (index, count)
+
+  /// Interpolated quantile readout, q in [0, 1]. Resolution is the
+  /// bucket grid (<= 25% relative error). Returns 0 on an empty
+  /// histogram.
+  double Quantile(double q) const;
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+
+  /// Bucket-wise sum with `other` (must share the name to be meaningful).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Point-in-time copy of a whole registry; the unit of the kGetMetrics
+/// wire envelope and of shard aggregation. Entries are sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Element-wise aggregation: counters and gauges sum by name,
+  /// histograms merge bucket-wise. Names only one side knows are kept.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Lookup helpers; null when the name is absent.
+  const uint64_t* counter(const std::string& name) const;
+  const int64_t* gauge(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Prometheus text exposition (counters, gauges, histograms with
+  /// cumulative `le` buckets plus `_sum`/`_count`).
+  std::string ToPrometheusText() const;
+};
+
+/// Append-only wire block: counters, gauges, histograms. Future protocol
+/// revisions append new blocks at the end; decoders ignore trailing
+/// bytes they do not understand, so old clients keep decoding new
+/// servers and vice versa.
+Bytes EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+Result<MetricsSnapshot> DecodeMetricsSnapshot(const Bytes& data);
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Name-keyed owner of every metric. One process-global instance; cells
+/// are never deleted, so returned pointers are stable for the process
+/// lifetime and safe to cache in function-local statics.
+class Registry {
+ public:
+  static Registry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Sums every shard of every cell into a sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered cell (tests and the bench overhead gate;
+  /// concurrent writers see a clean but racy cut, which is fine there).
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One-line runtime banner shared by TcpServer startup and the bench
+/// binaries: "<component>: <detail>, crypto[<backend>], metrics=on|off".
+std::string RuntimeBanner(const std::string& component,
+                          const std::string& detail);
+
+}  // namespace obs
+}  // namespace simcloud
+
+#endif  // SIMCLOUD_OBS_METRICS_H_

@@ -699,6 +699,12 @@ Result<mindex::IndexStats> EncryptionClient::GetServerStats() {
   return DecodeStatsResponse(response);
 }
 
+Result<obs::MetricsSnapshot> EncryptionClient::GetMetrics() {
+  SIMCLOUD_ASSIGN_OR_RETURN(Bytes response,
+                            transport_->Call(EncodeGetMetricsRequest()));
+  return DecodeMetricsResponse(response);
+}
+
 namespace {
 
 /// Registration handshake: how long to wait for the server's kAck.

@@ -355,6 +355,14 @@ class EncryptionClient {
   /// Fetches index statistics from the server.
   Result<mindex::IndexStats> GetServerStats();
 
+  /// Scrapes the server's metrics registry (per-opcode latency
+  /// histograms, byte counters, cache/compaction/failover telemetry —
+  /// see docs/observability.md). Against a ShardedServer the snapshot
+  /// is the bucket-correct merge of every shard registry. The server
+  /// refuses legacy (bit-31-clear) framing for this opcode; use a
+  /// pipelined transport.
+  Result<obs::MetricsSnapshot> GetMetrics();
+
   /// Registers a live change stream scoped to the range query R(query,
   /// radius): the server pushes every insert whose pivot-filtering lower
   /// bound admits it into the radius (a superset of the true matches,

@@ -437,6 +437,14 @@ Result<Request> DecodeRequest(const Bytes& data) {
       SIMCLOUD_ASSIGN_OR_RETURN(request.cursor_id, reader.ReadVarint());
       return request;
     }
+    case Op::kGetMetrics:
+      // Strictly empty-bodied: a torn or garbage frame that happens to
+      // start with opcode 16 must never read as a valid scrape.
+      if (!reader.AtEnd()) {
+        return Status::InvalidArgument(
+            "kGetMetrics request carries unexpected body bytes");
+      }
+      return request;
   }
   return Status::Corruption("unknown opcode " + std::to_string(op_byte));
 }
@@ -640,6 +648,22 @@ Result<mindex::CompactionReport> DecodeCompactResponse(const Bytes& data) {
                             : mindex::CompactionMode::kFull;
   }
   return report;
+}
+
+Bytes EncodeGetMetricsRequest() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(Op::kGetMetrics));
+  return writer.TakeBuffer();
+}
+
+Bytes EncodeMetricsResponse(const obs::MetricsSnapshot& snapshot) {
+  // The snapshot codec IS the response body: it is already append-only
+  // (obs/metrics.h), so the protocol layer adds nothing to strip.
+  return obs::EncodeMetricsSnapshot(snapshot);
+}
+
+Result<obs::MetricsSnapshot> DecodeMetricsResponse(const Bytes& data) {
+  return obs::DecodeMetricsSnapshot(data);
 }
 
 }  // namespace secure

@@ -17,6 +17,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "mindex/entry.h"
+#include "obs/metrics.h"
 
 namespace simcloud {
 namespace secure {
@@ -42,6 +43,7 @@ enum class Op : uint8_t {
   kRangeSearchCursor = 13,  ///< open a paged range search: first page + id
   kCursorNext = 14,         ///< next page of an open cursor
   kCursorClose = 15,        ///< release a cursor's server-side state
+  kGetMetrics = 16,         ///< admin: observability registry snapshot
 };
 
 /// One insert item: exactly the encrypted object `e` of Algorithm 1.
@@ -240,6 +242,17 @@ Result<mindex::IndexStats> DecodeStatsResponse(const Bytes& data);
 /// per-shard reports before encoding.
 Bytes EncodeCompactResponse(const mindex::CompactionReport& report);
 Result<mindex::CompactionReport> DecodeCompactResponse(const Bytes& data);
+
+/// Observability scrape (kGetMetrics): an empty-bodied request — any
+/// trailing bytes are rejected, so a misframed opcode-16 frame can never
+/// leak a registry snapshot. Requires the pipelined framing on the wire
+/// (legacy connections get a clean FailedPrecondition; in-process calls
+/// are allowed). The response is the append-only metrics wire block of
+/// obs::EncodeMetricsSnapshot — a ShardedServer answers with the
+/// bucket-correct merge of its shards' snapshots.
+Bytes EncodeGetMetricsRequest();
+Bytes EncodeMetricsResponse(const obs::MetricsSnapshot& snapshot);
+Result<obs::MetricsSnapshot> DecodeMetricsResponse(const Bytes& data);
 
 }  // namespace secure
 }  // namespace simcloud

@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcloud {
 namespace secure {
@@ -238,6 +240,25 @@ Result<Bytes> EncryptedMIndexServer::HandleCursorNext(
 Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
                                                   net::StreamContext* stream) {
   SIMCLOUD_ASSIGN_OR_RETURN(Request request, DecodeRequest(request_bytes));
+  if (obs::TraceSpan* span = obs::TraceSpan::Current()) {
+    // Batch size annotates the slow-query line; single-item ops leave 0.
+    switch (request.op) {
+      case Op::kInsertBatch:
+        span->set_batch_size(request.insert_items.size());
+        break;
+      case Op::kRangeSearchBatch:
+        span->set_batch_size(request.range_queries.size());
+        break;
+      case Op::kApproxKnnBatch:
+        span->set_batch_size(request.knn_queries.size());
+        break;
+      case Op::kDeleteBatch:
+        span->set_batch_size(request.delete_items.size());
+        break;
+      default:
+        break;
+    }
+  }
   switch (request.op) {
     case Op::kInsertBatch: {
       std::unique_lock<std::shared_mutex> lock(index_mutex_);
@@ -382,6 +403,18 @@ Result<Bytes> EncryptedMIndexServer::HandleStream(const Bytes& request_bytes,
       // Idempotent: closing an unknown / already-expired / already-closed
       // id answers 0, never an error — the client may race the TTL.
       return EncodeInsertResponse(cursors_.Close(request.cursor_id) ? 1 : 0);
+    case Op::kGetMetrics:
+      // Registry counters are process-global; a snapshot is cheap but the
+      // response can grow without bound with the label set, so — like the
+      // cursor opcodes — the stateless legacy framing path is refused
+      // cleanly (the connection stays usable). In-process calls (null
+      // stream: loopback, ShardedServer fan-out) are always allowed.
+      if (stream != nullptr && !stream->pipelined()) {
+        return Status::FailedPrecondition(
+            "kGetMetrics needs a pipelined connection (legacy framing is "
+            "stateless)");
+      }
+      return EncodeMetricsResponse(obs::Registry::Default().Snapshot());
   }
   return Status::Corruption("unhandled opcode");
 }

@@ -648,6 +648,32 @@ Result<Bytes> ShardedServer::HandleStream(const Bytes& request_bytes,
       CloseCursorLegs(std::static_pointer_cast<CompositeCursor>(state));
       return EncodeInsertResponse(1);
     }
+    case Op::kGetMetrics: {
+      // Same legacy-framing refusal as the shard handler (cheap probe
+      // loops must opt into the unbounded response via pipelining).
+      if (stream != nullptr && !stream->pipelined()) {
+        return Status::FailedPrecondition(
+            "kGetMetrics needs a pipelined connection (legacy framing is "
+            "stateless)");
+      }
+      // The merge covers the SHARD registries only — the facade's own
+      // registry is excluded so the aggregate equals the sum of the
+      // per-shard scrapes exactly (histograms merge bucket-by-bucket on
+      // the shared log grid). In-process deployments share one global
+      // registry, so every shard answers identically and the merge
+      // multiplies counters by the shard count; scrape shards directly
+      // when that matters.
+      std::vector<Result<Bytes>> responses =
+          CallAllShards(EncodeGetMetricsRequest());
+      obs::MetricsSnapshot merged;
+      for (const auto& response : responses) {
+        SIMCLOUD_RETURN_NOT_OK(response.status());
+        SIMCLOUD_ASSIGN_OR_RETURN(obs::MetricsSnapshot snapshot,
+                                  DecodeMetricsResponse(*response));
+        merged.Merge(snapshot);
+      }
+      return EncodeMetricsResponse(merged);
+    }
   }
   return Status::Corruption("unhandled opcode");
 }

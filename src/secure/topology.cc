@@ -5,6 +5,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "secure/protocol.h"
 
 namespace simcloud {
@@ -13,6 +14,38 @@ namespace secure {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+obs::Counter* DownsCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_failover_downs_total");
+  return counter;
+}
+
+obs::Counter* ReconnectsCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_failover_reconnects_total");
+  return counter;
+}
+
+obs::Counter* ReplayedCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_failover_replayed_requests_total");
+  return counter;
+}
+
+obs::Counter* StaleCounter() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "simcloud_failover_stale_replicas_total");
+  return counter;
+}
+
+/// Requests parked for replay across every replica channel (delta-kept:
+/// each channel adds on enqueue, subtracts on drain/overflow).
+obs::Gauge* ReplayDepthGauge() {
+  static obs::Gauge* const gauge = obs::Registry::Default().GetGauge(
+      "simcloud_failover_replay_queue_depth");
+  return gauge;
+}
 
 /// True when a Collect failure means the peer processed the request and
 /// rejected it (the stream itself is fine): surface it to the caller,
@@ -98,11 +131,14 @@ std::shared_ptr<net::TcpTransport> ReplicaChannel::BeginWrite(
   replay_bytes_ += request.size();
   if (replay_bytes_ > options_.max_replay_bytes) {
     stale_ = true;
+    StaleCounter()->Add(1);
+    ReplayDepthGauge()->Add(-static_cast<int64_t>(replay_.size()));
     replay_.clear();
     replay_bytes_ = 0;
     return nullptr;
   }
   replay_.push_back(request);
+  ReplayDepthGauge()->Add(1);
   return nullptr;
 }
 
@@ -112,11 +148,14 @@ void ReplicaChannel::EnqueueReplay(const Bytes& request) {
   replay_bytes_ += request.size();
   if (replay_bytes_ > options_.max_replay_bytes) {
     stale_ = true;
+    StaleCounter()->Add(1);
+    ReplayDepthGauge()->Add(-static_cast<int64_t>(replay_.size()));
     replay_.clear();
     replay_bytes_ = 0;
     return;
   }
   replay_.push_back(request);
+  ReplayDepthGauge()->Add(1);
 }
 
 void ReplicaChannel::MarkFailure(
@@ -129,6 +168,7 @@ void ReplicaChannel::MarkFailure(
     victim = std::move(transport_);
     transport_.reset();
     health_ = ShardHealth::kDown;
+    DownsCounter()->Add(1);
     consecutive_probe_failures_ = 0;
     ScheduleReconnectLocked();
   }
@@ -221,6 +261,7 @@ void ReplicaChannel::TryReconnect() {
         health_ = ShardHealth::kUp;
         consecutive_probe_failures_ = 0;
         ++reconnects_;
+        ReconnectsCounter()->Add(1);
         backoff_ms_ = options_.backoff_initial_ms;
         return;
       }
@@ -237,6 +278,8 @@ void ReplicaChannel::TryReconnect() {
     if (!replay_.empty()) {
       replay_bytes_ -= std::min(replay_bytes_, replay_.front().size());
       replay_.pop_front();
+      ReplayedCounter()->Add(1);
+      ReplayDepthGauge()->Add(-1);
     }
   }
   fresh->Abort(Status::NetworkError("replica marked stale during reconnect"));

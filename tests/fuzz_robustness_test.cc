@@ -607,6 +607,95 @@ TEST_F(TcpFrameFuzz, CursorOpcodesOverLegacyFramingFailCleanly) {
   ExpectServerAlive();
 }
 
+TEST_F(TcpFrameFuzz, GetMetricsOverLegacyFramingFailsCleanly) {
+  const int fd = RawConnect();
+  auto legacy_round_trip = [&](const Bytes& request) {
+    EXPECT_TRUE(net::WriteFrame(fd, request).ok());
+    auto body = net::ReadFrame(fd);
+    EXPECT_TRUE(body.ok()) << body.status().ToString();
+    return ParseResponseBody(*body);
+  };
+
+  // kGetMetrics over legacy (bit-31-clear) framing: a clean refusal
+  // naming the requirement, no registry snapshot in the response, and
+  // the connection is NOT closed.
+  ParsedBody refused = legacy_round_trip(secure::EncodeGetMetricsRequest());
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("pipelined"), std::string::npos)
+      << refused.error;
+  EXPECT_TRUE(refused.payload.empty());
+
+  // The SAME connection still serves ordinary legacy traffic.
+  ParsedBody stats = legacy_round_trip(secure::EncodeGetStatsRequest());
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_TRUE(secure::DecodeStatsResponse(stats.payload).ok());
+  ::close(fd);
+
+  // Over pipelined framing the same request answers a decodable
+  // snapshot on a raw socket.
+  const int piped = net::RawConnect(server_->port());
+  ASSERT_TRUE(
+      net::WritePipelinedFrame(piped, 3, secure::EncodeGetMetricsRequest())
+          .ok());
+  auto response = net::ReadAnyFrame(piped);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->request_id, 3u);
+  ParsedBody scraped = ParseResponseBody(response->payload);
+  ASSERT_TRUE(scraped.ok) << scraped.error;
+  EXPECT_TRUE(secure::DecodeMetricsResponse(scraped.payload).ok());
+  ::close(piped);
+  ExpectServerAlive();
+}
+
+TEST_F(TcpFrameFuzz, GetMetricsWithTrailingJunkOrTornFramesLeaksNothing) {
+  // Opcode 16 with trailing bytes: the decoder rejects the request (the
+  // strictly-empty body is the anti-confusion guard), so no registry
+  // snapshot leaves the process, and the connection keeps serving.
+  Rng rng(23);
+  const int fd = RawConnect();
+  for (int iter = 0; iter < 20; ++iter) {
+    Bytes junk = secure::EncodeGetMetricsRequest();
+    const size_t extra = 1 + rng.NextBounded(32);
+    for (size_t i = 0; i < extra; ++i) {
+      junk.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+    }
+    const uint32_t id = 1 + static_cast<uint32_t>(iter);
+    ASSERT_TRUE(net::WritePipelinedFrame(fd, id, junk).ok());
+    auto frame = net::ReadAnyFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->request_id, id);
+    ParsedBody parsed = ParseResponseBody(frame->payload);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_TRUE(parsed.payload.empty()) << "error responses carry no payload";
+  }
+  // A clean kGetMetrics on the same connection still works.
+  ASSERT_TRUE(
+      net::WritePipelinedFrame(fd, 900, secure::EncodeGetMetricsRequest())
+          .ok());
+  auto good = net::ReadAnyFrame(fd);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ParsedBody scraped = ParseResponseBody(good->payload);
+  ASSERT_TRUE(scraped.ok) << scraped.error;
+  EXPECT_TRUE(secure::DecodeMetricsResponse(scraped.payload).ok());
+  ::close(fd);
+
+  // Torn kGetMetrics frames cut at every header/body boundary cost only
+  // their connection.
+  BinaryWriter framed;
+  const Bytes request = secure::EncodeGetMetricsRequest();
+  framed.WriteU32(static_cast<uint32_t>(request.size()) | net::kFrameIdFlag);
+  framed.WriteU32(5);
+  framed.WriteRaw(request.data(), request.size());
+  const Bytes full(framed.buffer().begin(), framed.buffer().end());
+  for (size_t cut = 1; cut < full.size(); ++cut) {
+    const int torn = RawConnect();
+    ASSERT_EQ(::send(torn, full.data(), cut, MSG_NOSIGNAL),
+              static_cast<ssize_t>(cut));
+    ::close(torn);
+  }
+  ExpectServerAlive();
+}
+
 // ---------------------------------------------------------------------------
 // Live SECURE-server fuzzing: hostile handshakes and records.
 // ---------------------------------------------------------------------------
